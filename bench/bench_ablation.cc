@@ -1,0 +1,173 @@
+// Ablation studies for the design choices called out in DESIGN.md §6:
+//
+//   A. MPPm's n-estimation with the Theorem 2 λ' bound (e_m) versus the
+//      plain Theorem 1 λ bound — quantifies what the e_m statistic buys.
+//   B. The e_m order m itself: estimation quality and overhead as m grows.
+//   C. Maximal-pattern condensation: how much smaller the reported result
+//      set becomes (a reporting extension beyond the paper).
+
+#include <cstdio>
+
+#include "analysis/maximal.h"
+#include "analysis/window_model.h"
+#include "bench/common.h"
+#include "core/miner.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace pgm::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  HarnessOptions options;
+  std::int64_t length = 1000;
+  FlagSet flags("Ablations: e_m bound on/off, e_m order m, maximal patterns");
+  flags.AddInt64("length", &length, "subject sequence length L");
+  RegisterHarnessFlags(flags, options);
+  if (int code = HandleParseResult(flags.Parse(argc, argv)); code >= 0) {
+    return code;
+  }
+
+  Sequence segment = ValueOrDie(
+      SurrogateSegment(static_cast<std::size_t>(length), options.seed));
+  MinerConfig config = Section6Defaults();
+  CsvWriter csv({"ablation", "setting", "estimated_n", "seconds",
+                 "candidates"});
+
+  // --- A: Theorem 2 vs Theorem 1 in the n-estimate. ---
+  std::printf(
+      "=== Ablation A: the n-estimate with and without the e_m bound "
+      "(L=%lld, gap [9,12], rho_s=0.003%%) ===\n",
+      static_cast<long long>(length));
+  TablePrinter bound_table({"n-estimation bound", "estimated n", "time (s)",
+                            "candidates", "patterns"});
+  for (bool use_em : {true, false}) {
+    MinerConfig c = config;
+    c.use_em_bound = use_em;
+    MiningResult result = ValueOrDie(MineMppm(segment, c));
+    bound_table.Row()
+        .Add(use_em ? "Theorem 2 (lambda', with e_m)" : "Theorem 1 (lambda only)")
+        .Add(result.estimated_n)
+        .Add(result.total_seconds)
+        .Add(result.total_candidates)
+        .Add(static_cast<std::uint64_t>(result.patterns.size()))
+        .Done();
+    CheckOk(csv.Row()
+                .Add("em_bound")
+                .Add(use_em ? "on" : "off")
+                .Add(result.estimated_n)
+                .Add(result.total_seconds)
+                .Add(result.total_candidates)
+                .Done());
+  }
+  bound_table.Print();
+  std::printf(
+      "Without Theorem 2 the scan accepts nearly every k, degrading the "
+      "estimate toward the worst case n = l1.\n\n");
+
+  // --- B: sweep the order m. ---
+  std::printf("=== Ablation B: e_m order m ===\n");
+  TablePrinter m_table({"m", "e_m", "estimated n", "e_m time (s)",
+                        "total time (s)", "candidates"});
+  for (std::int64_t m : {2, 4, 6, 8, 10, 12}) {
+    MinerConfig c = config;
+    c.em_order = m;
+    MiningResult result = ValueOrDie(MineMppm(segment, c));
+    m_table.Row()
+        .Add(m)
+        .Add(result.em)
+        .Add(result.estimated_n)
+        .Add(result.em_seconds)
+        .Add(result.total_seconds)
+        .Add(result.total_candidates)
+        .Done();
+    CheckOk(csv.Row()
+                .Add("em_order")
+                .Add(std::to_string(m))
+                .Add(result.estimated_n)
+                .Add(result.total_seconds)
+                .Add(result.total_candidates)
+                .Done());
+  }
+  m_table.Print();
+  std::printf(
+      "Larger m tightens the estimate (W^m/e_m grows) at higher one-off "
+      "analysis cost — the paper's trade-off from Section 5.2.\n\n");
+
+  // --- C: maximal-pattern condensation. ---
+  std::printf("=== Ablation C: maximal-pattern condensation ===\n");
+  MiningResult full = ValueOrDie(MineMppm(segment, config));
+  Stopwatch watch;
+  std::vector<FrequentPattern> maximal = FilterMaximalPatterns(full.patterns);
+  const double condense_seconds = watch.ElapsedSeconds();
+  std::printf(
+      "%zu frequent patterns condense to %zu maximal ones (%.1fx smaller) "
+      "in %.4g s\n",
+      full.patterns.size(), maximal.size(),
+      static_cast<double>(full.patterns.size()) /
+          static_cast<double>(maximal.empty() ? 1 : maximal.size()),
+      condense_seconds);
+  CheckOk(csv.Row()
+              .Add("maximal")
+              .Add("on")
+              .Add(static_cast<std::int64_t>(maximal.size()))
+              .Add(condense_seconds)
+              .Add(static_cast<std::uint64_t>(full.patterns.size()))
+              .Done());
+
+  // --- D: the related-work window model (Section 2 contrast). ---
+  std::printf(
+      "\n=== Ablation D: window-counting model (Han et al. / Mannila et "
+      "al.) vs the paper's offset-sequence model ===\n");
+  GapRequirement gap = ValueOrDie(GapRequirement::Create(9, 12));
+  // Take the longest frequent patterns under the paper's model and ask
+  // how many windows (non-overlapping, the Han-style tiling) even get a
+  // chance to see them.
+  std::vector<const FrequentPattern*> longest;
+  for (const FrequentPattern& fp : full.patterns) {
+    if (static_cast<std::int64_t>(fp.pattern.length()) >=
+        full.longest_frequent_length - 1) {
+      longest.push_back(&fp);
+    }
+  }
+  TablePrinter window_table({"pattern", "span range", "sup (paper model)",
+                             "w=64 tiles hit", "w=128 tiles hit",
+                             "w=256 tiles hit"});
+  for (std::size_t i = 0; i < longest.size() && i < 5; ++i) {
+    const FrequentPattern& fp = *longest[i];
+    const std::int64_t l = static_cast<std::int64_t>(fp.pattern.length());
+    auto row = window_table.Row()
+                   .Add(fp.pattern.ToShorthand())
+                   .Add(StrFormat("%lld-%lld",
+                                  static_cast<long long>(gap.MinSpan(l)),
+                                  static_cast<long long>(gap.MaxSpan(l))))
+                   .Add(fp.support);
+    for (std::size_t width : {64u, 128u, 256u}) {
+      WindowModelConfig wconfig;
+      wconfig.window_width = width;
+      wconfig.overlapping = false;
+      wconfig.min_window_fraction = 0.01;
+      const std::int64_t hits = ValueOrDie(
+          CountWindowsWithOccurrence(segment, fp.pattern, gap, wconfig));
+      row.Add(StrFormat("%lld/%lld", static_cast<long long>(hits),
+                        static_cast<long long>(
+                            NumWindows(segment.size(), wconfig))));
+    }
+    row.Done();
+  }
+  window_table.Print();
+  std::printf(
+      "Patterns spanning ~%lld+ positions are invisible to tiles narrower "
+      "than their span and under-counted by wider ones (boundary losses) — "
+      "the paper's Section 2 argument for the offset-sequence model.\n",
+      static_cast<long long>(gap.MinSpan(full.longest_frequent_length)));
+
+  MaybeWriteCsv(options, csv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pgm::bench
+
+int main(int argc, char** argv) { return pgm::bench::Run(argc, argv); }

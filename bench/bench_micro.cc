@@ -1,0 +1,144 @@
+// Micro-benchmarks (google-benchmark) for the core primitives, including
+// the ablations called out in DESIGN.md §6:
+//   * PIL combine vs direct-DP support recounting (why PILs exist),
+//   * e_m via bounded multiplicity search vs naive offset enumeration,
+//   * N_l computation across the closed-form and recurrence regions,
+//   * candidate generation and sequence synthesis throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "core/em.h"
+#include "core/miner.h"
+#include "core/offset_counter.h"
+#include "core/pil.h"
+#include "core/verifier.h"
+#include "datagen/generators.h"
+#include "datagen/presets.h"
+#include "util/random.h"
+
+namespace pgm::bench {
+namespace {
+
+Sequence BenchSequence(std::size_t length) {
+  Rng rng(2718);
+  return ValueOrDie(UniformRandomSequence(length, Alphabet::Dna(), rng));
+}
+
+// --- Ablation 1: PIL combine vs recounting support from scratch. ---
+
+void BM_PilCombine(benchmark::State& state) {
+  const std::size_t length = static_cast<std::size_t>(state.range(0));
+  Sequence s = BenchSequence(length);
+  GapRequirement gap = ValueOrDie(GapRequirement::Create(9, 12));
+  Pattern left = ValueOrDie(Pattern::Parse("ACG", Alphabet::Dna()));
+  Pattern right = ValueOrDie(Pattern::Parse("CGT", Alphabet::Dna()));
+  PartialIndexList left_pil = ValueOrDie(ComputePil(s, left, gap));
+  PartialIndexList right_pil = ValueOrDie(ComputePil(s, right, gap));
+  for (auto _ : state) {
+    PartialIndexList combined =
+        PartialIndexList::Combine(left_pil, right_pil, gap);
+    benchmark::DoNotOptimize(combined.TotalSupport().count);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(left_pil.size()));
+}
+BENCHMARK(BM_PilCombine)->Arg(1000)->Arg(10'000)->Arg(100'000);
+
+void BM_VerifierRecount(benchmark::State& state) {
+  const std::size_t length = static_cast<std::size_t>(state.range(0));
+  Sequence s = BenchSequence(length);
+  GapRequirement gap = ValueOrDie(GapRequirement::Create(9, 12));
+  Pattern pattern = ValueOrDie(Pattern::Parse("ACGT", Alphabet::Dna()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountSupport(s, pattern, gap)->count);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(length));
+}
+BENCHMARK(BM_VerifierRecount)->Arg(1000)->Arg(10'000)->Arg(100'000);
+
+// --- Ablation 2: exact e_m search vs naive enumeration. ---
+
+void BM_EmBoundedSearch(benchmark::State& state) {
+  const std::int64_t m = state.range(0);
+  Sequence s = BenchSequence(1000);
+  GapRequirement gap = ValueOrDie(GapRequirement::Create(9, 12));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeEm(s, gap, m)->em);
+  }
+}
+BENCHMARK(BM_EmBoundedSearch)->Arg(4)->Arg(8)->Arg(10);
+
+void BM_EmNaiveEnumeration(benchmark::State& state) {
+  const std::int64_t m = state.range(0);
+  Sequence s = BenchSequence(1000);
+  GapRequirement gap = ValueOrDie(GapRequirement::Create(9, 12));
+  for (auto _ : state) {
+    std::uint64_t em = 0;
+    for (std::size_t r = 0; r < s.size(); r += 25) {  // sampled: full scan
+      em = std::max(em, BruteForceKr(s, gap, m, r));  // is intractable
+    }
+    benchmark::DoNotOptimize(em);
+  }
+}
+BENCHMARK(BM_EmNaiveEnumeration)->Arg(4)->Arg(8);
+
+// --- N_l computation. ---
+
+void BM_OffsetCounterClosedForm(benchmark::State& state) {
+  GapRequirement gap = ValueOrDie(GapRequirement::Create(9, 12));
+  for (auto _ : state) {
+    OffsetCounter counter(10'000, gap);
+    benchmark::DoNotOptimize(counter.Count(counter.l1()));
+  }
+}
+BENCHMARK(BM_OffsetCounterClosedForm);
+
+void BM_OffsetCounterCaseThree(benchmark::State& state) {
+  GapRequirement gap = ValueOrDie(GapRequirement::Create(9, 12));
+  for (auto _ : state) {
+    OffsetCounter counter(2'000, gap);
+    benchmark::DoNotOptimize(counter.Count(counter.l2()));
+  }
+}
+BENCHMARK(BM_OffsetCounterCaseThree);
+
+// --- End-to-end miners at Section 6 scale. ---
+
+void BM_MineMppm(benchmark::State& state) {
+  Sequence segment = ValueOrDie(SurrogateSegment(1000, 42));
+  MinerConfig config = Section6Defaults();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineMppm(segment, config)->patterns.size());
+  }
+}
+BENCHMARK(BM_MineMppm);
+
+void BM_MineMppBestCase(benchmark::State& state) {
+  Sequence segment = ValueOrDie(SurrogateSegment(1000, 42));
+  MinerConfig config = Section6Defaults();
+  config.user_n = 13;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineMpp(segment, config)->patterns.size());
+  }
+}
+BENCHMARK(BM_MineMppBestCase);
+
+// --- Data generation throughput. ---
+
+void BM_GenerateBacteriaGenome(benchmark::State& state) {
+  const std::size_t length = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MakeBacteriaLikeGenome(length, seed++)->size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(length));
+}
+BENCHMARK(BM_GenerateBacteriaGenome)->Arg(100'000);
+
+}  // namespace
+}  // namespace pgm::bench
+
+BENCHMARK_MAIN();

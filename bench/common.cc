@@ -1,0 +1,63 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "datagen/presets.h"
+#include "seq/fragmenter.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace pgm::bench {
+
+void RegisterHarnessFlags(FlagSet& flags, HarnessOptions& options) {
+  flags.AddString("csv", &options.csv_path,
+                  "also write the table as CSV to this path");
+  flags.AddInt64("seed", &options.seed, "seed for synthetic data generation");
+}
+
+int HandleParseResult(const Status& status) {
+  if (status.ok()) return -1;
+  if (status.code() == StatusCode::kNotFound) {
+    // --help: the message is the usage text.
+    std::printf("%s\n", status.message().c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  return 2;
+}
+
+StatusOr<Sequence> SurrogateSegment(std::size_t length, std::uint64_t seed) {
+  PGM_ASSIGN_OR_RETURN(Sequence genome, MakeAx829174Surrogate());
+  Rng rng(seed);
+  return RandomSegment(genome, length, rng);
+}
+
+MinerConfig Section6Defaults() {
+  MinerConfig config;
+  config.min_gap = 9;
+  config.max_gap = 12;
+  config.min_support_ratio = 0.003 / 100.0;  // the paper's 0.003%
+  config.start_length = 3;
+  config.em_order = 10;
+  return config;
+}
+
+void MaybeWriteCsv(const HarnessOptions& options, const CsvWriter& csv) {
+  if (options.csv_path.empty()) return;
+  Status status = csv.WriteToFile(options.csv_path);
+  if (status.ok()) {
+    PGM_LOG(kInfo) << "wrote CSV to " << options.csv_path;
+  } else {
+    PGM_LOG(kError) << "failed to write CSV: " << status;
+  }
+}
+
+void CheckOk(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", status.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace pgm::bench

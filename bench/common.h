@@ -1,0 +1,52 @@
+#ifndef PGM_BENCH_COMMON_H_
+#define PGM_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/miner.h"
+#include "seq/sequence.h"
+#include "util/csv_writer.h"
+#include "util/flags.h"
+#include "util/status.h"
+
+namespace pgm::bench {
+
+/// Shared flags every harness binary accepts: --csv <path> to also write the
+/// table as CSV, --seed for data generation.
+struct HarnessOptions {
+  std::string csv_path;
+  std::int64_t seed = 42;
+};
+
+/// Registers the shared flags on `flags`.
+void RegisterHarnessFlags(FlagSet& flags, HarnessOptions& options);
+
+/// Prints usage-or-error outcomes of FlagSet::Parse; returns the process
+/// exit code to use, or -1 to continue.
+int HandleParseResult(const Status& status);
+
+/// A deterministic length-L segment of the AX829174 surrogate, starting at
+/// a seed-dependent offset — the Section 6 methodology ("we randomly pick a
+/// length-L segment from AX829174").
+StatusOr<Sequence> SurrogateSegment(std::size_t length, std::uint64_t seed);
+
+/// The paper's Section 6 defaults: gap [9,12], ρs = 0.003%, start length 3,
+/// m = 10.
+MinerConfig Section6Defaults();
+
+/// Writes `csv` to options.csv_path when set, logging the outcome.
+void MaybeWriteCsv(const HarnessOptions& options, const CsvWriter& csv);
+
+/// Crashes with the status message when not OK (harness binaries only).
+void CheckOk(const Status& status);
+
+template <typename T>
+T ValueOrDie(StatusOr<T> result) {
+  CheckOk(result.status());
+  return std::move(result).value();
+}
+
+}  // namespace pgm::bench
+
+#endif  // PGM_BENCH_COMMON_H_

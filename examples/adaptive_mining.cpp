@@ -1,0 +1,102 @@
+// The adaptive-n strategy sketched at the end of the paper's Section 6:
+// when the user has no idea how long the longest frequent patterns are,
+// run MPP with a deliberately small n (cheap), raise n to the longest
+// pattern actually found, and repeat until stable. This example shows the
+// refinement converging and compares its cost with the worst case and with
+// MPPm's automatic estimate.
+
+#include <cstdio>
+
+#include "core/miner.h"
+#include "datagen/presets.h"
+#include "seq/fragmenter.h"
+#include "util/flags.h"
+#include "util/random.h"
+
+namespace {
+
+int RunExample(int argc, char** argv) {
+  std::int64_t length = 2000;
+  std::int64_t initial_n = 8;
+  std::int64_t seed = 19;
+  pgm::FlagSet flags("adaptive-n mining on an AX829174 surrogate segment");
+  flags.AddInt64("length", &length, "segment length L");
+  flags.AddInt64("initial_n", &initial_n, "starting estimate n");
+  flags.AddInt64("seed", &seed, "segment selection seed");
+  pgm::Status parse_status = flags.Parse(argc, argv);
+  if (!parse_status.ok()) {
+    std::printf("%s\n", parse_status.message().c_str());
+    return parse_status.code() == pgm::StatusCode::kNotFound ? 0 : 2;
+  }
+
+  pgm::StatusOr<pgm::Sequence> genome = pgm::MakeAx829174Surrogate();
+  if (!genome.ok()) {
+    std::fprintf(stderr, "%s\n", genome.status().ToString().c_str());
+    return 1;
+  }
+  pgm::Rng rng(static_cast<std::uint64_t>(seed));
+  pgm::StatusOr<pgm::Sequence> segment =
+      pgm::RandomSegment(*genome, static_cast<std::size_t>(length), rng);
+  if (!segment.ok()) {
+    std::fprintf(stderr, "%s\n", segment.status().ToString().c_str());
+    return 1;
+  }
+
+  pgm::MinerConfig config;
+  config.min_gap = 9;
+  config.max_gap = 12;
+  config.min_support_ratio = 0.003 / 100.0;
+  config.start_length = 3;
+  config.em_order = 10;
+
+  // Manual refinement loop with per-round reporting (MineAdaptive wraps
+  // exactly this; we unroll it here so each round is visible).
+  std::printf("manual refinement (L=%lld, gap [9,12], rho_s=0.003%%):\n",
+              static_cast<long long>(length));
+  std::int64_t n = initial_n;
+  double refinement_seconds = 0.0;
+  for (int round = 1;; ++round) {
+    pgm::MinerConfig round_config = config;
+    round_config.user_n = n;
+    pgm::StatusOr<pgm::MiningResult> result =
+        pgm::MineMpp(*segment, round_config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    refinement_seconds += result->total_seconds;
+    std::printf(
+        "  round %d: n=%-3lld -> %zu patterns, longest %lld, %.4g s\n", round,
+        static_cast<long long>(n), result->patterns.size(),
+        static_cast<long long>(result->longest_frequent_length),
+        result->total_seconds);
+    if (result->longest_frequent_length <= n || round >= 16) break;
+    n = result->longest_frequent_length;
+  }
+  std::printf("  total: %.4g s\n\n", refinement_seconds);
+
+  // Comparison points.
+  pgm::MinerConfig worst = config;
+  worst.user_n = -1;
+  pgm::StatusOr<pgm::MiningResult> worst_result = pgm::MineMpp(*segment, worst);
+  pgm::StatusOr<pgm::MiningResult> mppm_result = pgm::MineMppm(*segment, config);
+  if (!worst_result.ok() || !mppm_result.ok()) {
+    std::fprintf(stderr, "comparison run failed\n");
+    return 1;
+  }
+  std::printf("MPP worst case (n=l1=%lld): %.4g s, %zu patterns\n",
+              static_cast<long long>(worst_result->n_used),
+              worst_result->total_seconds, worst_result->patterns.size());
+  std::printf("MPPm (auto n=%lld, e_m=%llu):  %.4g s, %zu patterns\n",
+              static_cast<long long>(mppm_result->estimated_n),
+              static_cast<unsigned long long>(mppm_result->em),
+              mppm_result->total_seconds, mppm_result->patterns.size());
+  std::printf(
+      "\nAll three strategies return the same frequent-pattern set; they "
+      "differ only in how much candidate work the estimate of n avoids.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return RunExample(argc, argv); }

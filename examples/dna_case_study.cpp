@@ -1,0 +1,94 @@
+// Section 7 style case study on a synthetic bacterial genome: fragment the
+// genome, mine each fragment with MPPm, and report how the frequent
+// patterns split by composition — reproducing the paper's observation that
+// A/T bases dominate the periodic patterns of AT-rich genomes.
+//
+// Usage:
+//   example_dna_case_study [--genome_kb 60] [--fragment_kb 20]
+//                          [--rho_percent 0.002] [--seed 7]
+//
+// Defaults are scaled down from the paper's (100 kb fragments at 0.006%)
+// so the example finishes in a few seconds.
+
+#include <cstdio>
+
+#include "analysis/case_study.h"
+#include "datagen/presets.h"
+#include "util/flags.h"
+
+namespace {
+
+int RunExample(int argc, char** argv) {
+  std::int64_t genome_kb = 60;
+  std::int64_t fragment_kb = 20;
+  double rho_percent = 0.002;
+  std::int64_t seed = 7;
+  pgm::FlagSet flags("Section 7 style DNA case study on a synthetic genome");
+  flags.AddInt64("genome_kb", &genome_kb, "genome length in kilobases");
+  flags.AddInt64("fragment_kb", &fragment_kb, "fragment size in kilobases");
+  flags.AddDouble("rho_percent", &rho_percent,
+                  "support threshold as a percentage");
+  flags.AddInt64("seed", &seed, "genome generation seed");
+  pgm::Status parse_status = flags.Parse(argc, argv);
+  if (!parse_status.ok()) {
+    std::printf("%s\n", parse_status.message().c_str());
+    return parse_status.code() == pgm::StatusCode::kNotFound ? 0 : 2;
+  }
+
+  pgm::StatusOr<pgm::Sequence> genome = pgm::MakeBacteriaLikeGenome(
+      static_cast<std::size_t>(genome_kb) * 1000,
+      static_cast<std::uint64_t>(seed));
+  if (!genome.ok()) {
+    std::fprintf(stderr, "%s\n", genome.status().ToString().c_str());
+    return 1;
+  }
+
+  pgm::CaseStudyConfig config;
+  config.miner.min_gap = 10;  // one DNA helical turn is ~10-11 bp
+  config.miner.max_gap = 12;
+  config.miner.min_support_ratio = rho_percent / 100.0;
+  config.miner.start_length = 3;
+  config.miner.em_order = 6;
+  config.fragment_length = static_cast<std::size_t>(fragment_kb) * 1000;
+  config.report_length = 8;
+
+  std::printf(
+      "mining %lld kb bacteria-like genome in %lld kb fragments "
+      "(gap [10,12], rho_s = %.4f%%)...\n\n",
+      static_cast<long long>(genome_kb), static_cast<long long>(fragment_kb),
+      rho_percent);
+
+  pgm::StatusOr<pgm::CaseStudyReport> report =
+      pgm::RunCaseStudy(*genome, config);
+  if (!report.ok()) {
+    std::fprintf(stderr, "case study failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-8s %12s %12s %12s %10s %10s\n", "fragment", "AT-only(8)",
+              "one-CG(8)", "multi-CG(8)", "longest", "total");
+  for (const pgm::FragmentReport& fragment : report->fragments) {
+    std::printf("%-8zu %12llu %12llu %12llu %10lld %10llu\n", fragment.index,
+                static_cast<unsigned long long>(fragment.buckets.at_only),
+                static_cast<unsigned long long>(fragment.buckets.single_cg),
+                static_cast<unsigned long long>(fragment.buckets.multi_cg),
+                static_cast<long long>(fragment.longest),
+                static_cast<unsigned long long>(fragment.num_frequent));
+  }
+  std::printf(
+      "\naverages: AT-only %.1f of 256, one-CG %.1f of 2048, multi-CG %.1f "
+      "of 63232\n"
+      "fragments where ALL 256 AT-only length-8 patterns are frequent: %zu "
+      "of %zu\n",
+      report->avg_at_only, report->avg_single_cg, report->avg_multi_cg,
+      report->fragments_with_all_at, report->fragments.size());
+  std::printf(
+      "\nThe A/T dominance mirrors the paper's finding on H. influenzae, "
+      "H. pylori, M. genitalium and M. pneumoniae.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return RunExample(argc, argv); }

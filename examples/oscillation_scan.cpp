@@ -1,0 +1,100 @@
+// Base-pair oscillation analysis (the paper's introduction): compute the
+// correlation corr_XY(p) = n_XY(p)/(L-p) - pr(X)pr(Y) across distances and
+// find the periodic peaks, then show how the peak period feeds the gap
+// requirement of a mining run.
+//
+// The AX829174 surrogate carries AT-rich regions with ~10-12 bp pattern
+// periodicity, so the AA/AT spectra show structure where a uniform random
+// sequence stays flat.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "analysis/oscillation.h"
+#include "core/miner.h"
+#include "datagen/presets.h"
+#include "util/flags.h"
+
+namespace {
+
+void PrintSpectrum(const pgm::CorrelationSpectrum& spectrum) {
+  // Render each distance as a signed bar chart line.
+  double max_abs = 1e-12;
+  for (double v : spectrum.values) max_abs = std::max(max_abs, std::abs(v));
+  for (std::size_t i = 0; i < spectrum.values.size(); ++i) {
+    const double v = spectrum.values[i];
+    const int bar = static_cast<int>(std::abs(v) / max_abs * 40);
+    std::printf("  p=%2zu  %+9.5f  %s%s\n", i + 1, v, v < 0 ? "-" : "+",
+                std::string(static_cast<std::size_t>(bar), '#').c_str());
+  }
+}
+
+int RunExample(int argc, char** argv) {
+  std::int64_t max_distance = 24;
+  pgm::FlagSet flags("base-pair oscillation scan of the AX829174 surrogate");
+  flags.AddInt64("max_distance", &max_distance, "largest distance p to scan");
+  pgm::Status parse_status = flags.Parse(argc, argv);
+  if (!parse_status.ok()) {
+    std::printf("%s\n", parse_status.message().c_str());
+    return parse_status.code() == pgm::StatusCode::kNotFound ? 0 : 2;
+  }
+
+  pgm::StatusOr<pgm::Sequence> genome = pgm::MakeAx829174Surrogate();
+  if (!genome.ok()) {
+    std::fprintf(stderr, "%s\n", genome.status().ToString().c_str());
+    return 1;
+  }
+
+  for (auto [x, y] : {std::pair{'A', 'A'}, {'A', 'T'}, {'G', 'C'}}) {
+    pgm::StatusOr<pgm::CorrelationSpectrum> spectrum =
+        pgm::CorrelationSpectrumFor(*genome, x, y, max_distance);
+    if (!spectrum.ok()) {
+      std::fprintf(stderr, "%s\n", spectrum.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("corr_%c%c(p), p = 1..%lld:\n", x, y,
+                static_cast<long long>(max_distance));
+    PrintSpectrum(*spectrum);
+    auto peaks = pgm::FindPeaks(*spectrum, 0.0);
+    std::printf("  peaks above 0:");
+    for (std::int64_t p : peaks) std::printf(" %lld", static_cast<long long>(p));
+    std::printf("\n\n");
+  }
+
+  // Use the observed periodicity to parameterize a mining run, as the
+  // paper does: a helical turn of 10-11 bp with flexibility suggests a gap
+  // requirement around [9,12].
+  std::printf(
+      "mining with gap [9,12] derived from the observed ~10-11 bp "
+      "periodicity...\n");
+  pgm::MinerConfig config;
+  config.min_gap = 9;
+  config.max_gap = 12;
+  config.min_support_ratio = 0.003 / 100.0;
+  config.start_length = 3;
+  config.em_order = 8;
+  pgm::StatusOr<pgm::MiningResult> result =
+      pgm::MineMppm(genome->Subsequence(0, 2000), config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "found %zu frequent periodic patterns (longest %lld) in the first "
+      "2 kb — e.g.",
+      result->patterns.size(),
+      static_cast<long long>(result->longest_frequent_length));
+  int shown = 0;
+  for (auto it = result->patterns.rbegin();
+       it != result->patterns.rend() && shown < 3; ++it, ++shown) {
+    std::printf(" %s", it->pattern.ToShorthand().c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return RunExample(argc, argv); }

@@ -1,0 +1,120 @@
+// A downstream workflow: mine two related genomes, persist the results as
+// CSV, reload them, and compare the pattern sets — which patterns are
+// shared, which are species-specific, and which are most surprising given
+// each genome's composition (lift).
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/compare.h"
+#include "analysis/report.h"
+#include "analysis/significance.h"
+#include "core/miner.h"
+#include "datagen/presets.h"
+#include "util/flags.h"
+
+namespace {
+
+int RunExample(int argc, char** argv) {
+  std::int64_t length = 30'000;
+  std::string out_dir = "/tmp";
+  pgm::FlagSet flags("mine two genomes, persist, reload, compare");
+  flags.AddInt64("length", &length, "genome length per species");
+  flags.AddString("out_dir", &out_dir, "directory for the CSV files");
+  pgm::Status parse_status = flags.Parse(argc, argv);
+  if (!parse_status.ok()) {
+    std::printf("%s\n", parse_status.message().c_str());
+    return parse_status.code() == pgm::StatusCode::kNotFound ? 0 : 2;
+  }
+
+  pgm::MinerConfig config;
+  config.min_gap = 10;
+  config.max_gap = 12;
+  config.min_support_ratio = 0.0005 / 100.0;
+  config.start_length = 4;
+  config.em_order = 6;
+
+  struct Mined {
+    std::string name;
+    pgm::Sequence genome;
+    pgm::MiningResult result;
+  };
+  std::vector<Mined> runs;
+  for (const auto& [name, maker] :
+       {std::pair<std::string,
+                  pgm::StatusOr<pgm::Sequence> (*)(std::size_t, std::uint64_t)>{
+            "bacteria", &pgm::MakeBacteriaLikeGenome},
+        {"eukaryote", &pgm::MakeEukaryoteLikeGenome}}) {
+    pgm::StatusOr<pgm::Sequence> genome =
+        maker(static_cast<std::size_t>(length), 31);
+    if (!genome.ok()) {
+      std::fprintf(stderr, "%s\n", genome.status().ToString().c_str());
+      return 1;
+    }
+    pgm::StatusOr<pgm::MiningResult> result = pgm::MineMppm(*genome, config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    // Persist and immediately reload — the round trip a pipeline would do
+    // between a mining job and an analysis job.
+    const std::string path = out_dir + "/patterns_" + name + ".csv";
+    if (pgm::Status s = pgm::SavePatternsCsv(*result, path); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    pgm::StatusOr<std::vector<pgm::FrequentPattern>> reloaded =
+        pgm::LoadPatternsCsv(path, pgm::Alphabet::Dna());
+    if (!reloaded.ok()) {
+      std::fprintf(stderr, "%s\n", reloaded.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s: mined %zu patterns, wrote %s, reloaded %zu\n",
+                name.c_str(), result->patterns.size(), path.c_str(),
+                reloaded->size());
+    runs.push_back(Mined{name, *std::move(genome), *std::move(result)});
+  }
+
+  // Cross-species comparison on the reloadable results.
+  std::vector<pgm::NamedPatternSet> sets;
+  for (const Mined& run : runs) {
+    sets.push_back(pgm::NamedPatternSet{run.name, run.result.patterns});
+  }
+  pgm::StatusOr<std::vector<pgm::SetComparison>> comparisons =
+      pgm::ComparePatternSets(sets);
+  if (!comparisons.ok()) {
+    std::fprintf(stderr, "%s\n", comparisons.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nJaccard similarity of the two pattern sets: %.3f\n",
+              pgm::PatternSetJaccard(runs[0].result.patterns,
+                                     runs[1].result.patterns));
+  for (const pgm::SetComparison& comparison : *comparisons) {
+    std::printf("%-10s %5zu patterns, %5zu shared, %5zu unique",
+                comparison.name.c_str(), comparison.total,
+                comparison.common.size(), comparison.unique.size());
+    if (!comparison.unique.empty()) {
+      std::printf("  (e.g. %s)",
+                  comparison.unique.back().ToShorthand().c_str());
+    }
+    std::printf("\n");
+  }
+
+  // Most surprising patterns per species under its own composition.
+  for (const Mined& run : runs) {
+    pgm::StatusOr<std::vector<pgm::ScoredPattern>> ranked =
+        pgm::RankByLift(run.result, run.genome);
+    if (!ranked.ok() || ranked->empty()) continue;
+    const pgm::ScoredPattern& top = ranked->front();
+    std::printf(
+        "\n%s: highest-lift pattern %s (observed %.3g, expected %.3g, "
+        "lift %.1fx)\n",
+        run.name.c_str(), top.pattern.pattern.ToShorthand().c_str(),
+        top.pattern.support_ratio, top.expected_ratio, top.lift);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return RunExample(argc, argv); }

@@ -1,0 +1,132 @@
+// The mining model is alphabet-generic (Section 3): this example runs it
+// over the 20-letter amino-acid alphabet to look for periodic residue
+// motifs, mimicking the paper's motivating example of the porcine
+// ribonuclease inhibitor, whose leucine-rich repeats place hydrophobic
+// residues at a period of ~28-29 positions.
+//
+// We synthesize a protein with leucine-rich repeat structure (an 'L' every
+// ~7 residues inside repeat blocks — the classic LxxLxLxx motif density)
+// and mine with a gap requirement of [5,7].
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "core/miner.h"
+#include "core/verifier.h"
+#include "datagen/generators.h"
+#include "util/flags.h"
+#include "util/random.h"
+
+namespace {
+
+// Builds a synthetic leucine-rich-repeat protein: background residues are
+// uniform over the 20 amino acids; inside repeat blocks every 7th residue
+// is forced to 'L' (with a little wobble), the way LRR proteins space
+// their leucines.
+pgm::StatusOr<pgm::Sequence> MakeLrrProtein(std::size_t length,
+                                            pgm::Rng& rng) {
+  PGM_ASSIGN_OR_RETURN(
+      pgm::Sequence base,
+      pgm::UniformRandomSequence(length, pgm::Alphabet::Protein(), rng));
+  std::vector<pgm::Symbol> residues = base.symbols();
+  const pgm::Symbol leucine = pgm::Alphabet::Protein().Encode('L');
+  // Repeat blocks of ~120 residues separated by ~80 unstructured ones.
+  for (std::size_t block_start = 40; block_start + 120 < length;
+       block_start += 200) {
+    for (std::size_t i = block_start; i < block_start + 120; i += 7) {
+      std::size_t pos = i + rng.UniformInt(2);  // wobble of one residue
+      if (pos < length) residues[pos] = leucine;
+    }
+  }
+  return pgm::Sequence::FromSymbols(std::move(residues),
+                                    pgm::Alphabet::Protein());
+}
+
+int RunExample(int argc, char** argv) {
+  std::int64_t length = 1500;
+  double rho_percent = 0.02;
+  std::int64_t seed = 23;
+  pgm::FlagSet flags("periodic motif mining over the protein alphabet");
+  flags.AddInt64("length", &length, "protein length in residues");
+  flags.AddDouble("rho_percent", &rho_percent,
+                  "support threshold as a percentage");
+  flags.AddInt64("seed", &seed, "generation seed");
+  pgm::Status parse_status = flags.Parse(argc, argv);
+  if (!parse_status.ok()) {
+    std::printf("%s\n", parse_status.message().c_str());
+    return parse_status.code() == pgm::StatusCode::kNotFound ? 0 : 2;
+  }
+
+  pgm::Rng rng(static_cast<std::uint64_t>(seed));
+  pgm::StatusOr<pgm::Sequence> protein =
+      MakeLrrProtein(static_cast<std::size_t>(length), rng);
+  if (!protein.ok()) {
+    std::fprintf(stderr, "%s\n", protein.status().ToString().c_str());
+    return 1;
+  }
+
+  pgm::MinerConfig config;
+  config.min_gap = 5;  // leucines sit ~6-8 residues apart in LRR blocks
+  config.max_gap = 7;
+  config.min_support_ratio = rho_percent / 100.0;
+  config.start_length = 2;
+  config.em_order = 4;
+
+  pgm::StatusOr<pgm::MiningResult> result = pgm::MineMppm(*protein, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  pgm::GapRequirement gap =
+      *pgm::GapRequirement::Create(config.min_gap, config.max_gap);
+  std::printf(
+      "mined %lld-residue synthetic LRR protein, gap %s, rho_s=%.3f%%: "
+      "%zu frequent motifs, longest %lld\n\n",
+      static_cast<long long>(length), gap.ToString().c_str(), rho_percent,
+      result->patterns.size(),
+      static_cast<long long>(result->longest_frequent_length));
+
+  // Rank motifs by support ratio and show the top ones; the all-leucine
+  // motifs should dominate.
+  std::vector<const pgm::FrequentPattern*> ranked;
+  for (const pgm::FrequentPattern& fp : result->patterns) {
+    if (fp.pattern.length() >= 3) ranked.push_back(&fp);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const pgm::FrequentPattern* a, const pgm::FrequentPattern* b) {
+              return a->support_ratio > b->support_ratio;
+            });
+  std::printf("%-12s %-36s %10s %10s\n", "motif", "explicit", "support",
+              "ratio");
+  for (std::size_t i = 0; i < ranked.size() && i < 10; ++i) {
+    std::printf("%-12s %-36s %10llu %9.4f%%\n",
+                ranked[i]->pattern.ToShorthand().c_str(),
+                ranked[i]->pattern.ToString(gap).c_str(),
+                static_cast<unsigned long long>(ranked[i]->support),
+                ranked[i]->support_ratio * 100.0);
+  }
+
+  // Count how many of the frequent length-3 motifs are leucine-pure.
+  std::size_t leucine_pure = 0, length3 = 0;
+  const pgm::Symbol leucine = pgm::Alphabet::Protein().Encode('L');
+  for (const pgm::FrequentPattern& fp : result->patterns) {
+    if (fp.pattern.length() != 3) continue;
+    ++length3;
+    bool pure = true;
+    for (pgm::Symbol s : fp.pattern.symbols()) pure = pure && s == leucine;
+    if (pure) ++leucine_pure;
+  }
+  std::printf(
+      "\n%zu frequent length-3 motifs; the periodic leucine scaffold LLL "
+      "%s among them — the gapped model recovers the LRR period without "
+      "alignment.\n",
+      length3, leucine_pure > 0 ? "is" : "is NOT");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return RunExample(argc, argv); }

@@ -1,0 +1,89 @@
+#include "analysis/case_study.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "seq/fragmenter.h"
+
+namespace pgm {
+
+StatusOr<CaseStudyReport> RunCaseStudy(const Sequence& genome,
+                                       const CaseStudyConfig& config) {
+  if (config.report_length < 1) {
+    return Status::InvalidArgument("report_length must be >= 1");
+  }
+  FragmenterOptions fragmenter;
+  fragmenter.fragment_length = config.fragment_length;
+  fragmenter.keep_tail = false;
+  PGM_ASSIGN_OR_RETURN(std::vector<Sequence> fragments,
+                       Fragment(genome, fragmenter));
+  if (config.max_fragments > 0 && fragments.size() > config.max_fragments) {
+    fragments.erase(fragments.begin() + config.max_fragments, fragments.end());
+  }
+  if (fragments.empty()) {
+    return Status::InvalidArgument(
+        "genome is shorter than one fragment; nothing to mine");
+  }
+
+  // Number of AT-only patterns of the report length: 2^report_length.
+  std::uint64_t all_at_count = 1;
+  for (std::int64_t i = 0; i < config.report_length; ++i) all_at_count *= 2;
+
+  CaseStudyReport report;
+  std::map<std::string, std::size_t> union_index;
+  for (std::size_t index = 0; index < fragments.size(); ++index) {
+    PGM_ASSIGN_OR_RETURN(MiningResult mined,
+                         MineMppm(fragments[index], config.miner));
+    for (const FrequentPattern& fp : mined.patterns) {
+      const std::string key(fp.pattern.symbols().begin(),
+                            fp.pattern.symbols().end());
+      auto [it, inserted] =
+          union_index.emplace(key, report.frequent_union.size());
+      if (inserted) {
+        report.frequent_union.push_back(fp);
+      } else if (fp.support >
+                 report.frequent_union[it->second].support) {
+        report.frequent_union[it->second] = fp;
+      }
+    }
+
+    FragmentReport fragment;
+    fragment.index = index;
+    PGM_ASSIGN_OR_RETURN(fragment.buckets,
+                         BucketFrequentPatterns(mined, config.report_length));
+    fragment.longest = mined.longest_frequent_length;
+    fragment.num_frequent = mined.patterns.size();
+    for (const FrequentPattern& fp : mined.patterns) {
+      const std::int64_t length =
+          static_cast<std::int64_t>(fp.pattern.length());
+      if (IsHomopolymer(fp.pattern, 'G')) {
+        fragment.longest_poly_g = std::max(fragment.longest_poly_g, length);
+      }
+      if (length >= 4 && IsSelfRepeating(fp.pattern)) {
+        ++fragment.num_self_repeating;
+      }
+    }
+
+    report.avg_at_only += static_cast<double>(fragment.buckets.at_only);
+    report.avg_single_cg += static_cast<double>(fragment.buckets.single_cg);
+    report.avg_multi_cg += static_cast<double>(fragment.buckets.multi_cg);
+    if (fragment.buckets.at_only == all_at_count) {
+      ++report.fragments_with_all_at;
+    }
+    if (fragment.longest_poly_g >= config.report_length) {
+      ++report.fragments_with_poly_g;
+    }
+    report.longest_poly_g_overall =
+        std::max(report.longest_poly_g_overall, fragment.longest_poly_g);
+    report.longest_overall = std::max(report.longest_overall, fragment.longest);
+    report.fragments.push_back(fragment);
+  }
+  const double n = static_cast<double>(report.fragments.size());
+  report.avg_at_only /= n;
+  report.avg_single_cg /= n;
+  report.avg_multi_cg /= n;
+  return report;
+}
+
+}  // namespace pgm

@@ -1,0 +1,76 @@
+#include "analysis/composition.h"
+
+namespace pgm {
+
+StatusOr<std::int64_t> CountCg(const Pattern& pattern) {
+  const Alphabet& alphabet = pattern.alphabet();
+  const Symbol c = alphabet.Encode('C');
+  const Symbol g = alphabet.Encode('G');
+  if (c == kInvalidSymbol || g == kInvalidSymbol) {
+    return Status::FailedPrecondition(
+        "C/G classification requires an alphabet containing 'C' and 'G'");
+  }
+  std::int64_t count = 0;
+  for (Symbol s : pattern.symbols()) {
+    if (s == c || s == g) ++count;
+  }
+  return count;
+}
+
+StatusOr<DnaPatternClass> ClassifyDnaPattern(const Pattern& pattern) {
+  PGM_ASSIGN_OR_RETURN(std::int64_t cg, CountCg(pattern));
+  if (cg == 0) return DnaPatternClass::kAtOnly;
+  if (cg == 1) return DnaPatternClass::kSingleCg;
+  return DnaPatternClass::kMultiCg;
+}
+
+StatusOr<LengthClassCounts> BucketFrequentPatterns(const MiningResult& result,
+                                                   std::int64_t length) {
+  LengthClassCounts counts;
+  counts.length = length;
+  for (const FrequentPattern& fp : result.patterns) {
+    if (static_cast<std::int64_t>(fp.pattern.length()) != length) continue;
+    PGM_ASSIGN_OR_RETURN(DnaPatternClass cls, ClassifyDnaPattern(fp.pattern));
+    switch (cls) {
+      case DnaPatternClass::kAtOnly:
+        ++counts.at_only;
+        break;
+      case DnaPatternClass::kSingleCg:
+        ++counts.single_cg;
+        break;
+      case DnaPatternClass::kMultiCg:
+        ++counts.multi_cg;
+        break;
+    }
+  }
+  return counts;
+}
+
+bool IsSelfRepeating(const Pattern& pattern) {
+  const std::size_t l = pattern.length();
+  if (l < 2) return false;
+  for (std::size_t unit = 1; unit <= l / 2; ++unit) {
+    // The unit must actually repeat (at least two full copies), and every
+    // position must equal the one a unit earlier.
+    bool repeats = true;
+    for (std::size_t i = unit; i < l; ++i) {
+      if (pattern[i] != pattern[i - unit]) {
+        repeats = false;
+        break;
+      }
+    }
+    if (repeats) return true;
+  }
+  return false;
+}
+
+bool IsHomopolymer(const Pattern& pattern, char c) {
+  const Symbol target = pattern.alphabet().Encode(c);
+  if (target == kInvalidSymbol || pattern.empty()) return false;
+  for (Symbol s : pattern.symbols()) {
+    if (s != target) return false;
+  }
+  return true;
+}
+
+}  // namespace pgm

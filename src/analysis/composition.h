@@ -1,0 +1,57 @@
+#ifndef PGM_ANALYSIS_COMPOSITION_H_
+#define PGM_ANALYSIS_COMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/miner.h"
+#include "core/pattern.h"
+#include "util/status.h"
+
+namespace pgm {
+
+/// Section 7 classifies DNA patterns by how many C/G bases they contain
+/// ("the bases 'A' and 'T' constitute much more to the periodic patterns
+/// than 'C' and 'G'").
+enum class DnaPatternClass {
+  /// Only A and T characters.
+  kAtOnly,
+  /// Exactly one C or G character.
+  kSingleCg,
+  /// Two or more C or G characters.
+  kMultiCg,
+};
+
+/// Number of C/G characters in `pattern`. Fails when the alphabet lacks
+/// C or G.
+StatusOr<std::int64_t> CountCg(const Pattern& pattern);
+
+/// Classifies a DNA pattern per the Section 7 buckets.
+StatusOr<DnaPatternClass> ClassifyDnaPattern(const Pattern& pattern);
+
+/// Counts of frequent patterns of a fixed length per Section 7 bucket.
+struct LengthClassCounts {
+  std::int64_t length = 0;
+  std::uint64_t at_only = 0;
+  std::uint64_t single_cg = 0;
+  std::uint64_t multi_cg = 0;
+
+  std::uint64_t total() const { return at_only + single_cg + multi_cg; }
+};
+
+/// Buckets the length-`length` patterns of a mining result.
+StatusOr<LengthClassCounts> BucketFrequentPatterns(const MiningResult& result,
+                                                   std::int64_t length);
+
+/// True when the pattern is a self-repetition of a shorter unit, e.g.
+/// ATATATATATA (unit AT) or GTAGTAGTAGT (unit GTA) — the C. elegans
+/// observation of Section 7.
+bool IsSelfRepeating(const Pattern& pattern);
+
+/// True when every character equals `c` (e.g. the paper's 16-G and 17-G
+/// H. sapiens patterns).
+bool IsHomopolymer(const Pattern& pattern, char c);
+
+}  // namespace pgm
+
+#endif  // PGM_ANALYSIS_COMPOSITION_H_

@@ -1,0 +1,63 @@
+#include "analysis/maximal.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_set>
+
+namespace pgm {
+
+namespace {
+
+std::string Key(const Pattern& pattern) {
+  return std::string(pattern.symbols().begin(), pattern.symbols().end());
+}
+
+}  // namespace
+
+bool IsSubPatternOf(const Pattern& candidate, const Pattern& container) {
+  if (candidate.empty() || candidate.length() > container.length()) {
+    return false;
+  }
+  const std::string needle = Key(candidate);
+  const std::string haystack = Key(container);
+  return haystack.find(needle) != std::string::npos;
+}
+
+std::vector<FrequentPattern> FilterMaximalPatterns(
+    const std::vector<FrequentPattern>& patterns) {
+  // Group indices by length, longest first, then check each pattern
+  // against the set of all contiguous sub-pattern keys of strictly longer
+  // patterns.
+  std::map<std::size_t, std::vector<std::size_t>, std::greater<>> by_length;
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    by_length[patterns[i].pattern.length()].push_back(i);
+  }
+
+  std::unordered_set<std::string> covered;
+  std::vector<bool> maximal(patterns.size(), false);
+  for (const auto& [length, indices] : by_length) {
+    // Check against longer patterns only (a pattern cannot be a proper
+    // sub-pattern of an equal-length one).
+    for (std::size_t i : indices) {
+      maximal[i] = covered.find(Key(patterns[i].pattern)) == covered.end();
+    }
+    // Now publish this level's substrings for the shorter levels.
+    for (std::size_t i : indices) {
+      const std::string key = Key(patterns[i].pattern);
+      for (std::size_t sub_len = 1; sub_len <= key.size(); ++sub_len) {
+        for (std::size_t start = 0; start + sub_len <= key.size(); ++start) {
+          covered.insert(key.substr(start, sub_len));
+        }
+      }
+    }
+  }
+
+  std::vector<FrequentPattern> result;
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    if (maximal[i]) result.push_back(patterns[i]);
+  }
+  return result;
+}
+
+}  // namespace pgm

@@ -1,0 +1,31 @@
+#ifndef PGM_ANALYSIS_MAXIMAL_H_
+#define PGM_ANALYSIS_MAXIMAL_H_
+
+#include <vector>
+
+#include "core/miner.h"
+#include "core/pattern.h"
+
+namespace pgm {
+
+/// Maximal-pattern condensation. A mining run over a small alphabet easily
+/// reports tens of thousands of frequent patterns, most of which are
+/// sub-patterns of longer ones. A frequent pattern is *maximal* (w.r.t.
+/// the result set) when it is not a contiguous sub-pattern of any other
+/// frequent pattern in the set — the standard condensation downstream
+/// users actually read. Note that under this model the Apriori property
+/// fails, so a maximal pattern does NOT imply its sub-patterns are
+/// frequent; maximality is purely a reporting condensation.
+
+/// True when `candidate` occurs as a contiguous sub-pattern of `container`
+/// (the paper's sub-pattern relation restricted to the shorthand form).
+bool IsSubPatternOf(const Pattern& candidate, const Pattern& container);
+
+/// Returns the maximal patterns of `patterns`, preserving the input order.
+/// O(total substring mass) using a hash set of sub-pattern keys.
+std::vector<FrequentPattern> FilterMaximalPatterns(
+    const std::vector<FrequentPattern>& patterns);
+
+}  // namespace pgm
+
+#endif  // PGM_ANALYSIS_MAXIMAL_H_

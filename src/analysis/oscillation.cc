@@ -1,0 +1,86 @@
+#include "analysis/oscillation.h"
+
+#include "seq/stats.h"
+#include "util/string_util.h"
+
+namespace pgm {
+
+namespace {
+
+Status CheckPair(const Sequence& sequence, char x, char y) {
+  if (!sequence.alphabet().Contains(x) || !sequence.alphabet().Contains(y)) {
+    return Status::InvalidArgument(
+        StrFormat("characters '%c'/'%c' must both be in the alphabet", x, y));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<double> BasePairCorrelation(const Sequence& sequence, char x, char y,
+                                     std::int64_t p) {
+  PGM_RETURN_IF_ERROR(CheckPair(sequence, x, y));
+  const std::int64_t L = static_cast<std::int64_t>(sequence.size());
+  if (p < 1 || p >= L) {
+    return Status::InvalidArgument(
+        StrFormat("distance p must lie in [1, L-1], got %lld",
+                  static_cast<long long>(p)));
+  }
+  const Symbol sx = sequence.alphabet().Encode(x);
+  const Symbol sy = sequence.alphabet().Encode(y);
+  std::uint64_t n_xy = 0;
+  for (std::int64_t i = 0; i + p < L; ++i) {
+    if (sequence[i] == sx && sequence[i + p] == sy) ++n_xy;
+  }
+  const CompositionStats stats = ComputeComposition(sequence);
+  const double observed =
+      static_cast<double>(n_xy) / static_cast<double>(L - p);
+  const double expected = stats.frequencies[sx] * stats.frequencies[sy];
+  return observed - expected;
+}
+
+StatusOr<CorrelationSpectrum> CorrelationSpectrumFor(
+    const Sequence& sequence, char x, char y, std::int64_t max_distance) {
+  PGM_RETURN_IF_ERROR(CheckPair(sequence, x, y));
+  const std::int64_t L = static_cast<std::int64_t>(sequence.size());
+  if (max_distance < 1 || max_distance >= L) {
+    return Status::InvalidArgument(
+        StrFormat("max_distance must lie in [1, L-1], got %lld",
+                  static_cast<long long>(max_distance)));
+  }
+  const Symbol sx = sequence.alphabet().Encode(x);
+  const Symbol sy = sequence.alphabet().Encode(y);
+  const CompositionStats stats = ComputeComposition(sequence);
+  const double expected = stats.frequencies[sx] * stats.frequencies[sy];
+
+  CorrelationSpectrum spectrum;
+  spectrum.x = x;
+  spectrum.y = y;
+  spectrum.values.reserve(max_distance);
+  for (std::int64_t p = 1; p <= max_distance; ++p) {
+    std::uint64_t n_xy = 0;
+    for (std::int64_t i = 0; i + p < L; ++i) {
+      if (sequence[i] == sx && sequence[i + p] == sy) ++n_xy;
+    }
+    spectrum.values.push_back(
+        static_cast<double>(n_xy) / static_cast<double>(L - p) - expected);
+  }
+  return spectrum;
+}
+
+std::vector<std::int64_t> FindPeaks(const CorrelationSpectrum& spectrum,
+                                    double threshold) {
+  std::vector<std::int64_t> peaks;
+  const std::vector<double>& v = spectrum.values;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] <= threshold) continue;
+    const bool left_ok = (i == 0) || v[i] > v[i - 1];
+    const bool right_ok = (i + 1 == v.size()) || v[i] > v[i + 1];
+    if (left_ok && right_ok) {
+      peaks.push_back(static_cast<std::int64_t>(i) + 1);
+    }
+  }
+  return peaks;
+}
+
+}  // namespace pgm

@@ -1,0 +1,45 @@
+#ifndef PGM_ANALYSIS_OSCILLATION_H_
+#define PGM_ANALYSIS_OSCILLATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/sequence.h"
+#include "util/status.h"
+
+namespace pgm {
+
+/// Base-pair oscillation analysis from the paper's introduction: the
+/// correlation between base X and base Y at distance p is
+///
+///     corr_XY(p) = n_XY(p) / (L - p)  -  pr(X) * pr(Y)
+///
+/// where n_XY(p) counts positions i with S[i] = X and S[i+p] = Y. Periodic
+/// genomes show peaks at the DNA helical pitch (10-11 bp) and multiples.
+
+/// corr_XY(p) for a single distance. Fails when p < 1 or p >= L, or when a
+/// character is outside the alphabet.
+StatusOr<double> BasePairCorrelation(const Sequence& sequence, char x, char y,
+                                     std::int64_t p);
+
+/// The correlation spectrum over p = 1..max_distance.
+struct CorrelationSpectrum {
+  char x = 0;
+  char y = 0;
+  /// values[p-1] = corr_XY(p).
+  std::vector<double> values;
+};
+
+StatusOr<CorrelationSpectrum> CorrelationSpectrumFor(const Sequence& sequence,
+                                                     char x, char y,
+                                                     std::int64_t max_distance);
+
+/// Local maxima of a spectrum that exceed `threshold`; distances (1-based)
+/// returned in increasing order. A point is a peak when strictly greater
+/// than both neighbors (boundaries compare one-sided).
+std::vector<std::int64_t> FindPeaks(const CorrelationSpectrum& spectrum,
+                                    double threshold);
+
+}  // namespace pgm
+
+#endif  // PGM_ANALYSIS_OSCILLATION_H_

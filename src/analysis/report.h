@@ -1,0 +1,52 @@
+#ifndef PGM_ANALYSIS_REPORT_H_
+#define PGM_ANALYSIS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/gap.h"
+#include "core/miner.h"
+#include "seq/alphabet.h"
+#include "util/status.h"
+
+namespace pgm {
+
+/// Rendering and persistence of mining results — the glue between a
+/// MiningResult and files/terminals.
+
+struct ReportOptions {
+  /// Patterns shown in the rendered report (0 = all). Ordered longest
+  /// first, support ratio as tiebreak.
+  std::size_t top = 25;
+  /// Include the per-level candidate table.
+  bool include_level_stats = true;
+  /// Condense to maximal patterns before rendering.
+  bool maximal_only = false;
+};
+
+/// Renders a human-readable report of a mining run.
+std::string FormatMiningReport(const MiningResult& result,
+                               const GapRequirement& gap,
+                               const ReportOptions& options = {});
+
+/// Serializes all frequent patterns as CSV text with the header
+/// `pattern,length,support,ratio,saturated`.
+std::string PatternsToCsv(const MiningResult& result);
+
+/// Writes PatternsToCsv to `path`.
+Status SavePatternsCsv(const MiningResult& result, const std::string& path);
+
+/// Loads a patterns CSV (as produced by SavePatternsCsv) back into
+/// FrequentPattern records over `alphabet`. Validates the header, pattern
+/// characters, and numeric fields.
+StatusOr<std::vector<FrequentPattern>> LoadPatternsCsv(
+    const std::string& path, const Alphabet& alphabet);
+
+/// Parses patterns CSV text (the in-memory counterpart of
+/// LoadPatternsCsv).
+StatusOr<std::vector<FrequentPattern>> ParsePatternsCsv(
+    const std::string& text, const Alphabet& alphabet);
+
+}  // namespace pgm
+
+#endif  // PGM_ANALYSIS_REPORT_H_

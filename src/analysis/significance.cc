@@ -1,0 +1,63 @@
+#include "analysis/significance.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "seq/stats.h"
+#include "util/string_util.h"
+
+namespace pgm {
+
+StatusOr<double> ExpectedSupportRatio(const Pattern& pattern,
+                                      const std::vector<double>& frequencies) {
+  if (pattern.empty()) {
+    return Status::InvalidArgument("pattern must not be empty");
+  }
+  if (frequencies.size() != pattern.alphabet().size()) {
+    return Status::InvalidArgument(
+        StrFormat("expected %zu frequencies (one per symbol), got %zu",
+                  pattern.alphabet().size(), frequencies.size()));
+  }
+  double expected = 1.0;
+  for (Symbol s : pattern.symbols()) {
+    const double p = frequencies[s];
+    if (p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("frequencies must lie in [0, 1]");
+    }
+    expected *= p;
+  }
+  return expected;
+}
+
+StatusOr<std::vector<ScoredPattern>> RankByLift(const MiningResult& result,
+                                                const Sequence& subject) {
+  if (subject.empty()) {
+    return Status::InvalidArgument("subject sequence must not be empty");
+  }
+  const CompositionStats composition = ComputeComposition(subject);
+  std::vector<ScoredPattern> scored;
+  scored.reserve(result.patterns.size());
+  for (const FrequentPattern& fp : result.patterns) {
+    if (!(fp.pattern.alphabet() == subject.alphabet())) {
+      return Status::InvalidArgument(
+          "pattern and subject use different alphabets");
+    }
+    ScoredPattern entry;
+    entry.pattern = fp;
+    PGM_ASSIGN_OR_RETURN(
+        entry.expected_ratio,
+        ExpectedSupportRatio(fp.pattern, composition.frequencies));
+    entry.lift = entry.expected_ratio > 0.0
+                     ? fp.support_ratio / entry.expected_ratio
+                     : std::numeric_limits<double>::infinity();
+    scored.push_back(std::move(entry));
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredPattern& a, const ScoredPattern& b) {
+              if (a.lift != b.lift) return a.lift > b.lift;
+              return a.pattern.pattern.symbols() < b.pattern.pattern.symbols();
+            });
+  return scored;
+}
+
+}  // namespace pgm

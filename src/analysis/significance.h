@@ -1,0 +1,51 @@
+#ifndef PGM_ANALYSIS_SIGNIFICANCE_H_
+#define PGM_ANALYSIS_SIGNIFICANCE_H_
+
+#include <vector>
+
+#include "core/miner.h"
+#include "core/pattern.h"
+#include "seq/sequence.h"
+#include "util/status.h"
+
+namespace pgm {
+
+/// Compositional significance of frequent patterns. Under an i.i.d. null
+/// model with the subject sequence's own base composition, the probability
+/// that a pattern P matches a randomly picked offset sequence is simply
+/// the product of its character frequencies:
+///
+///     E[sup(P) / N_l] = Π_j pr(P[j])
+///
+/// (each offset picks an independent position whose character is P[j]
+/// with probability pr(P[j])). The *lift* — observed support ratio over
+/// this expectation — separates patterns that are frequent merely because
+/// their characters are common (the paper's "patterns of lengths one or
+/// two are always frequent" effect) from genuinely periodic structure.
+/// Section 7's manual argument ("AT-only length-8 patterns are frequent,
+/// multi-C/G ones are not") is exactly a composition-expectation
+/// computation; this module automates it per pattern.
+
+/// Expected support ratio of `pattern` under the i.i.d. null model with
+/// symbol frequencies `frequencies` (one per alphabet symbol, as produced
+/// by ComputeComposition). Fails when sizes mismatch.
+StatusOr<double> ExpectedSupportRatio(const Pattern& pattern,
+                                      const std::vector<double>& frequencies);
+
+/// One scored pattern.
+struct ScoredPattern {
+  FrequentPattern pattern;
+  /// Expected support ratio under the composition null model.
+  double expected_ratio = 0.0;
+  /// observed ratio / expected ratio (>= 0; large = surprising).
+  double lift = 0.0;
+};
+
+/// Scores every frequent pattern of `result` against the composition of
+/// `subject` and returns them ordered by descending lift.
+StatusOr<std::vector<ScoredPattern>> RankByLift(const MiningResult& result,
+                                                const Sequence& subject);
+
+}  // namespace pgm
+
+#endif  // PGM_ANALYSIS_SIGNIFICANCE_H_

@@ -1,0 +1,71 @@
+#include "analysis/tandem.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace pgm {
+
+namespace {
+
+/// True when `period` is the smallest period of sequence[start, start+len).
+bool IsMinimalPeriod(const Sequence& sequence, std::int64_t start,
+                     std::int64_t len, std::int64_t period) {
+  for (std::int64_t q = 1; q < period; ++q) {
+    bool holds = true;
+    for (std::int64_t k = start; k + q < start + len; ++k) {
+      if (sequence[k] != sequence[k + q]) {
+        holds = false;
+        break;
+      }
+    }
+    if (holds) return false;  // a smaller period explains the region
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<std::vector<TandemRepeat>> FindTandemRepeats(
+    const Sequence& sequence, std::int64_t max_period,
+    std::int64_t min_copies) {
+  if (max_period < 1) {
+    return Status::InvalidArgument("max_period must be >= 1");
+  }
+  if (min_copies < 2) {
+    return Status::InvalidArgument("min_copies must be >= 2");
+  }
+  const std::int64_t L = static_cast<std::int64_t>(sequence.size());
+  std::vector<TandemRepeat> repeats;
+  for (std::int64_t p = 1; p <= max_period; ++p) {
+    std::int64_t i = 0;
+    while (i + p < L) {
+      if (sequence[i] != sequence[i + p]) {
+        ++i;
+        continue;
+      }
+      // Maximal run of matches S[k] == S[k+p] starting at i.
+      std::int64_t j = i;
+      while (j + p < L && sequence[j] == sequence[j + p]) ++j;
+      const std::int64_t run = j - i;        // number of matching k's
+      const std::int64_t region_len = run + p;  // periodic region length
+      if (region_len >= min_copies * p &&
+          IsMinimalPeriod(sequence, i, region_len, p)) {
+        TandemRepeat repeat;
+        repeat.start = i;
+        repeat.period = p;
+        repeat.length = region_len;
+        repeats.push_back(repeat);
+      }
+      i = j + 1;
+    }
+  }
+  std::sort(repeats.begin(), repeats.end(),
+            [](const TandemRepeat& a, const TandemRepeat& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.period < b.period;
+            });
+  return repeats;
+}
+
+}  // namespace pgm

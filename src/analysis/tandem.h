@@ -1,0 +1,44 @@
+#ifndef PGM_ANALYSIS_TANDEM_H_
+#define PGM_ANALYSIS_TANDEM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/sequence.h"
+#include "util/status.h"
+
+namespace pgm {
+
+/// Tandem repeat detection — the classical periodic-pattern notion the
+/// paper's Section 1 contrasts with its gapped model. A tandem repeat with
+/// period p at position i satisfies S[i+j] = S[i+p+j]; a run extends as long
+/// as the identity holds.
+struct TandemRepeat {
+  /// 0-based start of the repeat region.
+  std::int64_t start = 0;
+  /// Period p.
+  std::int64_t period = 0;
+  /// Total length of the repeat region (>= 2 * period).
+  std::int64_t length = 0;
+
+  /// Number of complete periods, length / period.
+  std::int64_t copies() const { return length / period; }
+
+  bool operator==(const TandemRepeat& other) const {
+    return start == other.start && period == other.period &&
+           length == other.length;
+  }
+};
+
+/// Finds all maximal tandem repeats with period in [1, max_period] and at
+/// least `min_copies` complete copies (min_copies >= 2). A repeat is
+/// maximal when it can be extended neither left nor right, and it is
+/// reported only at its smallest period (so "AAAA" is one period-1 repeat,
+/// not also a period-2 one). O(L * max_period) time.
+StatusOr<std::vector<TandemRepeat>> FindTandemRepeats(
+    const Sequence& sequence, std::int64_t max_period,
+    std::int64_t min_copies = 2);
+
+}  // namespace pgm
+
+#endif  // PGM_ANALYSIS_TANDEM_H_

@@ -1,0 +1,128 @@
+#include "analysis/window_model.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace pgm {
+
+namespace {
+
+constexpr std::int64_t kNoMatch = std::numeric_limits<std::int64_t>::max();
+
+Status Validate(const Sequence& sequence, const Pattern& pattern,
+                const WindowModelConfig& config) {
+  if (!(sequence.alphabet() == pattern.alphabet())) {
+    return Status::InvalidArgument(
+        "pattern and sequence use different alphabets");
+  }
+  if (pattern.empty()) {
+    return Status::InvalidArgument("pattern must not be empty");
+  }
+  if (config.window_width == 0) {
+    return Status::InvalidArgument("window_width must be positive");
+  }
+  if (!(config.min_window_fraction > 0.0) ||
+      config.min_window_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "min_window_fraction must lie in (0, 1]");
+  }
+  return Status::OK();
+}
+
+/// earliest_end[x] = the smallest last-offset over all matches of `pattern`
+/// starting at x (kNoMatch when none). A window [b, b+w) contains a match
+/// iff some x in the window has earliest_end[x] < b + w.
+std::vector<std::int64_t> EarliestMatchEnd(const Sequence& sequence,
+                                           const Pattern& pattern,
+                                           const GapRequirement& gap) {
+  const std::int64_t L = static_cast<std::int64_t>(sequence.size());
+  const std::int64_t l = static_cast<std::int64_t>(pattern.length());
+  std::vector<std::int64_t> end(sequence.size(), kNoMatch);
+  for (std::int64_t x = 0; x < L; ++x) {
+    if (sequence[x] == pattern[l - 1]) end[x] = x;
+  }
+  for (std::int64_t j = l - 2; j >= 0; --j) {
+    std::vector<std::int64_t> next(sequence.size(), kNoMatch);
+    for (std::int64_t x = 0; x < L; ++x) {
+      if (sequence[x] != pattern[j]) continue;
+      std::int64_t best = kNoMatch;
+      const std::int64_t lo = x + gap.min_gap() + 1;
+      const std::int64_t hi = std::min<std::int64_t>(L - 1, x + gap.max_gap() + 1);
+      for (std::int64_t q = lo; q <= hi; ++q) {
+        best = std::min(best, end[q]);
+      }
+      next[x] = best;
+    }
+    end.swap(next);
+  }
+  return end;
+}
+
+}  // namespace
+
+std::int64_t NumWindows(std::size_t sequence_length,
+                        const WindowModelConfig& config) {
+  if (config.window_width == 0 || sequence_length < config.window_width) {
+    return 0;
+  }
+  if (config.overlapping) {
+    return static_cast<std::int64_t>(sequence_length - config.window_width) + 1;
+  }
+  return static_cast<std::int64_t>(sequence_length / config.window_width);
+}
+
+StatusOr<std::int64_t> CountWindowsWithOccurrence(
+    const Sequence& sequence, const Pattern& pattern,
+    const GapRequirement& gap, const WindowModelConfig& config) {
+  PGM_RETURN_IF_ERROR(Validate(sequence, pattern, config));
+  const std::int64_t total_windows = NumWindows(sequence.size(), config);
+  if (total_windows == 0) return static_cast<std::int64_t>(0);
+
+  const std::vector<std::int64_t> end =
+      EarliestMatchEnd(sequence, pattern, gap);
+  const std::int64_t w = static_cast<std::int64_t>(config.window_width);
+  const std::int64_t L = static_cast<std::int64_t>(sequence.size());
+
+  std::int64_t hits = 0;
+  if (config.overlapping) {
+    // Sliding minimum of earliest_end over each width-w window of starts.
+    std::deque<std::int64_t> minima;  // indices, increasing earliest_end
+    for (std::int64_t x = 0; x < L; ++x) {
+      while (!minima.empty() && end[minima.back()] >= end[x]) {
+        minima.pop_back();
+      }
+      minima.push_back(x);
+      const std::int64_t b = x - w + 1;  // window [b, x]
+      if (b < 0) continue;
+      while (minima.front() < b) minima.pop_front();
+      if (end[minima.front()] <= x) ++hits;
+    }
+  } else {
+    for (std::int64_t b = 0; b + w <= L; b += w) {
+      for (std::int64_t x = b; x < b + w; ++x) {
+        if (end[x] < b + w) {
+          ++hits;
+          break;
+        }
+      }
+    }
+  }
+  return hits;
+}
+
+StatusOr<bool> IsWindowFrequent(const Sequence& sequence,
+                                const Pattern& pattern,
+                                const GapRequirement& gap,
+                                const WindowModelConfig& config) {
+  PGM_ASSIGN_OR_RETURN(std::int64_t hits, CountWindowsWithOccurrence(
+                                              sequence, pattern, gap, config));
+  const std::int64_t total = NumWindows(sequence.size(), config);
+  if (total == 0) return false;
+  return static_cast<double>(hits) >=
+         config.min_window_fraction * static_cast<double>(total);
+}
+
+}  // namespace pgm

@@ -1,0 +1,577 @@
+#include "cli/cli.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/compare.h"
+#include "analysis/composition.h"
+#include "analysis/report.h"
+#include "analysis/significance.h"
+#include "analysis/oscillation.h"
+#include "analysis/tandem.h"
+#include "core/em.h"
+#include "core/miner.h"
+#include "datagen/presets.h"
+#include "seq/fasta.h"
+#include "util/csv_writer.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace pgm::cli {
+
+namespace {
+
+StatusOr<std::string> ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open: " + path);
+  }
+  std::string contents;
+  char buffer[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(f);
+  return contents;
+}
+
+StatusOr<Sequence> LoadPreset(const std::string& body) {
+  // body = <name>[:<length>[:<seed>]]
+  std::vector<std::string> parts = Split(body, ':');
+  const std::string& name = parts[0];
+  std::size_t length = 100'000;
+  std::uint64_t seed = 1;
+  if (parts.size() >= 2) {
+    PGM_ASSIGN_OR_RETURN(std::int64_t parsed, ParseInt64(parts[1]));
+    if (parsed <= 0) return Status::InvalidArgument("preset length must be positive");
+    length = static_cast<std::size_t>(parsed);
+  }
+  if (parts.size() >= 3) {
+    PGM_ASSIGN_OR_RETURN(std::int64_t parsed, ParseInt64(parts[2]));
+    seed = static_cast<std::uint64_t>(parsed);
+  }
+  if (parts.size() > 3) {
+    return Status::InvalidArgument("preset spec has too many ':' fields");
+  }
+  if (name == "ax829174") return MakeAx829174Surrogate();
+  if (name == "bacteria") return MakeBacteriaLikeGenome(length, seed);
+  if (name == "eukaryote") return MakeEukaryoteLikeGenome(length, seed);
+  if (name == "worm") return MakeWormLikeGenome(length, seed);
+  return Status::InvalidArgument(
+      "unknown preset '" + name +
+      "' (expected ax829174, bacteria, eukaryote, or worm)");
+}
+
+}  // namespace
+
+StatusOr<Sequence> LoadInput(const std::string& spec) {
+  std::string body = spec;
+  const Alphabet* alphabet = &Alphabet::Dna();
+  const std::string protein_suffix = "@protein";
+  if (body.size() > protein_suffix.size() &&
+      body.compare(body.size() - protein_suffix.size(), protein_suffix.size(),
+                   protein_suffix) == 0) {
+    alphabet = &Alphabet::Protein();
+    body.resize(body.size() - protein_suffix.size());
+  }
+  const std::size_t colon = body.find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument(
+        "input spec must look like kind:value (kinds: fasta, text, raw, "
+        "preset); got '" + spec + "'");
+  }
+  const std::string kind = body.substr(0, colon);
+  const std::string value = body.substr(colon + 1);
+  if (value.empty()) {
+    return Status::InvalidArgument("empty value in input spec '" + spec + "'");
+  }
+
+  if (kind == "raw") {
+    return Sequence::FromString(value, *alphabet);
+  }
+  if (kind == "text") {
+    PGM_ASSIGN_OR_RETURN(std::string contents, ReadWholeFile(value));
+    std::size_t dropped = 0;
+    Sequence sequence = Sequence::FromStringLossy(contents, *alphabet, &dropped);
+    if (sequence.empty()) {
+      return Status::InvalidArgument("file contains no alphabet characters: " +
+                                     value);
+    }
+    return sequence;
+  }
+  if (kind == "fasta") {
+    std::string path = value;
+    std::string record_id;
+    const std::size_t hash = value.find('#');
+    if (hash != std::string::npos) {
+      path = value.substr(0, hash);
+      record_id = value.substr(hash + 1);
+    }
+    PGM_ASSIGN_OR_RETURN(std::vector<FastaRecord> records, ReadFastaFile(path));
+    if (records.empty()) {
+      return Status::NotFound("no records in FASTA file: " + path);
+    }
+    const FastaRecord* chosen = &records.front();
+    if (!record_id.empty()) {
+      chosen = nullptr;
+      for (const FastaRecord& record : records) {
+        if (record.id == record_id) {
+          chosen = &record;
+          break;
+        }
+      }
+      if (chosen == nullptr) {
+        return Status::NotFound("record '" + record_id + "' not in " + path);
+      }
+    }
+    return RecordToSequence(*chosen, *alphabet);
+  }
+  if (kind == "preset") {
+    return LoadPreset(value);
+  }
+  return Status::InvalidArgument("unknown input kind '" + kind + "'");
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// pgm mine
+// ---------------------------------------------------------------------------
+
+Status RunMine(const std::vector<std::string>& args, std::string* output) {
+  std::string input;
+  std::string algorithm = "mppm";
+  std::int64_t min_gap = 9, max_gap = 12;
+  double rho_percent = 0.003;
+  std::int64_t start_length = 3, max_length = -1, user_n = -1, em_order = 10;
+  std::int64_t top = 25;
+  bool maximal = false;
+  bool level_stats = false;
+  bool lift = false;
+  std::string csv_path;
+
+  FlagSet flags("pgm mine: find frequent periodic patterns");
+  flags.AddString("input", &input, "input spec (see pgm --help)");
+  flags.AddString("algorithm", &algorithm, "mpp | mppm | enum | adaptive");
+  flags.AddInt64("min-gap", &min_gap, "minimum gap N");
+  flags.AddInt64("max-gap", &max_gap, "maximum gap M");
+  flags.AddDouble("rho-percent", &rho_percent, "support threshold in percent");
+  flags.AddInt64("start-length", &start_length, "first mined pattern length");
+  flags.AddInt64("max-length", &max_length, "pattern length cap (-1 = none)");
+  flags.AddInt64("n", &user_n, "MPP estimate of longest pattern (-1 = worst)");
+  flags.AddInt64("m", &em_order, "MPPm e_m order");
+  flags.AddInt64("top", &top, "patterns shown (longest / highest ratio first)");
+  flags.AddBool("maximal", &maximal, "condense to maximal patterns");
+  flags.AddBool("lift", &lift,
+                "also rank patterns by compositional lift (observed/expected)");
+  flags.AddBool("level-stats", &level_stats, "include per-level candidates");
+  flags.AddString("csv", &csv_path, "also write all patterns as CSV here");
+  std::vector<char*> argv;
+  std::vector<std::string> storage = args;
+  storage.insert(storage.begin(), "pgm mine");
+  for (std::string& s : storage) argv.push_back(s.data());
+  PGM_RETURN_IF_ERROR(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  if (input.empty()) {
+    return Status::InvalidArgument("--input is required\n" + flags.Usage());
+  }
+
+  PGM_ASSIGN_OR_RETURN(Sequence sequence, LoadInput(input));
+  MinerConfig config;
+  config.min_gap = min_gap;
+  config.max_gap = max_gap;
+  config.min_support_ratio = rho_percent / 100.0;
+  config.start_length = start_length;
+  config.max_length = max_length;
+  config.user_n = user_n;
+  config.em_order = em_order;
+
+  StatusOr<MiningResult> mined = [&]() -> StatusOr<MiningResult> {
+    if (algorithm == "mpp") return MineMpp(sequence, config);
+    if (algorithm == "mppm") return MineMppm(sequence, config);
+    if (algorithm == "enum") return MineEnumeration(sequence, config);
+    if (algorithm == "adaptive") return MineAdaptive(sequence, config);
+    return Status::InvalidArgument("unknown --algorithm '" + algorithm + "'");
+  }();
+  PGM_RETURN_IF_ERROR(mined.status());
+  const MiningResult& result = *mined;
+  PGM_ASSIGN_OR_RETURN(GapRequirement gap,
+                       GapRequirement::Create(min_gap, max_gap));
+
+  output->append(StrFormat(
+      "subject: L=%zu over {%s}; rho_s=%g%%; algorithm=%s\n",
+      sequence.size(), sequence.alphabet().symbols().c_str(), rho_percent,
+      algorithm.c_str()));
+  ReportOptions report_options;
+  report_options.top = static_cast<std::size_t>(std::max<std::int64_t>(0, top));
+  report_options.maximal_only = maximal;
+  report_options.include_level_stats = level_stats;
+  output->append(FormatMiningReport(result, gap, report_options));
+
+  if (lift) {
+    PGM_ASSIGN_OR_RETURN(std::vector<ScoredPattern> ranked,
+                         RankByLift(result, sequence));
+    TablePrinter lift_table(
+        {"pattern", "observed ratio", "expected (composition)", "lift"});
+    const std::size_t shown = std::min<std::size_t>(
+        ranked.size(), static_cast<std::size_t>(std::max<std::int64_t>(0, top)));
+    for (std::size_t i = 0; i < shown; ++i) {
+      lift_table.Row()
+          .Add(ranked[i].pattern.pattern.ToShorthand())
+          .Add(ranked[i].pattern.support_ratio)
+          .Add(ranked[i].expected_ratio)
+          .Add(ranked[i].lift)
+          .Done();
+    }
+    output->append("\nmost surprising patterns (by compositional lift):\n");
+    output->append(lift_table.ToString());
+  }
+
+  if (!csv_path.empty()) {
+    PGM_RETURN_IF_ERROR(SavePatternsCsv(result, csv_path));
+    output->append("wrote " + std::to_string(result.patterns.size()) +
+                   " patterns to " + csv_path + "\n");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// pgm em
+// ---------------------------------------------------------------------------
+
+Status RunEm(const std::vector<std::string>& args, std::string* output) {
+  std::string input;
+  std::int64_t min_gap = 9, max_gap = 12, m = 10;
+  FlagSet flags("pgm em: compute the e_m statistic (Theorem 2)");
+  flags.AddString("input", &input, "input spec");
+  flags.AddInt64("min-gap", &min_gap, "minimum gap N");
+  flags.AddInt64("max-gap", &max_gap, "maximum gap M");
+  flags.AddInt64("m", &m, "order of the statistic");
+  std::vector<std::string> storage = args;
+  storage.insert(storage.begin(), "pgm em");
+  std::vector<char*> argv;
+  for (std::string& s : storage) argv.push_back(s.data());
+  PGM_RETURN_IF_ERROR(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  if (input.empty()) {
+    return Status::InvalidArgument("--input is required\n" + flags.Usage());
+  }
+  PGM_ASSIGN_OR_RETURN(Sequence sequence, LoadInput(input));
+  PGM_ASSIGN_OR_RETURN(GapRequirement gap,
+                       GapRequirement::Create(min_gap, max_gap));
+  PGM_ASSIGN_OR_RETURN(EmResult em, ComputeEm(sequence, gap, m));
+  long double wm = 1.0L;
+  for (std::int64_t i = 0; i < m; ++i) {
+    wm *= static_cast<long double>(gap.flexibility());
+  }
+  output->append(StrFormat(
+      "L=%zu, gap %s, m=%lld: e_m = %llu, W^m = %.6g, W^m/e_m = %.4g\n",
+      sequence.size(), gap.ToString().c_str(), static_cast<long long>(m),
+      static_cast<unsigned long long>(em.em), static_cast<double>(wm),
+      static_cast<double>(wm / static_cast<long double>(
+                                   em.em == 0 ? 1 : em.em))));
+  // Top-5 positions by K_r.
+  std::vector<std::size_t> order(em.k_values.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return em.k_values[a] > em.k_values[b];
+  });
+  output->append("highest-K_r positions:");
+  for (std::size_t i = 0; i < order.size() && i < 5; ++i) {
+    output->append(StrFormat(" %zu (K=%llu)", order[i],
+                             static_cast<unsigned long long>(
+                                 em.k_values[order[i]])));
+  }
+  output->append("\n");
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// pgm scan (base-pair oscillation)
+// ---------------------------------------------------------------------------
+
+Status RunScan(const std::vector<std::string>& args, std::string* output) {
+  std::string input;
+  std::string pairs = "AA,AT,GC";
+  std::int64_t max_distance = 20;
+  FlagSet flags("pgm scan: base-pair oscillation correlation spectra");
+  flags.AddString("input", &input, "input spec");
+  flags.AddString("pairs", &pairs, "comma-separated base pairs, e.g. AA,AT");
+  flags.AddInt64("max-distance", &max_distance, "largest distance p");
+  std::vector<std::string> storage = args;
+  storage.insert(storage.begin(), "pgm scan");
+  std::vector<char*> argv;
+  for (std::string& s : storage) argv.push_back(s.data());
+  PGM_RETURN_IF_ERROR(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  if (input.empty()) {
+    return Status::InvalidArgument("--input is required\n" + flags.Usage());
+  }
+  PGM_ASSIGN_OR_RETURN(Sequence sequence, LoadInput(input));
+
+  for (const std::string& pair : Split(pairs, ',')) {
+    if (pair.size() != 2) {
+      return Status::InvalidArgument("pair must be two characters: '" + pair +
+                                     "'");
+    }
+    PGM_ASSIGN_OR_RETURN(
+        CorrelationSpectrum spectrum,
+        CorrelationSpectrumFor(sequence, pair[0], pair[1], max_distance));
+    output->append(StrFormat("corr_%c%c(p):\n", pair[0], pair[1]));
+    double max_abs = 1e-12;
+    for (double v : spectrum.values) max_abs = std::max(max_abs, std::abs(v));
+    for (std::size_t i = 0; i < spectrum.values.size(); ++i) {
+      const double v = spectrum.values[i];
+      const int bar = static_cast<int>(std::abs(v) / max_abs * 32);
+      output->append(StrFormat("  p=%2zu  %+10.6f  %s\n", i + 1, v,
+                               std::string(static_cast<std::size_t>(bar),
+                                           v < 0 ? '-' : '#')
+                                   .c_str()));
+    }
+    std::vector<std::int64_t> peaks = FindPeaks(spectrum, 0.0);
+    output->append("  peaks:");
+    for (std::int64_t p : peaks) {
+      output->append(StrFormat(" %lld", static_cast<long long>(p)));
+    }
+    output->append("\n");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// pgm tandem
+// ---------------------------------------------------------------------------
+
+Status RunTandem(const std::vector<std::string>& args, std::string* output) {
+  std::string input;
+  std::int64_t max_period = 6, min_copies = 3, top = 20, min_length = 12;
+  FlagSet flags("pgm tandem: classical tandem-repeat scan");
+  flags.AddString("input", &input, "input spec");
+  flags.AddInt64("max-period", &max_period, "largest repeat period");
+  flags.AddInt64("min-copies", &min_copies, "minimum complete copies");
+  flags.AddInt64("min-length", &min_length, "minimum region length shown");
+  flags.AddInt64("top", &top, "repeats shown (longest first)");
+  std::vector<std::string> storage = args;
+  storage.insert(storage.begin(), "pgm tandem");
+  std::vector<char*> argv;
+  for (std::string& s : storage) argv.push_back(s.data());
+  PGM_RETURN_IF_ERROR(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  if (input.empty()) {
+    return Status::InvalidArgument("--input is required\n" + flags.Usage());
+  }
+  PGM_ASSIGN_OR_RETURN(Sequence sequence, LoadInput(input));
+  PGM_ASSIGN_OR_RETURN(std::vector<TandemRepeat> repeats,
+                       FindTandemRepeats(sequence, max_period, min_copies));
+  std::vector<const TandemRepeat*> shown;
+  for (const TandemRepeat& repeat : repeats) {
+    if (repeat.length >= min_length) shown.push_back(&repeat);
+  }
+  std::sort(shown.begin(), shown.end(),
+            [](const TandemRepeat* a, const TandemRepeat* b) {
+              return a->length > b->length;
+            });
+  output->append(StrFormat("%zu tandem repeats (of %zu total) with length "
+                           ">= %lld:\n",
+                           shown.size(), repeats.size(),
+                           static_cast<long long>(min_length)));
+  TablePrinter table({"start", "period", "length", "copies", "unit"});
+  for (std::size_t i = 0; i < shown.size() &&
+                          i < static_cast<std::size_t>(std::max<std::int64_t>(0, top));
+       ++i) {
+    const TandemRepeat& repeat = *shown[i];
+    table.Row()
+        .Add(repeat.start)
+        .Add(repeat.period)
+        .Add(repeat.length)
+        .Add(repeat.copies())
+        .Add(sequence
+                 .Subsequence(static_cast<std::size_t>(repeat.start),
+                              static_cast<std::size_t>(repeat.period))
+                 .ToString())
+        .Done();
+  }
+  output->append(table.ToString());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// pgm compare
+// ---------------------------------------------------------------------------
+
+Status RunCompare(const std::vector<std::string>& args, std::string* output) {
+  std::int64_t examples = 3;
+  bool use_protein = false;
+  FlagSet flags(
+      "pgm compare: compare two or more patterns-CSV files (as written by "
+      "pgm mine --csv)");
+  flags.AddBool("protein", &use_protein, "patterns use the protein alphabet");
+  flags.AddInt64("examples", &examples, "unique-pattern examples shown");
+  std::vector<std::string> storage = args;
+  storage.insert(storage.begin(), "pgm compare");
+  std::vector<char*> argv;
+  for (std::string& s : storage) argv.push_back(s.data());
+  PGM_RETURN_IF_ERROR(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  const std::vector<std::string>& paths = flags.positional_args();
+  if (paths.size() < 2) {
+    return Status::InvalidArgument(
+        "pgm compare needs at least two patterns-CSV files\n" + flags.Usage());
+  }
+  const Alphabet& alphabet =
+      use_protein ? Alphabet::Protein() : Alphabet::Dna();
+  std::vector<NamedPatternSet> sets;
+  for (const std::string& path : paths) {
+    NamedPatternSet set;
+    set.name = path;
+    PGM_ASSIGN_OR_RETURN(set.patterns, LoadPatternsCsv(path, alphabet));
+    sets.push_back(std::move(set));
+  }
+  PGM_ASSIGN_OR_RETURN(std::vector<SetComparison> comparisons,
+                       ComparePatternSets(sets));
+  TablePrinter table({"file", "patterns", "common to all", "unique",
+                      "example unique"});
+  for (const SetComparison& comparison : comparisons) {
+    std::string example = "-";
+    if (!comparison.unique.empty()) {
+      example.clear();
+      for (std::int64_t i = 0;
+           i < examples &&
+           i < static_cast<std::int64_t>(comparison.unique.size());
+           ++i) {
+        if (i > 0) example += " ";
+        example += comparison.unique[i].ToShorthand();
+      }
+    }
+    table.Row()
+        .Add(comparison.name)
+        .Add(static_cast<std::uint64_t>(comparison.total))
+        .Add(static_cast<std::uint64_t>(comparison.common.size()))
+        .Add(static_cast<std::uint64_t>(comparison.unique.size()))
+        .Add(example)
+        .Done();
+  }
+  output->append(table.ToString());
+  if (sets.size() == 2) {
+    output->append(StrFormat(
+        "Jaccard similarity: %.4f\n",
+        PatternSetJaccard(sets[0].patterns, sets[1].patterns)));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// pgm generate
+// ---------------------------------------------------------------------------
+
+Status RunGenerate(const std::vector<std::string>& args, std::string* output) {
+  std::string preset = "bacteria";
+  std::int64_t length = 100'000, seed = 1;
+  std::string out_path;
+  FlagSet flags("pgm generate: write a synthetic genome preset as FASTA");
+  flags.AddString("preset", &preset,
+                  "ax829174 | bacteria | eukaryote | worm");
+  flags.AddInt64("length", &length, "genome length (ignored for ax829174)");
+  flags.AddInt64("seed", &seed, "generation seed");
+  flags.AddString("output", &out_path, "output FASTA path (required)");
+  std::vector<std::string> storage = args;
+  storage.insert(storage.begin(), "pgm generate");
+  std::vector<char*> argv;
+  for (std::string& s : storage) argv.push_back(s.data());
+  PGM_RETURN_IF_ERROR(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  if (out_path.empty()) {
+    return Status::InvalidArgument("--output is required\n" + flags.Usage());
+  }
+  PGM_ASSIGN_OR_RETURN(
+      Sequence sequence,
+      LoadInput(StrFormat("preset:%s:%lld:%lld", preset.c_str(),
+                          static_cast<long long>(length),
+                          static_cast<long long>(seed))));
+  FastaRecord record;
+  record.id = preset;
+  record.description = StrFormat("synthetic %s genome, L=%zu, seed=%lld",
+                                 preset.c_str(), sequence.size(),
+                                 static_cast<long long>(seed));
+  record.residues = sequence.ToString();
+  PGM_RETURN_IF_ERROR(WriteFastaFile(out_path, {record}));
+  output->append(StrFormat("wrote %zu bp to %s\n", sequence.size(),
+                           out_path.c_str()));
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string RootUsage() {
+  return
+      "pgm — periodic pattern mining with gap requirements (SIGMOD 2005)\n"
+      "\n"
+      "Usage: pgm <command> [flags]   (pgm <command> --help for details)\n"
+      "\n"
+      "Commands:\n"
+      "  mine      find frequent periodic patterns (MPP/MPPm/enum/adaptive)\n"
+      "  em        compute the e_m pruning statistic\n"
+      "  scan      base-pair oscillation correlation spectra\n"
+      "  tandem    classical tandem-repeat scan\n"
+      "  compare   compare two or more patterns-CSV files\n"
+      "  generate  write a synthetic genome preset as FASTA\n"
+      "\n"
+      "Input specs (--input):\n"
+      "  fasta:<path>[#<record-id>]     FASTA file\n"
+      "  text:<path>                    raw characters from a file\n"
+      "  raw:<characters>               characters inline\n"
+      "  preset:<name>[:<len>[:<seed>]] synthetic genome (ax829174,\n"
+      "                                 bacteria, eukaryote, worm)\n"
+      "  append @protein for the amino-acid alphabet\n";
+}
+
+int Run(int argc, char** argv, std::string* output) {
+  if (argc < 2) {
+    output->append(RootUsage());
+    return 2;
+  }
+  const std::string command = argv[1];
+  std::vector<std::string> rest(argv + 2, argv + argc);
+  if (command == "--help" || command == "-h" || command == "help") {
+    output->append(RootUsage());
+    return 0;
+  }
+  Status status = Status::OK();
+  if (command == "mine") {
+    status = RunMine(rest, output);
+  } else if (command == "em") {
+    status = RunEm(rest, output);
+  } else if (command == "scan") {
+    status = RunScan(rest, output);
+  } else if (command == "tandem") {
+    status = RunTandem(rest, output);
+  } else if (command == "compare") {
+    status = RunCompare(rest, output);
+  } else if (command == "generate") {
+    status = RunGenerate(rest, output);
+  } else {
+    output->append("unknown command '" + command + "'\n\n" + RootUsage());
+    return 2;
+  }
+  if (!status.ok()) {
+    if (status.code() == StatusCode::kNotFound &&
+        status.message().rfind("pgm ", 0) == 0) {
+      // --help inside a sub-command: message is the usage text.
+      output->append(status.message());
+      return 0;
+    }
+    output->append(status.ToString());
+    output->append("\n");
+    return 1;
+  }
+  return 0;
+}
+
+int RunFromString(const std::string& command_line, std::string* output) {
+  std::vector<std::string> tokens;
+  for (const std::string& token : Split(command_line, ' ')) {
+    if (!token.empty()) tokens.push_back(token);
+  }
+  std::vector<char*> argv;
+  for (std::string& token : tokens) argv.push_back(token.data());
+  return Run(static_cast<int>(argv.size()), argv.data(), output);
+}
+
+}  // namespace pgm::cli

@@ -1,0 +1,48 @@
+#ifndef PGM_CLI_CLI_H_
+#define PGM_CLI_CLI_H_
+
+#include <string>
+#include <vector>
+
+#include "seq/sequence.h"
+#include "util/status.h"
+
+namespace pgm::cli {
+
+/// The `pgm` command-line tool, structured as a testable library: every
+/// sub-command renders its report into a string, and the thin `tools/`
+/// binary prints it. Sub-commands:
+///
+///   pgm mine     --input <spec> --min-gap N --max-gap M --rho-percent R ...
+///   pgm em       --input <spec> --min-gap N --max-gap M --m K
+///   pgm scan     --input <spec> --pairs AA,AT --max-distance P
+///   pgm tandem   --input <spec> --max-period P [--min-copies C]
+///   pgm compare  <patterns.csv> <patterns.csv> [...]
+///   pgm generate --preset <name> --length L --seed S --output file.fa
+///
+/// Input specs (the --input flag):
+///   fasta:<path>[#<record-id>]   a FASTA file (first record by default)
+///   text:<path>                  raw characters from a file
+///   raw:<characters>             characters given inline
+///   preset:<name>[:<len>[:<seed>]]  a synthetic genome; names: ax829174,
+///                                bacteria, eukaryote, worm
+/// An optional `@protein` suffix switches the alphabet from DNA to the 20
+/// amino acids (e.g. "raw:LWLWLW@protein").
+
+/// Parses an input spec and loads the sequence.
+StatusOr<Sequence> LoadInput(const std::string& spec);
+
+/// Executes a full command line (argv[0] is the program name). The
+/// rendered report is appended to *output. Returns the process exit code.
+int Run(int argc, char** argv, std::string* output);
+
+/// Convenience for tests: tokenizes `command_line` on spaces (no quoting)
+/// and calls Run.
+int RunFromString(const std::string& command_line, std::string* output);
+
+/// Top-level usage text.
+std::string RootUsage();
+
+}  // namespace pgm::cli
+
+#endif  // PGM_CLI_CLI_H_

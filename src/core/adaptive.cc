@@ -1,0 +1,40 @@
+#include <algorithm>
+
+#include "core/miner.h"
+#include "util/stopwatch.h"
+
+namespace pgm {
+
+StatusOr<MiningResult> MineAdaptive(const Sequence& sequence,
+                                    const MinerConfig& config) {
+  PGM_RETURN_IF_ERROR(internal::ValidateConfig(sequence, config));
+  if (config.initial_n < 1) {
+    return Status::InvalidArgument("initial_n must be >= 1");
+  }
+  if (config.max_iterations < 1) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+  Stopwatch watch;
+
+  // The Section 6 sketch: run MPP with a cheap small n; whenever the
+  // best-effort output contains a pattern longer than n, the guess was too
+  // low — raise n to that length and re-run. Terminates because n grows
+  // strictly and is capped at l1 by MineMpp.
+  std::int64_t n = config.initial_n;
+  std::int64_t iterations = 0;
+  MiningResult result;
+  while (true) {
+    MinerConfig run_config = config;
+    run_config.user_n = n;
+    PGM_ASSIGN_OR_RETURN(result, MineMpp(sequence, run_config));
+    ++iterations;
+    const std::int64_t longest = result.longest_frequent_length;
+    if (longest <= n || iterations >= config.max_iterations) break;
+    n = longest;
+  }
+  result.adaptive_iterations = iterations;
+  result.total_seconds = result.mining_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace pgm

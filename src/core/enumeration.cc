@@ -1,0 +1,118 @@
+#include <algorithm>
+
+#include "core/miner.h"
+#include "util/saturating.h"
+#include "util/stopwatch.h"
+
+namespace pgm {
+
+StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
+                                       const MinerConfig& config) {
+  PGM_RETURN_IF_ERROR(internal::ValidateConfig(sequence, config));
+  PGM_ASSIGN_OR_RETURN(GapRequirement gap,
+                       GapRequirement::Create(config.min_gap, config.max_gap));
+  Stopwatch watch;
+  OffsetCounter counter(static_cast<std::int64_t>(sequence.size()), gap);
+
+  MiningResult result;
+  // Enumeration cannot prune, so it has no completeness horizon below l2;
+  // it is exact up to whatever level budget it is given.
+  const std::int64_t l2 = counter.l2();
+  const std::int64_t cap =
+      config.max_length >= 0 ? std::min(config.max_length, l2) : l2;
+  result.n_used = cap;
+  result.guaranteed_complete_up_to = cap;
+
+  const long double rho = config.min_support_ratio;
+  const std::size_t alphabet_size = sequence.alphabet().size();
+
+  // |Σ|^length, saturating (the analytic candidate count per level).
+  auto analytic_candidates = [&](std::int64_t length) -> std::uint64_t {
+    std::uint64_t value = 1;
+    for (std::int64_t i = 0; i < length; ++i) {
+      value = SatMul(value, static_cast<std::uint64_t>(alphabet_size));
+    }
+    return value;
+  };
+
+  std::int64_t level_length = config.start_length;
+  if (level_length > cap) {
+    result.total_seconds = result.mining_seconds = watch.ElapsedSeconds();
+    return result;
+  }
+
+  // PILs of the length-1 patterns, used to extend levels on the left:
+  // PIL(c + P) = Combine(PIL(c), PIL(P)) — valid because `c` is exactly the
+  // prefix character preceding P by one gap.
+  std::vector<internal::LevelEntry> singles =
+      internal::BuildAllPatternsOfLength(sequence, gap, 1);
+
+  std::vector<internal::LevelEntry> level =
+      internal::BuildAllPatternsOfLength(sequence, gap, level_length);
+  while (true) {
+    const long double n_l = counter.Count(level_length);
+    const long double full_threshold = rho * n_l;
+
+    LevelStats stats;
+    stats.length = level_length;
+    stats.num_candidates = analytic_candidates(level_length);
+    for (const internal::LevelEntry& entry : level) {
+      const SupportInfo support = entry.pil.TotalSupport();
+      if (support.count == 0) continue;
+      const long double support_ld = static_cast<long double>(support.count);
+      if (support_ld >= full_threshold) {
+        ++stats.num_frequent;
+        FrequentPattern fp;
+        std::vector<Symbol> symbols(entry.symbols.begin(),
+                                    entry.symbols.end());
+        PGM_ASSIGN_OR_RETURN(
+            fp.pattern,
+            Pattern::FromSymbols(std::move(symbols), sequence.alphabet()));
+        fp.support = support.count;
+        fp.saturated = support.saturated;
+        fp.support_ratio = static_cast<double>(support_ld / n_l);
+        result.patterns.push_back(std::move(fp));
+        result.longest_frequent_length =
+            std::max(result.longest_frequent_length, level_length);
+      }
+    }
+    // Enumeration carries every matched pattern forward regardless of
+    // support: num_retained reports the carried-forward set size.
+    stats.num_retained = level.size();
+    result.level_stats.push_back(stats);
+    result.total_candidates =
+        SatAdd(result.total_candidates, stats.num_candidates);
+
+    if (level_length >= cap || level.empty()) break;
+
+    std::vector<internal::LevelEntry> next;
+    next.reserve(level.size() * singles.size());
+    for (const internal::LevelEntry& single : singles) {
+      for (const internal::LevelEntry& entry : level) {
+        PartialIndexList pil =
+            PartialIndexList::Combine(single.pil, entry.pil, gap);
+        if (pil.empty()) continue;
+        internal::LevelEntry extended;
+        extended.symbols.reserve(entry.symbols.size() + 1);
+        extended.symbols.push_back(single.symbols.front());
+        extended.symbols.append(entry.symbols);
+        extended.pil = std::move(pil);
+        next.push_back(std::move(extended));
+      }
+    }
+    level = std::move(next);
+    ++level_length;
+  }
+
+  std::sort(result.patterns.begin(), result.patterns.end(),
+            [](const FrequentPattern& a, const FrequentPattern& b) {
+              if (a.pattern.length() != b.pattern.length()) {
+                return a.pattern.length() < b.pattern.length();
+              }
+              return a.pattern.symbols() < b.pattern.symbols();
+            });
+  result.total_seconds = result.mining_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace pgm

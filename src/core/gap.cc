@@ -1,0 +1,28 @@
+#include "core/gap.h"
+
+#include "util/string_util.h"
+
+namespace pgm {
+
+StatusOr<GapRequirement> GapRequirement::Create(std::int64_t min_gap,
+                                                std::int64_t max_gap) {
+  if (min_gap < 0) {
+    return Status::InvalidArgument(
+        StrFormat("minimum gap must be non-negative, got %lld",
+                  static_cast<long long>(min_gap)));
+  }
+  if (max_gap < min_gap) {
+    return Status::InvalidArgument(
+        StrFormat("maximum gap %lld is smaller than minimum gap %lld",
+                  static_cast<long long>(max_gap),
+                  static_cast<long long>(min_gap)));
+  }
+  return GapRequirement(min_gap, max_gap);
+}
+
+std::string GapRequirement::ToString() const {
+  return StrFormat("[%lld,%lld]", static_cast<long long>(min_gap_),
+                   static_cast<long long>(max_gap_));
+}
+
+}  // namespace pgm

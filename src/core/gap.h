@@ -1,0 +1,67 @@
+#ifndef PGM_CORE_GAP_H_
+#define PGM_CORE_GAP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace pgm {
+
+/// The gap requirement [N, M] between two successive pattern characters
+/// (Section 3 of the paper), plus the derived quantities of Table 1.
+///
+/// A pattern a1 g(N,M) a2 ... al matches an offset sequence [c1..cl] iff
+/// c_{j+1} - c_j - 1 lies in [N, M] for every j. W = M - N + 1 is the
+/// flexibility of the gap.
+class GapRequirement {
+ public:
+  /// Validates 0 <= N <= M. (N == M is a rigid period; the paper's DNA
+  /// experiments use e.g. [9,12].)
+  static StatusOr<GapRequirement> Create(std::int64_t min_gap,
+                                         std::int64_t max_gap);
+
+  std::int64_t min_gap() const { return min_gap_; }  // N
+  std::int64_t max_gap() const { return max_gap_; }  // M
+
+  /// Flexibility W = M - N + 1.
+  std::int64_t flexibility() const { return max_gap_ - min_gap_ + 1; }
+
+  /// Minimum span of a length-l pattern: (l-1)N + l.
+  std::int64_t MinSpan(std::int64_t length) const {
+    return (length - 1) * min_gap_ + length;
+  }
+
+  /// Maximum span of a length-l pattern: (l-1)M + l.
+  std::int64_t MaxSpan(std::int64_t length) const {
+    return (length - 1) * max_gap_ + length;
+  }
+
+  /// l1 = floor((L+M)/(M+1)): longest length whose MAX span fits in L.
+  std::int64_t MaxGuaranteedLength(std::int64_t sequence_length) const {
+    return (sequence_length + max_gap_) / (max_gap_ + 1);
+  }
+
+  /// l2 = floor((L+N)/(N+1)): longest length whose MIN span fits in L.
+  std::int64_t MaxPossibleLength(std::int64_t sequence_length) const {
+    return (sequence_length + min_gap_) / (min_gap_ + 1);
+  }
+
+  /// "[N,M]".
+  std::string ToString() const;
+
+  bool operator==(const GapRequirement& other) const {
+    return min_gap_ == other.min_gap_ && max_gap_ == other.max_gap_;
+  }
+
+ private:
+  GapRequirement(std::int64_t min_gap, std::int64_t max_gap)
+      : min_gap_(min_gap), max_gap_(max_gap) {}
+
+  std::int64_t min_gap_;
+  std::int64_t max_gap_;
+};
+
+}  // namespace pgm
+
+#endif  // PGM_CORE_GAP_H_

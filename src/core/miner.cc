@@ -1,0 +1,239 @@
+#include "core/miner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/saturating.h"
+#include "util/string_util.h"
+
+namespace pgm {
+namespace internal {
+
+Status ValidateConfig(const Sequence& sequence, const MinerConfig& config) {
+  if (sequence.empty()) {
+    return Status::InvalidArgument("subject sequence must not be empty");
+  }
+  PGM_ASSIGN_OR_RETURN(GapRequirement gap,
+                       GapRequirement::Create(config.min_gap, config.max_gap));
+  (void)gap;
+  if (!(config.min_support_ratio > 0.0) || config.min_support_ratio > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("min_support_ratio must lie in (0, 1], got %g",
+                  config.min_support_ratio));
+  }
+  if (config.start_length < 1) {
+    return Status::InvalidArgument("start_length must be >= 1");
+  }
+  if (config.max_length >= 0 && config.max_length < config.start_length) {
+    return Status::InvalidArgument(
+        "max_length must be >= start_length (or -1 for unbounded)");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Generates the join of `level` with itself: for every pair (P1, P2) with
+/// suffix(P1) == prefix(P2), the candidate P1[0] + P2. Returns tuples of
+/// (candidate symbols, index of P1, index of P2). Works uniformly for all
+/// lengths: joining length-1 entries keys on the empty string, i.e. the
+/// full cross product.
+struct CandidateSpec {
+  std::string symbols;
+  std::uint32_t left;
+  std::uint32_t right;
+};
+
+std::vector<CandidateSpec> GenerateCandidates(
+    const std::vector<LevelEntry>& level) {
+  std::vector<CandidateSpec> candidates;
+  if (level.empty()) return candidates;
+  const std::size_t len = level.front().symbols.size();
+
+  // Bucket level entries by their (len-1)-prefix.
+  std::unordered_map<std::string, std::vector<std::uint32_t>> by_prefix;
+  by_prefix.reserve(level.size());
+  for (std::uint32_t i = 0; i < level.size(); ++i) {
+    by_prefix[level[i].symbols.substr(0, len - 1)].push_back(i);
+  }
+
+  for (std::uint32_t i = 0; i < level.size(); ++i) {
+    const std::string suffix_key = level[i].symbols.substr(1);
+    auto it = by_prefix.find(suffix_key);
+    if (it == by_prefix.end()) continue;
+    for (std::uint32_t j : it->second) {
+      CandidateSpec spec;
+      spec.symbols.reserve(len + 1);
+      spec.symbols.push_back(level[i].symbols.front());
+      spec.symbols.append(level[j].symbols);
+      spec.left = i;
+      spec.right = j;
+      candidates.push_back(std::move(spec));
+    }
+  }
+  return candidates;
+}
+
+}  // namespace
+
+std::vector<LevelEntry> BuildAllPatternsOfLength(const Sequence& sequence,
+                                                 const GapRequirement& gap,
+                                                 std::int64_t k) {
+  // Length-1 patterns: one entry per alphabet symbol with occurrences.
+  std::vector<LevelEntry> level;
+  for (Symbol s = 0; s < sequence.alphabet().size(); ++s) {
+    PartialIndexList pil = PartialIndexList::ForSymbol(sequence, s);
+    if (pil.empty()) continue;
+    LevelEntry entry;
+    entry.symbols.assign(1, static_cast<char>(s));
+    entry.pil = std::move(pil);
+    level.push_back(std::move(entry));
+  }
+  for (std::int64_t length = 2; length <= k; ++length) {
+    std::vector<LevelEntry> next;
+    for (CandidateSpec& spec : GenerateCandidates(level)) {
+      PartialIndexList pil = PartialIndexList::Combine(
+          level[spec.left].pil, level[spec.right].pil, gap);
+      if (pil.empty()) continue;
+      next.push_back(LevelEntry{std::move(spec.symbols), std::move(pil)});
+    }
+    level = std::move(next);
+  }
+  return level;
+}
+
+StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
+                                    const MinerConfig& config,
+                                    const OffsetCounter& counter,
+                                    std::int64_t n_effective,
+                                    std::vector<LevelEntry> seed_level) {
+  PGM_RETURN_IF_ERROR(ValidateConfig(sequence, config));
+  PGM_ASSIGN_OR_RETURN(GapRequirement gap,
+                       GapRequirement::Create(config.min_gap, config.max_gap));
+
+  MiningResult result;
+  result.n_used = n_effective;
+  result.guaranteed_complete_up_to = std::min(n_effective, counter.l1());
+
+  const long double rho = config.min_support_ratio;
+  const std::int64_t l2 = counter.l2();
+  const std::size_t alphabet_size = sequence.alphabet().size();
+  std::int64_t level_length = config.start_length;
+  if (level_length > l2) return result;  // no offset sequences at all
+
+  // λ factor applied at level i: Theorem 1's λ_{n,n-i} for i <= n, 1 beyond
+  // (algorithm lines 4-7).
+  auto level_lambda = [&](std::int64_t i) -> long double {
+    if (i > n_effective) return 1.0L;
+    return counter.Lambda(n_effective, n_effective - i);
+  };
+
+  // Processes one candidate: records it as frequent when it clears the full
+  // threshold and appends it to `retained_out` when it clears the relaxed
+  // one. Candidates failing both thresholds free their PIL immediately, so
+  // peak memory is |L̂_l| + |L̂_{l+1}| lists rather than |C_{l+1}|.
+  auto process_candidate = [&](LevelEntry&& entry, long double n_l,
+                               long double full_threshold,
+                               long double relaxed_threshold,
+                               std::int64_t length, LevelStats& stats,
+                               std::vector<LevelEntry>& retained_out) -> Status {
+    const SupportInfo support = entry.pil.TotalSupport();
+    if (support.count == 0) return Status::OK();
+    const long double support_ld = static_cast<long double>(support.count);
+    if (support_ld >= full_threshold) {
+      ++stats.num_frequent;
+      FrequentPattern fp;
+      std::vector<Symbol> symbols(entry.symbols.begin(), entry.symbols.end());
+      PGM_ASSIGN_OR_RETURN(
+          fp.pattern,
+          Pattern::FromSymbols(std::move(symbols), sequence.alphabet()));
+      fp.support = support.count;
+      fp.saturated = support.saturated;
+      fp.support_ratio = static_cast<double>(support_ld / n_l);
+      result.patterns.push_back(std::move(fp));
+      result.longest_frequent_length =
+          std::max(result.longest_frequent_length, length);
+    }
+    if (support_ld >= relaxed_threshold) {
+      ++stats.num_retained;
+      retained_out.push_back(std::move(entry));
+    }
+    return Status::OK();
+  };
+
+  // First level: all |Σ|^start_length patterns (counted as candidates even
+  // when their PIL turned out empty).
+  std::vector<LevelEntry> first_level =
+      seed_level.empty()
+          ? BuildAllPatternsOfLength(sequence, gap, level_length)
+          : std::move(seed_level);
+  long double first_candidates = 1.0L;
+  for (std::int64_t i = 0; i < level_length; ++i) {
+    first_candidates *= static_cast<long double>(alphabet_size);
+  }
+
+  std::vector<LevelEntry> retained;
+  {
+    const long double n_l = counter.Count(level_length);
+    const long double full_threshold = rho * n_l;
+    const long double relaxed_threshold =
+        level_lambda(level_length) * full_threshold;
+    LevelStats stats;
+    stats.length = level_length;
+    stats.num_candidates =
+        first_candidates >= static_cast<long double>(kSaturatedCount)
+            ? kSaturatedCount
+            : static_cast<std::uint64_t>(first_candidates);
+    for (LevelEntry& entry : first_level) {
+      PGM_RETURN_IF_ERROR(process_candidate(std::move(entry), n_l,
+                                            full_threshold, relaxed_threshold,
+                                            level_length, stats, retained));
+    }
+    first_level.clear();
+    result.level_stats.push_back(stats);
+    result.total_candidates =
+        SatAdd(result.total_candidates, stats.num_candidates);
+  }
+
+  while (!retained.empty() &&
+         (config.max_length < 0 || level_length < config.max_length) &&
+         level_length + 1 <= l2) {
+    ++level_length;
+    const long double n_l = counter.Count(level_length);
+    const long double full_threshold = rho * n_l;
+    const long double relaxed_threshold =
+        level_lambda(level_length) * full_threshold;
+
+    LevelStats stats;
+    stats.length = level_length;
+    std::vector<CandidateSpec> specs = GenerateCandidates(retained);
+    stats.num_candidates = specs.size();
+
+    std::vector<LevelEntry> next_retained;
+    for (CandidateSpec& spec : specs) {
+      LevelEntry candidate;
+      candidate.symbols = std::move(spec.symbols);
+      candidate.pil = PartialIndexList::Combine(
+          retained[spec.left].pil, retained[spec.right].pil, gap);
+      PGM_RETURN_IF_ERROR(process_candidate(
+          std::move(candidate), n_l, full_threshold, relaxed_threshold,
+          level_length, stats, next_retained));
+    }
+    retained = std::move(next_retained);
+    result.level_stats.push_back(stats);
+    result.total_candidates =
+        SatAdd(result.total_candidates, stats.num_candidates);
+  }
+
+  std::sort(result.patterns.begin(), result.patterns.end(),
+            [](const FrequentPattern& a, const FrequentPattern& b) {
+              if (a.pattern.length() != b.pattern.length()) {
+                return a.pattern.length() < b.pattern.length();
+              }
+              return a.pattern.symbols() < b.pattern.symbols();
+            });
+  return result;
+}
+
+}  // namespace internal
+}  // namespace pgm

@@ -1,0 +1,166 @@
+#ifndef PGM_CORE_MINER_H_
+#define PGM_CORE_MINER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/gap.h"
+#include "core/offset_counter.h"
+#include "core/pattern.h"
+#include "core/pil.h"
+#include "seq/sequence.h"
+#include "util/status.h"
+
+namespace pgm {
+
+/// Shared configuration for all mining algorithms. The gap requirement and
+/// support threshold follow Section 3; the remaining knobs select algorithm
+/// variants from Sections 5 and 6.
+struct MinerConfig {
+  /// Minimum gap N between successive pattern characters.
+  std::int64_t min_gap = 0;
+  /// Maximum gap M between successive pattern characters.
+  std::int64_t max_gap = 0;
+  /// ρs as a fraction in (0, 1] (the paper quotes percentages: 0.003% is
+  /// 0.00003 here). A pattern P of length l is frequent iff
+  /// sup(P) >= ρs * N_l.
+  double min_support_ratio = 0.0;
+  /// First mined pattern length. The paper starts at 3 because length-1/2
+  /// patterns over a 4-letter alphabet are always frequent and thus
+  /// uninteresting; tests use 1 to cross-validate against enumeration.
+  std::int64_t start_length = 3;
+  /// Hard cap on pattern length; -1 means "until the candidate set empties
+  /// or l2 is reached". Enumeration treats this as its level budget.
+  std::int64_t max_length = -1;
+
+  // --- MPP ---
+  /// The user's estimate n of the longest frequent pattern length; -1 means
+  /// "no idea" which the paper calls the worst case (n = l1). Values above
+  /// l1 are clamped to l1 (algorithm line 3).
+  std::int64_t user_n = -1;
+
+  // --- MPPm ---
+  /// The order m of the e_m statistic (Theorem 2).
+  std::int64_t em_order = 10;
+  /// When false, the n-estimation uses the loose Theorem 1 λ instead of the
+  /// tight Theorem 2 λ' (ablation; typically estimates n = l1).
+  bool use_em_bound = true;
+
+  // --- Adaptive ---
+  /// Starting n of the adaptive refinement loop (Section 6 sketch).
+  std::int64_t initial_n = 10;
+  /// Safety bound on adaptive iterations.
+  std::int64_t max_iterations = 16;
+};
+
+/// One frequent pattern in a mining result.
+struct FrequentPattern {
+  Pattern pattern;
+  /// sup(P): number of distinct matching offset sequences (clamped).
+  std::uint64_t support = 0;
+  /// True when the support counter saturated (degenerate inputs).
+  bool saturated = false;
+  /// sup(P) / N_l.
+  double support_ratio = 0.0;
+};
+
+/// Per-level candidate accounting (the raw material of the paper's Table 3).
+struct LevelStats {
+  /// Pattern length of the level.
+  std::int64_t length = 0;
+  /// |C_l|: candidates generated (for the first level: |Σ|^start_length).
+  std::uint64_t num_candidates = 0;
+  /// |L_l|: candidates meeting the full threshold ρs * N_l.
+  std::uint64_t num_frequent = 0;
+  /// |L̂_l|: candidates meeting the relaxed threshold λ_{n,n-l} * ρs * N_l
+  /// (these seed the next level's join).
+  std::uint64_t num_retained = 0;
+};
+
+/// The outcome of a mining run.
+struct MiningResult {
+  /// All frequent patterns, sorted by (length, symbols).
+  std::vector<FrequentPattern> patterns;
+  /// One entry per processed level, in order.
+  std::vector<LevelStats> level_stats;
+
+  /// The effective n the level thresholds used (user, clamp, or estimate).
+  std::int64_t n_used = 0;
+  /// Completeness guarantee: every frequent pattern with length <= this
+  /// bound is present; longer ones are returned best-effort.
+  std::int64_t guaranteed_complete_up_to = 0;
+  /// Length of the longest frequent pattern found (0 when none).
+  std::int64_t longest_frequent_length = 0;
+  /// Total candidates across levels (sum of LevelStats::num_candidates).
+  std::uint64_t total_candidates = 0;
+
+  /// MPPm: the computed e_m and its estimate of n (-1 when not applicable).
+  std::uint64_t em = 0;
+  std::int64_t estimated_n = -1;
+  /// Adaptive: number of MPP invocations performed (0 when not applicable).
+  std::int64_t adaptive_iterations = 0;
+
+  /// Wall-clock accounting (seconds).
+  double em_seconds = 0.0;
+  double mining_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// MPP (Section 5.1): level-wise mining with PIL-based support counting and
+/// the Theorem 1 λ-relaxed thresholds, steered by the user estimate n
+/// (config.user_n). Guarantees completeness for lengths <= min(n, l1) and
+/// returns longer frequent patterns best-effort.
+StatusOr<MiningResult> MineMpp(const Sequence& sequence,
+                               const MinerConfig& config);
+
+/// MPPm (Section 5.2): MPP with n estimated automatically from the e_m
+/// statistic (config.em_order) and the first level's support spectrum.
+StatusOr<MiningResult> MineMppm(const Sequence& sequence,
+                                const MinerConfig& config);
+
+/// The brute-force baseline of Section 6: every |Σ|^l pattern of every level
+/// is counted; no pruning. Practical only for small alphabets/levels — set
+/// config.max_length. Exact (it is the reference the tests validate
+/// against).
+StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
+                                       const MinerConfig& config);
+
+/// The adaptive-n refinement the paper sketches at the end of Section 6:
+/// run MPP with a small n, raise n to the longest pattern found, repeat
+/// until stable.
+StatusOr<MiningResult> MineAdaptive(const Sequence& sequence,
+                                    const MinerConfig& config);
+
+namespace internal {
+
+/// A pattern under construction: its encoded symbols (one byte per Symbol,
+/// usable as a hash key) and its PIL.
+struct LevelEntry {
+  std::string symbols;
+  PartialIndexList pil;
+};
+
+/// Validates the shared configuration fields against the sequence.
+Status ValidateConfig(const Sequence& sequence, const MinerConfig& config);
+
+/// Builds (symbols, PIL) for every length-k pattern with non-empty PIL,
+/// plus nothing for unmatched patterns. Used to seed the level-wise loop
+/// and by MPPm's n-estimation.
+std::vector<LevelEntry> BuildAllPatternsOfLength(const Sequence& sequence,
+                                                 const GapRequirement& gap,
+                                                 std::int64_t k);
+
+/// The shared level-wise engine behind MPP and MPPm. `n_effective` is the
+/// (already clamped) n; `seed_level` may carry a precomputed first level to
+/// avoid duplicate work (pass empty to build internally).
+StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
+                                    const MinerConfig& config,
+                                    const OffsetCounter& counter,
+                                    std::int64_t n_effective,
+                                    std::vector<LevelEntry> seed_level);
+
+}  // namespace internal
+}  // namespace pgm
+
+#endif  // PGM_CORE_MINER_H_

@@ -1,0 +1,65 @@
+#include <algorithm>
+
+#include "core/em.h"
+#include "core/miner.h"
+#include "util/stopwatch.h"
+
+namespace pgm {
+
+StatusOr<MiningResult> MineMppm(const Sequence& sequence,
+                                const MinerConfig& config) {
+  PGM_RETURN_IF_ERROR(internal::ValidateConfig(sequence, config));
+  PGM_ASSIGN_OR_RETURN(GapRequirement gap,
+                       GapRequirement::Create(config.min_gap, config.max_gap));
+  Stopwatch total_watch;
+  OffsetCounter counter(static_cast<std::int64_t>(sequence.size()), gap);
+
+  // Phase 1: the e_m statistic (Section 4.2).
+  Stopwatch em_watch;
+  PGM_ASSIGN_OR_RETURN(EmResult em_result,
+                       ComputeEm(sequence, gap, config.em_order));
+  // e_m == 0 means no complete length-(m+1) offset sequence exists, so no
+  // pattern longer than m can be frequent; 1 keeps the Theorem 2 bound
+  // sound (and maximally tight) in that case.
+  const std::uint64_t em = std::max<std::uint64_t>(1, em_result.em);
+  const double em_seconds = em_watch.ElapsedSeconds();
+
+  // Phase 2: estimate n. Count the supports of all start-length patterns,
+  // then find the largest k <= l1 for which some start-length pattern still
+  // clears the Theorem 2 prefix bound λ'_{k,k-s} * ρs * N_s. Scanning k
+  // downward returns the largest such k directly.
+  const std::int64_t s = config.start_length;
+  std::vector<internal::LevelEntry> seed =
+      internal::BuildAllPatternsOfLength(sequence, gap, s);
+  std::uint64_t max_support = 0;
+  for (const internal::LevelEntry& entry : seed) {
+    max_support = std::max(max_support, entry.pil.TotalSupport().count);
+  }
+  const long double rho = config.min_support_ratio;
+  const long double n_s = counter.Count(s);
+  std::int64_t n = s;
+  for (std::int64_t k = counter.l1(); k > s; --k) {
+    const long double factor =
+        config.use_em_bound
+            ? counter.LambdaPrime(k, k - s, config.em_order, em)
+            : counter.Lambda(k, k - s);
+    const long double threshold = factor * rho * n_s;
+    if (static_cast<long double>(max_support) >= threshold) {
+      n = k;
+      break;
+    }
+  }
+
+  // Phase 3: MPP with the estimated n, reusing the seed level.
+  PGM_ASSIGN_OR_RETURN(
+      MiningResult result,
+      internal::RunLevelwise(sequence, config, counter, n, std::move(seed)));
+  result.em = em_result.em;
+  result.estimated_n = n;
+  result.em_seconds = em_seconds;
+  result.total_seconds = total_watch.ElapsedSeconds();
+  result.mining_seconds = result.total_seconds - em_seconds;
+  return result;
+}
+
+}  // namespace pgm

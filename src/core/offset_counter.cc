@@ -1,0 +1,173 @@
+#include "core/offset_counter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/saturating.h"
+
+namespace pgm {
+
+namespace {
+
+/// f(l, i) row for i in [1, (l-1)(W-1)], advanced one level at a time via
+/// Equation 8: f(k+1, i) = sum_{j=1..W} f(k, i-W+j). Outside the stored
+/// range, f(k, i<=0) = W^(k-1) and f(k, i > (k-1)(W-1)) = 0.
+std::vector<long double> AdvanceRow(const std::vector<long double>& prev_row,
+                                    std::int64_t prev_level, std::int64_t w) {
+  const std::int64_t prev_len = (prev_level - 1) * (w - 1);
+  assert(static_cast<std::int64_t>(prev_row.size()) == prev_len);
+  const long double w_pow_prev = std::pow(static_cast<long double>(w),
+                                          static_cast<long double>(prev_level - 1));
+
+  // Prefix sums over the stored region: pre[d] = sum of prev_row[0..d-1].
+  std::vector<long double> pre(prev_len + 1, 0.0L);
+  for (std::int64_t d = 0; d < prev_len; ++d) pre[d + 1] = pre[d] + prev_row[d];
+
+  const std::int64_t next_len = prev_level * (w - 1);
+  std::vector<long double> next(next_len, 0.0L);
+  for (std::int64_t i = 1; i <= next_len; ++i) {
+    const std::int64_t lo = i - w + 1;  // delta range [lo, i]
+    const std::int64_t hi = i;
+    long double total = 0.0L;
+    if (lo <= 0) {
+      const std::int64_t num_nonpositive = std::min<std::int64_t>(hi, 0) - lo + 1;
+      total += static_cast<long double>(num_nonpositive) * w_pow_prev;
+    }
+    const std::int64_t a = std::max<std::int64_t>(1, lo);
+    const std::int64_t b = std::min<std::int64_t>(prev_len, hi);
+    if (a <= b) total += pre[b] - pre[a - 1];
+    next[i - 1] = total;
+  }
+  return next;
+}
+
+}  // namespace
+
+OffsetCounter::OffsetCounter(std::int64_t sequence_length,
+                             const GapRequirement& gap)
+    : sequence_length_(std::max<std::int64_t>(0, sequence_length)),
+      gap_(gap),
+      l1_(gap.MaxGuaranteedLength(sequence_length_)),
+      l2_(gap.MaxPossibleLength(sequence_length_)) {}
+
+void OffsetCounter::EnsureComputed(std::int64_t length) const {
+  const std::int64_t target = std::min(length, l2_);
+  const std::int64_t w = gap_.flexibility();
+  const long double half_period =
+      (static_cast<long double>(gap_.max_gap() + gap_.min_gap())) / 2.0L + 1.0L;
+  for (std::int64_t l = computed_through_ + 1; l <= target; ++l) {
+    long double value = 0.0L;
+    if (l <= l1_) {
+      // Theorem 4 closed form.
+      value = (static_cast<long double>(sequence_length_) -
+               static_cast<long double>(l - 1) * half_period) *
+              std::pow(static_cast<long double>(w),
+                       static_cast<long double>(l - 1));
+    } else {
+      // Case 3 (l1 < l <= l2): count by dynamic programming over positions,
+      // row_[p] = number of length-`row_level_` offset sequences starting
+      // at p. All additions are of like-magnitude positive terms, so the
+      // values stay exact as long as they fit the 64-bit mantissa (unlike
+      // the f(l, i) recurrence, whose prefix sums mix the unclipped
+      // W^(l-1) base with tiny boundary terms).
+      if (row_level_ == 0) {
+        row_.assign(static_cast<std::size_t>(sequence_length_), 1.0L);
+        row_level_ = 1;
+      }
+      while (row_level_ < l) {
+        std::vector<long double> next(row_.size(), 0.0L);
+        for (std::int64_t p = 0; p < sequence_length_; ++p) {
+          const std::int64_t lo = p + gap_.min_gap() + 1;
+          const std::int64_t hi =
+              std::min<std::int64_t>(sequence_length_ - 1, p + gap_.max_gap() + 1);
+          long double total = 0.0L;
+          for (std::int64_t q = lo; q <= hi; ++q) total += row_[q];
+          next[p] = total;
+        }
+        row_.swap(next);
+        ++row_level_;
+      }
+      for (const long double v : row_) value += v;
+    }
+    counts_.push_back(value);
+    computed_through_ = l;
+  }
+}
+
+long double OffsetCounter::Count(std::int64_t length) const {
+  if (length < 1 || length > l2_) return 0.0L;
+  EnsureComputed(length);
+  return counts_[length - 1];
+}
+
+long double OffsetCounter::Lambda(std::int64_t length, std::int64_t d) const {
+  assert(d >= 0 && d < length);
+  const long double numerator = Count(length);
+  const long double denominator =
+      Count(length - d) * std::pow(static_cast<long double>(gap_.flexibility()),
+                                   static_cast<long double>(d));
+  if (denominator <= 0.0L) return 0.0L;
+  long double lambda = numerator / denominator;
+  // W^d can overflow even long double's huge exponent range for extreme d;
+  // an infinite denominator (or inf/inf) collapses λ to the sound value 0
+  // (no pruning).
+  if (!std::isfinite(lambda) || lambda < 0.0L) return 0.0L;
+  if (lambda > 1.0L) lambda = 1.0L;
+  return lambda;
+}
+
+long double OffsetCounter::LambdaPrime(std::int64_t length, std::int64_t d,
+                                       std::int64_t m, std::uint64_t em) const {
+  assert(m >= 1);
+  assert(em >= 1);
+  const std::int64_t s = d / m;
+  const long double wm = std::pow(static_cast<long double>(gap_.flexibility()),
+                                  static_cast<long double>(m));
+  const long double tightening =
+      std::pow(wm / static_cast<long double>(em), static_cast<long double>(s));
+  return tightening * Lambda(length, d);
+}
+
+long double OffsetCounter::F(std::int64_t length, std::int64_t i) const {
+  assert(length >= 1);
+  const std::int64_t w = gap_.flexibility();
+  if (i <= 0) {
+    return std::pow(static_cast<long double>(w),
+                    static_cast<long double>(length - 1));
+  }
+  if (i > (length - 1) * (w - 1)) return 0.0L;
+  // Test-facing API: rebuild rows from scratch (cheap at test sizes).
+  std::vector<long double> row;  // level-1 row is empty
+  for (std::int64_t level = 1; level < length; ++level) {
+    row = AdvanceRow(row, level, w);
+  }
+  return row[i - 1];
+}
+
+std::uint64_t BruteForceCountOffsetSequences(std::int64_t sequence_length,
+                                             const GapRequirement& gap,
+                                             std::int64_t length) {
+  if (length < 1 || sequence_length < 1) return 0;
+  const std::int64_t L = sequence_length;
+  // counts[p] = number of length-k offset sequences starting at position p.
+  std::vector<std::uint64_t> counts(L, 1);
+  for (std::int64_t k = 2; k <= length; ++k) {
+    std::vector<std::uint64_t> next(L, 0);
+    for (std::int64_t p = 0; p < L; ++p) {
+      std::uint64_t total = 0;
+      const std::int64_t lo = p + gap.min_gap() + 1;
+      const std::int64_t hi = std::min<std::int64_t>(L - 1, p + gap.max_gap() + 1);
+      for (std::int64_t q = lo; q <= hi; ++q) {
+        total = SatAdd(total, counts[q]);
+      }
+      next[p] = total;
+    }
+    counts.swap(next);
+  }
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total = SatAdd(total, c);
+  return total;
+}
+
+}  // namespace pgm

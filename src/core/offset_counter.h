@@ -1,0 +1,89 @@
+#ifndef PGM_CORE_OFFSET_COUNTER_H_
+#define PGM_CORE_OFFSET_COUNTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gap.h"
+#include "util/status.h"
+
+namespace pgm {
+
+/// Computes N_l — the number of distinct length-l offset sequences of a
+/// length-L subject sequence under a gap requirement [N, M] — and the
+/// pruning factors λ and λ' derived from it (Section 4 of the paper).
+///
+/// Three cases (Section 4.1):
+///   1. l > l2:        N_l = 0 (even the minimum span exceeds L).
+///   2. l <= l1:       N_l = [L - (l-1)((M+N)/2 + 1)] * W^(l-1) (Theorem 4).
+///   3. l1 < l <= l2:  N_l = sum of f(l, i) for i in [maxspan(l)-L,
+///                     (l-1)(W-1)], where f obeys the recurrence
+///                     f(k+1, i) = sum_{j=1..W} f(k, i-W+j)  (Equation 8)
+///                     with f(l, i<=0) = W^(l-1) and f(l, i>(l-1)(W-1)) = 0.
+///
+/// Values are computed in `long double` (64-bit mantissa on x86-64): exact
+/// for all values below 2^64 and a tight approximation beyond, which is all
+/// the support-ratio thresholds need. Case-3 rows are built incrementally
+/// and cached, so repeated queries are O(1) after the first.
+class OffsetCounter {
+ public:
+  /// `sequence_length` is L >= 0.
+  OffsetCounter(std::int64_t sequence_length, const GapRequirement& gap);
+
+  std::int64_t sequence_length() const { return sequence_length_; }
+  const GapRequirement& gap() const { return gap_; }
+
+  /// l1: length of the longest pattern whose maximum span fits in L.
+  std::int64_t l1() const { return l1_; }
+  /// l2: length of the longest pattern whose minimum span fits in L.
+  std::int64_t l2() const { return l2_; }
+
+  /// N_l for l >= 1. Returns 0 for l > l2.
+  long double Count(std::int64_t length) const;
+
+  /// λ_{l,d} = N_l / (N_{l-d} * W^d): the factor by which the support-ratio
+  /// threshold of a length-(l-d) sub-pattern of a frequent length-l pattern
+  /// may be relaxed (Theorem 1 / Equation 2). Requires 0 <= d < l, l <= l2.
+  /// Always in [0, 1].
+  long double Lambda(std::int64_t length, std::int64_t d) const;
+
+  /// λ'_{l,d} = (W^m / e_m)^s * λ_{l,d} with s = floor(d/m): the tightened
+  /// factor of Theorem 2 / Equation 5 for the length-(l-d) *prefix*.
+  /// `em` must be >= 1 (computed by EmEstimator).
+  long double LambdaPrime(std::int64_t length, std::int64_t d, std::int64_t m,
+                          std::uint64_t em) const;
+
+  /// f(l, i): the number of length-l offset sequences [0, c2, ..., cl] of a
+  /// subject sequence of length maxspan(l) - i whose first offset is the
+  /// first position. Exposed for tests of Theorem 3 and Equation 8.
+  long double F(std::int64_t length, std::int64_t i) const;
+
+ private:
+  /// Extends the cached case-3 DP rows up to `length` and caches N_length.
+  void EnsureComputed(std::int64_t length) const;
+
+  std::int64_t sequence_length_;
+  GapRequirement gap_;
+  std::int64_t l1_;
+  std::int64_t l2_;
+
+  // Lazily grown cache: counts_[l-1] = N_l for 1 <= l <= computed_through_.
+  mutable std::vector<long double> counts_;
+  mutable std::int64_t computed_through_ = 0;
+  // Rolling case-3 DP row over positions: row_[p] = number of
+  // length-row_level_ offset sequences starting at position p. Grown only
+  // when a case-3 length is actually requested.
+  mutable std::vector<long double> row_;
+  mutable std::int64_t row_level_ = 0;
+};
+
+/// Independent exact reference: counts length-l offset sequences by dynamic
+/// programming over positions (O(L * l * W) time), saturating at 2^64-1.
+/// Used by tests to validate OffsetCounter on small inputs.
+std::uint64_t BruteForceCountOffsetSequences(std::int64_t sequence_length,
+                                             const GapRequirement& gap,
+                                             std::int64_t length);
+
+}  // namespace pgm
+
+#endif  // PGM_CORE_OFFSET_COUNTER_H_

@@ -1,0 +1,128 @@
+#include "core/pattern.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace pgm {
+
+StatusOr<Pattern> Pattern::FromSymbols(std::vector<Symbol> symbols,
+                                       const Alphabet& alphabet) {
+  if (symbols.empty()) {
+    return Status::InvalidArgument("a pattern must contain at least one character");
+  }
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    if (symbols[i] >= alphabet.size()) {
+      return Status::InvalidArgument(
+          StrFormat("symbol %u at index %zu is out of range for an alphabet "
+                    "of size %zu",
+                    symbols[i], i, alphabet.size()));
+    }
+  }
+  return Pattern(std::move(symbols), alphabet);
+}
+
+StatusOr<Pattern> Pattern::Parse(std::string_view shorthand,
+                                 const Alphabet& alphabet) {
+  if (shorthand.empty()) {
+    return Status::InvalidArgument("empty pattern");
+  }
+  std::vector<Symbol> symbols;
+  symbols.reserve(shorthand.size());
+  for (std::size_t i = 0; i < shorthand.size(); ++i) {
+    char c = shorthand[i];
+    if (c == '.') {
+      return Status::InvalidArgument(
+          "shorthand notation must not contain wildcards; use "
+          "ParseFullNotation for the explicit form");
+    }
+    Symbol s = alphabet.Encode(c);
+    if (s == kInvalidSymbol) {
+      return Status::InvalidArgument(
+          StrFormat("character '%c' at index %zu is not in the alphabet", c, i));
+    }
+    symbols.push_back(s);
+  }
+  return Pattern(std::move(symbols), alphabet);
+}
+
+StatusOr<Pattern> Pattern::ParseFullNotation(std::string_view text,
+                                             const Alphabet& alphabet,
+                                             const GapRequirement& gap) {
+  if (text.empty()) {
+    return Status::InvalidArgument("empty pattern");
+  }
+  if (text.front() == '.' || text.back() == '.') {
+    return Status::InvalidArgument(
+        "a pattern must begin and end with characters, not wildcards");
+  }
+  std::vector<Symbol> symbols;
+  std::int64_t gap_run = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '.') {
+      ++gap_run;
+      continue;
+    }
+    Symbol s = alphabet.Encode(c);
+    if (s == kInvalidSymbol) {
+      return Status::InvalidArgument(
+          StrFormat("character '%c' at index %zu is not in the alphabet", c, i));
+    }
+    if (!symbols.empty()) {
+      if (gap_run < gap.min_gap() || gap_run > gap.max_gap()) {
+        return Status::InvalidArgument(StrFormat(
+            "gap of size %lld before index %zu violates the gap requirement %s",
+            static_cast<long long>(gap_run), i, gap.ToString().c_str()));
+      }
+    }
+    gap_run = 0;
+    symbols.push_back(s);
+  }
+  return Pattern(std::move(symbols), alphabet);
+}
+
+char Pattern::CharAt(std::size_t i) const {
+  return alphabet_.CharAt(symbols_[i]);
+}
+
+Pattern Pattern::Prefix() const {
+  assert(symbols_.size() >= 2);
+  return Pattern(std::vector<Symbol>(symbols_.begin(), symbols_.end() - 1),
+                 alphabet_);
+}
+
+Pattern Pattern::Suffix() const {
+  assert(symbols_.size() >= 2);
+  return Pattern(std::vector<Symbol>(symbols_.begin() + 1, symbols_.end()),
+                 alphabet_);
+}
+
+Pattern Pattern::SubPattern(std::size_t start, std::size_t count) const {
+  if (start >= symbols_.size()) return Pattern({}, alphabet_);
+  std::size_t end = std::min(symbols_.size(), start + count);
+  return Pattern(
+      std::vector<Symbol>(symbols_.begin() + start, symbols_.begin() + end),
+      alphabet_);
+}
+
+std::string Pattern::ToShorthand() const {
+  std::string out;
+  out.reserve(symbols_.size());
+  for (Symbol s : symbols_) out.push_back(alphabet_.CharAt(s));
+  return out;
+}
+
+std::string Pattern::ToString(const GapRequirement& gap) const {
+  std::string separator =
+      StrFormat("g(%lld,%lld)", static_cast<long long>(gap.min_gap()),
+                static_cast<long long>(gap.max_gap()));
+  std::string out;
+  for (std::size_t i = 0; i < symbols_.size(); ++i) {
+    if (i > 0) out += separator;
+    out.push_back(alphabet_.CharAt(symbols_[i]));
+  }
+  return out;
+}
+
+}  // namespace pgm

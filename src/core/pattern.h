@@ -1,0 +1,92 @@
+#ifndef PGM_CORE_PATTERN_H_
+#define PGM_CORE_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/gap.h"
+#include "seq/alphabet.h"
+#include "util/status.h"
+
+namespace pgm {
+
+/// A periodic pattern a1 g(N,M) a2 ... g(N,M) al, stored in the paper's
+/// shorthand form: just the character symbols, with the gap requirement
+/// carried separately by the mining context (Section 3: "Since the mining
+/// problem is defined with specified values of N and M, we use the shorthand
+/// notation").
+///
+/// |P| (the length) is the number of characters; wildcards never count.
+class Pattern {
+ public:
+  Pattern() = default;
+
+  /// Builds from encoded symbols. All must be valid for `alphabet`.
+  static StatusOr<Pattern> FromSymbols(std::vector<Symbol> symbols,
+                                       const Alphabet& alphabet);
+
+  /// Parses the shorthand notation, e.g. "ATC". Empty input is invalid.
+  static StatusOr<Pattern> Parse(std::string_view shorthand,
+                                 const Alphabet& alphabet);
+
+  /// Parses the full wildcard notation, e.g. "A..T.C" where runs of '.' are
+  /// gaps. Validates that the pattern begins and ends with characters and
+  /// that every gap size lies within `gap` (the definition of a legal
+  /// pattern under a fixed gap requirement).
+  static StatusOr<Pattern> ParseFullNotation(std::string_view text,
+                                             const Alphabet& alphabet,
+                                             const GapRequirement& gap);
+
+  /// Pattern length l = number of characters.
+  std::size_t length() const { return symbols_.size(); }
+  bool empty() const { return symbols_.empty(); }
+
+  /// 0-based access to the i-th character symbol (the paper's P[i+1]).
+  Symbol operator[](std::size_t i) const { return symbols_[i]; }
+  const std::vector<Symbol>& symbols() const { return symbols_; }
+
+  /// Character at index `i`.
+  char CharAt(std::size_t i) const;
+
+  /// prefix(P): the first l-1 characters. Requires length() >= 2.
+  Pattern Prefix() const;
+
+  /// suffix(P): the last l-1 characters. Requires length() >= 2.
+  Pattern Suffix() const;
+
+  /// The contiguous sub-pattern P[start..start+count) (0-based). Clamped to
+  /// the pattern end.
+  Pattern SubPattern(std::size_t start, std::size_t count) const;
+
+  /// Shorthand notation, e.g. "ATC".
+  std::string ToShorthand() const;
+
+  /// Explicit notation with gap ranges, e.g. "Ag(9,12)Tg(9,12)C".
+  std::string ToString(const GapRequirement& gap) const;
+
+  const Alphabet& alphabet() const { return alphabet_; }
+
+  /// Equality compares symbols and alphabets.
+  bool operator==(const Pattern& other) const {
+    return symbols_ == other.symbols_ && alphabet_ == other.alphabet_;
+  }
+
+  /// Lexicographic order on symbols then length (alphabets assumed equal);
+  /// lets patterns live in ordered containers and keeps mining output stable.
+  bool operator<(const Pattern& other) const {
+    return symbols_ < other.symbols_;
+  }
+
+ private:
+  Pattern(std::vector<Symbol> symbols, Alphabet alphabet)
+      : symbols_(std::move(symbols)), alphabet_(std::move(alphabet)) {}
+
+  std::vector<Symbol> symbols_;
+  Alphabet alphabet_ = Alphabet::Dna();
+};
+
+}  // namespace pgm
+
+#endif  // PGM_CORE_PATTERN_H_

@@ -1,0 +1,82 @@
+#ifndef PGM_CORE_PIL_H_
+#define PGM_CORE_PIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gap.h"
+#include "seq/sequence.h"
+#include "util/saturating.h"
+
+namespace pgm {
+
+/// One entry of a partial index list: there are exactly `count` offset
+/// sequences of the pattern whose first offset is `pos` (0-based).
+struct PilEntry {
+  std::uint32_t pos;
+  std::uint64_t count;
+
+  bool operator==(const PilEntry& other) const {
+    return pos == other.pos && count == other.count;
+  }
+};
+
+/// Aggregate support of a pattern together with an overflow indicator.
+struct SupportInfo {
+  /// Total number of matching offset sequences, clamped at 2^64-1.
+  std::uint64_t count = 0;
+  /// True when `count` hit the clamp (degenerate inputs only).
+  bool saturated = false;
+};
+
+/// The partial index list (PIL) of Section 5.1: for a pattern P over a
+/// subject sequence S, a sorted list of (x, y) pairs meaning "y offset
+/// sequences of the form [x, c2, ..., cl] match P". The PIL supports the
+/// two operations the paper identifies:
+///
+///   1. sup(P) = sum of all y (TotalSupport).
+///   2. PIL(P) is computable from PIL(prefix(P)) and PIL(suffix(P)) alone
+///      (Combine) — this is what makes the level-wise join cheap.
+class PartialIndexList {
+ public:
+  PartialIndexList() = default;
+
+  /// PIL of a length-1 pattern: one entry of count 1 per occurrence of
+  /// `symbol` in `sequence`.
+  static PartialIndexList ForSymbol(const Sequence& sequence, Symbol symbol);
+
+  /// PIL(P) from PIL(prefix(P)) and PIL(suffix(P)) under `gap`, using the
+  /// paper's procedure with a sliding-window sum (O(|prefix| + |suffix|)):
+  /// for each (x, y) in the prefix list, t = sum of y' over suffix entries
+  /// (x', y') with x' - x - 1 in [N, M]; emit (x, t) when t > 0.
+  static PartialIndexList Combine(const PartialIndexList& prefix_pil,
+                                  const PartialIndexList& suffix_pil,
+                                  const GapRequirement& gap);
+
+  /// Builds directly from entries; they must be sorted by pos with positive
+  /// counts (assert-checked in debug builds). Test helper.
+  static PartialIndexList FromEntries(std::vector<PilEntry> entries);
+
+  const std::vector<PilEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// sup(P): the saturating sum of all counts.
+  SupportInfo TotalSupport() const;
+
+  /// Approximate heap footprint, for the miners' memory accounting.
+  std::size_t MemoryBytes() const {
+    return entries_.capacity() * sizeof(PilEntry);
+  }
+
+  bool operator==(const PartialIndexList& other) const {
+    return entries_ == other.entries_;
+  }
+
+ private:
+  std::vector<PilEntry> entries_;
+};
+
+}  // namespace pgm
+
+#endif  // PGM_CORE_PIL_H_

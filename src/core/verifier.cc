@@ -1,0 +1,168 @@
+#include "core/verifier.h"
+
+#include <algorithm>
+
+#include "util/saturating.h"
+#include "util/string_util.h"
+
+namespace pgm {
+
+namespace {
+
+Status CheckAlphabets(const Sequence& sequence, const Pattern& pattern) {
+  if (!(sequence.alphabet() == pattern.alphabet())) {
+    return Status::InvalidArgument(
+        "pattern and sequence use different alphabets");
+  }
+  if (pattern.empty()) {
+    return Status::InvalidArgument("pattern must not be empty");
+  }
+  return Status::OK();
+}
+
+/// ways[x] after processing pattern index j holds the number of offset
+/// sequences realizing P[j..l) that start at position x.
+std::vector<std::uint64_t> BackwardWays(const Sequence& sequence,
+                                        const Pattern& pattern,
+                                        const GapRequirement& gap) {
+  const std::int64_t L = static_cast<std::int64_t>(sequence.size());
+  const std::int64_t l = static_cast<std::int64_t>(pattern.length());
+  std::vector<std::uint64_t> ways(sequence.size(), 0);
+  for (std::int64_t x = 0; x < L; ++x) {
+    ways[x] = (sequence[x] == pattern[l - 1]) ? 1 : 0;
+  }
+  for (std::int64_t j = l - 2; j >= 0; --j) {
+    std::vector<std::uint64_t> next(sequence.size(), 0);
+    for (std::int64_t x = 0; x < L; ++x) {
+      if (sequence[x] != pattern[j]) continue;
+      std::uint64_t total = 0;
+      const std::int64_t lo = x + gap.min_gap() + 1;
+      const std::int64_t hi = std::min<std::int64_t>(L - 1, x + gap.max_gap() + 1);
+      for (std::int64_t q = lo; q <= hi; ++q) {
+        total = SatAdd(total, ways[q]);
+      }
+      next[x] = total;
+    }
+    ways.swap(next);
+  }
+  return ways;
+}
+
+}  // namespace
+
+StatusOr<SupportInfo> CountSupport(const Sequence& sequence,
+                                   const Pattern& pattern,
+                                   const GapRequirement& gap) {
+  PGM_RETURN_IF_ERROR(CheckAlphabets(sequence, pattern));
+  std::vector<std::uint64_t> ways = BackwardWays(sequence, pattern, gap);
+  SupportInfo info;
+  unsigned __int128 sum = 0;
+  for (std::uint64_t w : ways) {
+    if (IsSaturated(w)) {
+      info.saturated = true;
+    }
+    sum += w;
+  }
+  if (info.saturated || sum >= static_cast<unsigned __int128>(kSaturatedCount)) {
+    info.count = kSaturatedCount;
+    info.saturated = true;
+  } else {
+    info.count = static_cast<std::uint64_t>(sum);
+  }
+  return info;
+}
+
+StatusOr<PartialIndexList> ComputePil(const Sequence& sequence,
+                                      const Pattern& pattern,
+                                      const GapRequirement& gap) {
+  PGM_RETURN_IF_ERROR(CheckAlphabets(sequence, pattern));
+  std::vector<std::uint64_t> ways = BackwardWays(sequence, pattern, gap);
+  std::vector<PilEntry> entries;
+  for (std::size_t x = 0; x < ways.size(); ++x) {
+    if (ways[x] > 0) {
+      entries.push_back(PilEntry{static_cast<std::uint32_t>(x), ways[x]});
+    }
+  }
+  return PartialIndexList::FromEntries(std::move(entries));
+}
+
+StatusOr<SupportInfo> CountSupportWithGapVector(
+    const Sequence& sequence, const Pattern& pattern,
+    const std::vector<GapRequirement>& gaps) {
+  PGM_RETURN_IF_ERROR(CheckAlphabets(sequence, pattern));
+  if (gaps.size() + 1 != pattern.length()) {
+    return Status::InvalidArgument(
+        StrFormat("pattern of length %zu needs %zu gap requirements, got %zu",
+                  pattern.length(), pattern.length() - 1, gaps.size()));
+  }
+  const std::int64_t L = static_cast<std::int64_t>(sequence.size());
+  const std::int64_t l = static_cast<std::int64_t>(pattern.length());
+  // Same backward DP as the uniform scorer, but gap j (between P[j] and
+  // P[j+1]) uses its own window.
+  std::vector<std::uint64_t> ways(sequence.size(), 0);
+  for (std::int64_t x = 0; x < L; ++x) {
+    ways[x] = (sequence[x] == pattern[l - 1]) ? 1 : 0;
+  }
+  for (std::int64_t j = l - 2; j >= 0; --j) {
+    const GapRequirement& gap = gaps[j];
+    std::vector<std::uint64_t> next(sequence.size(), 0);
+    for (std::int64_t x = 0; x < L; ++x) {
+      if (sequence[x] != pattern[j]) continue;
+      std::uint64_t total = 0;
+      const std::int64_t lo = x + gap.min_gap() + 1;
+      const std::int64_t hi = std::min<std::int64_t>(L - 1, x + gap.max_gap() + 1);
+      for (std::int64_t q = lo; q <= hi; ++q) {
+        total = SatAdd(total, ways[q]);
+      }
+      next[x] = total;
+    }
+    ways.swap(next);
+  }
+  SupportInfo info;
+  unsigned __int128 sum = 0;
+  for (std::uint64_t w : ways) {
+    if (IsSaturated(w)) info.saturated = true;
+    sum += w;
+  }
+  if (info.saturated || sum >= static_cast<unsigned __int128>(kSaturatedCount)) {
+    info.count = kSaturatedCount;
+    info.saturated = true;
+  } else {
+    info.count = static_cast<std::uint64_t>(sum);
+  }
+  return info;
+}
+
+std::vector<std::vector<std::int64_t>> EnumerateMatches(
+    const Sequence& sequence, const Pattern& pattern,
+    const GapRequirement& gap, std::size_t limit) {
+  std::vector<std::vector<std::int64_t>> matches;
+  if (pattern.empty() || !(sequence.alphabet() == pattern.alphabet())) {
+    return matches;
+  }
+  const std::int64_t L = static_cast<std::int64_t>(sequence.size());
+  const std::int64_t l = static_cast<std::int64_t>(pattern.length());
+  std::vector<std::int64_t> offsets;
+  auto dfs = [&](auto&& self, std::int64_t pos, std::int64_t j) -> bool {
+    if (limit != 0 && matches.size() >= limit) return false;
+    if (sequence[pos] != pattern[j]) return true;
+    offsets.push_back(pos);
+    if (j == l - 1) {
+      matches.push_back(offsets);
+    } else {
+      const std::int64_t lo = pos + gap.min_gap() + 1;
+      const std::int64_t hi = std::min<std::int64_t>(L - 1, pos + gap.max_gap() + 1);
+      for (std::int64_t q = lo; q <= hi; ++q) {
+        if (!self(self, q, j + 1)) break;
+      }
+    }
+    offsets.pop_back();
+    return limit == 0 || matches.size() < limit;
+  };
+  for (std::int64_t start = 0; start < L; ++start) {
+    if (!dfs(dfs, start, 0)) break;
+  }
+  return matches;
+}
+
+}  // namespace pgm

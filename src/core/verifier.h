@@ -1,0 +1,53 @@
+#ifndef PGM_CORE_VERIFIER_H_
+#define PGM_CORE_VERIFIER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gap.h"
+#include "core/pattern.h"
+#include "core/pil.h"
+#include "seq/sequence.h"
+#include "util/status.h"
+
+namespace pgm {
+
+/// Independent support computation paths, used to cross-check the PIL-based
+/// miners and available to library users who want to score a handful of
+/// known patterns without running a full mining pass.
+
+/// Counts sup(P) by backward dynamic programming over positions:
+/// ways(j, x) = [S[x] == P[j]] * sum of ways(j+1, x') over the gap window.
+/// O(l * L * W) time, O(L) space, saturating at 2^64-1.
+/// Fails when the pattern's alphabet differs from the sequence's.
+StatusOr<SupportInfo> CountSupport(const Sequence& sequence,
+                                   const Pattern& pattern,
+                                   const GapRequirement& gap);
+
+/// Computes PIL(P) directly (same DP, reporting per-first-offset counts).
+StatusOr<PartialIndexList> ComputePil(const Sequence& sequence,
+                                      const Pattern& pattern,
+                                      const GapRequirement& gap);
+
+/// Extension beyond the paper's uniform-gap model: counts sup(P) when each
+/// of the l-1 gaps carries its own requirement `gaps[j]` (the paper's
+/// introduction motivates per-gap flexibility as a way to model bounded
+/// insertions/deletions within individual periods). The level-wise miners
+/// keep the uniform model (their N_l/λ theory depends on it); this scorer
+/// lets users verify a handful of candidate patterns under the richer
+/// constraint. Requires gaps.size() == pattern.length() - 1.
+StatusOr<SupportInfo> CountSupportWithGapVector(
+    const Sequence& sequence, const Pattern& pattern,
+    const std::vector<GapRequirement>& gaps);
+
+/// Test reference: enumerates matching offset sequences explicitly (DFS,
+/// exponential in pattern length; small inputs only). Offset sequences are
+/// 0-based and returned in lexicographic order. At most `limit` sequences
+/// are produced (0 = unlimited).
+std::vector<std::vector<std::int64_t>> EnumerateMatches(
+    const Sequence& sequence, const Pattern& pattern,
+    const GapRequirement& gap, std::size_t limit = 0);
+
+}  // namespace pgm
+
+#endif  // PGM_CORE_VERIFIER_H_

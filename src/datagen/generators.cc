@@ -1,0 +1,44 @@
+#include "datagen/generators.h"
+
+#include "util/string_util.h"
+
+namespace pgm {
+
+StatusOr<Sequence> UniformRandomSequence(std::size_t length,
+                                         const Alphabet& alphabet, Rng& rng) {
+  std::vector<Symbol> symbols;
+  symbols.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    symbols.push_back(static_cast<Symbol>(rng.UniformInt(alphabet.size())));
+  }
+  return Sequence::FromSymbols(std::move(symbols), alphabet);
+}
+
+StatusOr<Sequence> WeightedRandomSequence(std::size_t length,
+                                          const Alphabet& alphabet,
+                                          const std::vector<double>& weights,
+                                          Rng& rng) {
+  if (weights.size() != alphabet.size()) {
+    return Status::InvalidArgument(
+        StrFormat("expected %zu weights (one per symbol), got %zu",
+                  alphabet.size(), weights.size()));
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("weights must be non-negative");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("at least one weight must be positive");
+  }
+  std::vector<Symbol> symbols;
+  symbols.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    symbols.push_back(static_cast<Symbol>(rng.Categorical(weights)));
+  }
+  return Sequence::FromSymbols(std::move(symbols), alphabet);
+}
+
+}  // namespace pgm

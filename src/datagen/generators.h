@@ -1,0 +1,29 @@
+#ifndef PGM_DATAGEN_GENERATORS_H_
+#define PGM_DATAGEN_GENERATORS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "seq/sequence.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pgm {
+
+/// Generates a length-`length` sequence with symbols drawn i.i.d. uniformly
+/// from `alphabet`.
+StatusOr<Sequence> UniformRandomSequence(std::size_t length,
+                                         const Alphabet& alphabet, Rng& rng);
+
+/// Generates a length-`length` sequence with symbols drawn i.i.d. from the
+/// categorical distribution `weights` (one non-negative weight per alphabet
+/// symbol, in alphabet order; normalization not required).
+/// Fails when weights.size() != alphabet.size() or all weights are zero.
+StatusOr<Sequence> WeightedRandomSequence(std::size_t length,
+                                          const Alphabet& alphabet,
+                                          const std::vector<double>& weights,
+                                          Rng& rng);
+
+}  // namespace pgm
+
+#endif  // PGM_DATAGEN_GENERATORS_H_

@@ -1,0 +1,92 @@
+#include "datagen/markov.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace pgm {
+
+namespace {
+
+std::size_t NumContexts(std::size_t alphabet_size, std::size_t order) {
+  std::size_t contexts = 1;
+  for (std::size_t i = 0; i < order; ++i) contexts *= alphabet_size;
+  return contexts;
+}
+
+}  // namespace
+
+StatusOr<MarkovModel> MarkovModel::Create(
+    const Alphabet& alphabet, std::size_t order,
+    std::vector<std::vector<double>> transitions) {
+  if (order > 8) {
+    return Status::InvalidArgument("Markov order above 8 is not supported");
+  }
+  const std::size_t contexts = NumContexts(alphabet.size(), order);
+  if (transitions.size() != contexts) {
+    return Status::InvalidArgument(
+        StrFormat("expected %zu transition rows, got %zu", contexts,
+                  transitions.size()));
+  }
+  for (std::size_t c = 0; c < contexts; ++c) {
+    if (transitions[c].size() != alphabet.size()) {
+      return Status::InvalidArgument(
+          StrFormat("transition row %zu has %zu entries, expected %zu", c,
+                    transitions[c].size(), alphabet.size()));
+    }
+    double total = 0.0;
+    for (double w : transitions[c]) {
+      if (w < 0.0 || !std::isfinite(w)) {
+        return Status::InvalidArgument(
+            StrFormat("transition row %zu contains a negative or non-finite "
+                      "weight",
+                      c));
+      }
+      total += w;
+    }
+    if (total <= 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("transition row %zu has zero total weight", c));
+    }
+  }
+  return MarkovModel(alphabet, order, std::move(transitions));
+}
+
+StatusOr<MarkovModel> MarkovModel::Fit(const Sequence& example,
+                                       std::size_t order) {
+  if (example.size() < order + 1) {
+    return Status::InvalidArgument(
+        StrFormat("example sequence of length %zu is too short for order %zu",
+                  example.size(), order));
+  }
+  const std::size_t k = example.alphabet().size();
+  const std::size_t contexts = NumContexts(k, order);
+  // Laplace smoothing: every transition starts at weight 1.
+  std::vector<std::vector<double>> transitions(
+      contexts, std::vector<double>(k, 1.0));
+  std::size_t context = 0;
+  const std::size_t context_mod = contexts;
+  for (std::size_t i = 0; i < example.size(); ++i) {
+    if (i >= order) {
+      transitions[context][example[i]] += 1.0;
+    }
+    context = (context * k + example[i]) % context_mod;
+  }
+  return Create(example.alphabet(), order, std::move(transitions));
+}
+
+StatusOr<Sequence> MarkovModel::Generate(std::size_t length, Rng& rng) const {
+  const std::size_t k = alphabet_.size();
+  const std::size_t contexts = transitions_.size();
+  std::vector<Symbol> symbols;
+  symbols.reserve(length);
+  std::size_t context = static_cast<std::size_t>(rng.UniformInt(contexts));
+  for (std::size_t i = 0; i < length; ++i) {
+    Symbol next = static_cast<Symbol>(rng.Categorical(transitions_[context]));
+    symbols.push_back(next);
+    context = (context * k + next) % contexts;
+  }
+  return Sequence::FromSymbols(std::move(symbols), alphabet_);
+}
+
+}  // namespace pgm

@@ -1,0 +1,55 @@
+#ifndef PGM_DATAGEN_MARKOV_H_
+#define PGM_DATAGEN_MARKOV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "seq/sequence.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pgm {
+
+/// An order-k Markov chain over an alphabet, used to synthesize sequences
+/// whose local composition statistics mimic real genomes (the AX829174
+/// surrogate is an order-2 instance).
+class MarkovModel {
+ public:
+  /// Builds a model with explicit transition weights.
+  /// `transitions` has |Σ|^order rows (contexts, most recent symbol in the
+  /// lowest "digit") of |Σ| non-negative weights each; rows need not be
+  /// normalized but each must have a positive total.
+  static StatusOr<MarkovModel> Create(
+      const Alphabet& alphabet, std::size_t order,
+      std::vector<std::vector<double>> transitions);
+
+  /// Maximum-likelihood fit from an example sequence, with add-one
+  /// (Laplace) smoothing so every transition stays reachable.
+  /// Fails when the sequence is shorter than order + 1.
+  static StatusOr<MarkovModel> Fit(const Sequence& example, std::size_t order);
+
+  std::size_t order() const { return order_; }
+  const Alphabet& alphabet() const { return alphabet_; }
+
+  /// Transition weights for a context (row index as described in Create).
+  const std::vector<double>& TransitionRow(std::size_t context) const {
+    return transitions_[context];
+  }
+
+  /// Generates `length` symbols. The initial context is drawn uniformly.
+  StatusOr<Sequence> Generate(std::size_t length, Rng& rng) const;
+
+ private:
+  MarkovModel(const Alphabet& alphabet, std::size_t order,
+              std::vector<std::vector<double>> transitions)
+      : alphabet_(alphabet), order_(order), transitions_(std::move(transitions)) {}
+
+  Alphabet alphabet_;
+  std::size_t order_;
+  std::vector<std::vector<double>> transitions_;
+};
+
+}  // namespace pgm
+
+#endif  // PGM_DATAGEN_MARKOV_H_

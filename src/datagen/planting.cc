@@ -1,0 +1,125 @@
+#include "datagen/planting.h"
+
+#include "util/string_util.h"
+
+namespace pgm {
+
+StatusOr<Sequence> PlantTandemRun(const Sequence& base, std::string_view motif,
+                                  std::size_t start, std::size_t copies) {
+  if (motif.empty() || copies == 0) {
+    return Status::InvalidArgument("motif and copies must be non-empty");
+  }
+  const std::size_t run_length = motif.size() * copies;
+  if (start + run_length > base.size()) {
+    return Status::OutOfRange(
+        StrFormat("tandem run [%zu, %zu) overruns sequence of length %zu",
+                  start, start + run_length, base.size()));
+  }
+  std::vector<Symbol> encoded_motif;
+  encoded_motif.reserve(motif.size());
+  for (char c : motif) {
+    Symbol s = base.alphabet().Encode(c);
+    if (s == kInvalidSymbol) {
+      return Status::InvalidArgument(
+          StrFormat("motif character '%c' is not in the alphabet", c));
+    }
+    encoded_motif.push_back(s);
+  }
+  std::vector<Symbol> symbols = base.symbols();
+  for (std::size_t i = 0; i < run_length; ++i) {
+    symbols[start + i] = encoded_motif[i % encoded_motif.size()];
+  }
+  return Sequence::FromSymbols(std::move(symbols), base.alphabet());
+}
+
+StatusOr<Sequence> PlantNoisyTandemRun(const Sequence& base,
+                                       std::string_view motif,
+                                       std::size_t start, std::size_t copies,
+                                       double purity, Rng& rng) {
+  if (purity < 0.0 || purity > 1.0) {
+    return Status::InvalidArgument("purity must lie in [0, 1]");
+  }
+  PGM_ASSIGN_OR_RETURN(Sequence planted,
+                       PlantTandemRun(base, motif, start, copies));
+  if (purity >= 1.0) return planted;
+  std::vector<Symbol> symbols = planted.symbols();
+  const std::size_t run_length = motif.size() * copies;
+  for (std::size_t i = 0; i < run_length; ++i) {
+    if (!rng.Bernoulli(purity)) {
+      symbols[start + i] = base[start + i];
+    }
+  }
+  return Sequence::FromSymbols(std::move(symbols), base.alphabet());
+}
+
+StatusOr<Sequence> PlantCompositionalRegion(const Sequence& base,
+                                            std::size_t start,
+                                            std::size_t length,
+                                            const std::vector<double>& weights,
+                                            Rng& rng) {
+  if (length == 0) {
+    return Status::InvalidArgument("region length must be positive");
+  }
+  if (start + length > base.size()) {
+    return Status::OutOfRange(
+        StrFormat("region [%zu, %zu) overruns sequence of length %zu", start,
+                  start + length, base.size()));
+  }
+  if (weights.size() != base.alphabet().size()) {
+    return Status::InvalidArgument(
+        StrFormat("expected %zu weights (one per symbol), got %zu",
+                  base.alphabet().size(), weights.size()));
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("weights must be non-negative");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("at least one weight must be positive");
+  }
+  std::vector<Symbol> symbols = base.symbols();
+  for (std::size_t i = 0; i < length; ++i) {
+    symbols[start + i] = static_cast<Symbol>(rng.Categorical(weights));
+  }
+  return Sequence::FromSymbols(std::move(symbols), base.alphabet());
+}
+
+StatusOr<Sequence> PlantGappedOccurrences(
+    const Sequence& base, const Pattern& pattern, const GapRequirement& gap,
+    std::size_t num_occurrences, Rng& rng, std::vector<std::size_t>* anchors) {
+  if (pattern.empty()) {
+    return Status::InvalidArgument("pattern must not be empty");
+  }
+  if (!(pattern.alphabet() == base.alphabet())) {
+    return Status::InvalidArgument(
+        "pattern and sequence use different alphabets");
+  }
+  const std::int64_t max_span =
+      gap.MaxSpan(static_cast<std::int64_t>(pattern.length()));
+  if (max_span > static_cast<std::int64_t>(base.size())) {
+    return Status::OutOfRange(
+        StrFormat("pattern max span %lld exceeds sequence length %zu",
+                  static_cast<long long>(max_span), base.size()));
+  }
+  std::vector<Symbol> symbols = base.symbols();
+  const std::size_t max_anchor =
+      base.size() - static_cast<std::size_t>(max_span);
+  for (std::size_t occ = 0; occ < num_occurrences; ++occ) {
+    std::size_t pos =
+        static_cast<std::size_t>(rng.UniformInt(max_anchor + 1));
+    if (anchors != nullptr) anchors->push_back(pos);
+    symbols[pos] = pattern[0];
+    for (std::size_t j = 1; j < pattern.length(); ++j) {
+      pos += static_cast<std::size_t>(
+                 rng.UniformRange(gap.min_gap(), gap.max_gap())) +
+             1;
+      symbols[pos] = pattern[j];
+    }
+  }
+  return Sequence::FromSymbols(std::move(symbols), base.alphabet());
+}
+
+}  // namespace pgm

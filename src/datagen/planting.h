@@ -1,0 +1,67 @@
+#ifndef PGM_DATAGEN_PLANTING_H_
+#define PGM_DATAGEN_PLANTING_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "core/gap.h"
+#include "core/pattern.h"
+#include "seq/sequence.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pgm {
+
+/// Editing utilities that implant known structure into synthetic sequences.
+/// High support under the paper's model does not come from isolated exact
+/// occurrences (each contributes a single offset sequence) but from *dense*
+/// regions where many positions inside every gap window match — e.g. a
+/// poly-A run supports a combinatorially exploding number of offset
+/// sequences for A-only patterns. The planting functions therefore provide
+/// both flavors: tandem runs (density) and gapped occurrences (exactness).
+
+/// Overwrites base[start ...] with `copies` back-to-back copies of `motif`
+/// (a tandem repeat). Fails when the run would overrun the sequence or the
+/// motif has characters outside the alphabet.
+StatusOr<Sequence> PlantTandemRun(const Sequence& base, std::string_view motif,
+                                  std::size_t start, std::size_t copies);
+
+/// Like PlantTandemRun, but each run position receives the motif character
+/// only with probability `purity` (keeping the pre-existing character
+/// otherwise). Real repeats carry substitutions and phase shifts (the paper
+/// notes "the repeats are not error-free"); impurity also keeps the e_m
+/// statistic informative — a long *perfect* run drives e_m up to W^m, which
+/// degrades MPPm's n-estimate to the worst case.
+StatusOr<Sequence> PlantNoisyTandemRun(const Sequence& base,
+                                       std::string_view motif,
+                                       std::size_t start, std::size_t copies,
+                                       double purity, Rng& rng);
+
+/// Overwrites base[start, start+length) with characters drawn i.i.d. from
+/// `weights` (one non-negative weight per alphabet symbol). This models
+/// compositionally biased regions (e.g. an AT-rich isochore with A:0.55,
+/// T:0.35): unlike a near-pure tandem run, such a region gives biased
+/// patterns large combinatorial support while keeping K_r — and hence
+/// e_m — far below W^m, which is what makes MPPm's n-estimate effective
+/// on real genomes.
+StatusOr<Sequence> PlantCompositionalRegion(const Sequence& base,
+                                            std::size_t start,
+                                            std::size_t length,
+                                            const std::vector<double>& weights,
+                                            Rng& rng);
+
+/// Plants `num_occurrences` gapped occurrences of `pattern`: each picks a
+/// uniform anchor with room for the maximum span and writes the pattern's
+/// characters at positions separated by uniform gaps in [N, M]. Anchors of
+/// the occurrences are appended to `*anchors` when non-null.
+/// Fails when even the maximum span does not fit.
+StatusOr<Sequence> PlantGappedOccurrences(const Sequence& base,
+                                          const Pattern& pattern,
+                                          const GapRequirement& gap,
+                                          std::size_t num_occurrences, Rng& rng,
+                                          std::vector<std::size_t>* anchors = nullptr);
+
+}  // namespace pgm
+
+#endif  // PGM_DATAGEN_PLANTING_H_

@@ -1,0 +1,172 @@
+#include "datagen/presets.h"
+
+#include <string>
+#include <vector>
+
+#include "datagen/generators.h"
+#include "datagen/markov.h"
+#include "datagen/planting.h"
+#include "util/random.h"
+
+namespace pgm {
+
+namespace {
+
+/// Plants a family of tandem runs along the whole sequence: starting near
+/// `first`, one run roughly every `spacing` positions, cycling through
+/// `motifs`, each run `min_run_length` to `min_run_length + length_jitter`
+/// characters long (rounded down to whole motif copies).
+StatusOr<Sequence> ScatterRuns(Sequence sequence,
+                               const std::vector<std::string>& motifs,
+                               std::size_t first, std::size_t spacing,
+                               std::size_t min_run_length,
+                               std::size_t length_jitter, double purity,
+                               Rng& rng) {
+  std::size_t pos = first;
+  std::size_t motif_index = 0;
+  while (true) {
+    const std::string& motif = motifs[motif_index % motifs.size()];
+    const std::size_t target_length =
+        min_run_length +
+        (length_jitter > 0
+             ? static_cast<std::size_t>(rng.UniformInt(length_jitter + 1))
+             : 0);
+    const std::size_t copies = std::max<std::size_t>(1, target_length / motif.size());
+    if (pos + copies * motif.size() > sequence.size()) break;
+    PGM_ASSIGN_OR_RETURN(sequence, PlantNoisyTandemRun(sequence, motif, pos,
+                                                        copies, purity, rng));
+    ++motif_index;
+    const std::size_t jitter =
+        spacing / 4 > 0 ? static_cast<std::size_t>(rng.UniformInt(spacing / 4))
+                        : 0;
+    pos += spacing + jitter;
+  }
+  return sequence;
+}
+
+/// Order-1 Markov model over DNA with the given stationary-ish base weights
+/// and a mild same-base persistence boost (real genomes are locally sticky).
+StatusOr<MarkovModel> StickyDnaModel(const std::vector<double>& base_weights,
+                                     double persistence_boost) {
+  std::vector<std::vector<double>> transitions;
+  for (std::size_t prev = 0; prev < 4; ++prev) {
+    std::vector<double> row = base_weights;
+    row[prev] *= persistence_boost;
+    transitions.push_back(std::move(row));
+  }
+  return MarkovModel::Create(Alphabet::Dna(), 1, std::move(transitions));
+}
+
+}  // namespace
+
+StatusOr<Sequence> MakeAx829174Surrogate() {
+  // Fixed seed: the surrogate is one specific deterministic sequence, just
+  // as AX829174 is one specific database entry.
+  Rng rng(0x20050311ULL);
+  PGM_ASSIGN_OR_RETURN(MarkovModel model,
+                       StickyDnaModel({0.29, 0.21, 0.21, 0.29}, 1.5));
+  PGM_ASSIGN_OR_RETURN(Sequence sequence, model.Generate(10'011, rng));
+
+  // AT-rich mixed regions of ~130 bp roughly every 650-810 bp, alternating
+  // A-dominant (A:0.62, T:0.30) and T-dominant. Calibrated so that under
+  // the Section 6 parameters (gap [9,12], ρs = 0.003%) the longest
+  // frequent patterns have length ~13 (the paper's no(ρs)), while K_r
+  // inside a region stays near (W*0.62)^m << W^m, keeping e_m informative
+  // (W^10/e_10 ≈ 30-40) — dense *mixed* composition, not pure runs, is
+  // what real AT-rich human fragments look like.
+  const std::size_t region_length = 130;
+  std::size_t pos = 250;
+  int index = 0;
+  while (pos + region_length < sequence.size()) {
+    const double a = (index % 2 == 0) ? 0.62 : 0.30;
+    const double t = 0.92 - a;
+    PGM_ASSIGN_OR_RETURN(
+        sequence, PlantCompositionalRegion(sequence, pos, region_length,
+                                           {a, 0.04, 0.04, t}, rng));
+    pos += 650 + static_cast<std::size_t>(rng.UniformInt(160));
+    ++index;
+  }
+  return sequence;
+}
+
+StatusOr<Sequence> MakeBacteriaLikeGenome(std::size_t length,
+                                          std::uint64_t seed) {
+  Rng rng(seed ^ 0xBAC7E61AULL);
+  // ~64% A+T (H. influenzae-like). Compositionally this alone makes
+  // AT-only length-8 patterns frequent at the Section 7 parameters
+  // (0.32^8 ≈ 1.1e-4 >> ρs = 6e-5) while >=2-C/G patterns are not
+  // (0.32^6 * 0.18^2 ≈ 3.5e-5 < 6e-5).
+  PGM_ASSIGN_OR_RETURN(
+      Sequence sequence,
+      WeightedRandomSequence(length, Alphabet::Dna(), {0.32, 0.18, 0.18, 0.32},
+                             rng));
+  // A/T runs of 106-112 bp every ~2 kb: long enough that length-10
+  // patterns (minspan(10) = 100 under gap [10,12]) draw combinatorially
+  // large support from inside a run, short enough that length-11+ support
+  // (which must step outside the run) falls below the threshold — the
+  // paper's "longest pattern was 10 bases".
+  const std::vector<std::string> motifs = {"A",  "T",  "AT",  "AAT",
+                                           "TA", "ATT", "TTA", "T"};
+  return ScatterRuns(std::move(sequence), motifs, /*first=*/900,
+                     /*spacing=*/1'900, /*min_run_length=*/104,
+                     /*length_jitter=*/4, /*purity=*/0.90, rng);
+}
+
+StatusOr<Sequence> MakeEukaryoteLikeGenome(std::size_t length,
+                                           std::uint64_t seed) {
+  Rng rng(seed ^ 0xE0CA2707ULL);
+  // 60% A+T: AT-only length-8 patterns are borderline (0.30^8 ≈ 6.6e-5 vs
+  // ρs = 6e-5) — frequent in some fragments, echoing the paper's weaker
+  // eukaryote claim.
+  PGM_ASSIGN_OR_RETURN(
+      Sequence sequence,
+      WeightedRandomSequence(length, Alphabet::Dna(), {0.30, 0.20, 0.20, 0.30},
+                             rng));
+  // Sparser A/T runs than bacteria.
+  const std::vector<std::string> at_motifs = {"A", "AT", "T", "TAA"};
+  PGM_ASSIGN_OR_RETURN(
+      sequence, ScatterRuns(std::move(sequence), at_motifs, /*first=*/1'500,
+                            /*spacing=*/3'200, /*min_run_length=*/104,
+                            /*length_jitter=*/4, /*purity=*/0.90, rng));
+  // Medium G tracts every ~16 kb: poly-G length-8 becomes frequent in most
+  // fragments ("many of which consist of more C's and G's").
+  PGM_ASSIGN_OR_RETURN(
+      sequence, ScatterRuns(std::move(sequence), {"G"}, /*first=*/5'000,
+                            /*spacing=*/16'000, /*min_run_length=*/118,
+                            /*length_jitter=*/10, /*purity=*/0.92, rng));
+  // One very long G tract every ~150 kb (planted last so nothing overwrites
+  // it): hosts the paper's frequent 16-G / 17-G patterns and nothing
+  // longer. 195 bp (calibrated empirically) gives a length-17 pattern
+  // (minspan 176) just enough span slack to clear the support threshold
+  // while length-18 falls short.
+  return ScatterRuns(std::move(sequence), {"G"}, /*first=*/52'000,
+                     /*spacing=*/150'000, /*min_run_length=*/195,
+                     /*length_jitter=*/0, /*purity=*/0.95, rng);
+}
+
+StatusOr<Sequence> MakeWormLikeGenome(std::size_t length, std::uint64_t seed) {
+  Rng rng(seed ^ 0xCE1E6A25ULL);
+  PGM_ASSIGN_OR_RETURN(
+      Sequence sequence,
+      WeightedRandomSequence(length, Alphabet::Dna(), {0.32, 0.18, 0.18, 0.32},
+                             rng));
+  // Standard A/T runs.
+  const std::vector<std::string> at_motifs = {"A", "T", "AAT", "AT"};
+  PGM_ASSIGN_OR_RETURN(
+      sequence, ScatterRuns(std::move(sequence), at_motifs, /*first=*/1'200,
+                            /*spacing=*/2'400, /*min_run_length=*/104,
+                            /*length_jitter=*/4, /*purity=*/0.90, rng));
+  // C. elegans is microsatellite-rich: huge (AT)n expansions (make the
+  // self-repeating ATATATATATA patterns frequent) ...
+  PGM_ASSIGN_OR_RETURN(
+      sequence, ScatterRuns(std::move(sequence), {"AT", "TA"}, /*first=*/4'000,
+                            /*spacing=*/11'000, /*min_run_length=*/430,
+                            /*length_jitter=*/40, /*purity=*/0.94, rng));
+  // ... and (GTA)n expansions (the paper's GTAGTAGTAGT; see EXPERIMENTS.md
+  // for the support analysis of period-3 repeats under an 11-12 bp gap).
+  return ScatterRuns(std::move(sequence), {"GTA", "TAG"}, /*first=*/7'500,
+                     /*spacing=*/13'000, /*min_run_length=*/420,
+                     /*length_jitter=*/30, /*purity=*/0.94, rng);
+}
+
+}  // namespace pgm

@@ -1,0 +1,45 @@
+#ifndef PGM_DATAGEN_PRESETS_H_
+#define PGM_DATAGEN_PRESETS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "seq/sequence.h"
+#include "util/status.h"
+
+namespace pgm {
+
+/// Synthetic genome presets — the documented substitutes for the paper's
+/// proprietary-download inputs (see DESIGN.md §3). Each preset is fully
+/// deterministic given its seed and plants the compositional periodicities
+/// that drive the paper's qualitative findings.
+
+/// Surrogate for the NCBI entry AX829174 (Homo sapiens, 10,011 bp) used in
+/// all Section 6 experiments. Sticky order-1 Markov base with human-like
+/// composition, plus AT-rich mixed regions (~130 bp, A:0.62/T:0.30) like
+/// the ones that make long A/T periodic patterns frequent in real human
+/// fragments while keeping e_m informative. Always 10,011 characters;
+/// deterministic (fixed seed).
+StatusOr<Sequence> MakeAx829174Surrogate();
+
+/// Bacteria-like genome (H. influenzae / H. pylori / M. genitalium /
+/// M. pneumoniae stand-in): AT-rich composition (~66% A+T) with scattered
+/// short A/T runs. Under the Section 7 parameters (gap [10,12],
+/// ρs = 0.006%) essentially all 256 AT-only length-8 patterns come out
+/// frequent while C/G-bearing patterns do not — the paper's core finding.
+StatusOr<Sequence> MakeBacteriaLikeGenome(std::size_t length,
+                                          std::uint64_t seed);
+
+/// Eukaryote-like genome (H. sapiens / D. melanogaster stand-in): more
+/// balanced composition, A/T runs plus long G tracts, so poly-G patterns
+/// (up to the paper's "16 G's" observation) additionally become frequent.
+StatusOr<Sequence> MakeEukaryoteLikeGenome(std::size_t length,
+                                           std::uint64_t seed);
+
+/// Worm-like genome (C. elegans stand-in): adds GTA-repeat microsatellites,
+/// reproducing the paper's "GTAGTAGTAGT"-style self-repeating patterns.
+StatusOr<Sequence> MakeWormLikeGenome(std::size_t length, std::uint64_t seed);
+
+}  // namespace pgm
+
+#endif  // PGM_DATAGEN_PRESETS_H_

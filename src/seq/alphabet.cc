@@ -1,0 +1,59 @@
+#include "seq/alphabet.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace pgm {
+
+StatusOr<Alphabet> Alphabet::Create(std::string_view symbols,
+                                    bool case_insensitive) {
+  if (symbols.empty()) {
+    return Status::InvalidArgument("alphabet must not be empty");
+  }
+  if (symbols.size() > 128) {
+    return Status::InvalidArgument("alphabet too large (max 128 symbols)");
+  }
+  Alphabet alphabet;
+  alphabet.case_insensitive_ = case_insensitive;
+  for (char c : symbols) {
+    if (!std::isprint(static_cast<unsigned char>(c)) ||
+        std::isspace(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument(
+          "alphabet characters must be printable and non-space");
+    }
+    if (c == '.') {
+      return Status::InvalidArgument(
+          "'.' is reserved for the wildcard and cannot be an alphabet symbol");
+    }
+    char canonical = case_insensitive
+                         ? static_cast<char>(std::toupper(
+                               static_cast<unsigned char>(c)))
+                         : c;
+    if (alphabet.Contains(canonical)) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate alphabet character '%c'", canonical));
+    }
+    Symbol index = static_cast<Symbol>(alphabet.symbols_.size());
+    alphabet.symbols_.push_back(canonical);
+    alphabet.encode_[static_cast<unsigned char>(canonical)] = index;
+    if (case_insensitive) {
+      char lower =
+          static_cast<char>(std::tolower(static_cast<unsigned char>(canonical)));
+      alphabet.encode_[static_cast<unsigned char>(lower)] = index;
+    }
+  }
+  return alphabet;
+}
+
+const Alphabet& Alphabet::Dna() {
+  static const Alphabet& instance = *new Alphabet(*Create("ACGT"));
+  return instance;
+}
+
+const Alphabet& Alphabet::Protein() {
+  static const Alphabet& instance = *new Alphabet(*Create("ACDEFGHIKLMNPQRSTVWY"));
+  return instance;
+}
+
+}  // namespace pgm

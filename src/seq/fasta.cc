@@ -1,0 +1,115 @@
+#include "seq/fasta.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace pgm {
+
+StatusOr<std::vector<FastaRecord>> ParseFasta(const std::string& text) {
+  std::vector<FastaRecord> records;
+  bool saw_header = false;
+  std::size_t line_number = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    std::string_view line = Trim(raw_line);
+    if (line.empty() || line[0] == ';') continue;  // blank or comment
+    if (line[0] == '>') {
+      saw_header = true;
+      FastaRecord record;
+      std::string_view header = line.substr(1);
+      std::size_t space = header.find_first_of(" \t");
+      if (space == std::string_view::npos) {
+        record.id = std::string(header);
+      } else {
+        record.id = std::string(header.substr(0, space));
+        record.description = std::string(Trim(header.substr(space + 1)));
+      }
+      if (record.id.empty()) {
+        return Status::Corruption(
+            StrFormat("empty FASTA record id at line %zu", line_number));
+      }
+      records.push_back(std::move(record));
+      continue;
+    }
+    if (!saw_header) {
+      return Status::Corruption(StrFormat(
+          "residue data before the first '>' header at line %zu", line_number));
+    }
+    for (char c : line) {
+      if (std::isspace(static_cast<unsigned char>(c))) continue;
+      records.back().residues.push_back(c);
+    }
+  }
+  for (const FastaRecord& record : records) {
+    if (record.residues.empty()) {
+      return Status::Corruption("FASTA record '" + record.id +
+                                "' has no residues");
+    }
+  }
+  return records;
+}
+
+StatusOr<std::vector<FastaRecord>> ReadFastaFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open FASTA file: " + path);
+  }
+  std::string contents;
+  char buffer[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents.append(buffer, n);
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::IoError("error while reading FASTA file: " + path);
+  }
+  return ParseFasta(contents);
+}
+
+Sequence RecordToSequence(const FastaRecord& record, const Alphabet& alphabet,
+                          std::size_t* num_dropped) {
+  return Sequence::FromStringLossy(record.residues, alphabet, num_dropped);
+}
+
+std::string WriteFasta(const std::vector<FastaRecord>& records,
+                       std::size_t line_width) {
+  if (line_width == 0) line_width = 70;
+  std::string out;
+  for (const FastaRecord& record : records) {
+    out += '>';
+    out += record.id;
+    if (!record.description.empty()) {
+      out += ' ';
+      out += record.description;
+    }
+    out += '\n';
+    for (std::size_t i = 0; i < record.residues.size(); i += line_width) {
+      out.append(record.residues, i,
+                 std::min(line_width, record.residues.size() - i));
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+Status WriteFastaFile(const std::string& path,
+                      const std::vector<FastaRecord>& records,
+                      std::size_t line_width) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  std::string doc = WriteFasta(records, line_width);
+  std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  if (written != doc.size()) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace pgm

@@ -1,0 +1,46 @@
+#ifndef PGM_SEQ_FASTA_H_
+#define PGM_SEQ_FASTA_H_
+
+#include <string>
+#include <vector>
+
+#include "seq/sequence.h"
+#include "util/status.h"
+
+namespace pgm {
+
+/// One record of a FASTA file.
+struct FastaRecord {
+  /// Text after '>' up to the first whitespace.
+  std::string id;
+  /// Remainder of the header line (may be empty).
+  std::string description;
+  /// Raw residue characters with line breaks and blanks removed.
+  std::string residues;
+};
+
+/// Parses FASTA-formatted `text`. Returns Corruption when residue data
+/// precedes the first header or a record is empty.
+StatusOr<std::vector<FastaRecord>> ParseFasta(const std::string& text);
+
+/// Reads and parses a FASTA file from disk.
+StatusOr<std::vector<FastaRecord>> ReadFastaFile(const std::string& path);
+
+/// Encodes a record over `alphabet`, dropping characters outside the
+/// alphabet (ambiguity codes such as 'N'). `*num_dropped` reports how many
+/// were dropped when non-null.
+Sequence RecordToSequence(const FastaRecord& record, const Alphabet& alphabet,
+                          std::size_t* num_dropped = nullptr);
+
+/// Serializes records to FASTA text with lines wrapped at `line_width`.
+std::string WriteFasta(const std::vector<FastaRecord>& records,
+                       std::size_t line_width = 70);
+
+/// Writes WriteFasta(records) to `path`.
+Status WriteFastaFile(const std::string& path,
+                      const std::vector<FastaRecord>& records,
+                      std::size_t line_width = 70);
+
+}  // namespace pgm
+
+#endif  // PGM_SEQ_FASTA_H_

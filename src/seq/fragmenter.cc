@@ -1,0 +1,41 @@
+#include "seq/fragmenter.h"
+
+#include "util/string_util.h"
+
+namespace pgm {
+
+StatusOr<std::vector<Sequence>> Fragment(const Sequence& sequence,
+                                         const FragmenterOptions& options) {
+  if (options.fragment_length == 0) {
+    return Status::InvalidArgument("fragment_length must be positive");
+  }
+  std::vector<Sequence> fragments;
+  std::size_t start = 0;
+  while (start + options.fragment_length <= sequence.size()) {
+    fragments.push_back(sequence.Subsequence(start, options.fragment_length));
+    start += options.fragment_length;
+  }
+  if (options.keep_tail && start < sequence.size()) {
+    fragments.push_back(
+        sequence.Subsequence(start, sequence.size() - start));
+  }
+  return fragments;
+}
+
+StatusOr<Sequence> RandomSegment(const Sequence& sequence, std::size_t length,
+                                 Rng& rng) {
+  if (length == 0) {
+    return Status::InvalidArgument("segment length must be positive");
+  }
+  if (length > sequence.size()) {
+    return Status::InvalidArgument(
+        StrFormat("segment length %zu exceeds sequence length %zu", length,
+                  sequence.size()));
+  }
+  std::size_t max_start = sequence.size() - length;
+  std::size_t start =
+      static_cast<std::size_t>(rng.UniformInt(static_cast<std::uint64_t>(max_start) + 1));
+  return sequence.Subsequence(start, length);
+}
+
+}  // namespace pgm

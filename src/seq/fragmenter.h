@@ -1,0 +1,37 @@
+#ifndef PGM_SEQ_FRAGMENTER_H_
+#define PGM_SEQ_FRAGMENTER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "seq/sequence.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pgm {
+
+/// Cuts a long sequence into consecutive fragments, mirroring the paper's
+/// Section 7 methodology ("we segmented the genomes into short fragments of
+/// 100 kilo-bases").
+struct FragmenterOptions {
+  /// Fragment length in characters.
+  std::size_t fragment_length = 100'000;
+  /// When false, a final fragment shorter than fragment_length is dropped
+  /// (the paper mines fixed-size windows); when true it is kept.
+  bool keep_tail = false;
+};
+
+/// Splits `sequence` into fragments. Returns InvalidArgument when
+/// fragment_length is 0.
+StatusOr<std::vector<Sequence>> Fragment(const Sequence& sequence,
+                                         const FragmenterOptions& options);
+
+/// Picks a uniformly random length-L window of `sequence` (the Section 6
+/// methodology: "we randomly pick a length-L segment from AX829174").
+/// Returns InvalidArgument when L == 0 or L > sequence length.
+StatusOr<Sequence> RandomSegment(const Sequence& sequence, std::size_t length,
+                                 Rng& rng);
+
+}  // namespace pgm
+
+#endif  // PGM_SEQ_FRAGMENTER_H_

@@ -1,0 +1,78 @@
+#include "seq/sequence.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace pgm {
+
+StatusOr<Sequence> Sequence::FromString(std::string_view text,
+                                        const Alphabet& alphabet) {
+  std::vector<Symbol> symbols;
+  symbols.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    Symbol s = alphabet.Encode(text[i]);
+    if (s == kInvalidSymbol) {
+      return Status::InvalidArgument(
+          StrFormat("character '%c' at position %zu is not in the alphabet",
+                    text[i], i));
+    }
+    symbols.push_back(s);
+  }
+  return Sequence(std::move(symbols), alphabet);
+}
+
+Sequence Sequence::FromStringLossy(std::string_view text,
+                                   const Alphabet& alphabet,
+                                   std::size_t* num_dropped) {
+  std::vector<Symbol> symbols;
+  symbols.reserve(text.size());
+  std::size_t dropped = 0;
+  for (char c : text) {
+    Symbol s = alphabet.Encode(c);
+    if (s == kInvalidSymbol) {
+      ++dropped;
+    } else {
+      symbols.push_back(s);
+    }
+  }
+  if (num_dropped != nullptr) *num_dropped = dropped;
+  return Sequence(std::move(symbols), alphabet);
+}
+
+StatusOr<Sequence> Sequence::FromSymbols(std::vector<Symbol> symbols,
+                                         const Alphabet& alphabet) {
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    if (symbols[i] >= alphabet.size()) {
+      return Status::InvalidArgument(
+          StrFormat("symbol %u at position %zu is out of range for an "
+                    "alphabet of size %zu",
+                    symbols[i], i, alphabet.size()));
+    }
+  }
+  return Sequence(std::move(symbols), alphabet);
+}
+
+std::string Sequence::ToString() const {
+  std::string out;
+  out.reserve(symbols_.size());
+  for (Symbol s : symbols_) out.push_back(alphabet_.CharAt(s));
+  return out;
+}
+
+Sequence Sequence::Subsequence(std::size_t start, std::size_t length) const {
+  if (start >= symbols_.size()) {
+    return Sequence(std::vector<Symbol>(), alphabet_);
+  }
+  std::size_t end = std::min(symbols_.size(), start + length);
+  return Sequence(
+      std::vector<Symbol>(symbols_.begin() + start, symbols_.begin() + end),
+      alphabet_);
+}
+
+Sequence Sequence::Reversed() const {
+  std::vector<Symbol> reversed(symbols_.rbegin(), symbols_.rend());
+  return Sequence(std::move(reversed), alphabet_);
+}
+
+}  // namespace pgm

@@ -1,0 +1,77 @@
+#ifndef PGM_SEQ_SEQUENCE_H_
+#define PGM_SEQ_SEQUENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "seq/alphabet.h"
+#include "util/status.h"
+
+namespace pgm {
+
+/// A subject sequence: an immutable, alphabet-encoded character string.
+///
+/// Positions are 0-based throughout the library (the paper uses 1-based
+/// indexing; the translation is purely notational). The miners operate on
+/// the encoded symbol array, never on raw characters.
+///
+/// The alphabet is stored by value (it is ~280 bytes), so a Sequence is
+/// self-contained and safe to copy or return from factories.
+class Sequence {
+ public:
+  /// Encodes `text` over `alphabet`. Fails with InvalidArgument on the first
+  /// character outside the alphabet (reporting its 0-based position).
+  static StatusOr<Sequence> FromString(std::string_view text,
+                                       const Alphabet& alphabet);
+
+  /// Like FromString but characters outside the alphabet are dropped
+  /// (useful for genome files with 'N' ambiguity codes). Reports the number
+  /// of dropped characters via `*num_dropped` when non-null.
+  static Sequence FromStringLossy(std::string_view text,
+                                  const Alphabet& alphabet,
+                                  std::size_t* num_dropped = nullptr);
+
+  /// Builds directly from encoded symbols (all must be < alphabet.size()).
+  static StatusOr<Sequence> FromSymbols(std::vector<Symbol> symbols,
+                                        const Alphabet& alphabet);
+
+  Sequence(const Sequence&) = default;
+  Sequence& operator=(const Sequence&) = default;
+  Sequence(Sequence&&) = default;
+  Sequence& operator=(Sequence&&) = default;
+
+  /// Length L of the sequence.
+  std::size_t size() const { return symbols_.size(); }
+  bool empty() const { return symbols_.empty(); }
+
+  /// Encoded symbol at 0-based position `i`.
+  Symbol operator[](std::size_t i) const { return symbols_[i]; }
+
+  const std::vector<Symbol>& symbols() const { return symbols_; }
+  const Alphabet& alphabet() const { return alphabet_; }
+
+  /// Character at 0-based position `i`.
+  char CharAt(std::size_t i) const { return alphabet_.CharAt(symbols_[i]); }
+
+  /// Decodes back to a character string.
+  std::string ToString() const;
+
+  /// The subsequence [start, start+length), clamped to the sequence end.
+  Sequence Subsequence(std::size_t start, std::size_t length) const;
+
+  /// The reversed sequence (used for suffix-side Theorem 2 bounds).
+  Sequence Reversed() const;
+
+ private:
+  Sequence(std::vector<Symbol> symbols, Alphabet alphabet)
+      : symbols_(std::move(symbols)), alphabet_(std::move(alphabet)) {}
+
+  std::vector<Symbol> symbols_;
+  Alphabet alphabet_;
+};
+
+}  // namespace pgm
+
+#endif  // PGM_SEQ_SEQUENCE_H_

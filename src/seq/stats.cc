@@ -1,0 +1,67 @@
+#include "seq/stats.h"
+
+#include <cmath>
+
+namespace pgm {
+
+CompositionStats ComputeComposition(const Sequence& sequence) {
+  CompositionStats stats;
+  stats.counts.assign(sequence.alphabet().size(), 0);
+  stats.frequencies.assign(sequence.alphabet().size(), 0.0);
+  for (Symbol s : sequence.symbols()) {
+    ++stats.counts[s];
+  }
+  stats.total = sequence.size();
+  if (stats.total > 0) {
+    for (std::size_t i = 0; i < stats.counts.size(); ++i) {
+      stats.frequencies[i] =
+          static_cast<double>(stats.counts[i]) / static_cast<double>(stats.total);
+    }
+  }
+  return stats;
+}
+
+StatusOr<double> GcContent(const Sequence& sequence) {
+  const Alphabet& alphabet = sequence.alphabet();
+  Symbol g = alphabet.Encode('G');
+  Symbol c = alphabet.Encode('C');
+  if (g == kInvalidSymbol || c == kInvalidSymbol) {
+    return Status::FailedPrecondition(
+        "GC content requires an alphabet containing 'G' and 'C'");
+  }
+  if (sequence.empty()) return 0.0;
+  std::uint64_t gc = 0;
+  for (Symbol s : sequence.symbols()) {
+    if (s == g || s == c) ++gc;
+  }
+  return static_cast<double>(gc) / static_cast<double>(sequence.size());
+}
+
+StatusOr<std::map<std::string, std::uint64_t>> CountKmers(
+    const Sequence& sequence, std::size_t k) {
+  if (k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  std::map<std::string, std::uint64_t> counts;
+  if (k > sequence.size()) return counts;
+  std::string window;
+  window.reserve(k);
+  for (std::size_t i = 0; i + k <= sequence.size(); ++i) {
+    window.clear();
+    for (std::size_t j = 0; j < k; ++j) window.push_back(sequence.CharAt(i + j));
+    ++counts[window];
+  }
+  return counts;
+}
+
+double CompositionEntropy(const Sequence& sequence) {
+  if (sequence.empty()) return 0.0;
+  CompositionStats stats = ComputeComposition(sequence);
+  double entropy = 0.0;
+  for (double p : stats.frequencies) {
+    if (p > 0.0) entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+}  // namespace pgm

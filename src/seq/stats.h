@@ -1,0 +1,41 @@
+#ifndef PGM_SEQ_STATS_H_
+#define PGM_SEQ_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.h"
+#include "util/status.h"
+
+namespace pgm {
+
+/// Per-symbol composition of a sequence.
+struct CompositionStats {
+  /// counts[s] = occurrences of symbol s; parallel to the alphabet order.
+  std::vector<std::uint64_t> counts;
+  /// frequencies[s] = counts[s] / L (all zero for an empty sequence).
+  std::vector<double> frequencies;
+  std::uint64_t total = 0;
+};
+
+/// Counts every symbol of `sequence`.
+CompositionStats ComputeComposition(const Sequence& sequence);
+
+/// GC content for DNA sequences: (count(G)+count(C)) / L. Returns
+/// FailedPrecondition when the alphabet lacks 'G' or 'C'.
+StatusOr<double> GcContent(const Sequence& sequence);
+
+/// Counts all length-k contiguous substrings. Keys are decoded strings.
+/// Returns InvalidArgument for k == 0 and an empty map when k > L.
+StatusOr<std::map<std::string, std::uint64_t>> CountKmers(
+    const Sequence& sequence, std::size_t k);
+
+/// Shannon entropy (bits per symbol) of the composition; 0 for sequences of
+/// length < 1.
+double CompositionEntropy(const Sequence& sequence);
+
+}  // namespace pgm
+
+#endif  // PGM_SEQ_STATS_H_

@@ -1,0 +1,102 @@
+#include "util/csv_reader.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace pgm {
+
+StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  std::size_t line = 1;
+
+  auto end_field = [&]() {
+    if (!field_was_quoted && !field.empty() && field.back() == '\r') {
+      field.pop_back();
+    }
+    row.push_back(std::move(field));
+    field.clear();
+    field_was_quoted = false;
+  };
+  auto end_row = [&]() {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;  // escaped quote
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        if (c == '\n') ++line;
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) {
+          return Status::Corruption(
+              StrFormat("line %zu: quote inside unquoted field", line));
+        }
+        in_quotes = true;
+        field_was_quoted = true;
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\n':
+        end_row();
+        ++line;
+        break;
+      default:
+        if (field_was_quoted && c != '\r') {
+          return Status::Corruption(
+              StrFormat("line %zu: characters after closing quote", line));
+        }
+        field.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    return Status::Corruption("unterminated quoted field at end of input");
+  }
+  // Final row without trailing newline.
+  if (!field.empty() || field_was_quoted || !row.empty()) {
+    end_row();
+  }
+  return rows;
+}
+
+StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open CSV file: " + path);
+  }
+  std::string contents;
+  char buffer[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents.append(buffer, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::IoError("error while reading CSV file: " + path);
+  }
+  return ParseCsv(contents);
+}
+
+}  // namespace pgm

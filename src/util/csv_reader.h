@@ -1,0 +1,25 @@
+#ifndef PGM_UTIL_CSV_READER_H_
+#define PGM_UTIL_CSV_READER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pgm {
+
+/// Parses RFC-4180-style CSV text (the dialect CsvWriter emits): comma
+/// separators, double-quote quoting with "" escapes, rows split on '\n'
+/// (a trailing '\r' per field is stripped for CRLF files). Returns the
+/// rows including the header. Fails with Corruption on unbalanced quotes
+/// or characters trailing a closing quote.
+StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text);
+
+/// Reads and parses a CSV file from disk.
+StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+}  // namespace pgm
+
+#endif  // PGM_UTIL_CSV_READER_H_

@@ -1,0 +1,108 @@
+#include "util/flags.h"
+
+#include "util/string_util.h"
+
+namespace pgm {
+
+FlagSet::FlagSet(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void FlagSet::AddInt64(const std::string& name, std::int64_t* value,
+                       const std::string& help) {
+  flags_[name] = Flag{Type::kInt64, value, help, std::to_string(*value)};
+}
+
+void FlagSet::AddDouble(const std::string& name, double* value,
+                        const std::string& help) {
+  flags_[name] = Flag{Type::kDouble, value, help, StrFormat("%g", *value)};
+}
+
+void FlagSet::AddString(const std::string& name, std::string* value,
+                        const std::string& help) {
+  flags_[name] = Flag{Type::kString, value, help, *value};
+}
+
+void FlagSet::AddBool(const std::string& name, bool* value,
+                      const std::string& help) {
+  flags_[name] = Flag{Type::kBool, value, help, *value ? "true" : "false"};
+}
+
+Status FlagSet::SetFlag(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name + "\n" + Usage());
+  }
+  Flag& flag = it->second;
+  switch (flag.type) {
+    case Type::kInt64: {
+      PGM_ASSIGN_OR_RETURN(*static_cast<std::int64_t*>(flag.target),
+                           ParseInt64(value));
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      PGM_ASSIGN_OR_RETURN(*static_cast<double*>(flag.target),
+                           ParseDouble(value));
+      return Status::OK();
+    }
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return Status::OK();
+    case Type::kBool: {
+      std::string lower = ToLower(value);
+      if (lower == "true" || lower == "1" || lower.empty()) {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (lower == "false" || lower == "0") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return Status::InvalidArgument("bad boolean value for --" + name +
+                                       ": '" + value + "'");
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable flag type");
+}
+
+Status FlagSet::Parse(int argc, char** argv) {
+  if (argc > 0) program_name_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      return Status::NotFound(Usage());
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_args_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      PGM_RETURN_IF_ERROR(SetFlag(body.substr(0, eq), body.substr(eq + 1)));
+      continue;
+    }
+    auto it = flags_.find(body);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + body + "\n" + Usage());
+    }
+    if (it->second.type == Type::kBool) {
+      PGM_RETURN_IF_ERROR(SetFlag(body, "true"));
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag --" + body + " requires a value");
+    }
+    PGM_RETURN_IF_ERROR(SetFlag(body, argv[++i]));
+  }
+  return Status::OK();
+}
+
+std::string FlagSet::Usage() const {
+  std::string out = description_ + "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out += StrFormat("  --%-24s %s (default: %s)\n", name.c_str(),
+                     flag.help.c_str(), flag.default_repr.c_str());
+  }
+  return out;
+}
+
+}  // namespace pgm

@@ -1,0 +1,60 @@
+#ifndef PGM_UTIL_FLAGS_H_
+#define PGM_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pgm {
+
+/// Minimal command-line flag parser for the example and benchmark binaries.
+/// Supports `--name=value`, `--name value`, and bare `--bool_flag`.
+/// Unknown flags are an error; positional arguments are collected.
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_description);
+
+  /// Registration. The pointed-to variables hold the defaults and receive
+  /// the parsed values. Pointers must outlive Parse().
+  void AddInt64(const std::string& name, std::int64_t* value,
+                const std::string& help);
+  void AddDouble(const std::string& name, double* value,
+                 const std::string& help);
+  void AddString(const std::string& name, std::string* value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* value, const std::string& help);
+
+  /// Parses argv. On `--help` returns a NotFound status whose message is the
+  /// usage text (callers print it and exit 0).
+  Status Parse(int argc, char** argv);
+
+  const std::vector<std::string>& positional_args() const {
+    return positional_args_;
+  }
+
+  /// Usage text listing all registered flags with defaults.
+  std::string Usage() const;
+
+ private:
+  enum class Type { kInt64, kDouble, kString, kBool };
+  struct Flag {
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  Status SetFlag(const std::string& name, const std::string& value);
+
+  std::string description_;
+  std::string program_name_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_args_;
+};
+
+}  // namespace pgm
+
+#endif  // PGM_UTIL_FLAGS_H_

@@ -1,0 +1,45 @@
+#ifndef PGM_UTIL_LOGGING_H_
+#define PGM_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pgm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace pgm
+
+#define PGM_LOG(level)                                          \
+  ::pgm::internal_logging::LogMessage(::pgm::LogLevel::level,   \
+                                      __FILE__, __LINE__)
+
+#endif  // PGM_UTIL_LOGGING_H_

@@ -1,0 +1,89 @@
+#include "util/random.h"
+
+#include <cassert>
+
+namespace pgm {
+
+namespace {
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's method: multiply-shift with rejection to remove modulo bias.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::UniformRange(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range [lo, hi] where hi-lo wraps; that
+  // cannot happen for int64 inputs with lo <= hi unless the span is 2^64,
+  // which requires lo == INT64_MIN and hi == INT64_MAX.
+  if (span == 0) return static_cast<std::int64_t>(Next());
+  return lo + static_cast<std::int64_t>(UniformInt(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 top bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+std::size_t Rng::Categorical(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) return weights.size() - 1;
+  double target = UniformDouble() * total;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cumulative += (weights[i] > 0.0 ? weights[i] : 0.0);
+    if (target < cumulative) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace pgm

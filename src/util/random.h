@@ -1,0 +1,45 @@
+#ifndef PGM_UTIL_RANDOM_H_
+#define PGM_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pgm {
+
+/// Deterministic, seedable PRNG (xoshiro256++ seeded through SplitMix64).
+/// All data generators take an explicit Rng so every experiment in the
+/// benchmark harness is exactly reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// unbiased multiply-shift rejection method.
+  std::uint64_t UniformInt(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformRange(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Samples an index according to non-negative `weights` (need not be
+  /// normalized). Returns weights.size() - 1 if all weights are zero.
+  std::size_t Categorical(const std::vector<double>& weights);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// SplitMix64 step; exposed for seeding utilities and tests.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+}  // namespace pgm
+
+#endif  // PGM_UTIL_RANDOM_H_

@@ -1,0 +1,36 @@
+#ifndef PGM_UTIL_SATURATING_H_
+#define PGM_UTIL_SATURATING_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace pgm {
+
+/// Support counts can in degenerate inputs (e.g. a homopolymer sequence with
+/// a wide gap requirement) exceed 2^64: sup(P) is bounded only by
+/// N_l <= L * W^(l-1). All support arithmetic therefore saturates at
+/// kSaturatedCount instead of silently wrapping; a saturated count is
+/// reported as such by the miners.
+inline constexpr std::uint64_t kSaturatedCount =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// Returns a + b, clamped to kSaturatedCount on overflow.
+inline std::uint64_t SatAdd(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t result = 0;
+  if (__builtin_add_overflow(a, b, &result)) return kSaturatedCount;
+  return result;
+}
+
+/// Returns a * b, clamped to kSaturatedCount on overflow.
+inline std::uint64_t SatMul(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t result = 0;
+  if (__builtin_mul_overflow(a, b, &result)) return kSaturatedCount;
+  return result;
+}
+
+/// True iff `count` hit the saturation clamp.
+inline bool IsSaturated(std::uint64_t count) { return count == kSaturatedCount; }
+
+}  // namespace pgm
+
+#endif  // PGM_UTIL_SATURATING_H_

@@ -1,0 +1,158 @@
+#ifndef PGM_UTIL_STATUS_H_
+#define PGM_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace pgm {
+
+/// Canonical error codes, modeled after the usual database-engine set
+/// (RocksDB's Status / Arrow's Status / absl::StatusCode).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kIoError = 5,
+  kCorruption = 6,
+  kUnimplemented = 7,
+  kResourceExhausted = 8,
+  kInternal = 9,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error result used throughout the library instead
+/// of exceptions. Library code never throws; fallible operations return
+/// `Status` (or `StatusOr<T>` when they produce a value).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type `T` or an error `Status`. Accessing the value of a
+/// non-OK StatusOr is a programming error (asserted in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value or from an error Status keeps call
+  /// sites terse (`return 42;` / `return Status::InvalidArgument(...)`).
+  StatusOr(T value) : value_(std::move(value)) {}             // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {      // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when holding an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define PGM_RETURN_IF_ERROR(expr)           \
+  do {                                      \
+    ::pgm::Status pgm_status_ = (expr);     \
+    if (!pgm_status_.ok()) return pgm_status_; \
+  } while (false)
+
+#define PGM_STATUS_CONCAT_INNER_(x, y) x##y
+#define PGM_STATUS_CONCAT_(x, y) PGM_STATUS_CONCAT_INNER_(x, y)
+
+/// Evaluates `rexpr` (a StatusOr<T>), propagating a non-OK status; otherwise
+/// move-assigns the value into `lhs` (which may include a declaration).
+#define PGM_ASSIGN_OR_RETURN(lhs, rexpr)                               \
+  auto PGM_STATUS_CONCAT_(pgm_statusor_, __LINE__) = (rexpr);          \
+  if (!PGM_STATUS_CONCAT_(pgm_statusor_, __LINE__).ok())               \
+    return PGM_STATUS_CONCAT_(pgm_statusor_, __LINE__).status();       \
+  lhs = std::move(PGM_STATUS_CONCAT_(pgm_statusor_, __LINE__)).value()
+
+}  // namespace pgm
+
+#endif  // PGM_UTIL_STATUS_H_

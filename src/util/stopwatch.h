@@ -1,0 +1,37 @@
+#ifndef PGM_UTIL_STOPWATCH_H_
+#define PGM_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace pgm {
+
+/// Monotonic wall-clock stopwatch used by the mining algorithms and the
+/// benchmark harness.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in whole microseconds.
+  std::int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pgm
+
+#endif  // PGM_UTIL_STOPWATCH_H_

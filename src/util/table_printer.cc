@@ -1,0 +1,86 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace pgm {
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::Add(
+    std::string_view value) {
+  cells_.emplace_back(value);
+  return *this;
+}
+
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::Add(double value) {
+  cells_.push_back(StrFormat("%.4g", value));
+  return *this;
+}
+
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::Add(std::int64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::Add(std::uint64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+void TablePrinter::RowBuilder::Done() { printer_->AddRow(std::move(cells_)); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    widths[i] = columns_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i].size() > widths[i]) widths[i] = row[i].size();
+    }
+  }
+
+  auto border = [&]() {
+    std::string line = "+";
+    for (std::size_t w : widths) {
+      line.append(w + 2, '-');
+      line += '+';
+    }
+    line += '\n';
+    return line;
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      line += ' ';
+      line += cell;
+      line.append(widths[i] - cell.size() + 1, ' ');
+      line += '|';
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = border();
+  out += render_row(columns_);
+  out += border();
+  for (const auto& row : rows_) out += render_row(row);
+  out += border();
+  return out;
+}
+
+void TablePrinter::Print() const {
+  std::string rendered = ToString();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+}
+
+}  // namespace pgm

@@ -1,0 +1,49 @@
+#ifndef PGM_UTIL_TABLE_PRINTER_H_
+#define PGM_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pgm {
+
+/// Renders rows as an aligned, boxed ASCII table. The benchmark harness uses
+/// it to print the paper's tables and figure series in a readable form.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  /// Appends a row. Short rows are padded with empty cells; long rows are
+  /// truncated to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Row builder mirrors CsvWriter's for symmetric harness code.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(TablePrinter* printer) : printer_(printer) {}
+    RowBuilder& Add(std::string_view value);
+    RowBuilder& Add(double value);
+    RowBuilder& Add(std::int64_t value);
+    RowBuilder& Add(std::uint64_t value);
+    void Done();
+
+   private:
+    TablePrinter* printer_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder Row() { return RowBuilder(this); }
+
+  /// Rendered table with +---+ borders.
+  std::string ToString() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pgm
+
+#endif  // PGM_UTIL_TABLE_PRINTER_H_

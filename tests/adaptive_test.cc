@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/miner.h"
+#include "datagen/generators.h"
+#include "datagen/planting.h"
+#include "util/random.h"
+
+namespace pgm {
+namespace {
+
+MinerConfig BaseConfig() {
+  MinerConfig config;
+  config.min_gap = 1;
+  config.max_gap = 3;
+  config.min_support_ratio = 0.01;
+  config.start_length = 1;
+  config.initial_n = 2;
+  return config;
+}
+
+TEST(AdaptiveTest, FindsSameSetAsWorstCaseMpp) {
+  for (std::uint64_t seed : {101u, 102u, 103u}) {
+    Rng rng(seed);
+    Sequence s = *UniformRandomSequence(120, Alphabet::Dna(), rng);
+    MinerConfig config = BaseConfig();
+    MiningResult adaptive = *MineAdaptive(s, config);
+    MinerConfig worst = config;
+    worst.user_n = -1;
+    MiningResult mpp = *MineMpp(s, worst);
+    ASSERT_EQ(adaptive.patterns.size(), mpp.patterns.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < adaptive.patterns.size(); ++i) {
+      EXPECT_TRUE(adaptive.patterns[i].pattern == mpp.patterns[i].pattern);
+      EXPECT_EQ(adaptive.patterns[i].support, mpp.patterns[i].support);
+    }
+  }
+}
+
+TEST(AdaptiveTest, IterationCountRecorded) {
+  Rng rng(111);
+  Sequence s = *UniformRandomSequence(80, Alphabet::Dna(), rng);
+  MiningResult result = *MineAdaptive(s, BaseConfig());
+  EXPECT_GE(result.adaptive_iterations, 1);
+  EXPECT_LE(result.adaptive_iterations, 16);
+}
+
+TEST(AdaptiveTest, RefinesUpwardOnDenseData) {
+  // A planted homopolymer run makes patterns longer than initial_n
+  // frequent, so at least one refinement round is needed.
+  Rng rng(121);
+  Sequence s = *UniformRandomSequence(150, Alphabet::Dna(), rng);
+  s = *PlantNoisyTandemRun(s, "A", 30, 70, 1.0, rng);
+  MinerConfig config = BaseConfig();
+  config.initial_n = 2;
+  config.min_support_ratio = 0.0005;
+  MiningResult result = *MineAdaptive(s, config);
+  EXPECT_GT(result.longest_frequent_length, 2);
+  EXPECT_GT(result.adaptive_iterations, 1);
+  // The final n covers everything found.
+  EXPECT_GE(result.n_used, result.longest_frequent_length);
+}
+
+TEST(AdaptiveTest, StableWhenInitialNAlreadyCovers) {
+  Rng rng(131);
+  Sequence s = *UniformRandomSequence(60, Alphabet::Dna(), rng);
+  MinerConfig config = BaseConfig();
+  config.initial_n = 30;  // will clamp to l1 and cover everything
+  MiningResult result = *MineAdaptive(s, config);
+  EXPECT_EQ(result.adaptive_iterations, 1);
+}
+
+TEST(AdaptiveTest, RespectsMaxIterations) {
+  Rng rng(141);
+  Sequence s = *UniformRandomSequence(100, Alphabet::Dna(), rng);
+  MinerConfig config = BaseConfig();
+  config.max_iterations = 1;
+  MiningResult result = *MineAdaptive(s, config);
+  EXPECT_EQ(result.adaptive_iterations, 1);
+}
+
+}  // namespace
+}  // namespace pgm

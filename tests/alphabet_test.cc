@@ -1,0 +1,99 @@
+#include "seq/alphabet.h"
+
+#include <gtest/gtest.h>
+
+namespace pgm {
+namespace {
+
+TEST(AlphabetTest, DnaHasFourSymbolsInOrder) {
+  const Alphabet& dna = Alphabet::Dna();
+  EXPECT_EQ(dna.size(), 4u);
+  EXPECT_EQ(dna.symbols(), "ACGT");
+  EXPECT_EQ(dna.CharAt(0), 'A');
+  EXPECT_EQ(dna.CharAt(3), 'T');
+}
+
+TEST(AlphabetTest, ProteinHasTwentySymbols) {
+  const Alphabet& protein = Alphabet::Protein();
+  EXPECT_EQ(protein.size(), 20u);
+  EXPECT_TRUE(protein.Contains('W'));
+  EXPECT_FALSE(protein.Contains('B'));  // not a standard amino acid
+  EXPECT_FALSE(protein.Contains('Z'));
+}
+
+TEST(AlphabetTest, EncodeDecodeRoundTrip) {
+  const Alphabet& dna = Alphabet::Dna();
+  for (char c : std::string("ACGT")) {
+    Symbol s = dna.Encode(c);
+    ASSERT_NE(s, kInvalidSymbol);
+    EXPECT_EQ(dna.CharAt(s), c);
+  }
+}
+
+TEST(AlphabetTest, CaseInsensitiveByDefault) {
+  const Alphabet& dna = Alphabet::Dna();
+  EXPECT_EQ(dna.Encode('a'), dna.Encode('A'));
+  EXPECT_EQ(dna.Encode('t'), dna.Encode('T'));
+  EXPECT_TRUE(dna.Contains('g'));
+}
+
+TEST(AlphabetTest, CaseSensitiveWhenRequested) {
+  StatusOr<Alphabet> result = Alphabet::Create("AC", /*case_insensitive=*/false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->Contains('A'));
+  EXPECT_FALSE(result->Contains('a'));
+}
+
+TEST(AlphabetTest, CaseSensitiveAllowsBothCasesAsDistinctSymbols) {
+  StatusOr<Alphabet> result = Alphabet::Create("Aa", /*case_insensitive=*/false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->Encode('A'), result->Encode('a'));
+}
+
+TEST(AlphabetTest, InvalidCharactersEncodeToSentinel) {
+  const Alphabet& dna = Alphabet::Dna();
+  EXPECT_EQ(dna.Encode('N'), kInvalidSymbol);
+  EXPECT_EQ(dna.Encode(' '), kInvalidSymbol);
+  EXPECT_EQ(dna.Encode('\0'), kInvalidSymbol);
+}
+
+TEST(AlphabetTest, RejectsEmpty) {
+  EXPECT_FALSE(Alphabet::Create("").ok());
+}
+
+TEST(AlphabetTest, RejectsDuplicates) {
+  EXPECT_FALSE(Alphabet::Create("AA").ok());
+  // Case-insensitive: 'a' collides with 'A'.
+  EXPECT_FALSE(Alphabet::Create("Aa").ok());
+}
+
+TEST(AlphabetTest, RejectsWildcardDot) {
+  EXPECT_FALSE(Alphabet::Create("AC.").ok());
+}
+
+TEST(AlphabetTest, RejectsWhitespaceAndNonPrintable) {
+  EXPECT_FALSE(Alphabet::Create("A C").ok());
+  EXPECT_FALSE(Alphabet::Create(std::string_view("A\tC", 3)).ok());
+  EXPECT_FALSE(Alphabet::Create(std::string_view("A\x01", 2)).ok());
+}
+
+TEST(AlphabetTest, CustomBinaryAlphabet) {
+  StatusOr<Alphabet> result = Alphabet::Create("01");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+  EXPECT_EQ(result->Encode('0'), 0);
+  EXPECT_EQ(result->Encode('1'), 1);
+}
+
+TEST(AlphabetTest, EqualityComparesSymbolsAndCaseMode) {
+  Alphabet a = *Alphabet::Create("AC");
+  Alphabet b = *Alphabet::Create("AC");
+  Alphabet c = *Alphabet::Create("AG");
+  Alphabet d = *Alphabet::Create("AC", /*case_insensitive=*/false);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+}  // namespace
+}  // namespace pgm

@@ -1,0 +1,278 @@
+#include "cli/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "seq/fasta.h"
+
+namespace pgm::cli {
+namespace {
+
+TEST(CliInputTest, RawDna) {
+  StatusOr<Sequence> s = LoadInput("raw:ACGT");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->ToString(), "ACGT");
+  EXPECT_EQ(s->alphabet().size(), 4u);
+}
+
+TEST(CliInputTest, RawProteinSuffix) {
+  StatusOr<Sequence> s = LoadInput("raw:LWLW@protein");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->alphabet().size(), 20u);
+  EXPECT_EQ(s->ToString(), "LWLW");
+}
+
+TEST(CliInputTest, RawRejectsBadCharacters) {
+  EXPECT_FALSE(LoadInput("raw:ACGTN").ok());
+}
+
+TEST(CliInputTest, MissingKindIsError) {
+  EXPECT_FALSE(LoadInput("ACGT").ok());
+  EXPECT_FALSE(LoadInput("raw:").ok());
+  EXPECT_FALSE(LoadInput("bogus:x").ok());
+}
+
+TEST(CliInputTest, Presets) {
+  StatusOr<Sequence> surrogate = LoadInput("preset:ax829174");
+  ASSERT_TRUE(surrogate.ok());
+  EXPECT_EQ(surrogate->size(), 10'011u);
+
+  StatusOr<Sequence> bacteria = LoadInput("preset:bacteria:5000:3");
+  ASSERT_TRUE(bacteria.ok());
+  EXPECT_EQ(bacteria->size(), 5000u);
+
+  EXPECT_FALSE(LoadInput("preset:unknown").ok());
+  EXPECT_FALSE(LoadInput("preset:bacteria:-5").ok());
+  EXPECT_FALSE(LoadInput("preset:bacteria:10:2:9").ok());
+}
+
+TEST(CliInputTest, PresetDeterministicPerSpec) {
+  Sequence a = *LoadInput("preset:worm:4000:9");
+  Sequence b = *LoadInput("preset:worm:4000:9");
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+TEST(CliInputTest, FastaFileWithRecordSelection) {
+  const std::string path = testing::TempDir() + "/cli_test.fa";
+  ASSERT_TRUE(WriteFastaFile(path, {{"one", "", "ACGT"},
+                                    {"two", "", "TTTT"}})
+                  .ok());
+  StatusOr<Sequence> first = LoadInput("fasta:" + path);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->ToString(), "ACGT");
+  StatusOr<Sequence> second = LoadInput("fasta:" + path + "#two");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->ToString(), "TTTT");
+  EXPECT_FALSE(LoadInput("fasta:" + path + "#three").ok());
+  std::remove(path.c_str());
+}
+
+TEST(CliInputTest, TextFileDropsNonAlphabet) {
+  const std::string path = testing::TempDir() + "/cli_test.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("AC GT\nNN-acgt\n", f);
+  std::fclose(f);
+  StatusOr<Sequence> s = LoadInput("text:" + path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->ToString(), "ACGTACGT");
+}
+
+TEST(CliRunTest, HelpReturnsZeroWithUsage) {
+  std::string output;
+  EXPECT_EQ(RunFromString("pgm help", &output), 0);
+  EXPECT_NE(output.find("mine"), std::string::npos);
+  EXPECT_NE(output.find("tandem"), std::string::npos);
+}
+
+TEST(CliRunTest, NoArgsShowsUsageWithError) {
+  std::string output;
+  EXPECT_EQ(RunFromString("pgm", &output), 2);
+  EXPECT_NE(output.find("Usage"), std::string::npos);
+}
+
+TEST(CliRunTest, UnknownCommand) {
+  std::string output;
+  EXPECT_EQ(RunFromString("pgm frobnicate", &output), 2);
+  EXPECT_NE(output.find("unknown command"), std::string::npos);
+}
+
+TEST(CliRunTest, MineOnRawSequence) {
+  std::string output;
+  const int code = RunFromString(
+      "pgm mine --input raw:ACGTACGTACGTACGTACGTACGTACGTACGT "
+      "--min-gap 1 --max-gap 3 --rho-percent 1 --start-length 2 --top 5",
+      &output);
+  EXPECT_EQ(code, 0) << output;
+  EXPECT_NE(output.find("frequent patterns"), std::string::npos);
+  EXPECT_NE(output.find("pattern"), std::string::npos);
+}
+
+TEST(CliRunTest, MineRequiresInput) {
+  std::string output;
+  EXPECT_EQ(RunFromString("pgm mine --min-gap 1 --max-gap 2", &output), 1);
+  EXPECT_NE(output.find("--input is required"), std::string::npos);
+}
+
+TEST(CliRunTest, MineRejectsUnknownAlgorithm) {
+  std::string output;
+  EXPECT_EQ(RunFromString(
+                "pgm mine --input raw:ACGT --algorithm quantum --min-gap 0 "
+                "--max-gap 1 --rho-percent 1",
+                &output),
+            1);
+  EXPECT_NE(output.find("unknown --algorithm"), std::string::npos);
+}
+
+TEST(CliRunTest, MineWritesCsv) {
+  const std::string path = testing::TempDir() + "/cli_mine.csv";
+  std::string output;
+  const int code = RunFromString(
+      "pgm mine --input raw:ACGTACGTACGTACGTACGTACGT --min-gap 1 --max-gap 2 "
+      "--rho-percent 1 --start-length 1 --csv " + path,
+      &output);
+  EXPECT_EQ(code, 0) << output;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char header[64] = {};
+  ASSERT_NE(std::fgets(header, sizeof(header), f), nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(header), "pattern,length,support,ratio,saturated\n");
+}
+
+TEST(CliRunTest, AllAlgorithmsAgreeOnPatternCount) {
+  auto count_patterns = [](const std::string& algorithm) {
+    std::string output;
+    const int code = RunFromString(
+        "pgm mine --input raw:AACCGGTTAACCGGTTAACCGGTTAACCGGTT --min-gap 0 "
+        "--max-gap 2 --rho-percent 2 --start-length 1 --algorithm " +
+            algorithm,
+        &output);
+    EXPECT_EQ(code, 0) << output;
+    const std::size_t pos = output.find(" frequent patterns");
+    EXPECT_NE(pos, std::string::npos);
+    std::size_t start = output.rfind('\n', pos);
+    start = (start == std::string::npos) ? 0 : start + 1;
+    return output.substr(start, pos - start);
+  };
+  const std::string mppm = count_patterns("mppm");
+  EXPECT_EQ(count_patterns("mpp"), mppm);
+  EXPECT_EQ(count_patterns("adaptive"), mppm);
+}
+
+TEST(CliRunTest, MineWithLiftRanking) {
+  std::string output;
+  const int code = RunFromString(
+      "pgm mine --input preset:bacteria:4000:2 --min-gap 1 --max-gap 3 "
+      "--rho-percent 0.5 --start-length 2 --top 5 --lift",
+      &output);
+  EXPECT_EQ(code, 0) << output;
+  EXPECT_NE(output.find("compositional lift"), std::string::npos);
+  EXPECT_NE(output.find("expected (composition)"), std::string::npos);
+}
+
+TEST(CliRunTest, EmCommand) {
+  std::string output;
+  const int code = RunFromString(
+      "pgm em --input raw:ACGTCCGT --min-gap 1 --max-gap 2 --m 2", &output);
+  EXPECT_EQ(code, 0) << output;
+  EXPECT_NE(output.find("e_m = 2"), std::string::npos);  // the paper's value
+}
+
+TEST(CliRunTest, ScanCommand) {
+  std::string output;
+  const int code = RunFromString(
+      "pgm scan --input preset:bacteria:4000:5 --pairs AA,AT "
+      "--max-distance 12",
+      &output);
+  EXPECT_EQ(code, 0) << output;
+  EXPECT_NE(output.find("corr_AA(p)"), std::string::npos);
+  EXPECT_NE(output.find("corr_AT(p)"), std::string::npos);
+  EXPECT_NE(output.find("peaks:"), std::string::npos);
+}
+
+TEST(CliRunTest, ScanRejectsBadPair) {
+  std::string output;
+  EXPECT_EQ(RunFromString(
+                "pgm scan --input raw:ACGTACGT --pairs AAT --max-distance 3",
+                &output),
+            1);
+}
+
+TEST(CliRunTest, TandemCommand) {
+  std::string output;
+  const int code = RunFromString(
+      "pgm tandem --input raw:GGATATATATATCC --max-period 3 --min-copies 3 "
+      "--min-length 6",
+      &output);
+  EXPECT_EQ(code, 0) << output;
+  EXPECT_NE(output.find("AT"), std::string::npos);
+}
+
+TEST(CliRunTest, GenerateRoundTripsThroughFastaInput) {
+  const std::string path = testing::TempDir() + "/cli_gen.fa";
+  std::string output;
+  const int code = RunFromString(
+      "pgm generate --preset bacteria --length 3000 --seed 11 --output " +
+          path,
+      &output);
+  EXPECT_EQ(code, 0) << output;
+  StatusOr<Sequence> loaded = LoadInput("fasta:" + path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 3000u);
+  // Must equal the preset generated directly.
+  Sequence direct = *LoadInput("preset:bacteria:3000:11");
+  EXPECT_EQ(loaded->ToString(), direct.ToString());
+}
+
+TEST(CliRunTest, GenerateRequiresOutput) {
+  std::string output;
+  EXPECT_EQ(RunFromString("pgm generate --preset bacteria", &output), 1);
+}
+
+TEST(CliRunTest, CompareCommand) {
+  // Mine two inputs to CSV, then compare them.
+  const std::string path_a = testing::TempDir() + "/cmp_a.csv";
+  const std::string path_b = testing::TempDir() + "/cmp_b.csv";
+  std::string output;
+  ASSERT_EQ(RunFromString("pgm mine --input preset:bacteria:3000:1 --min-gap 1 "
+                          "--max-gap 3 --rho-percent 1 --start-length 2 "
+                          "--top 1 --csv " + path_a,
+                          &output),
+            0)
+      << output;
+  output.clear();
+  ASSERT_EQ(RunFromString("pgm mine --input preset:eukaryote:3000:1 --min-gap 1 "
+                          "--max-gap 3 --rho-percent 1 --start-length 2 "
+                          "--top 1 --csv " + path_b,
+                          &output),
+            0)
+      << output;
+  output.clear();
+  const int code =
+      RunFromString("pgm compare " + path_a + " " + path_b, &output);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+  EXPECT_EQ(code, 0) << output;
+  EXPECT_NE(output.find("common to all"), std::string::npos);
+  EXPECT_NE(output.find("Jaccard similarity"), std::string::npos);
+}
+
+TEST(CliRunTest, CompareRequiresTwoFiles) {
+  std::string output;
+  EXPECT_EQ(RunFromString("pgm compare /tmp/only_one.csv", &output), 1);
+  EXPECT_NE(output.find("at least two"), std::string::npos);
+}
+
+TEST(CliRunTest, SubcommandHelpReturnsZero) {
+  std::string output;
+  EXPECT_EQ(RunFromString("pgm mine --help", &output), 0);
+  EXPECT_NE(output.find("rho-percent"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pgm::cli

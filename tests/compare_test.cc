@@ -1,0 +1,72 @@
+#include "analysis/compare.h"
+
+#include <gtest/gtest.h>
+
+namespace pgm {
+namespace {
+
+FrequentPattern Fp(const char* shorthand) {
+  FrequentPattern fp;
+  fp.pattern = *Pattern::Parse(shorthand, Alphabet::Dna());
+  fp.support = 1;
+  return fp;
+}
+
+std::vector<std::string> Shorthands(const std::vector<Pattern>& patterns) {
+  std::vector<std::string> out;
+  for (const Pattern& p : patterns) out.push_back(p.ToShorthand());
+  return out;
+}
+
+TEST(CompareTest, RequiresTwoSets) {
+  EXPECT_FALSE(ComparePatternSets({}).ok());
+  EXPECT_FALSE(ComparePatternSets({{"solo", {Fp("AT")}}}).ok());
+}
+
+TEST(CompareTest, CommonAndUnique) {
+  NamedPatternSet a{"a", {Fp("AT"), Fp("GG"), Fp("CA")}};
+  NamedPatternSet b{"b", {Fp("AT"), Fp("GG"), Fp("TT")}};
+  NamedPatternSet c{"c", {Fp("AT"), Fp("CC"), Fp("CA")}};
+  std::vector<SetComparison> result = *ComparePatternSets({a, b, c});
+  ASSERT_EQ(result.size(), 3u);
+
+  // AT is in all three; GG is shared a&b only; CA shared a&c only.
+  EXPECT_EQ(Shorthands(result[0].common), (std::vector<std::string>{"AT"}));
+  EXPECT_TRUE(result[0].unique.empty());
+  EXPECT_EQ(result[0].total, 3u);
+
+  EXPECT_EQ(Shorthands(result[1].common), (std::vector<std::string>{"AT"}));
+  EXPECT_EQ(Shorthands(result[1].unique), (std::vector<std::string>{"TT"}));
+
+  EXPECT_EQ(Shorthands(result[2].unique), (std::vector<std::string>{"CC"}));
+}
+
+TEST(CompareTest, DisjointSets) {
+  NamedPatternSet a{"a", {Fp("AA")}};
+  NamedPatternSet b{"b", {Fp("TT")}};
+  std::vector<SetComparison> result = *ComparePatternSets({a, b});
+  EXPECT_TRUE(result[0].common.empty());
+  EXPECT_EQ(Shorthands(result[0].unique), (std::vector<std::string>{"AA"}));
+  EXPECT_EQ(Shorthands(result[1].unique), (std::vector<std::string>{"TT"}));
+}
+
+TEST(CompareTest, DuplicateEntriesCountOnce) {
+  NamedPatternSet a{"a", {Fp("AT"), Fp("AT")}};
+  NamedPatternSet b{"b", {Fp("AT")}};
+  std::vector<SetComparison> result = *ComparePatternSets({a, b});
+  EXPECT_EQ(result[0].total, 1u);
+  EXPECT_EQ(result[0].common.size(), 1u);
+}
+
+TEST(JaccardTest, Values) {
+  std::vector<FrequentPattern> a = {Fp("AA"), Fp("AT"), Fp("GG")};
+  std::vector<FrequentPattern> b = {Fp("AT"), Fp("GG"), Fp("CC")};
+  // |∩| = 2, |∪| = 4.
+  EXPECT_DOUBLE_EQ(PatternSetJaccard(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(PatternSetJaccard(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(PatternSetJaccard(a, {}), 0.0);
+  EXPECT_DOUBLE_EQ(PatternSetJaccard({}, {}), 1.0);
+}
+
+}  // namespace
+}  // namespace pgm

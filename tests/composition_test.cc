@@ -1,0 +1,93 @@
+#include "analysis/composition.h"
+
+#include <gtest/gtest.h>
+
+namespace pgm {
+namespace {
+
+Pattern Dna(const char* shorthand) {
+  return *Pattern::Parse(shorthand, Alphabet::Dna());
+}
+
+TEST(CountCgTest, CountsOnlyCAndG) {
+  EXPECT_EQ(*CountCg(Dna("ATAT")), 0);
+  EXPECT_EQ(*CountCg(Dna("ACGT")), 2);
+  EXPECT_EQ(*CountCg(Dna("GGGG")), 4);
+  EXPECT_EQ(*CountCg(Dna("A")), 0);
+  EXPECT_EQ(*CountCg(Dna("C")), 1);
+}
+
+TEST(CountCgTest, FailsWithoutCgInAlphabet) {
+  Alphabet binary = *Alphabet::Create("01");
+  Pattern p = *Pattern::Parse("0101", binary);
+  EXPECT_FALSE(CountCg(p).ok());
+}
+
+TEST(ClassifyTest, Buckets) {
+  EXPECT_EQ(*ClassifyDnaPattern(Dna("ATTA")), DnaPatternClass::kAtOnly);
+  EXPECT_EQ(*ClassifyDnaPattern(Dna("ATCA")), DnaPatternClass::kSingleCg);
+  EXPECT_EQ(*ClassifyDnaPattern(Dna("ATGG")), DnaPatternClass::kMultiCg);
+  EXPECT_EQ(*ClassifyDnaPattern(Dna("CG")), DnaPatternClass::kMultiCg);
+}
+
+TEST(BucketTest, CountsByLength) {
+  MiningResult result;
+  auto add = [&result](const char* shorthand) {
+    FrequentPattern fp;
+    fp.pattern = Dna(shorthand);
+    result.patterns.push_back(fp);
+  };
+  add("ATAT");
+  add("TTTT");
+  add("ACTT");
+  add("CGAT");
+  add("AT");  // different length: ignored for length-4 buckets
+  LengthClassCounts counts = *BucketFrequentPatterns(result, 4);
+  EXPECT_EQ(counts.length, 4);
+  EXPECT_EQ(counts.at_only, 2u);
+  EXPECT_EQ(counts.single_cg, 1u);
+  EXPECT_EQ(counts.multi_cg, 1u);
+  EXPECT_EQ(counts.total(), 4u);
+}
+
+TEST(BucketTest, EmptyResult) {
+  MiningResult result;
+  LengthClassCounts counts = *BucketFrequentPatterns(result, 8);
+  EXPECT_EQ(counts.total(), 0u);
+}
+
+TEST(SelfRepeatingTest, DetectsUnitRepeats) {
+  EXPECT_TRUE(IsSelfRepeating(Dna("ATATATATATA")));   // unit AT (paper)
+  EXPECT_TRUE(IsSelfRepeating(Dna("GTAGTAGTAGT")));   // unit GTA (paper)
+  EXPECT_TRUE(IsSelfRepeating(Dna("AAAA")));          // unit A
+  EXPECT_TRUE(IsSelfRepeating(Dna("ACAC")));
+  EXPECT_TRUE(IsSelfRepeating(Dna("ACGACG")));
+}
+
+TEST(SelfRepeatingTest, RejectsNonRepeats) {
+  EXPECT_FALSE(IsSelfRepeating(Dna("ACGT")));
+  EXPECT_FALSE(IsSelfRepeating(Dna("AATAT")));
+  EXPECT_FALSE(IsSelfRepeating(Dna("A")));   // no second copy
+  EXPECT_FALSE(IsSelfRepeating(Dna("AC")));  // unit would be the whole
+}
+
+TEST(SelfRepeatingTest, PartialLastCopyCounts) {
+  // ATATA = AT AT A — every position matches one unit back, and the unit
+  // fits at least twice.
+  EXPECT_TRUE(IsSelfRepeating(Dna("ATATA")));
+  // ACGAC has only 1 2/3 copies of ACG: not a self-repeat (the unit must
+  // repeat fully at least twice).
+  EXPECT_FALSE(IsSelfRepeating(Dna("ACGAC")));
+  EXPECT_TRUE(IsSelfRepeating(Dna("ACGACGAC")));
+}
+
+TEST(HomopolymerTest, Detects) {
+  EXPECT_TRUE(IsHomopolymer(Dna("GGGG"), 'G'));
+  EXPECT_TRUE(IsHomopolymer(Dna("G"), 'G'));
+  EXPECT_FALSE(IsHomopolymer(Dna("GGGG"), 'A'));
+  EXPECT_FALSE(IsHomopolymer(Dna("GGAG"), 'G'));
+  EXPECT_FALSE(IsHomopolymer(Dna("AAAA"), 'N'));  // not in alphabet
+}
+
+}  // namespace
+}  // namespace pgm

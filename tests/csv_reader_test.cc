@@ -1,0 +1,86 @@
+#include "util/csv_reader.h"
+
+#include <gtest/gtest.h>
+
+#include "util/csv_writer.h"
+
+namespace pgm {
+namespace {
+
+using Rows = std::vector<std::vector<std::string>>;
+
+TEST(CsvReaderTest, SimpleRows) {
+  Rows rows = *ParseCsv("a,b\n1,2\n3,4\n");
+  EXPECT_EQ(rows, (Rows{{"a", "b"}, {"1", "2"}, {"3", "4"}}));
+}
+
+TEST(CsvReaderTest, MissingTrailingNewline) {
+  Rows rows = *ParseCsv("a,b\n1,2");
+  EXPECT_EQ(rows, (Rows{{"a", "b"}, {"1", "2"}}));
+}
+
+TEST(CsvReaderTest, EmptyInput) {
+  EXPECT_TRUE(ParseCsv("")->empty());
+}
+
+TEST(CsvReaderTest, EmptyFields) {
+  Rows rows = *ParseCsv(",\na,,c\n");
+  EXPECT_EQ(rows, (Rows{{"", ""}, {"a", "", "c"}}));
+}
+
+TEST(CsvReaderTest, QuotedFields) {
+  Rows rows = *ParseCsv("\"a,b\",\"say \"\"hi\"\"\"\n");
+  EXPECT_EQ(rows, (Rows{{"a,b", "say \"hi\""}}));
+}
+
+TEST(CsvReaderTest, QuotedNewlines) {
+  Rows rows = *ParseCsv("\"line1\nline2\",x\n");
+  EXPECT_EQ(rows, (Rows{{"line1\nline2", "x"}}));
+}
+
+TEST(CsvReaderTest, CrlfLineEndings) {
+  Rows rows = *ParseCsv("a,b\r\n1,2\r\n");
+  EXPECT_EQ(rows, (Rows{{"a", "b"}, {"1", "2"}}));
+}
+
+TEST(CsvReaderTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsv("\"abc\n").ok());
+}
+
+TEST(CsvReaderTest, RejectsQuoteInsideUnquotedField) {
+  EXPECT_FALSE(ParseCsv("ab\"c,d\n").ok());
+}
+
+TEST(CsvReaderTest, RejectsTextAfterClosingQuote) {
+  EXPECT_FALSE(ParseCsv("\"ab\"c,d\n").ok());
+}
+
+TEST(CsvReaderTest, RoundTripsWriterOutput) {
+  CsvWriter writer({"name", "value", "notes"});
+  ASSERT_TRUE(writer.AddRow({"plain", "1", "simple"}).ok());
+  ASSERT_TRUE(writer.AddRow({"comma,field", "2", "quote \"this\""}).ok());
+  ASSERT_TRUE(writer.AddRow({"multi\nline", "3", ""}).ok());
+  Rows rows = *ParseCsv(writer.ToString());
+  EXPECT_EQ(rows,
+            (Rows{{"name", "value", "notes"},
+                  {"plain", "1", "simple"},
+                  {"comma,field", "2", "quote \"this\""},
+                  {"multi\nline", "3", ""}}));
+}
+
+TEST(CsvReaderTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadCsvFile("/nonexistent-dir-xyz/x.csv").ok());
+}
+
+TEST(CsvReaderTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/csv_reader_test.csv";
+  CsvWriter writer({"k"});
+  ASSERT_TRUE(writer.AddRow({"v1"}).ok());
+  ASSERT_TRUE(writer.WriteToFile(path).ok());
+  Rows rows = *ReadCsvFile(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(rows, (Rows{{"k"}, {"v1"}}));
+}
+
+}  // namespace
+}  // namespace pgm

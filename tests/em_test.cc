@@ -1,0 +1,143 @@
+#include "core/em.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "datagen/generators.h"
+#include "util/random.h"
+
+namespace pgm {
+namespace {
+
+TEST(EmTest, PaperTable2Exact) {
+  Sequence s = *Sequence::FromString("ACGTCCGT", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(1, 2);
+  EmResult result = *ComputeEm(s, gap, 2);
+  EXPECT_EQ(result.k_values,
+            (std::vector<std::uint64_t>{2, 1, 2, 1, 0, 0, 0, 0}));
+  EXPECT_EQ(result.em, 2u);
+  EXPECT_EQ(result.m, 2);
+}
+
+TEST(EmTest, RejectsNonPositiveM) {
+  Sequence s = *Sequence::FromString("ACGT", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(1, 2);
+  EXPECT_FALSE(ComputeEm(s, gap, 0).ok());
+  EXPECT_FALSE(ComputeEm(s, gap, -3).ok());
+}
+
+TEST(EmTest, EmptySequence) {
+  Sequence s = *Sequence::FromString("", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(1, 2);
+  EmResult result = *ComputeEm(s, gap, 2);
+  EXPECT_EQ(result.em, 0u);
+  EXPECT_TRUE(result.k_values.empty());
+}
+
+TEST(EmTest, TooShortSequenceGivesZero) {
+  // No complete length-(m+1) offset sequence fits: every K_r is 0.
+  Sequence s = *Sequence::FromString("ACG", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(2, 3);
+  EmResult result = *ComputeEm(s, gap, 2);
+  EXPECT_EQ(result.em, 0u);
+  for (std::uint64_t k : result.k_values) EXPECT_EQ(k, 0u);
+}
+
+TEST(EmTest, HomopolymerReachesWToTheM) {
+  // In a long poly-A sequence every offset sequence spells the same string,
+  // so K_r = W^m for positions with full room.
+  Sequence s = *Sequence::FromString(std::string(60, 'A'), Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(1, 3);  // W = 3
+  EmResult result = *ComputeEm(s, gap, 3);
+  EXPECT_EQ(result.em, 27u);  // 3^3
+  EXPECT_EQ(result.k_values[0], 27u);
+}
+
+TEST(EmTest, KrDropsNearTheSequenceEnd) {
+  Sequence s = *Sequence::FromString(std::string(20, 'A'), Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(1, 3);
+  EmResult result = *ComputeEm(s, gap, 2);
+  // From position 19 nothing fits; from early positions all 9 fit.
+  EXPECT_EQ(result.k_values[0], 9u);
+  EXPECT_EQ(result.k_values[19], 0u);
+  // Monotone decrease towards the end for homopolymers.
+  for (std::size_t r = 1; r < s.size(); ++r) {
+    EXPECT_LE(result.k_values[r], result.k_values[r - 1]);
+  }
+}
+
+TEST(EmTest, AlternatingSequence) {
+  // In (AT)^n with gap [1,1] (W = 1) there is exactly one offset sequence
+  // per start, so K_r = 1 wherever one fits.
+  Sequence s = *Sequence::FromString("ATATATATATAT", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(1, 1);
+  EmResult result = *ComputeEm(s, gap, 3);
+  EXPECT_EQ(result.em, 1u);
+}
+
+// Cross-validation against brute-force enumeration over random sequences.
+class EmSweep : public testing::TestWithParam<
+                    std::tuple<std::int64_t, std::int64_t, std::int64_t,
+                               std::uint64_t>> {};
+
+TEST_P(EmSweep, MatchesBruteForce) {
+  const auto [N, M, m, seed] = GetParam();
+  Rng rng(seed);
+  GapRequirement gap = *GapRequirement::Create(N, M);
+  Sequence s = *UniformRandomSequence(40, Alphabet::Dna(), rng);
+  EmResult result = *ComputeEm(s, gap, m);
+  std::uint64_t expected_em = 0;
+  for (std::size_t r = 0; r < s.size(); ++r) {
+    const std::uint64_t brute = BruteForceKr(s, gap, m, r);
+    EXPECT_EQ(result.k_values[r], brute)
+        << "r=" << r << " seq=" << s.ToString();
+    expected_em = std::max(expected_em, brute);
+  }
+  EXPECT_EQ(result.em, expected_em);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSequences, EmSweep,
+    testing::Values(
+        std::tuple<std::int64_t, std::int64_t, std::int64_t, std::uint64_t>{
+            0, 1, 2, 11},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t, std::uint64_t>{
+            1, 2, 3, 22},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t, std::uint64_t>{
+            1, 3, 4, 33},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t, std::uint64_t>{
+            2, 4, 3, 44},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t, std::uint64_t>{
+            0, 3, 5, 55},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t, std::uint64_t>{
+            3, 3, 4, 66},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t, std::uint64_t>{
+            0, 4, 3, 77},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t, std::uint64_t>{
+            2, 2, 6, 88}));
+
+TEST(EmTest, RepetitiveSequenceCrossCheck) {
+  // Noisy AT-repeat: exercises the branch-and-bound against multiplicity
+  // merging (the case the naive "single path" prune got wrong).
+  Sequence s = *Sequence::FromString("ATATATATCTATATATATGATATATATA",
+                                     Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(1, 3);
+  const std::int64_t m = 4;
+  EmResult result = *ComputeEm(s, gap, m);
+  for (std::size_t r = 0; r < s.size(); ++r) {
+    EXPECT_EQ(result.k_values[r], BruteForceKr(s, gap, m, r)) << "r=" << r;
+  }
+}
+
+TEST(EmTest, ProteinAlphabet) {
+  Sequence s = *Sequence::FromString("LWLWLWLWLWLW", Alphabet::Protein());
+  GapRequirement gap = *GapRequirement::Create(1, 3);
+  EmResult result = *ComputeEm(s, gap, 2);
+  for (std::size_t r = 0; r < s.size(); ++r) {
+    EXPECT_EQ(result.k_values[r], BruteForceKr(s, gap, 2, r)) << "r=" << r;
+  }
+}
+
+}  // namespace
+}  // namespace pgm

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/miner.h"
+#include "core/verifier.h"
+#include "datagen/generators.h"
+#include "util/random.h"
+
+namespace pgm {
+namespace {
+
+MinerConfig BaseConfig() {
+  MinerConfig config;
+  config.min_gap = 1;
+  config.max_gap = 2;
+  config.min_support_ratio = 0.02;
+  config.start_length = 1;
+  config.max_length = 5;
+  return config;
+}
+
+TEST(EnumerationTest, MatchesDefinitionExactly) {
+  // Every pattern over the alphabet with ratio >= ρs must be reported, and
+  // nothing else. Checked exhaustively for lengths 1..3 on a small input.
+  Rng rng(5);
+  Sequence s = *UniformRandomSequence(40, Alphabet::Dna(), rng);
+  MinerConfig config = BaseConfig();
+  config.max_length = 3;
+  GapRequirement gap = *GapRequirement::Create(1, 2);
+  OffsetCounter counter(40, gap);
+  MiningResult result = *MineEnumeration(s, config);
+
+  std::map<std::string, std::uint64_t> reported;
+  for (const FrequentPattern& fp : result.patterns) {
+    reported[fp.pattern.ToShorthand()] = fp.support;
+  }
+
+  const std::string alphabet = "ACGT";
+  std::size_t expected_total = 0;
+  // All 4 + 16 + 64 patterns.
+  for (std::size_t l = 1; l <= 3; ++l) {
+    std::vector<std::size_t> index(l, 0);
+    while (true) {
+      std::string shorthand;
+      for (std::size_t i : index) shorthand.push_back(alphabet[i]);
+      Pattern p = *Pattern::Parse(shorthand, Alphabet::Dna());
+      const std::uint64_t support = CountSupport(s, p, gap)->count;
+      const bool frequent =
+          static_cast<long double>(support) >=
+          static_cast<long double>(config.min_support_ratio) * counter.Count(l);
+      if (frequent) {
+        ++expected_total;
+        ASSERT_TRUE(reported.count(shorthand)) << shorthand;
+        EXPECT_EQ(reported[shorthand], support) << shorthand;
+      } else {
+        EXPECT_FALSE(reported.count(shorthand)) << shorthand;
+      }
+      // Advance the odometer.
+      std::size_t pos = 0;
+      while (pos < l && ++index[pos] == alphabet.size()) {
+        index[pos] = 0;
+        ++pos;
+      }
+      if (pos == l) break;
+    }
+  }
+  EXPECT_EQ(reported.size(), expected_total);
+}
+
+TEST(EnumerationTest, CandidateCountsAreAlphabetPowers) {
+  Rng rng(6);
+  Sequence s = *UniformRandomSequence(30, Alphabet::Dna(), rng);
+  MiningResult result = *MineEnumeration(s, BaseConfig());
+  for (const LevelStats& stats : result.level_stats) {
+    std::uint64_t expected = 1;
+    for (std::int64_t i = 0; i < stats.length; ++i) expected *= 4;
+    EXPECT_EQ(stats.num_candidates, expected) << "level " << stats.length;
+  }
+}
+
+TEST(EnumerationTest, CompletenessHorizonIsTheCap) {
+  Rng rng(7);
+  Sequence s = *UniformRandomSequence(30, Alphabet::Dna(), rng);
+  MinerConfig config = BaseConfig();
+  config.max_length = 4;
+  MiningResult result = *MineEnumeration(s, config);
+  EXPECT_EQ(result.guaranteed_complete_up_to, 4);
+}
+
+TEST(EnumerationTest, CapDefaultsToL2) {
+  Rng rng(8);
+  Sequence s = *UniformRandomSequence(12, Alphabet::Dna(), rng);
+  MinerConfig config = BaseConfig();
+  config.max_length = -1;
+  GapRequirement gap = *GapRequirement::Create(1, 2);
+  MiningResult result = *MineEnumeration(s, config);
+  EXPECT_EQ(result.guaranteed_complete_up_to, gap.MaxPossibleLength(12));
+}
+
+TEST(EnumerationTest, NoPruningMeansNoMissesEvenWithoutApriori) {
+  // The canonical Apriori-violation input: S = ACTTT, gap [1,3].
+  // sup(AT) = 3 while sup(A) = 1; with ρs placed between the two ratios,
+  // AT is frequent while A is not — enumeration must report exactly that.
+  Sequence s = *Sequence::FromString("ACTTT", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(1, 3);
+  OffsetCounter counter(5, gap);
+  // ratio(A) = 1/5; ratio(AT) = 3/N2. Pick ρs between them.
+  const double ratio_a = 1.0 / 5.0;
+  const double ratio_at = 3.0 / static_cast<double>(counter.Count(2));
+  ASSERT_GT(ratio_at, ratio_a);  // the Apriori violation itself
+  MinerConfig config;
+  config.min_gap = 1;
+  config.max_gap = 3;
+  config.min_support_ratio = (ratio_a + ratio_at) / 2;
+  config.start_length = 1;
+  config.max_length = 2;
+  MiningResult result = *MineEnumeration(s, config);
+  bool found_at = false, found_a = false;
+  for (const FrequentPattern& fp : result.patterns) {
+    if (fp.pattern.ToShorthand() == "AT") found_at = true;
+    if (fp.pattern.ToShorthand() == "A") found_a = true;
+  }
+  EXPECT_TRUE(found_at);
+  EXPECT_FALSE(found_a);
+}
+
+TEST(EnumerationTest, StopsWhenNothingMatches) {
+  // All-A sequence: patterns containing C/G/T die immediately; only the
+  // all-A chain continues.
+  Sequence s = *Sequence::FromString(std::string(15, 'A'), Alphabet::Dna());
+  MinerConfig config = BaseConfig();
+  config.max_length = 10;
+  MiningResult result = *MineEnumeration(s, config);
+  GapRequirement gap = *GapRequirement::Create(1, 2);
+  for (const FrequentPattern& fp : result.patterns) {
+    EXPECT_LE(static_cast<std::int64_t>(fp.pattern.length()),
+              gap.MaxPossibleLength(15));
+  }
+}
+
+}  // namespace
+}  // namespace pgm

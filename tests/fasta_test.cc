@@ -1,0 +1,120 @@
+#include "seq/fasta.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace pgm {
+namespace {
+
+TEST(FastaTest, ParsesSingleRecord) {
+  StatusOr<std::vector<FastaRecord>> records =
+      ParseFasta(">seq1 a human fragment\nACGT\nTTGG\n");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].id, "seq1");
+  EXPECT_EQ((*records)[0].description, "a human fragment");
+  EXPECT_EQ((*records)[0].residues, "ACGTTTGG");
+}
+
+TEST(FastaTest, ParsesMultipleRecords) {
+  StatusOr<std::vector<FastaRecord>> records =
+      ParseFasta(">a\nAC\n>b\nGT\n>c desc\nTT\n");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[1].id, "b");
+  EXPECT_EQ((*records)[1].residues, "GT");
+  EXPECT_EQ((*records)[2].description, "desc");
+}
+
+TEST(FastaTest, IgnoresBlankLinesAndComments) {
+  StatusOr<std::vector<FastaRecord>> records =
+      ParseFasta("; a comment\n>x\n\nAC\n; mid comment\nGT\n\n");
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ((*records)[0].residues, "ACGT");
+}
+
+TEST(FastaTest, StripsWhitespaceInsideResidueLines) {
+  StatusOr<std::vector<FastaRecord>> records = ParseFasta(">x\nAC GT\r\n");
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ((*records)[0].residues, "ACGT");
+}
+
+TEST(FastaTest, HeaderWithoutDescription) {
+  StatusOr<std::vector<FastaRecord>> records = ParseFasta(">id_only\nAC\n");
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ((*records)[0].id, "id_only");
+  EXPECT_TRUE((*records)[0].description.empty());
+}
+
+TEST(FastaTest, RejectsResiduesBeforeHeader) {
+  StatusOr<std::vector<FastaRecord>> records = ParseFasta("ACGT\n>x\nAC\n");
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FastaTest, RejectsEmptyRecord) {
+  EXPECT_FALSE(ParseFasta(">x\n>y\nAC\n").ok());
+  EXPECT_FALSE(ParseFasta(">only_header\n").ok());
+}
+
+TEST(FastaTest, RejectsEmptyId) {
+  EXPECT_FALSE(ParseFasta("> \nAC\n").ok());
+}
+
+TEST(FastaTest, EmptyInputYieldsNoRecords) {
+  StatusOr<std::vector<FastaRecord>> records = ParseFasta("");
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+TEST(FastaTest, WriteWrapsLines) {
+  FastaRecord record{"x", "desc", "AAAAACCCCCGGGGG"};
+  std::string out = WriteFasta({record}, /*line_width=*/5);
+  EXPECT_EQ(out, ">x desc\nAAAAA\nCCCCC\nGGGGG\n");
+}
+
+TEST(FastaTest, WriteReadRoundTrip) {
+  std::vector<FastaRecord> records = {
+      {"alpha", "first", "ACGTACGTACGT"},
+      {"beta", "", "TTTTGGGG"},
+  };
+  StatusOr<std::vector<FastaRecord>> reparsed =
+      ParseFasta(WriteFasta(records, 7));
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->size(), 2u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ((*reparsed)[i].id, records[i].id);
+    EXPECT_EQ((*reparsed)[i].description, records[i].description);
+    EXPECT_EQ((*reparsed)[i].residues, records[i].residues);
+  }
+}
+
+TEST(FastaTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/fasta_test.fa";
+  std::vector<FastaRecord> records = {{"f", "on disk", "ACGTN"}};
+  ASSERT_TRUE(WriteFastaFile(path, records).ok());
+  StatusOr<std::vector<FastaRecord>> read = ReadFastaFile(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->size(), 1u);
+  EXPECT_EQ((*read)[0].residues, "ACGTN");
+}
+
+TEST(FastaTest, ReadMissingFileFails) {
+  StatusOr<std::vector<FastaRecord>> read =
+      ReadFastaFile("/nonexistent-dir-xyz/missing.fa");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+TEST(FastaTest, RecordToSequenceDropsAmbiguityCodes) {
+  FastaRecord record{"x", "", "ACGTNNRYACGT"};
+  std::size_t dropped = 0;
+  Sequence s = RecordToSequence(record, Alphabet::Dna(), &dropped);
+  EXPECT_EQ(dropped, 4u);
+  EXPECT_EQ(s.ToString(), "ACGTACGT");
+}
+
+}  // namespace
+}  // namespace pgm

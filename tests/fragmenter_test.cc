@@ -1,0 +1,111 @@
+#include "seq/fragmenter.h"
+
+#include <gtest/gtest.h>
+
+namespace pgm {
+namespace {
+
+Sequence MakeSeq(std::size_t length) {
+  std::string text;
+  for (std::size_t i = 0; i < length; ++i) text.push_back("ACGT"[i % 4]);
+  return *Sequence::FromString(text, Alphabet::Dna());
+}
+
+TEST(FragmenterTest, ExactDivision) {
+  FragmenterOptions options;
+  options.fragment_length = 4;
+  auto fragments = *Fragment(MakeSeq(12), options);
+  ASSERT_EQ(fragments.size(), 3u);
+  for (const Sequence& f : fragments) EXPECT_EQ(f.size(), 4u);
+  EXPECT_EQ(fragments[0].ToString(), "ACGT");
+  EXPECT_EQ(fragments[1].ToString(), "ACGT");
+}
+
+TEST(FragmenterTest, TailDroppedByDefault) {
+  FragmenterOptions options;
+  options.fragment_length = 5;
+  auto fragments = *Fragment(MakeSeq(12), options);
+  EXPECT_EQ(fragments.size(), 2u);
+}
+
+TEST(FragmenterTest, TailKeptWhenRequested) {
+  FragmenterOptions options;
+  options.fragment_length = 5;
+  options.keep_tail = true;
+  auto fragments = *Fragment(MakeSeq(12), options);
+  ASSERT_EQ(fragments.size(), 3u);
+  EXPECT_EQ(fragments[2].size(), 2u);
+}
+
+TEST(FragmenterTest, SequenceShorterThanFragment) {
+  FragmenterOptions options;
+  options.fragment_length = 100;
+  EXPECT_TRUE(Fragment(MakeSeq(12), options)->empty());
+  options.keep_tail = true;
+  auto fragments = *Fragment(MakeSeq(12), options);
+  ASSERT_EQ(fragments.size(), 1u);
+  EXPECT_EQ(fragments[0].size(), 12u);
+}
+
+TEST(FragmenterTest, ZeroLengthIsError) {
+  FragmenterOptions options;
+  options.fragment_length = 0;
+  EXPECT_FALSE(Fragment(MakeSeq(12), options).ok());
+}
+
+TEST(FragmenterTest, FragmentsCoverPrefixContiguously) {
+  FragmenterOptions options;
+  options.fragment_length = 3;
+  Sequence seq = MakeSeq(10);
+  auto fragments = *Fragment(seq, options);
+  std::string reassembled;
+  for (const Sequence& f : fragments) reassembled += f.ToString();
+  EXPECT_EQ(reassembled, seq.Subsequence(0, 9).ToString());
+}
+
+TEST(RandomSegmentTest, SegmentHasRequestedLength) {
+  Sequence seq = MakeSeq(100);
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    Sequence segment = *RandomSegment(seq, 17, rng);
+    EXPECT_EQ(segment.size(), 17u);
+  }
+}
+
+TEST(RandomSegmentTest, SegmentIsContiguousSlice) {
+  Sequence seq = MakeSeq(40);  // periodic ACGT, so slices are recognizable
+  Rng rng(6);
+  Sequence segment = *RandomSegment(seq, 8, rng);
+  // Every slice of the periodic sequence must itself be 4-periodic.
+  for (std::size_t i = 4; i < segment.size(); ++i) {
+    EXPECT_EQ(segment[i], segment[i - 4]);
+  }
+}
+
+TEST(RandomSegmentTest, FullLengthSegmentIsWholeSequence) {
+  Sequence seq = MakeSeq(10);
+  Rng rng(7);
+  EXPECT_EQ(RandomSegment(seq, 10, rng)->ToString(), seq.ToString());
+}
+
+TEST(RandomSegmentTest, ErrorsOnBadLength) {
+  Sequence seq = MakeSeq(10);
+  Rng rng(8);
+  EXPECT_FALSE(RandomSegment(seq, 0, rng).ok());
+  EXPECT_FALSE(RandomSegment(seq, 11, rng).ok());
+}
+
+TEST(RandomSegmentTest, UsesDifferentStarts) {
+  Sequence seq = MakeSeq(1000);
+  Rng rng(9);
+  std::set<std::string> seen;
+  for (int i = 0; i < 10; ++i) {
+    seen.insert(RandomSegment(seq, 5, rng)->ToString());
+  }
+  // The periodic base sequence has only 4 distinct length-5 windows, so
+  // just check we did not always land on one.
+  EXPECT_GT(seen.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pgm

@@ -1,0 +1,91 @@
+#include "core/gap.h"
+
+#include <gtest/gtest.h>
+
+namespace pgm {
+namespace {
+
+TEST(GapTest, CreateValidatesBounds) {
+  EXPECT_TRUE(GapRequirement::Create(0, 0).ok());
+  EXPECT_TRUE(GapRequirement::Create(9, 12).ok());
+  EXPECT_FALSE(GapRequirement::Create(-1, 5).ok());
+  EXPECT_FALSE(GapRequirement::Create(5, 4).ok());
+}
+
+TEST(GapTest, Accessors) {
+  GapRequirement gap = *GapRequirement::Create(9, 12);
+  EXPECT_EQ(gap.min_gap(), 9);
+  EXPECT_EQ(gap.max_gap(), 12);
+}
+
+TEST(GapTest, FlexibilityIsWindowWidth) {
+  EXPECT_EQ(GapRequirement::Create(9, 12)->flexibility(), 4);
+  EXPECT_EQ(GapRequirement::Create(4, 6)->flexibility(), 3);  // paper example
+  EXPECT_EQ(GapRequirement::Create(5, 5)->flexibility(), 1);
+}
+
+TEST(GapTest, MinSpanMatchesPaperExample) {
+  // Paper Section 4: gap [3,4], length-3 pattern spans at least 9 positions.
+  GapRequirement gap = *GapRequirement::Create(3, 4);
+  EXPECT_EQ(gap.MinSpan(3), 9);
+}
+
+TEST(GapTest, SpanFormulas) {
+  GapRequirement gap = *GapRequirement::Create(9, 12);
+  // minspan(l) = (l-1)N + l, maxspan(l) = (l-1)M + l.
+  EXPECT_EQ(gap.MinSpan(1), 1);
+  EXPECT_EQ(gap.MaxSpan(1), 1);
+  EXPECT_EQ(gap.MinSpan(13), 12 * 9 + 13);
+  EXPECT_EQ(gap.MaxSpan(13), 12 * 12 + 13);
+}
+
+TEST(GapTest, SpanMonotoneInLength) {
+  GapRequirement gap = *GapRequirement::Create(2, 7);
+  for (int l = 1; l < 20; ++l) {
+    EXPECT_LT(gap.MinSpan(l), gap.MinSpan(l + 1));
+    EXPECT_LT(gap.MaxSpan(l), gap.MaxSpan(l + 1));
+    EXPECT_LE(gap.MinSpan(l), gap.MaxSpan(l));
+  }
+}
+
+TEST(GapTest, L1L2MatchPaperFormulas) {
+  // l1 = floor((L+M)/(M+1)), l2 = floor((L+N)/(N+1)).
+  GapRequirement gap = *GapRequirement::Create(9, 12);
+  EXPECT_EQ(gap.MaxGuaranteedLength(1000), (1000 + 12) / 13);  // 77
+  EXPECT_EQ(gap.MaxGuaranteedLength(1000), 77);
+  EXPECT_EQ(gap.MaxPossibleLength(1000), (1000 + 9) / 10);  // 100
+  EXPECT_EQ(gap.MaxPossibleLength(1000), 100);
+}
+
+TEST(GapTest, L1L2DefinitionalProperty) {
+  // l1 is the largest l with maxspan(l) <= L; l2 likewise for minspan.
+  for (auto [n, m] : {std::pair{0, 0}, {1, 3}, {2, 2}, {4, 9}}) {
+    GapRequirement gap = *GapRequirement::Create(n, m);
+    for (std::int64_t L : {1, 5, 17, 100}) {
+      std::int64_t l1 = gap.MaxGuaranteedLength(L);
+      EXPECT_LE(gap.MaxSpan(l1), L);
+      EXPECT_GT(gap.MaxSpan(l1 + 1), L);
+      std::int64_t l2 = gap.MaxPossibleLength(L);
+      EXPECT_LE(gap.MinSpan(l2), L);
+      EXPECT_GT(gap.MinSpan(l2 + 1), L);
+      EXPECT_LE(l1, l2);
+    }
+  }
+}
+
+TEST(GapTest, RigidGapMakesL1EqualL2) {
+  GapRequirement gap = *GapRequirement::Create(5, 5);
+  for (std::int64_t L : {1, 10, 100, 999}) {
+    EXPECT_EQ(gap.MaxGuaranteedLength(L), gap.MaxPossibleLength(L));
+  }
+}
+
+TEST(GapTest, ToStringAndEquality) {
+  GapRequirement a = *GapRequirement::Create(9, 12);
+  EXPECT_EQ(a.ToString(), "[9,12]");
+  EXPECT_TRUE(a == *GapRequirement::Create(9, 12));
+  EXPECT_FALSE(a == *GapRequirement::Create(9, 13));
+}
+
+}  // namespace
+}  // namespace pgm

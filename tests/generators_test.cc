@@ -1,0 +1,78 @@
+#include "datagen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "seq/stats.h"
+#include "util/random.h"
+
+namespace pgm {
+namespace {
+
+TEST(UniformGeneratorTest, LengthAndAlphabet) {
+  Rng rng(1);
+  Sequence s = *UniformRandomSequence(500, Alphabet::Dna(), rng);
+  EXPECT_EQ(s.size(), 500u);
+  for (Symbol sym : s.symbols()) EXPECT_LT(sym, 4);
+}
+
+TEST(UniformGeneratorTest, ZeroLength) {
+  Rng rng(2);
+  Sequence s = *UniformRandomSequence(0, Alphabet::Dna(), rng);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(UniformGeneratorTest, DeterministicGivenSeed) {
+  Rng a(3), b(3);
+  Sequence sa = *UniformRandomSequence(100, Alphabet::Dna(), a);
+  Sequence sb = *UniformRandomSequence(100, Alphabet::Dna(), b);
+  EXPECT_EQ(sa.ToString(), sb.ToString());
+}
+
+TEST(UniformGeneratorTest, RoughlyUniformComposition) {
+  Rng rng(4);
+  Sequence s = *UniformRandomSequence(40'000, Alphabet::Dna(), rng);
+  CompositionStats stats = ComputeComposition(s);
+  for (double f : stats.frequencies) EXPECT_NEAR(f, 0.25, 0.02);
+}
+
+TEST(WeightedGeneratorTest, FollowsWeights) {
+  Rng rng(5);
+  Sequence s = *WeightedRandomSequence(40'000, Alphabet::Dna(),
+                                       {0.4, 0.1, 0.1, 0.4}, rng);
+  CompositionStats stats = ComputeComposition(s);
+  EXPECT_NEAR(stats.frequencies[0], 0.4, 0.02);
+  EXPECT_NEAR(stats.frequencies[1], 0.1, 0.02);
+  EXPECT_NEAR(stats.frequencies[2], 0.1, 0.02);
+  EXPECT_NEAR(stats.frequencies[3], 0.4, 0.02);
+}
+
+TEST(WeightedGeneratorTest, ZeroWeightNeverDrawn) {
+  Rng rng(6);
+  Sequence s = *WeightedRandomSequence(5'000, Alphabet::Dna(),
+                                       {0.5, 0.0, 0.0, 0.5}, rng);
+  CompositionStats stats = ComputeComposition(s);
+  EXPECT_EQ(stats.counts[1], 0u);
+  EXPECT_EQ(stats.counts[2], 0u);
+}
+
+TEST(WeightedGeneratorTest, UnnormalizedWeightsAccepted) {
+  Rng rng(7);
+  Sequence s = *WeightedRandomSequence(20'000, Alphabet::Dna(),
+                                       {3.0, 1.0, 1.0, 3.0}, rng);
+  CompositionStats stats = ComputeComposition(s);
+  EXPECT_NEAR(stats.frequencies[0], 3.0 / 8, 0.02);
+}
+
+TEST(WeightedGeneratorTest, ValidatesWeights) {
+  Rng rng(8);
+  EXPECT_FALSE(
+      WeightedRandomSequence(10, Alphabet::Dna(), {0.5, 0.5}, rng).ok());
+  EXPECT_FALSE(WeightedRandomSequence(10, Alphabet::Dna(),
+                                      {0.5, 0.5, 0.5, -0.1}, rng)
+                   .ok());
+  EXPECT_FALSE(
+      WeightedRandomSequence(10, Alphabet::Dna(), {0, 0, 0, 0}, rng).ok());
+}
+
+}  // namespace
+}  // namespace pgm

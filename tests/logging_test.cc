@@ -1,0 +1,52 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace pgm {
+namespace {
+
+class LoggingTest : public testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, DefaultLevelIsInfo) {
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, EmittingBelowThresholdCapturesNothing) {
+  SetLogLevel(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  PGM_LOG(kDebug) << "dropped";
+  PGM_LOG(kInfo) << "dropped too";
+  PGM_LOG(kWarning) << "also dropped";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingTest, EmittingAtThresholdIncludesLevelFileAndMessage) {
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  PGM_LOG(kWarning) << "watch out " << 42;
+  std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("WARN"), std::string::npos);
+  EXPECT_NE(output.find("logging_test.cc"), std::string::npos);
+  EXPECT_NE(output.find("watch out 42"), std::string::npos);
+}
+
+TEST_F(LoggingTest, StreamsArbitraryTypes) {
+  SetLogLevel(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  PGM_LOG(kInfo) << "d=" << 1.5 << " s=" << std::string("str") << " b=" << true;
+  std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("d=1.5 s=str b=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pgm

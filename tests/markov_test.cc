@@ -1,0 +1,122 @@
+#include "datagen/markov.h"
+
+#include <gtest/gtest.h>
+
+#include "seq/stats.h"
+#include "util/random.h"
+
+namespace pgm {
+namespace {
+
+TEST(MarkovTest, CreateValidatesShape) {
+  // Order 1 over DNA needs 4 rows of 4.
+  std::vector<std::vector<double>> good(4, std::vector<double>(4, 1.0));
+  EXPECT_TRUE(MarkovModel::Create(Alphabet::Dna(), 1, good).ok());
+  std::vector<std::vector<double>> wrong_rows(3, std::vector<double>(4, 1.0));
+  EXPECT_FALSE(MarkovModel::Create(Alphabet::Dna(), 1, wrong_rows).ok());
+  std::vector<std::vector<double>> wrong_cols(4, std::vector<double>(3, 1.0));
+  EXPECT_FALSE(MarkovModel::Create(Alphabet::Dna(), 1, wrong_cols).ok());
+}
+
+TEST(MarkovTest, CreateRejectsBadWeights) {
+  std::vector<std::vector<double>> negative(4, std::vector<double>(4, 1.0));
+  negative[2][1] = -0.5;
+  EXPECT_FALSE(MarkovModel::Create(Alphabet::Dna(), 1, negative).ok());
+  std::vector<std::vector<double>> zero_row(4, std::vector<double>(4, 1.0));
+  zero_row[3] = {0, 0, 0, 0};
+  EXPECT_FALSE(MarkovModel::Create(Alphabet::Dna(), 1, zero_row).ok());
+}
+
+TEST(MarkovTest, CreateRejectsHugeOrder) {
+  std::vector<std::vector<double>> rows(1, std::vector<double>(4, 1.0));
+  EXPECT_FALSE(MarkovModel::Create(Alphabet::Dna(), 9, rows).ok());
+}
+
+TEST(MarkovTest, OrderZeroIsIid) {
+  // One context row; composition follows it.
+  std::vector<std::vector<double>> rows = {{0.7, 0.1, 0.1, 0.1}};
+  MarkovModel model = *MarkovModel::Create(Alphabet::Dna(), 0, rows);
+  Rng rng(11);
+  Sequence s = *model.Generate(30'000, rng);
+  CompositionStats stats = ComputeComposition(s);
+  EXPECT_NEAR(stats.frequencies[0], 0.7, 0.02);
+}
+
+TEST(MarkovTest, OrderOneTransitionsRespected) {
+  // After 'A' always 'C'; after 'C' always 'A'; G/T unreachable from A/C.
+  std::vector<std::vector<double>> rows = {
+      {0, 1, 0, 0},  // A -> C
+      {1, 0, 0, 0},  // C -> A
+      {1, 0, 0, 0},  // G -> A
+      {1, 0, 0, 0},  // T -> A
+  };
+  MarkovModel model = *MarkovModel::Create(Alphabet::Dna(), 1, rows);
+  Rng rng(12);
+  Sequence s = *model.Generate(200, rng);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (s[i - 1] == 0) {
+      EXPECT_EQ(s[i], 1) << i;
+    }
+    if (s[i - 1] == 1) {
+      EXPECT_EQ(s[i], 0) << i;
+    }
+  }
+}
+
+TEST(MarkovTest, GenerateDeterministicGivenSeed) {
+  std::vector<std::vector<double>> rows(4, std::vector<double>(4, 1.0));
+  MarkovModel model = *MarkovModel::Create(Alphabet::Dna(), 1, rows);
+  Rng a(13), b(13);
+  EXPECT_EQ(model.Generate(100, a)->ToString(),
+            model.Generate(100, b)->ToString());
+}
+
+TEST(MarkovTest, FitRecoversStrongBias) {
+  // Fit on a strict alternation: transitions A->T and T->A dominate.
+  std::string text;
+  for (int i = 0; i < 500; ++i) text += "AT";
+  Sequence example = *Sequence::FromString(text, Alphabet::Dna());
+  MarkovModel model = *MarkovModel::Fit(example, 1);
+  const auto& from_a = model.TransitionRow(0);
+  // 499 observed A->T transitions + smoothing 1 vs 1 each elsewhere.
+  EXPECT_GT(from_a[3], 100.0);
+  EXPECT_NEAR(from_a[0], 1.0, 1e-9);
+  const auto& from_t = model.TransitionRow(3);
+  EXPECT_GT(from_t[0], 100.0);
+}
+
+TEST(MarkovTest, FitValidatesLength) {
+  Sequence tiny = *Sequence::FromString("AC", Alphabet::Dna());
+  EXPECT_TRUE(MarkovModel::Fit(tiny, 1).ok());
+  EXPECT_FALSE(MarkovModel::Fit(tiny, 2).ok());
+}
+
+TEST(MarkovTest, FitGenerateRoundTripPreservesComposition) {
+  Rng rng(14);
+  std::vector<std::vector<double>> rows = {{0.6, 0.2, 0.1, 0.1},
+                                           {0.3, 0.3, 0.2, 0.2},
+                                           {0.25, 0.25, 0.25, 0.25},
+                                           {0.1, 0.2, 0.3, 0.4}};
+  MarkovModel original = *MarkovModel::Create(Alphabet::Dna(), 1, rows);
+  Sequence sample = *original.Generate(50'000, rng);
+  MarkovModel fitted = *MarkovModel::Fit(sample, 1);
+  Sequence regenerated = *fitted.Generate(50'000, rng);
+  CompositionStats a = ComputeComposition(sample);
+  CompositionStats b = ComputeComposition(regenerated);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(a.frequencies[i], b.frequencies[i], 0.02) << i;
+  }
+}
+
+TEST(MarkovTest, OrderTwoContexts) {
+  // 16 contexts over DNA; spot-check generation stays in-alphabet.
+  std::vector<std::vector<double>> rows(16, std::vector<double>(4, 1.0));
+  MarkovModel model = *MarkovModel::Create(Alphabet::Dna(), 2, rows);
+  Rng rng(15);
+  Sequence s = *model.Generate(1000, rng);
+  EXPECT_EQ(s.size(), 1000u);
+  for (Symbol sym : s.symbols()) EXPECT_LT(sym, 4);
+}
+
+}  // namespace
+}  // namespace pgm

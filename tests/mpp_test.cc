@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/miner.h"
+#include "core/verifier.h"
+#include "datagen/generators.h"
+#include "util/random.h"
+
+namespace pgm {
+namespace {
+
+Sequence RandomSeq(std::size_t length, std::uint64_t seed) {
+  Rng rng(seed);
+  return *UniformRandomSequence(length, Alphabet::Dna(), rng);
+}
+
+MinerConfig BaseConfig() {
+  MinerConfig config;
+  config.min_gap = 1;
+  config.max_gap = 3;
+  config.min_support_ratio = 0.01;
+  config.start_length = 1;
+  return config;
+}
+
+TEST(MppTest, ReportedSupportsAreExact) {
+  Sequence s = RandomSeq(80, 1);
+  MinerConfig config = BaseConfig();
+  GapRequirement gap = *GapRequirement::Create(config.min_gap, config.max_gap);
+  MiningResult result = *MineMpp(s, config);
+  ASSERT_FALSE(result.patterns.empty());
+  for (const FrequentPattern& fp : result.patterns) {
+    SupportInfo direct = *CountSupport(s, fp.pattern, gap);
+    EXPECT_EQ(fp.support, direct.count) << fp.pattern.ToShorthand();
+    EXPECT_FALSE(fp.saturated);
+    EXPECT_GT(fp.support_ratio, 0.0);
+    EXPECT_LE(fp.support_ratio, 1.0);
+  }
+}
+
+TEST(MppTest, ResultIsSortedAndUnique) {
+  Sequence s = RandomSeq(100, 2);
+  MiningResult result = *MineMpp(s, BaseConfig());
+  std::set<std::string> seen;
+  std::size_t previous_length = 0;
+  for (const FrequentPattern& fp : result.patterns) {
+    EXPECT_GE(fp.pattern.length(), previous_length);
+    previous_length = fp.pattern.length();
+    EXPECT_TRUE(seen.insert(fp.pattern.ToShorthand()).second)
+        << "duplicate " << fp.pattern.ToShorthand();
+  }
+}
+
+TEST(MppTest, WorstCaseClampsNToL1) {
+  Sequence s = RandomSeq(60, 3);
+  MinerConfig config = BaseConfig();
+  config.user_n = -1;
+  MiningResult result = *MineMpp(s, config);
+  GapRequirement gap = *GapRequirement::Create(1, 3);
+  EXPECT_EQ(result.n_used, gap.MaxGuaranteedLength(60));
+  EXPECT_EQ(result.guaranteed_complete_up_to, result.n_used);
+}
+
+TEST(MppTest, OversizedUserNClampsToL1) {
+  Sequence s = RandomSeq(60, 4);
+  MinerConfig config = BaseConfig();
+  config.user_n = 10'000;
+  MiningResult result = *MineMpp(s, config);
+  GapRequirement gap = *GapRequirement::Create(1, 3);
+  EXPECT_EQ(result.n_used, gap.MaxGuaranteedLength(60));
+}
+
+TEST(MppTest, SmallUserNIsKept) {
+  Sequence s = RandomSeq(60, 5);
+  MinerConfig config = BaseConfig();
+  config.user_n = 4;
+  MiningResult result = *MineMpp(s, config);
+  EXPECT_EQ(result.n_used, 4);
+  EXPECT_EQ(result.guaranteed_complete_up_to, 4);
+}
+
+TEST(MppTest, WorstCaseFindsSupersetOfSmallN) {
+  // With a smaller n MPP is complete only up to n; the worst case must
+  // find at least as many patterns.
+  Sequence s = RandomSeq(120, 6);
+  MinerConfig small_n = BaseConfig();
+  small_n.user_n = 2;
+  MinerConfig worst = BaseConfig();
+  worst.user_n = -1;
+  MiningResult small_result = *MineMpp(s, small_n);
+  MiningResult worst_result = *MineMpp(s, worst);
+  std::set<std::string> worst_set;
+  for (const FrequentPattern& fp : worst_result.patterns) {
+    worst_set.insert(fp.pattern.ToShorthand());
+  }
+  for (const FrequentPattern& fp : small_result.patterns) {
+    EXPECT_TRUE(worst_set.count(fp.pattern.ToShorthand()))
+        << fp.pattern.ToShorthand();
+  }
+  EXPECT_GE(worst_result.patterns.size(), small_result.patterns.size());
+}
+
+TEST(MppTest, LevelStatsAreConsistent) {
+  Sequence s = RandomSeq(90, 7);
+  MiningResult result = *MineMpp(s, BaseConfig());
+  ASSERT_FALSE(result.level_stats.empty());
+  std::uint64_t total = 0;
+  std::int64_t previous_length = 0;
+  for (const LevelStats& stats : result.level_stats) {
+    EXPECT_GT(stats.length, previous_length);
+    previous_length = stats.length;
+    // |L_l| <= |L̂_l| <= |C_l| (λ <= 1 relaxes the threshold).
+    EXPECT_LE(stats.num_frequent, stats.num_retained);
+    EXPECT_LE(stats.num_retained, stats.num_candidates);
+    total += stats.num_candidates;
+  }
+  EXPECT_EQ(result.total_candidates, total);
+  // First level enumerates all |Σ|^start_length candidates.
+  EXPECT_EQ(result.level_stats.front().num_candidates, 4u);
+}
+
+TEST(MppTest, FrequentCountsMatchLevelStats) {
+  Sequence s = RandomSeq(90, 8);
+  MiningResult result = *MineMpp(s, BaseConfig());
+  for (const LevelStats& stats : result.level_stats) {
+    std::uint64_t count = 0;
+    for (const FrequentPattern& fp : result.patterns) {
+      if (static_cast<std::int64_t>(fp.pattern.length()) == stats.length) {
+        ++count;
+      }
+    }
+    EXPECT_EQ(count, stats.num_frequent) << "level " << stats.length;
+  }
+}
+
+TEST(MppTest, MaxLengthCapsMining) {
+  Sequence s = RandomSeq(100, 9);
+  MinerConfig config = BaseConfig();
+  config.max_length = 3;
+  MiningResult result = *MineMpp(s, config);
+  EXPECT_LE(result.longest_frequent_length, 3);
+  for (const LevelStats& stats : result.level_stats) {
+    EXPECT_LE(stats.length, 3);
+  }
+}
+
+TEST(MppTest, StartLengthThreeSkipsShortPatterns) {
+  Sequence s = RandomSeq(100, 10);
+  MinerConfig config = BaseConfig();
+  config.start_length = 3;
+  MiningResult result = *MineMpp(s, config);
+  for (const FrequentPattern& fp : result.patterns) {
+    EXPECT_GE(fp.pattern.length(), 3u);
+  }
+  EXPECT_EQ(result.level_stats.front().num_candidates, 64u);
+}
+
+TEST(MppTest, HighThresholdYieldsNothing) {
+  Sequence s = RandomSeq(50, 11);
+  MinerConfig config = BaseConfig();
+  config.min_support_ratio = 1.0;
+  config.start_length = 2;
+  MiningResult result = *MineMpp(s, config);
+  // No length-2 pattern can match every offset sequence of a random
+  // sequence over a 4-letter alphabet.
+  EXPECT_TRUE(result.patterns.empty());
+  EXPECT_EQ(result.longest_frequent_length, 0);
+}
+
+TEST(MppTest, HomopolymerSequenceSinglePatternPerLevel) {
+  // S = A^30: the only patterns with support are all-A, and their ratio is
+  // exactly 1 at every level.
+  Sequence s = *Sequence::FromString(std::string(30, 'A'), Alphabet::Dna());
+  MinerConfig config = BaseConfig();
+  config.min_support_ratio = 0.99;
+  MiningResult result = *MineMpp(s, config);
+  ASSERT_FALSE(result.patterns.empty());
+  for (const FrequentPattern& fp : result.patterns) {
+    for (std::size_t i = 0; i < fp.pattern.length(); ++i) {
+      EXPECT_EQ(fp.pattern.CharAt(i), 'A');
+    }
+    EXPECT_NEAR(fp.support_ratio, 1.0, 1e-9);
+  }
+  GapRequirement gap = *GapRequirement::Create(1, 3);
+  EXPECT_EQ(result.longest_frequent_length, gap.MaxPossibleLength(30));
+}
+
+TEST(MppTest, BinaryAlphabet) {
+  Alphabet binary = *Alphabet::Create("01");
+  Rng rng(12);
+  Sequence s = *UniformRandomSequence(60, binary, rng);
+  MinerConfig config = BaseConfig();
+  MiningResult result = *MineMpp(s, config);
+  EXPECT_FALSE(result.patterns.empty());
+  EXPECT_EQ(result.level_stats.front().num_candidates, 2u);
+}
+
+TEST(MppTest, TimingFieldsPopulated) {
+  Sequence s = RandomSeq(60, 13);
+  MiningResult result = *MineMpp(s, BaseConfig());
+  EXPECT_GE(result.mining_seconds, 0.0);
+  EXPECT_EQ(result.total_seconds, result.mining_seconds);
+  EXPECT_EQ(result.em, 0u);           // MPP does not compute e_m
+  EXPECT_EQ(result.estimated_n, -1);  // nor an estimate
+}
+
+}  // namespace
+}  // namespace pgm

@@ -1,0 +1,267 @@
+#include "core/offset_counter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace pgm {
+namespace {
+
+TEST(OffsetCounterTest, NOneIsSequenceLength) {
+  for (std::int64_t L : {1, 10, 1000}) {
+    OffsetCounter counter(L, *GapRequirement::Create(3, 7));
+    EXPECT_EQ(static_cast<std::int64_t>(counter.Count(1)), L);
+  }
+}
+
+TEST(OffsetCounterTest, ZeroBeyondL2) {
+  GapRequirement gap = *GapRequirement::Create(2, 4);
+  OffsetCounter counter(20, gap);
+  EXPECT_GT(counter.Count(counter.l2()), 0.0L);
+  EXPECT_EQ(counter.Count(counter.l2() + 1), 0.0L);
+  EXPECT_EQ(counter.Count(counter.l2() + 50), 0.0L);
+}
+
+TEST(OffsetCounterTest, L1L2Accessors) {
+  GapRequirement gap = *GapRequirement::Create(9, 12);
+  OffsetCounter counter(1000, gap);
+  EXPECT_EQ(counter.l1(), 77);
+  EXPECT_EQ(counter.l2(), 100);
+}
+
+TEST(OffsetCounterTest, PaperSection41Example) {
+  // "L = 1000, gap [9,12] (W = 4): the number of length-10 offset sequences
+  // N10 is about 235 million."
+  GapRequirement gap = *GapRequirement::Create(9, 12);
+  OffsetCounter counter(1000, gap);
+  // Theorem 4: N10 = [1000 - 9*(11.5)] * 4^9 = 896.5 * 262144 = 235,011,?
+  long double n10 = counter.Count(10);
+  EXPECT_NEAR(static_cast<double>(n10), 896.5 * 262144.0, 1.0);
+  EXPECT_GT(n10, 2.3e8);
+  EXPECT_LT(n10, 2.4e8);
+}
+
+TEST(OffsetCounterTest, TheoremFourClosedFormInGuaranteedRegion) {
+  GapRequirement gap = *GapRequirement::Create(1, 3);
+  const std::int64_t L = 60;
+  OffsetCounter counter(L, gap);
+  const long double w = 3.0L;
+  for (std::int64_t l = 1; l <= counter.l1(); ++l) {
+    long double expected =
+        (static_cast<long double>(L) -
+         static_cast<long double>(l - 1) * ((1 + 3) / 2.0L + 1.0L)) *
+        std::pow(w, static_cast<long double>(l - 1));
+    EXPECT_NEAR(static_cast<double>(counter.Count(l)),
+                static_cast<double>(expected), 1e-6)
+        << "l=" << l;
+  }
+}
+
+// Exhaustive cross-validation of all three N_l cases against the
+// independent position-DP counter.
+class OffsetCounterSweep
+    : public testing::TestWithParam<std::tuple<std::int64_t, std::int64_t,
+                                               std::int64_t>> {};
+
+TEST_P(OffsetCounterSweep, MatchesBruteForceForAllLengths) {
+  const auto [L, N, M] = GetParam();
+  GapRequirement gap = *GapRequirement::Create(N, M);
+  OffsetCounter counter(L, gap);
+  for (std::int64_t l = 1; l <= counter.l2() + 2; ++l) {
+    const std::uint64_t brute = BruteForceCountOffsetSequences(L, gap, l);
+    const long double formula = counter.Count(l);
+    EXPECT_EQ(static_cast<std::uint64_t>(formula + 0.5L), brute)
+        << "L=" << L << " gap=[" << N << "," << M << "] l=" << l
+        << " (l1=" << counter.l1() << ", l2=" << counter.l2() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, OffsetCounterSweep,
+    testing::Values(
+        std::tuple<std::int64_t, std::int64_t, std::int64_t>{1, 0, 0},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t>{5, 0, 0},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t>{10, 0, 1},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t>{17, 1, 3},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t>{23, 2, 2},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t>{30, 2, 5},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t>{41, 0, 4},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t>{50, 3, 4},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t>{64, 9, 12},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t>{100, 4, 9},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t>{7, 1, 1},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t>{29, 0, 6},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t>{53, 6, 6},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t>{37, 1, 5}));
+
+TEST(OffsetCounterTest, FBaseCases) {
+  GapRequirement gap = *GapRequirement::Create(2, 4);  // W = 3
+  OffsetCounter counter(100, gap);
+  // Equation 6: f(l, i) = W^(l-1) for i <= 0.
+  EXPECT_EQ(static_cast<double>(counter.F(3, 0)), 9.0);
+  EXPECT_EQ(static_cast<double>(counter.F(3, -5)), 9.0);
+  // Equation 7: f(l, i) = 0 for i > (l-1)(W-1).
+  EXPECT_EQ(static_cast<double>(counter.F(3, 5)), 0.0);
+  EXPECT_EQ(static_cast<double>(counter.F(3, 100)), 0.0);
+  // Base from the proof: f(2, i) = W - i for 1 <= i <= W-1.
+  EXPECT_EQ(static_cast<double>(counter.F(2, 1)), 2.0);
+  EXPECT_EQ(static_cast<double>(counter.F(2, 2)), 1.0);
+}
+
+TEST(OffsetCounterTest, FSatisfiesEquationEight) {
+  // f(k+1, i) = sum_{j=1..W} f(k, i - W + j).
+  GapRequirement gap = *GapRequirement::Create(1, 4);  // W = 4
+  OffsetCounter counter(100, gap);
+  const std::int64_t w = 4;
+  for (std::int64_t k = 1; k <= 5; ++k) {
+    for (std::int64_t i = 1; i <= (k + 1 - 1) * (w - 1); ++i) {
+      long double sum = 0.0L;
+      for (std::int64_t j = 1; j <= w; ++j) sum += counter.F(k, i - w + j);
+      EXPECT_NEAR(static_cast<double>(counter.F(k + 1, i)),
+                  static_cast<double>(sum), 1e-9)
+          << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(OffsetCounterTest, TheoremThreeIdentity) {
+  // sum_{i=1}^{(l-1)(W-1)} f(l, i) = (l-1)/2 * (W-1) * W^(l-1).
+  for (auto [n, m] : {std::pair{1, 3}, {2, 5}, {0, 2}}) {
+    GapRequirement gap = *GapRequirement::Create(n, m);
+    OffsetCounter counter(50, gap);
+    const std::int64_t w = gap.flexibility();
+    for (std::int64_t l = 2; l <= 7; ++l) {
+      long double sum = 0.0L;
+      for (std::int64_t i = 1; i <= (l - 1) * (w - 1); ++i) {
+        sum += counter.F(l, i);
+      }
+      const long double expected =
+          (static_cast<long double>(l - 1) / 2.0L) * (w - 1) *
+          std::pow(static_cast<long double>(w), static_cast<long double>(l - 1));
+      EXPECT_NEAR(static_cast<double>(sum), static_cast<double>(expected), 1e-6)
+          << "gap=[" << n << "," << m << "] l=" << l;
+    }
+  }
+}
+
+TEST(LambdaTest, AlwaysInUnitInterval) {
+  GapRequirement gap = *GapRequirement::Create(2, 4);
+  OffsetCounter counter(40, gap);
+  for (std::int64_t l = 2; l <= counter.l2(); ++l) {
+    for (std::int64_t d = 0; d < l; ++d) {
+      long double lambda = counter.Lambda(l, d);
+      EXPECT_GE(lambda, 0.0L);
+      EXPECT_LE(lambda, 1.0L);
+    }
+  }
+}
+
+TEST(LambdaTest, ZeroDIsOne) {
+  GapRequirement gap = *GapRequirement::Create(1, 2);
+  OffsetCounter counter(30, gap);
+  for (std::int64_t l = 1; l <= counter.l2(); ++l) {
+    EXPECT_NEAR(static_cast<double>(counter.Lambda(l, 0)), 1.0, 1e-12);
+  }
+}
+
+TEST(LambdaTest, MatchesEquationFourInClosedFormRegion) {
+  // Equation 4: λ_{l,d} = [L-(l-1)(x)] / [L-(l-d-1)(x)], x = (M+N)/2 + 1.
+  GapRequirement gap = *GapRequirement::Create(9, 12);
+  const std::int64_t L = 1000;
+  OffsetCounter counter(L, gap);
+  const long double x = (9 + 12) / 2.0L + 1.0L;
+  for (std::int64_t l = 2; l <= counter.l1(); l += 7) {
+    for (std::int64_t d = 0; d < l && l - d >= 1; d += 3) {
+      const long double expected =
+          (L - (l - 1) * x) / (L - (l - d - 1) * x);
+      EXPECT_NEAR(static_cast<double>(counter.Lambda(l, d)),
+                  static_cast<double>(expected), 1e-9)
+          << "l=" << l << " d=" << d;
+    }
+  }
+}
+
+TEST(LambdaTest, TransitivityEquationThree) {
+  // λ_{l,d1+d2} = λ_{l,d1} * λ_{l-d1,d2}.
+  GapRequirement gap = *GapRequirement::Create(2, 5);
+  OffsetCounter counter(200, gap);
+  for (std::int64_t l : {5, 9, 14}) {
+    for (std::int64_t d1 = 0; d1 < l; ++d1) {
+      for (std::int64_t d2 = 0; d1 + d2 < l; ++d2) {
+        const long double lhs = counter.Lambda(l, d1 + d2);
+        const long double rhs =
+            counter.Lambda(l, d1) * counter.Lambda(l - d1, d2);
+        EXPECT_NEAR(static_cast<double>(lhs), static_cast<double>(rhs), 1e-9)
+            << "l=" << l << " d1=" << d1 << " d2=" << d2;
+      }
+    }
+  }
+}
+
+TEST(LambdaPrimeTest, AtLeastLambdaAndGrowsWithTighterEm) {
+  GapRequirement gap = *GapRequirement::Create(9, 12);  // W = 4
+  OffsetCounter counter(1000, gap);
+  const std::int64_t m = 3;  // W^m = 64
+  for (std::int64_t l : {10, 20}) {
+    for (std::int64_t d : {3, 7, 9}) {
+      const long double lambda = counter.Lambda(l, d);
+      // e_m = W^m gives no tightening at all.
+      EXPECT_NEAR(static_cast<double>(counter.LambdaPrime(l, d, m, 64)),
+                  static_cast<double>(lambda), 1e-12);
+      // Smaller e_m tightens (increases) the factor.
+      EXPECT_GE(counter.LambdaPrime(l, d, m, 8), lambda);
+      EXPECT_GE(counter.LambdaPrime(l, d, m, 2),
+                counter.LambdaPrime(l, d, m, 8));
+    }
+  }
+}
+
+TEST(LambdaPrimeTest, NoTighteningWhenDBelowM) {
+  // s = floor(d/m) = 0 when d < m: λ' == λ.
+  GapRequirement gap = *GapRequirement::Create(1, 4);
+  OffsetCounter counter(100, gap);
+  EXPECT_NEAR(static_cast<double>(counter.LambdaPrime(8, 4, 5, 2)),
+              static_cast<double>(counter.Lambda(8, 4)), 1e-12);
+}
+
+TEST(LambdaPrimeTest, MatchesEquationFiveFactor) {
+  // λ'_{l,d} = (W^m / e_m)^s * λ_{l,d}, s = floor(d/m).
+  GapRequirement gap = *GapRequirement::Create(9, 12);
+  OffsetCounter counter(1000, gap);
+  const std::int64_t l = 20, d = 13, m = 5;
+  const std::uint64_t em = 100;
+  const long double wm = std::pow(4.0L, 5.0L);  // 1024
+  const long double expected =
+      std::pow(wm / em, 2.0L) * counter.Lambda(l, d);  // s = 2
+  EXPECT_NEAR(static_cast<double>(counter.LambdaPrime(l, d, m, em)),
+              static_cast<double>(expected), 1e-6);
+}
+
+TEST(OffsetCounterTest, HugeLengthsStayFinite) {
+  // Case-3 values reach astronomical magnitudes; they must remain finite
+  // long doubles (the λ fix for the 2^64-overflow cast regression).
+  GapRequirement gap = *GapRequirement::Create(10, 12);
+  OffsetCounter counter(100'000, gap);
+  const long double big = counter.Count(counter.l1());
+  EXPECT_TRUE(std::isfinite(static_cast<long double>(big)));
+  EXPECT_GT(big, 0.0L);
+  // λ at the extreme d stays in [0,1] and is not spuriously zero.
+  const long double lambda = counter.Lambda(counter.l1(), counter.l1() - 3);
+  EXPECT_GT(lambda, 0.0L);
+  EXPECT_LE(lambda, 1.0L);
+}
+
+TEST(BruteForceCounterTest, TinyExamplesByHand) {
+  GapRequirement gap = *GapRequirement::Create(1, 2);
+  // L=5: offset sequences of length 2 with gap 1..2: pairs (i, j),
+  // j - i - 1 in [1,2] -> j in {i+2, i+3}: i=0: j=2,3; i=1: j=3,4;
+  // i=2: j=4; i=3,4: none -> 5 total.
+  EXPECT_EQ(BruteForceCountOffsetSequences(5, gap, 2), 5u);
+  EXPECT_EQ(BruteForceCountOffsetSequences(5, gap, 1), 5u);
+  EXPECT_EQ(BruteForceCountOffsetSequences(0, gap, 1), 0u);
+  EXPECT_EQ(BruteForceCountOffsetSequences(5, gap, 0), 0u);
+}
+
+}  // namespace
+}  // namespace pgm

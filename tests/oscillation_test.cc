@@ -1,0 +1,114 @@
+#include "analysis/oscillation.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "util/random.h"
+
+namespace pgm {
+namespace {
+
+TEST(OscillationTest, PerfectPeriodTwo) {
+  // S = (AT)^50, L = 100. The paper's statistic is the *unconditional*
+  // pair frequency n_XY(p)/(L-p) minus pr(X)pr(Y):
+  //   n_AT(1) = 50 (every A is followed by T)  -> 50/99 - 0.25
+  //   n_AA(2) = 49                              -> 49/98 - 0.25
+  //   n_AT(2) = 0                               -> 0     - 0.25
+  std::string text;
+  for (int i = 0; i < 50; ++i) text += "AT";
+  Sequence s = *Sequence::FromString(text, Alphabet::Dna());
+  EXPECT_NEAR(*BasePairCorrelation(s, 'A', 'T', 1), 50.0 / 99 - 0.25, 1e-9);
+  EXPECT_NEAR(*BasePairCorrelation(s, 'A', 'A', 2), 49.0 / 98 - 0.25, 1e-9);
+  EXPECT_NEAR(*BasePairCorrelation(s, 'A', 'T', 2), 0.0 - 0.25, 1e-9);
+}
+
+TEST(OscillationTest, RandomSequenceNearZero) {
+  Rng rng(404);
+  Sequence s = *UniformRandomSequence(20'000, Alphabet::Dna(), rng);
+  for (std::int64_t p : {1, 5, 10, 11}) {
+    EXPECT_NEAR(*BasePairCorrelation(s, 'A', 'T', p), 0.0, 0.01);
+  }
+}
+
+TEST(OscillationTest, InvalidDistances) {
+  Sequence s = *Sequence::FromString("ACGTACGT", Alphabet::Dna());
+  EXPECT_FALSE(BasePairCorrelation(s, 'A', 'T', 0).ok());
+  EXPECT_FALSE(BasePairCorrelation(s, 'A', 'T', -2).ok());
+  EXPECT_FALSE(BasePairCorrelation(s, 'A', 'T', 8).ok());
+  EXPECT_TRUE(BasePairCorrelation(s, 'A', 'T', 7).ok());
+}
+
+TEST(OscillationTest, InvalidCharacters) {
+  Sequence s = *Sequence::FromString("ACGTACGT", Alphabet::Dna());
+  EXPECT_FALSE(BasePairCorrelation(s, 'N', 'T', 1).ok());
+  EXPECT_FALSE(BasePairCorrelation(s, 'A', 'Z', 1).ok());
+}
+
+TEST(SpectrumTest, ValuesMatchPointQueries) {
+  Rng rng(405);
+  Sequence s = *UniformRandomSequence(500, Alphabet::Dna(), rng);
+  CorrelationSpectrum spectrum = *CorrelationSpectrumFor(s, 'A', 'T', 20);
+  ASSERT_EQ(spectrum.values.size(), 20u);
+  EXPECT_EQ(spectrum.x, 'A');
+  EXPECT_EQ(spectrum.y, 'T');
+  for (std::int64_t p = 1; p <= 20; ++p) {
+    EXPECT_NEAR(spectrum.values[p - 1], *BasePairCorrelation(s, 'A', 'T', p),
+                1e-12);
+  }
+}
+
+TEST(SpectrumTest, InvalidMaxDistance) {
+  Sequence s = *Sequence::FromString("ACGT", Alphabet::Dna());
+  EXPECT_FALSE(CorrelationSpectrumFor(s, 'A', 'T', 0).ok());
+  EXPECT_FALSE(CorrelationSpectrumFor(s, 'A', 'T', 4).ok());
+}
+
+TEST(SpectrumTest, PlantedHelicalPeriodShowsPeak) {
+  // Plant 'A'...'A' pairs at distance 10 on a random background: the AA
+  // spectrum must peak at 10.
+  Rng rng(406);
+  Sequence s = *UniformRandomSequence(4000, Alphabet::Dna(), rng);
+  std::vector<Symbol> symbols = s.symbols();
+  Symbol a = Alphabet::Dna().Encode('A');
+  // Stride 29 so the secondary planted distances (19, 29) fall outside the
+  // inspected range [1, 15].
+  for (std::size_t i = 0; i + 10 < symbols.size(); i += 29) {
+    symbols[i] = a;
+    symbols[i + 10] = a;
+  }
+  s = *Sequence::FromSymbols(symbols, Alphabet::Dna());
+  CorrelationSpectrum spectrum = *CorrelationSpectrumFor(s, 'A', 'A', 15);
+  // Distance 10 dominates every other distance.
+  for (std::size_t i = 0; i < spectrum.values.size(); ++i) {
+    if (i != 9) {
+      EXPECT_GT(spectrum.values[9], spectrum.values[i]);
+    }
+  }
+  std::vector<std::int64_t> peaks = FindPeaks(spectrum, 0.01);
+  ASSERT_FALSE(peaks.empty());
+  EXPECT_EQ(peaks[0], 10);
+}
+
+TEST(FindPeaksTest, StrictLocalMaxima) {
+  CorrelationSpectrum spectrum;
+  spectrum.values = {0.1, 0.5, 0.2, 0.6, 0.6, 0.3, 0.9};
+  // 0.5 at p=2 is a peak; the 0.6 plateau is not (not strictly greater);
+  // 0.9 at the boundary p=7 is a peak.
+  EXPECT_EQ(FindPeaks(spectrum, 0.0),
+            (std::vector<std::int64_t>{2, 7}));
+}
+
+TEST(FindPeaksTest, ThresholdFilters) {
+  CorrelationSpectrum spectrum;
+  spectrum.values = {0.1, 0.5, 0.2, 0.05, 0.3, 0.1};
+  EXPECT_EQ(FindPeaks(spectrum, 0.4), (std::vector<std::int64_t>{2}));
+  EXPECT_TRUE(FindPeaks(spectrum, 0.9).empty());
+}
+
+TEST(FindPeaksTest, EmptySpectrum) {
+  CorrelationSpectrum spectrum;
+  EXPECT_TRUE(FindPeaks(spectrum, 0.0).empty());
+}
+
+}  // namespace
+}  // namespace pgm

@@ -1,0 +1,124 @@
+#include "core/pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace pgm {
+namespace {
+
+const GapRequirement kGap = *GapRequirement::Create(2, 3);
+
+TEST(PatternTest, ParseShorthand) {
+  StatusOr<Pattern> p = Pattern::Parse("ATC", Alphabet::Dna());
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->length(), 3u);
+  EXPECT_EQ(p->CharAt(0), 'A');
+  EXPECT_EQ(p->CharAt(1), 'T');
+  EXPECT_EQ(p->CharAt(2), 'C');
+}
+
+TEST(PatternTest, ParseRejectsEmpty) {
+  EXPECT_FALSE(Pattern::Parse("", Alphabet::Dna()).ok());
+}
+
+TEST(PatternTest, ParseRejectsUnknownCharacter) {
+  StatusOr<Pattern> p = Pattern::Parse("AXC", Alphabet::Dna());
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("'X'"), std::string::npos);
+}
+
+TEST(PatternTest, ParseRejectsWildcardInShorthand) {
+  EXPECT_FALSE(Pattern::Parse("A.C", Alphabet::Dna()).ok());
+}
+
+TEST(PatternTest, FromSymbolsValidates) {
+  EXPECT_TRUE(Pattern::FromSymbols({0, 3, 1}, Alphabet::Dna()).ok());
+  EXPECT_FALSE(Pattern::FromSymbols({0, 4}, Alphabet::Dna()).ok());
+  EXPECT_FALSE(Pattern::FromSymbols({}, Alphabet::Dna()).ok());
+}
+
+TEST(PatternTest, FullNotationParsesPaperExample) {
+  // prefix(A..T.C) example uses gaps of size 2 and 1; use matching gap req.
+  GapRequirement gap = *GapRequirement::Create(1, 2);
+  StatusOr<Pattern> p = Pattern::ParseFullNotation("A..T.C", Alphabet::Dna(), gap);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->length(), 3u);
+  EXPECT_EQ(p->ToShorthand(), "ATC");
+}
+
+TEST(PatternTest, FullNotationValidatesGapSizes) {
+  GapRequirement gap = *GapRequirement::Create(2, 2);
+  EXPECT_TRUE(Pattern::ParseFullNotation("A..T..C", Alphabet::Dna(), gap).ok());
+  // Gap of 1 is below N=2.
+  EXPECT_FALSE(Pattern::ParseFullNotation("A.T..C", Alphabet::Dna(), gap).ok());
+  // Gap of 3 is above M=2.
+  EXPECT_FALSE(Pattern::ParseFullNotation("A...T..C", Alphabet::Dna(), gap).ok());
+}
+
+TEST(PatternTest, FullNotationMustStartAndEndWithCharacters) {
+  GapRequirement gap = *GapRequirement::Create(0, 5);
+  EXPECT_FALSE(Pattern::ParseFullNotation(".AT", Alphabet::Dna(), gap).ok());
+  EXPECT_FALSE(Pattern::ParseFullNotation("AT.", Alphabet::Dna(), gap).ok());
+  EXPECT_FALSE(Pattern::ParseFullNotation(".", Alphabet::Dna(), gap).ok());
+}
+
+TEST(PatternTest, FullNotationZeroGapAllowedWhenNIsZero) {
+  GapRequirement gap = *GapRequirement::Create(0, 2);
+  StatusOr<Pattern> p = Pattern::ParseFullNotation("ATC", Alphabet::Dna(), gap);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->length(), 3u);
+}
+
+TEST(PatternTest, PrefixAndSuffixMatchPaperDefinition) {
+  // prefix(A..T.C) = A..T and suffix(A..T.C) = T.C — in shorthand:
+  // prefix(ATC) = AT, suffix(ATC) = TC.
+  Pattern p = *Pattern::Parse("ATC", Alphabet::Dna());
+  EXPECT_EQ(p.Prefix().ToShorthand(), "AT");
+  EXPECT_EQ(p.Suffix().ToShorthand(), "TC");
+}
+
+TEST(PatternTest, PrefixSuffixOfLengthTwo) {
+  Pattern p = *Pattern::Parse("AG", Alphabet::Dna());
+  EXPECT_EQ(p.Prefix().ToShorthand(), "A");
+  EXPECT_EQ(p.Suffix().ToShorthand(), "G");
+}
+
+TEST(PatternTest, SubPattern) {
+  Pattern p = *Pattern::Parse("ACGTA", Alphabet::Dna());
+  EXPECT_EQ(p.SubPattern(1, 3).ToShorthand(), "CGT");
+  EXPECT_EQ(p.SubPattern(0, 5).ToShorthand(), "ACGTA");
+  EXPECT_EQ(p.SubPattern(3, 100).ToShorthand(), "TA");
+  EXPECT_TRUE(p.SubPattern(5, 1).empty());
+}
+
+TEST(PatternTest, LengthCountsCharactersNotWildcards) {
+  // |A..T.C| = 3 per the paper.
+  GapRequirement gap = *GapRequirement::Create(1, 2);
+  Pattern p = *Pattern::ParseFullNotation("A..T.C", Alphabet::Dna(), gap);
+  EXPECT_EQ(p.length(), 3u);
+}
+
+TEST(PatternTest, ToStringShowsGapRequirement) {
+  Pattern p = *Pattern::Parse("ATC", Alphabet::Dna());
+  EXPECT_EQ(p.ToString(kGap), "Ag(2,3)Tg(2,3)C");
+  Pattern single = *Pattern::Parse("G", Alphabet::Dna());
+  EXPECT_EQ(single.ToString(kGap), "G");
+}
+
+TEST(PatternTest, EqualityAndOrdering) {
+  Pattern a = *Pattern::Parse("AC", Alphabet::Dna());
+  Pattern a2 = *Pattern::Parse("AC", Alphabet::Dna());
+  Pattern b = *Pattern::Parse("AG", Alphabet::Dna());
+  EXPECT_TRUE(a == a2);
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+}
+
+TEST(PatternTest, ProteinPatterns) {
+  StatusOr<Pattern> p = Pattern::Parse("LWL", Alphabet::Protein());
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToShorthand(), "LWL");
+}
+
+}  // namespace
+}  // namespace pgm

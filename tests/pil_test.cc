@@ -1,0 +1,152 @@
+#include "core/pil.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pattern.h"
+#include "core/verifier.h"
+#include "datagen/generators.h"
+#include "util/random.h"
+
+namespace pgm {
+namespace {
+
+TEST(PilTest, ForSymbolListsOccurrences) {
+  Sequence s = *Sequence::FromString("ACAGA", Alphabet::Dna());
+  PartialIndexList pil = PartialIndexList::ForSymbol(s, 0);  // 'A'
+  ASSERT_EQ(pil.size(), 3u);
+  EXPECT_EQ(pil.entries()[0], (PilEntry{0, 1}));
+  EXPECT_EQ(pil.entries()[1], (PilEntry{2, 1}));
+  EXPECT_EQ(pil.entries()[2], (PilEntry{4, 1}));
+  EXPECT_EQ(pil.TotalSupport().count, 3u);
+}
+
+TEST(PilTest, ForSymbolAbsentSymbol) {
+  Sequence s = *Sequence::FromString("AAAA", Alphabet::Dna());
+  PartialIndexList pil = PartialIndexList::ForSymbol(s, 3);  // 'T'
+  EXPECT_TRUE(pil.empty());
+  EXPECT_EQ(pil.TotalSupport().count, 0u);
+}
+
+TEST(PilTest, PaperExampleCombine) {
+  // S = AACCGTT, P = ACT, gap [1,2] -> PIL(P) = {(0,3),(1,2)} (0-based).
+  Sequence s = *Sequence::FromString("AACCGTT", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(1, 2);
+  // Build PIL(AC) and PIL(CT) via Combine from single-symbol PILs.
+  PartialIndexList a = PartialIndexList::ForSymbol(s, 0);
+  PartialIndexList c = PartialIndexList::ForSymbol(s, 1);
+  PartialIndexList t = PartialIndexList::ForSymbol(s, 3);
+  PartialIndexList ac = PartialIndexList::Combine(a, c, gap);
+  PartialIndexList ct = PartialIndexList::Combine(c, t, gap);
+  PartialIndexList act = PartialIndexList::Combine(ac, ct, gap);
+  ASSERT_EQ(act.size(), 2u);
+  EXPECT_EQ(act.entries()[0], (PilEntry{0, 3}));
+  EXPECT_EQ(act.entries()[1], (PilEntry{1, 2}));
+  EXPECT_EQ(act.TotalSupport().count, 5u);
+}
+
+TEST(PilTest, CombineEmptyInputs) {
+  Sequence s = *Sequence::FromString("ACGT", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(0, 1);
+  PartialIndexList a = PartialIndexList::ForSymbol(s, 0);
+  PartialIndexList empty;
+  EXPECT_TRUE(PartialIndexList::Combine(a, empty, gap).empty());
+  EXPECT_TRUE(PartialIndexList::Combine(empty, a, gap).empty());
+  EXPECT_TRUE(PartialIndexList::Combine(empty, empty, gap).empty());
+}
+
+TEST(PilTest, CombineRespectsWindowBoundaries) {
+  // Prefix at 0; suffix at 3 and 7. Gap [2,3] allows suffix positions
+  // 3..4 only -> only the entry at 3 is counted.
+  PartialIndexList prefix = PartialIndexList::FromEntries({{0, 1}});
+  PartialIndexList suffix = PartialIndexList::FromEntries({{3, 5}, {7, 9}});
+  GapRequirement gap = *GapRequirement::Create(2, 3);
+  PartialIndexList combined = PartialIndexList::Combine(prefix, suffix, gap);
+  ASSERT_EQ(combined.size(), 1u);
+  EXPECT_EQ(combined.entries()[0], (PilEntry{0, 5}));
+}
+
+TEST(PilTest, CombineDropsZeroWindows) {
+  PartialIndexList prefix = PartialIndexList::FromEntries({{0, 1}, {50, 1}});
+  PartialIndexList suffix = PartialIndexList::FromEntries({{3, 2}});
+  GapRequirement gap = *GapRequirement::Create(2, 3);
+  PartialIndexList combined = PartialIndexList::Combine(prefix, suffix, gap);
+  // Position 50's window [53,54] has no suffix entries: dropped entirely.
+  ASSERT_EQ(combined.size(), 1u);
+  EXPECT_EQ(combined.entries()[0].pos, 0u);
+}
+
+TEST(PilTest, CombineSumsCountsInsideWindow) {
+  PartialIndexList prefix = PartialIndexList::FromEntries({{0, 7}});
+  PartialIndexList suffix =
+      PartialIndexList::FromEntries({{1, 10}, {2, 20}, {3, 40}});
+  GapRequirement gap = *GapRequirement::Create(0, 2);  // window [1,3]
+  PartialIndexList combined = PartialIndexList::Combine(prefix, suffix, gap);
+  ASSERT_EQ(combined.size(), 1u);
+  // The prefix count is membership-only; the result is the suffix sum.
+  EXPECT_EQ(combined.entries()[0].count, 70u);
+}
+
+TEST(PilTest, CombineSlidingWindowAgainstVerifier) {
+  // Randomized cross-check: PIL built by repeated Combine equals the
+  // direct-DP PIL from the verifier.
+  Rng rng(99);
+  GapRequirement gap = *GapRequirement::Create(1, 3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Sequence s = *UniformRandomSequence(60, Alphabet::Dna(), rng);
+    // Random pattern of length 3.
+    std::vector<Symbol> symbols;
+    for (int i = 0; i < 3; ++i) {
+      symbols.push_back(static_cast<Symbol>(rng.UniformInt(4)));
+    }
+    Pattern p = *Pattern::FromSymbols(symbols, Alphabet::Dna());
+    PartialIndexList s0 = PartialIndexList::ForSymbol(s, symbols[0]);
+    PartialIndexList s1 = PartialIndexList::ForSymbol(s, symbols[1]);
+    PartialIndexList s2 = PartialIndexList::ForSymbol(s, symbols[2]);
+    PartialIndexList left = PartialIndexList::Combine(s0, s1, gap);
+    PartialIndexList right = PartialIndexList::Combine(s1, s2, gap);
+    PartialIndexList combined = PartialIndexList::Combine(left, right, gap);
+    PartialIndexList direct = *ComputePil(s, p, gap);
+    EXPECT_TRUE(combined == direct) << "trial " << trial << " pattern "
+                                    << p.ToShorthand();
+  }
+}
+
+TEST(PilTest, TotalSupportSaturates) {
+  PartialIndexList pil = PartialIndexList::FromEntries(
+      {{0, kSaturatedCount - 1}, {1, kSaturatedCount - 1}});
+  SupportInfo info = pil.TotalSupport();
+  EXPECT_TRUE(info.saturated);
+  EXPECT_EQ(info.count, kSaturatedCount);
+}
+
+TEST(PilTest, TotalSupportWithSaturatedEntry) {
+  PartialIndexList pil =
+      PartialIndexList::FromEntries({{0, kSaturatedCount}, {5, 3}});
+  SupportInfo info = pil.TotalSupport();
+  EXPECT_TRUE(info.saturated);
+  EXPECT_EQ(info.count, kSaturatedCount);
+}
+
+TEST(PilTest, CombinePropagatesSaturation) {
+  PartialIndexList prefix = PartialIndexList::FromEntries({{0, 1}});
+  PartialIndexList suffix =
+      PartialIndexList::FromEntries({{2, kSaturatedCount}, {3, 5}});
+  GapRequirement gap = *GapRequirement::Create(1, 2);  // window [2,3]
+  PartialIndexList combined = PartialIndexList::Combine(prefix, suffix, gap);
+  ASSERT_EQ(combined.size(), 1u);
+  EXPECT_TRUE(IsSaturated(combined.entries()[0].count));
+  // Window slides past the saturated entry: the sum must recover exactly.
+  PartialIndexList prefix2 = PartialIndexList::FromEntries({{0, 1}, {1, 1}});
+  PartialIndexList combined2 = PartialIndexList::Combine(prefix2, suffix, gap);
+  ASSERT_EQ(combined2.size(), 2u);
+  EXPECT_TRUE(IsSaturated(combined2.entries()[0].count));  // window [2,3]
+  EXPECT_EQ(combined2.entries()[1].count, 5u);             // window [3,4]
+}
+
+TEST(PilTest, MemoryBytesTracksCapacity) {
+  PartialIndexList pil = PartialIndexList::FromEntries({{0, 1}, {1, 1}});
+  EXPECT_GE(pil.MemoryBytes(), 2 * sizeof(PilEntry));
+}
+
+}  // namespace
+}  // namespace pgm

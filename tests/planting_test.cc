@@ -1,0 +1,131 @@
+#include "datagen/planting.h"
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.h"
+#include "datagen/generators.h"
+#include "util/random.h"
+
+namespace pgm {
+namespace {
+
+Sequence Base(std::size_t length, std::uint64_t seed) {
+  Rng rng(seed);
+  return *UniformRandomSequence(length, Alphabet::Dna(), rng);
+}
+
+TEST(PlantTandemTest, OverwritesExactRegion) {
+  Sequence base = Base(20, 1);
+  Sequence planted = *PlantTandemRun(base, "ACG", 5, 3);
+  EXPECT_EQ(planted.Subsequence(5, 9).ToString(), "ACGACGACG");
+  // Everything outside the run is untouched.
+  EXPECT_EQ(planted.Subsequence(0, 5).ToString(),
+            base.Subsequence(0, 5).ToString());
+  EXPECT_EQ(planted.Subsequence(14, 6).ToString(),
+            base.Subsequence(14, 6).ToString());
+}
+
+TEST(PlantTandemTest, SingleCharMotif) {
+  Sequence base = Base(10, 2);
+  Sequence planted = *PlantTandemRun(base, "T", 0, 10);
+  EXPECT_EQ(planted.ToString(), "TTTTTTTTTT");
+}
+
+TEST(PlantTandemTest, ValidatesBounds) {
+  Sequence base = Base(10, 3);
+  EXPECT_FALSE(PlantTandemRun(base, "ACG", 5, 2).ok());   // 5+6 > 10
+  EXPECT_TRUE(PlantTandemRun(base, "ACG", 4, 2).ok());    // 4+6 == 10
+  EXPECT_FALSE(PlantTandemRun(base, "", 0, 2).ok());
+  EXPECT_FALSE(PlantTandemRun(base, "AC", 0, 0).ok());
+  EXPECT_FALSE(PlantTandemRun(base, "AXC", 0, 2).ok());   // bad character
+}
+
+TEST(PlantNoisyTest, FullPurityEqualsExactRun) {
+  Sequence base = Base(30, 4);
+  Rng rng(5);
+  Sequence noisy = *PlantNoisyTandemRun(base, "AT", 3, 10, 1.0, rng);
+  Sequence exact = *PlantTandemRun(base, "AT", 3, 10);
+  EXPECT_EQ(noisy.ToString(), exact.ToString());
+}
+
+TEST(PlantNoisyTest, ZeroPurityLeavesBaseUnchanged) {
+  Sequence base = Base(30, 6);
+  Rng rng(7);
+  Sequence noisy = *PlantNoisyTandemRun(base, "AT", 3, 10, 0.0, rng);
+  EXPECT_EQ(noisy.ToString(), base.ToString());
+}
+
+TEST(PlantNoisyTest, IntermediatePurityMixes) {
+  Sequence base = Base(2000, 8);
+  Rng rng(9);
+  Sequence noisy = *PlantNoisyTandemRun(base, "A", 0, 2000, 0.8, rng);
+  std::size_t motif_chars = 0;
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    if (noisy.CharAt(i) == 'A') ++motif_chars;
+  }
+  // ~80% planted + ~25% of the remaining 20% already-A background.
+  EXPECT_NEAR(static_cast<double>(motif_chars) / 2000, 0.85, 0.04);
+}
+
+TEST(PlantNoisyTest, ValidatesPurity) {
+  Sequence base = Base(30, 10);
+  Rng rng(11);
+  EXPECT_FALSE(PlantNoisyTandemRun(base, "A", 0, 5, -0.1, rng).ok());
+  EXPECT_FALSE(PlantNoisyTandemRun(base, "A", 0, 5, 1.1, rng).ok());
+}
+
+TEST(PlantGappedTest, OccurrencesActuallyMatch) {
+  Sequence base = Base(200, 12);
+  Pattern p = *Pattern::Parse("GCGT", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(3, 5);
+  Rng rng(13);
+  std::vector<std::size_t> anchors;
+  Sequence planted = *PlantGappedOccurrences(base, p, gap, 5, rng, &anchors);
+  EXPECT_EQ(anchors.size(), 5u);
+  // The pattern now matches with at least one offset sequence starting at
+  // every recorded anchor (later plants may overwrite earlier ones, but
+  // each anchor at least has the first character).
+  const std::uint64_t support = CountSupport(planted, p, gap)->count;
+  EXPECT_GT(support, 0u);
+  // All anchors leave room for the maximum span.
+  for (std::size_t anchor : anchors) {
+    EXPECT_LE(anchor + gap.MaxSpan(4), 200);
+  }
+}
+
+TEST(PlantGappedTest, SupportIncreasesMonotonically) {
+  Sequence base = Base(300, 14);
+  Pattern p = *Pattern::Parse("CCGG", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(2, 4);
+  Rng rng(15);
+  const std::uint64_t before = CountSupport(base, p, gap)->count;
+  Sequence planted = *PlantGappedOccurrences(base, p, gap, 20, rng);
+  const std::uint64_t after = CountSupport(planted, p, gap)->count;
+  EXPECT_GT(after, before);
+}
+
+TEST(PlantGappedTest, ValidatesSpanAndAlphabet) {
+  Sequence base = Base(10, 16);
+  GapRequirement gap = *GapRequirement::Create(5, 9);
+  Rng rng(17);
+  Pattern p = *Pattern::Parse("ACG", Alphabet::Dna());
+  // maxspan(3) = 3 + 2*9 = 21 > 10.
+  EXPECT_FALSE(PlantGappedOccurrences(base, p, gap, 1, rng).ok());
+  Pattern protein = *Pattern::Parse("LW", Alphabet::Protein());
+  EXPECT_FALSE(
+      PlantGappedOccurrences(base, protein, *GapRequirement::Create(0, 1), 1,
+                             rng)
+          .ok());
+}
+
+TEST(PlantGappedTest, ZeroOccurrencesIsIdentity) {
+  Sequence base = Base(50, 18);
+  Pattern p = *Pattern::Parse("AC", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(1, 2);
+  Rng rng(19);
+  Sequence planted = *PlantGappedOccurrences(base, p, gap, 0, rng);
+  EXPECT_EQ(planted.ToString(), base.ToString());
+}
+
+}  // namespace
+}  // namespace pgm

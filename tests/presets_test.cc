@@ -1,0 +1,121 @@
+#include "datagen/presets.h"
+
+#include <gtest/gtest.h>
+
+#include "seq/stats.h"
+
+namespace pgm {
+namespace {
+
+TEST(SurrogateTest, HasExactDatabaseEntryLength) {
+  Sequence s = *MakeAx829174Surrogate();
+  EXPECT_EQ(s.size(), 10'011u);  // AX829174 is 10,011 bp
+}
+
+TEST(SurrogateTest, FullyDeterministic) {
+  Sequence a = *MakeAx829174Surrogate();
+  Sequence b = *MakeAx829174Surrogate();
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+TEST(SurrogateTest, GoldenContent) {
+  // Golden guard: EXPERIMENTS.md numbers are only reproducible while the
+  // surrogate stays bit-identical. Any change to the RNG, the Markov
+  // model, or the region planting must consciously update this test (and
+  // re-measure EXPERIMENTS.md).
+  Sequence s = *MakeAx829174Surrogate();
+  EXPECT_EQ(s.Subsequence(0, 48).ToString(),
+            "TTCCTATCCTATTTTATACTGACTGAAAAGGTGGAACTAAGGCCTCTG");
+  // Inside the first planted AT-rich region (positions 250-379).
+  EXPECT_EQ(s.Subsequence(260, 48).ToString(),
+            "TATAAAAAAAATGACTAAACTTTAAAAAAAAGATTTATATAATAGATA");
+}
+
+TEST(SurrogateTest, HumanLikeComposition) {
+  Sequence s = *MakeAx829174Surrogate();
+  double gc = *GcContent(s);
+  // Human-ish GC, pulled a bit lower by the planted A/T runs.
+  EXPECT_GT(gc, 0.25);
+  EXPECT_LT(gc, 0.45);
+}
+
+TEST(SurrogateTest, ContainsAtRichRegions) {
+  // The planted AT-rich mixed regions must survive generation: expect a
+  // 120-character window that is >= 85% A/T somewhere (background is only
+  // ~58% A/T, so this identifies a planted region, not noise).
+  Sequence s = *MakeAx829174Surrogate();
+  const std::size_t kWindow = 120;
+  std::size_t at_in_window = 0;
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char c = s.CharAt(i);
+    if (c == 'A' || c == 'T') ++at_in_window;
+    if (i >= kWindow) {
+      char old = s.CharAt(i - kWindow);
+      if (old == 'A' || old == 'T') --at_in_window;
+    }
+    best = std::max(best, at_in_window);
+  }
+  EXPECT_GE(best, static_cast<std::size_t>(kWindow * 0.85));
+}
+
+TEST(BacteriaTest, AtRichComposition) {
+  Sequence s = *MakeBacteriaLikeGenome(50'000, 7);
+  double gc = *GcContent(s);
+  EXPECT_GT(gc, 0.25);
+  EXPECT_LT(gc, 0.40);
+}
+
+TEST(BacteriaTest, DeterministicPerSeed) {
+  Sequence a = *MakeBacteriaLikeGenome(10'000, 3);
+  Sequence b = *MakeBacteriaLikeGenome(10'000, 3);
+  Sequence c = *MakeBacteriaLikeGenome(10'000, 4);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_NE(a.ToString(), c.ToString());
+}
+
+TEST(BacteriaTest, RequestedLength) {
+  EXPECT_EQ(MakeBacteriaLikeGenome(12'345, 1)->size(), 12'345u);
+}
+
+TEST(EukaryoteTest, LessAtRichThanBacteria) {
+  Sequence bacteria = *MakeBacteriaLikeGenome(100'000, 5);
+  Sequence eukaryote = *MakeEukaryoteLikeGenome(100'000, 5);
+  EXPECT_GT(*GcContent(eukaryote), *GcContent(bacteria));
+}
+
+TEST(EukaryoteTest, ContainsLongGTract) {
+  // The 195 bp poly-G tract (planted every ~150 kb from position ~52k,
+  // sized so poly-G patterns max out at the paper's length 17) must be
+  // present in a 200 kb genome. Noisy planting at purity 0.95 interrupts
+  // pure runs, so check for a dense G window instead.
+  Sequence s = *MakeEukaryoteLikeGenome(200'000, 9);
+  std::size_t window_g = 0;
+  std::size_t max_window_g = 0;
+  const std::size_t kWindow = 195;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s.CharAt(i) == 'G') ++window_g;
+    if (i >= kWindow && s.CharAt(i - kWindow) == 'G') --window_g;
+    max_window_g = std::max(max_window_g, window_g);
+  }
+  EXPECT_GE(max_window_g, 160u);
+}
+
+TEST(WormTest, ContainsMicrosatelliteExpansions) {
+  Sequence s = *MakeWormLikeGenome(60'000, 11);
+  const std::string text = s.ToString();
+  // (AT)n and (GTA)n expansions: look for long literal repeats.
+  EXPECT_NE(text.find("ATATATATATATATATATAT"), std::string::npos);
+  EXPECT_NE(text.find("GTAGTAGTAGTAGTA"), std::string::npos);
+}
+
+TEST(PresetsTest, AllPresetsStayInDnaAlphabet) {
+  for (const Sequence& s :
+       {*MakeBacteriaLikeGenome(5'000, 1), *MakeEukaryoteLikeGenome(5'000, 1),
+        *MakeWormLikeGenome(5'000, 1), *MakeAx829174Surrogate()}) {
+    for (Symbol sym : s.symbols()) EXPECT_LT(sym, 4);
+  }
+}
+
+}  // namespace
+}  // namespace pgm

@@ -1,0 +1,138 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace pgm {
+namespace {
+
+TEST(SplitMix64Test, MatchesReferenceVector) {
+  // Reference values for seed 0 from the SplitMix64 reference
+  // implementation (Vigna).
+  std::uint64_t state = 0;
+  EXPECT_EQ(SplitMix64(state), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(SplitMix64(state), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(SplitMix64(state), 0x06C45D188009454FULL);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.Next() != b.Next()) ++differences;
+  }
+  EXPECT_GT(differences, 12);
+}
+
+TEST(RngTest, UniformIntStaysInBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(6));
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(RngTest, UniformIntRoughlyUniform) {
+  Rng rng(11);
+  const int kBuckets = 8, kSamples = 80'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.UniformInt(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformRangeSingleton) {
+  Rng rng(15);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformRange(5, 5), 5);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-1.0));
+    EXPECT_TRUE(rng.Bernoulli(2.0));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(21);
+  int hits = 0;
+  const int kSamples = 50'000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(23);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 4.0};
+  std::vector<int> counts(4, 0);
+  const int kSamples = 80'000;
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kSamples), 1.0 / 8, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kSamples), 3.0 / 8, 0.02);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kSamples), 4.0 / 8, 0.02);
+}
+
+TEST(RngTest, CategoricalAllZeroWeightsReturnsLastIndex) {
+  Rng rng(25);
+  EXPECT_EQ(rng.Categorical({0.0, 0.0, 0.0}), 2u);
+}
+
+TEST(RngTest, CategoricalNegativeWeightsTreatedAsZero) {
+  Rng rng(27);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Categorical({-5.0, 1.0, -2.0}), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace pgm

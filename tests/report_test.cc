@@ -1,0 +1,125 @@
+#include "analysis/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "datagen/generators.h"
+#include "util/random.h"
+
+namespace pgm {
+namespace {
+
+MiningResult MineSomething() {
+  Rng rng(616);
+  Sequence s = *UniformRandomSequence(80, Alphabet::Dna(), rng);
+  MinerConfig config;
+  config.min_gap = 1;
+  config.max_gap = 2;
+  config.min_support_ratio = 0.02;
+  config.start_length = 1;
+  config.em_order = 2;
+  return *MineMppm(s, config);
+}
+
+const GapRequirement kGap = *GapRequirement::Create(1, 2);
+
+TEST(ReportTest, ContainsHeadlineAndPatterns) {
+  MiningResult result = MineSomething();
+  std::string report = FormatMiningReport(result, kGap);
+  EXPECT_NE(report.find("frequent patterns"), std::string::npos);
+  EXPECT_NE(report.find("gap [1,2]"), std::string::npos);
+  EXPECT_NE(report.find("e_m ="), std::string::npos);
+  EXPECT_NE(report.find("per-level candidates"), std::string::npos);
+  // The longest pattern's shorthand appears in the table (longest first).
+  ASSERT_FALSE(result.patterns.empty());
+  EXPECT_NE(report.find(result.patterns.back().pattern.ToShorthand()),
+            std::string::npos);
+}
+
+TEST(ReportTest, TopLimitsRows) {
+  MiningResult result = MineSomething();
+  ReportOptions options;
+  options.top = 3;
+  options.include_level_stats = false;
+  std::string report = FormatMiningReport(result, kGap, options);
+  EXPECT_NE(report.find("more"), std::string::npos);
+  EXPECT_EQ(report.find("per-level"), std::string::npos);
+}
+
+TEST(ReportTest, MaximalCondensation) {
+  MiningResult result = MineSomething();
+  ReportOptions options;
+  options.maximal_only = true;
+  options.top = 0;
+  std::string report = FormatMiningReport(result, kGap, options);
+  EXPECT_NE(report.find("maximal patterns"), std::string::npos);
+}
+
+TEST(PatternsCsvTest, RoundTripsExactly) {
+  MiningResult result = MineSomething();
+  ASSERT_FALSE(result.patterns.empty());
+  std::string csv = PatternsToCsv(result);
+  StatusOr<std::vector<FrequentPattern>> loaded =
+      ParsePatternsCsv(csv, Alphabet::Dna());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), result.patterns.size());
+  for (std::size_t i = 0; i < loaded->size(); ++i) {
+    EXPECT_TRUE((*loaded)[i].pattern == result.patterns[i].pattern);
+    EXPECT_EQ((*loaded)[i].support, result.patterns[i].support);
+    EXPECT_NEAR((*loaded)[i].support_ratio, result.patterns[i].support_ratio,
+                1e-12);
+    EXPECT_EQ((*loaded)[i].saturated, result.patterns[i].saturated);
+  }
+}
+
+TEST(PatternsCsvTest, FileRoundTrip) {
+  MiningResult result = MineSomething();
+  const std::string path = testing::TempDir() + "/report_test.csv";
+  ASSERT_TRUE(SavePatternsCsv(result, path).ok());
+  StatusOr<std::vector<FrequentPattern>> loaded =
+      LoadPatternsCsv(path, Alphabet::Dna());
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), result.patterns.size());
+}
+
+TEST(PatternsCsvTest, RejectsWrongHeader) {
+  EXPECT_FALSE(
+      ParsePatternsCsv("a,b,c\nx,1,2\n", Alphabet::Dna()).ok());
+}
+
+TEST(PatternsCsvTest, RejectsInconsistentLength) {
+  const std::string csv =
+      "pattern,length,support,ratio,saturated\nACG,2,5,0.1,0\n";
+  StatusOr<std::vector<FrequentPattern>> loaded =
+      ParsePatternsCsv(csv, Alphabet::Dna());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(PatternsCsvTest, RejectsBadFields) {
+  const std::string header = "pattern,length,support,ratio,saturated\n";
+  EXPECT_FALSE(
+      ParsePatternsCsv(header + "ACN,3,5,0.1,0\n", Alphabet::Dna()).ok());
+  EXPECT_FALSE(
+      ParsePatternsCsv(header + "ACG,3,-5,0.1,0\n", Alphabet::Dna()).ok());
+  EXPECT_FALSE(
+      ParsePatternsCsv(header + "ACG,3,5,xyz,0\n", Alphabet::Dna()).ok());
+  EXPECT_FALSE(
+      ParsePatternsCsv(header + "ACG,3,5,0.1,maybe\n", Alphabet::Dna()).ok());
+  EXPECT_FALSE(
+      ParsePatternsCsv(header + "ACG,3,5,0.1\n", Alphabet::Dna()).ok());
+}
+
+TEST(PatternsCsvTest, EmptyPatternsListRoundTrips) {
+  MiningResult empty;
+  std::string csv = PatternsToCsv(empty);
+  StatusOr<std::vector<FrequentPattern>> loaded =
+      ParsePatternsCsv(csv, Alphabet::Dna());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+}  // namespace
+}  // namespace pgm

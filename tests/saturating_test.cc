@@ -1,0 +1,53 @@
+#include "util/saturating.h"
+
+#include <gtest/gtest.h>
+
+namespace pgm {
+namespace {
+
+TEST(SaturatingTest, AddWithoutOverflow) {
+  EXPECT_EQ(SatAdd(1, 2), 3u);
+  EXPECT_EQ(SatAdd(0, 0), 0u);
+  EXPECT_EQ(SatAdd(kSaturatedCount - 1, 0), kSaturatedCount - 1);
+}
+
+TEST(SaturatingTest, AddClampsOnOverflow) {
+  EXPECT_EQ(SatAdd(kSaturatedCount, 1), kSaturatedCount);
+  EXPECT_EQ(SatAdd(kSaturatedCount - 1, 2), kSaturatedCount);
+  EXPECT_EQ(SatAdd(kSaturatedCount, kSaturatedCount), kSaturatedCount);
+}
+
+TEST(SaturatingTest, AddReachesExactlyMax) {
+  // 2^64-1 is the saturation sentinel, so an exact-max result is
+  // indistinguishable from overflow by design.
+  EXPECT_EQ(SatAdd(kSaturatedCount - 1, 1), kSaturatedCount);
+}
+
+TEST(SaturatingTest, MulWithoutOverflow) {
+  EXPECT_EQ(SatMul(3, 4), 12u);
+  EXPECT_EQ(SatMul(0, kSaturatedCount), 0u);
+  EXPECT_EQ(SatMul(1, kSaturatedCount - 1), kSaturatedCount - 1);
+}
+
+TEST(SaturatingTest, MulClampsOnOverflow) {
+  EXPECT_EQ(SatMul(1ULL << 32, 1ULL << 32), kSaturatedCount);
+  EXPECT_EQ(SatMul(kSaturatedCount, 2), kSaturatedCount);
+}
+
+TEST(SaturatingTest, IsSaturated) {
+  EXPECT_TRUE(IsSaturated(kSaturatedCount));
+  EXPECT_FALSE(IsSaturated(kSaturatedCount - 1));
+  EXPECT_FALSE(IsSaturated(0));
+}
+
+TEST(SaturatingTest, SaturationIsSticky) {
+  std::uint64_t value = SatMul(1ULL << 40, 1ULL << 40);
+  EXPECT_TRUE(IsSaturated(value));
+  value = SatAdd(value, 1);
+  EXPECT_TRUE(IsSaturated(value));
+  value = SatMul(value, 3);
+  EXPECT_TRUE(IsSaturated(value));
+}
+
+}  // namespace
+}  // namespace pgm

@@ -1,0 +1,100 @@
+// Scaled regression tests for failure modes that only appear well above
+// unit-test input sizes. Both scenarios here OOM-killed early versions of
+// the library:
+//   1. MPPm's n-estimate degenerating to l1 on repetitive kilobase inputs
+//      (a long-double -> double cast made λ' collapse to zero), turning
+//      the level thresholds into no-ops.
+//   2. The level-wise engine materializing every candidate PIL of a level
+//      before thresholding instead of streaming them.
+// Inputs are sized to finish in seconds while still being far beyond the
+// regime the unit tests cover.
+
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "core/verifier.h"
+#include "datagen/presets.h"
+#include "seq/fragmenter.h"
+#include "util/random.h"
+
+namespace pgm {
+namespace {
+
+TEST(ScaleRegressionTest, MppmEstimateStaysUsableOnRepetitiveKilobases) {
+  // 20 kb bacteria-like genome under (scaled) Section 7 parameters. With
+  // the λ' regression, estimated_n came out as l1 (~1500) and the run
+  // exploded; a sane estimate is orders of magnitude below l1.
+  Sequence genome = *MakeBacteriaLikeGenome(20'000, 123);
+  MinerConfig config;
+  config.min_gap = 10;
+  config.max_gap = 12;
+  config.min_support_ratio = 0.0003;  // scaled for the shorter fragment
+  config.start_length = 3;
+  config.em_order = 8;
+  MiningResult result = *MineMppm(genome, config);
+  GapRequirement gap = *GapRequirement::Create(10, 12);
+  const std::int64_t l1 = gap.MaxGuaranteedLength(20'000);
+  // The e_m bound must beat the λ-only scan (which accepts nearly every k
+  // on data like this), and the resulting thresholds must keep the
+  // candidate volume bounded — the λ' regression blew past 10^7 here.
+  EXPECT_LT(result.estimated_n, l1)
+      << "n-estimate degenerated to the worst case";
+  MinerConfig no_em = config;
+  no_em.use_em_bound = false;
+  MiningResult loose = *MineMppm(genome, no_em);
+  EXPECT_LT(result.estimated_n, loose.estimated_n);
+  EXPECT_LT(result.total_candidates, 5'000'000u);
+  EXPECT_GE(result.estimated_n, result.longest_frequent_length);
+  EXPECT_FALSE(result.patterns.empty());
+}
+
+TEST(ScaleRegressionTest, WorstCaseMppCompletesOnKilobaseInput) {
+  // MPP worst case (n = l1) at L = 4000 with a generous threshold: before
+  // candidate streaming this materialized every level's PILs at once.
+  Rng rng(321);
+  Sequence genome = *MakeAx829174Surrogate();
+  Sequence segment = *RandomSegment(genome, 4000, rng);
+  MinerConfig config;
+  config.min_gap = 9;
+  config.max_gap = 12;
+  config.min_support_ratio = 0.003 / 100.0;
+  config.start_length = 3;
+  config.user_n = -1;
+  MiningResult result = *MineMpp(segment, config);
+  EXPECT_FALSE(result.patterns.empty());
+  EXPECT_GT(result.longest_frequent_length, 5);
+  // Spot-verify the longest pattern's support against the independent DP.
+  GapRequirement gap = *GapRequirement::Create(9, 12);
+  const FrequentPattern& longest = result.patterns.back();
+  EXPECT_EQ(longest.support, CountSupport(segment, longest.pattern, gap)->count);
+}
+
+TEST(ScaleRegressionTest, CaseStudyParametersOnRealFragmentSize) {
+  // A single 50 kb fragment under the exact Section 7 parameters (the
+  // configuration that OOM-killed the pre-fix library within seconds).
+  Sequence genome = *MakeEukaryoteLikeGenome(50'000, 456);
+  MinerConfig config;
+  config.min_gap = 10;
+  config.max_gap = 12;
+  config.min_support_ratio = 0.006 / 100.0;
+  config.start_length = 3;
+  config.em_order = 10;
+  MiningResult result = *MineMppm(genome, config);
+  EXPECT_FALSE(result.patterns.empty());
+  // All 256 AT-only length-8 patterns should be frequent (composition).
+  std::size_t at_only_8 = 0;
+  const Symbol a = Alphabet::Dna().Encode('A');
+  const Symbol t = Alphabet::Dna().Encode('T');
+  for (const FrequentPattern& fp : result.patterns) {
+    if (fp.pattern.length() != 8) continue;
+    bool at_only = true;
+    for (Symbol s : fp.pattern.symbols()) {
+      at_only = at_only && (s == a || s == t);
+    }
+    if (at_only) ++at_only_8;
+  }
+  EXPECT_GE(at_only_8, 250u);
+}
+
+}  // namespace
+}  // namespace pgm

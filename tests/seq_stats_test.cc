@@ -1,0 +1,107 @@
+#include "seq/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pgm {
+namespace {
+
+TEST(CompositionTest, CountsEverySymbol) {
+  Sequence s = *Sequence::FromString("AACGTT", Alphabet::Dna());
+  CompositionStats stats = ComputeComposition(s);
+  EXPECT_EQ(stats.total, 6u);
+  EXPECT_EQ(stats.counts, (std::vector<std::uint64_t>{2, 1, 1, 2}));
+  EXPECT_DOUBLE_EQ(stats.frequencies[0], 2.0 / 6);
+  EXPECT_DOUBLE_EQ(stats.frequencies[1], 1.0 / 6);
+}
+
+TEST(CompositionTest, EmptySequence) {
+  Sequence s = *Sequence::FromString("", Alphabet::Dna());
+  CompositionStats stats = ComputeComposition(s);
+  EXPECT_EQ(stats.total, 0u);
+  for (double f : stats.frequencies) EXPECT_EQ(f, 0.0);
+}
+
+TEST(GcContentTest, ComputesFraction) {
+  Sequence s = *Sequence::FromString("GGCCAATT", Alphabet::Dna());
+  EXPECT_DOUBLE_EQ(*GcContent(s), 0.5);
+  Sequence all_at = *Sequence::FromString("ATATAT", Alphabet::Dna());
+  EXPECT_DOUBLE_EQ(*GcContent(all_at), 0.0);
+  Sequence all_gc = *Sequence::FromString("GCGC", Alphabet::Dna());
+  EXPECT_DOUBLE_EQ(*GcContent(all_gc), 1.0);
+}
+
+TEST(GcContentTest, EmptySequenceIsZero) {
+  Sequence s = *Sequence::FromString("", Alphabet::Dna());
+  EXPECT_DOUBLE_EQ(*GcContent(s), 0.0);
+}
+
+TEST(GcContentTest, FailsWithoutGC) {
+  Alphabet binary = *Alphabet::Create("01");
+  Sequence s = *Sequence::FromString("0101", binary);
+  StatusOr<double> gc = GcContent(s);
+  ASSERT_FALSE(gc.ok());
+  EXPECT_EQ(gc.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(KmerTest, CountsOverlappingKmers) {
+  Sequence s = *Sequence::FromString("AAAA", Alphabet::Dna());
+  auto counts = *CountKmers(s, 2);
+  EXPECT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts["AA"], 3u);
+}
+
+TEST(KmerTest, DistinctKmers) {
+  Sequence s = *Sequence::FromString("ACGTA", Alphabet::Dna());
+  auto counts = *CountKmers(s, 3);
+  EXPECT_EQ(counts["ACG"], 1u);
+  EXPECT_EQ(counts["CGT"], 1u);
+  EXPECT_EQ(counts["GTA"], 1u);
+  EXPECT_EQ(counts.size(), 3u);
+}
+
+TEST(KmerTest, KLargerThanSequence) {
+  Sequence s = *Sequence::FromString("AC", Alphabet::Dna());
+  EXPECT_TRUE(CountKmers(s, 3)->empty());
+}
+
+TEST(KmerTest, KZeroIsError) {
+  Sequence s = *Sequence::FromString("AC", Alphabet::Dna());
+  EXPECT_FALSE(CountKmers(s, 0).ok());
+}
+
+TEST(KmerTest, KEqualsLength) {
+  Sequence s = *Sequence::FromString("ACG", Alphabet::Dna());
+  auto counts = *CountKmers(s, 3);
+  EXPECT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts["ACG"], 1u);
+}
+
+TEST(EntropyTest, UniformCompositionIsTwoBits) {
+  Sequence s = *Sequence::FromString("ACGT", Alphabet::Dna());
+  EXPECT_NEAR(CompositionEntropy(s), 2.0, 1e-12);
+}
+
+TEST(EntropyTest, HomopolymerIsZeroBits) {
+  Sequence s = *Sequence::FromString("AAAA", Alphabet::Dna());
+  EXPECT_DOUBLE_EQ(CompositionEntropy(s), 0.0);
+}
+
+TEST(EntropyTest, BiasedIsBetween) {
+  Sequence s = *Sequence::FromString("AAAC", Alphabet::Dna());
+  double h = CompositionEntropy(s);
+  EXPECT_GT(h, 0.0);
+  EXPECT_LT(h, 2.0);
+  // H(3/4, 1/4) exactly.
+  double expected = -(0.75 * std::log2(0.75) + 0.25 * std::log2(0.25));
+  EXPECT_NEAR(h, expected, 1e-12);
+}
+
+TEST(EntropyTest, EmptySequenceIsZero) {
+  Sequence s = *Sequence::FromString("", Alphabet::Dna());
+  EXPECT_DOUBLE_EQ(CompositionEntropy(s), 0.0);
+}
+
+}  // namespace
+}  // namespace pgm

@@ -1,0 +1,105 @@
+#include "seq/sequence.h"
+
+#include <gtest/gtest.h>
+
+namespace pgm {
+namespace {
+
+TEST(SequenceTest, FromStringEncodesSymbols) {
+  StatusOr<Sequence> s = Sequence::FromString("ACGT", Alphabet::Dna());
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 4u);
+  EXPECT_EQ((*s)[0], 0);
+  EXPECT_EQ((*s)[1], 1);
+  EXPECT_EQ((*s)[2], 2);
+  EXPECT_EQ((*s)[3], 3);
+}
+
+TEST(SequenceTest, FromStringAcceptsLowercase) {
+  StatusOr<Sequence> s = Sequence::FromString("acgt", Alphabet::Dna());
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->ToString(), "ACGT");
+}
+
+TEST(SequenceTest, FromStringReportsBadCharacterPosition) {
+  StatusOr<Sequence> s = Sequence::FromString("ACNGT", Alphabet::Dna());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.status().message().find("position 2"), std::string::npos);
+  EXPECT_NE(s.status().message().find("'N'"), std::string::npos);
+}
+
+TEST(SequenceTest, FromStringEmptyIsAllowed) {
+  StatusOr<Sequence> s = Sequence::FromString("", Alphabet::Dna());
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->empty());
+}
+
+TEST(SequenceTest, FromStringLossyDropsUnknowns) {
+  std::size_t dropped = 0;
+  Sequence s = Sequence::FromStringLossy("ACNNGTN", Alphabet::Dna(), &dropped);
+  EXPECT_EQ(dropped, 3u);
+  EXPECT_EQ(s.ToString(), "ACGT");
+}
+
+TEST(SequenceTest, FromStringLossyWithoutCounter) {
+  Sequence s = Sequence::FromStringLossy("A-C", Alphabet::Dna());
+  EXPECT_EQ(s.ToString(), "AC");
+}
+
+TEST(SequenceTest, FromSymbolsValidatesRange) {
+  StatusOr<Sequence> ok = Sequence::FromSymbols({0, 1, 2, 3}, Alphabet::Dna());
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->ToString(), "ACGT");
+  StatusOr<Sequence> bad = Sequence::FromSymbols({0, 4}, Alphabet::Dna());
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(SequenceTest, CharAt) {
+  Sequence s = *Sequence::FromString("GATTACA", Alphabet::Dna());
+  EXPECT_EQ(s.CharAt(0), 'G');
+  EXPECT_EQ(s.CharAt(6), 'A');
+}
+
+TEST(SequenceTest, SubsequenceBasic) {
+  Sequence s = *Sequence::FromString("ACGTACGT", Alphabet::Dna());
+  EXPECT_EQ(s.Subsequence(2, 4).ToString(), "GTAC");
+  EXPECT_EQ(s.Subsequence(0, 8).ToString(), "ACGTACGT");
+}
+
+TEST(SequenceTest, SubsequenceClampsAtEnd) {
+  Sequence s = *Sequence::FromString("ACGT", Alphabet::Dna());
+  EXPECT_EQ(s.Subsequence(2, 100).ToString(), "GT");
+  EXPECT_TRUE(s.Subsequence(4, 1).empty());
+  EXPECT_TRUE(s.Subsequence(100, 1).empty());
+}
+
+TEST(SequenceTest, Reversed) {
+  Sequence s = *Sequence::FromString("ACGT", Alphabet::Dna());
+  EXPECT_EQ(s.Reversed().ToString(), "TGCA");
+  EXPECT_EQ(s.Reversed().Reversed().ToString(), "ACGT");
+}
+
+TEST(SequenceTest, ReversedEmpty) {
+  Sequence s = *Sequence::FromString("", Alphabet::Dna());
+  EXPECT_TRUE(s.Reversed().empty());
+}
+
+TEST(SequenceTest, ProteinSequencesEncode) {
+  // All ten characters are standard amino acids (bovine serum albumin
+  // signal-peptide prefix).
+  StatusOr<Sequence> ok = Sequence::FromString("MKWVTFISLL", Alphabet::Protein());
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->ToString(), "MKWVTFISLL");
+  // 'B' and 'Z' ambiguity codes are not in the 20-letter alphabet.
+  EXPECT_FALSE(Sequence::FromString("MKB", Alphabet::Protein()).ok());
+}
+
+TEST(SequenceTest, CopyIsIndependent) {
+  Sequence a = *Sequence::FromString("ACGT", Alphabet::Dna());
+  Sequence b = a;
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_TRUE(a.alphabet() == b.alphabet());
+}
+
+}  // namespace
+}  // namespace pgm

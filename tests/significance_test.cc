@@ -1,0 +1,115 @@
+#include "analysis/significance.h"
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.h"
+#include "datagen/generators.h"
+#include "datagen/planting.h"
+#include "util/random.h"
+
+namespace pgm {
+namespace {
+
+TEST(ExpectedRatioTest, ProductOfFrequencies) {
+  Pattern p = *Pattern::Parse("AAT", Alphabet::Dna());
+  // frequencies: A=0.5, C=0.1, G=0.1, T=0.3.
+  StatusOr<double> expected =
+      ExpectedSupportRatio(p, {0.5, 0.1, 0.1, 0.3});
+  ASSERT_TRUE(expected.ok());
+  EXPECT_DOUBLE_EQ(*expected, 0.5 * 0.5 * 0.3);
+}
+
+TEST(ExpectedRatioTest, ZeroFrequencyCharacter) {
+  Pattern p = *Pattern::Parse("AC", Alphabet::Dna());
+  EXPECT_DOUBLE_EQ(*ExpectedSupportRatio(p, {0.5, 0.0, 0.2, 0.3}), 0.0);
+}
+
+TEST(ExpectedRatioTest, Validation) {
+  Pattern p = *Pattern::Parse("AC", Alphabet::Dna());
+  EXPECT_FALSE(ExpectedSupportRatio(p, {0.5, 0.5}).ok());
+  EXPECT_FALSE(ExpectedSupportRatio(p, {0.5, -0.1, 0.3, 0.3}).ok());
+  EXPECT_FALSE(ExpectedSupportRatio(p, {0.5, 1.5, 0.3, 0.3}).ok());
+}
+
+TEST(ExpectedRatioTest, ObservedMatchesExpectedOnUniformData) {
+  // On a large uniform random sequence, observed support ratios should be
+  // close to the composition prediction — lift ~ 1.
+  Rng rng(717);
+  Sequence s = *UniformRandomSequence(30'000, Alphabet::Dna(), rng);
+  GapRequirement gap = *GapRequirement::Create(2, 4);
+  OffsetCounter counter(30'000, gap);
+  for (const char* shorthand : {"ACG", "TTT", "GAT"}) {
+    Pattern p = *Pattern::Parse(shorthand, Alphabet::Dna());
+    const double observed =
+        static_cast<double>(CountSupport(s, p, gap)->count) /
+        static_cast<double>(counter.Count(3));
+    const double expected = *ExpectedSupportRatio(
+        p, {0.25, 0.25, 0.25, 0.25});
+    EXPECT_NEAR(observed / expected, 1.0, 0.15) << shorthand;
+  }
+}
+
+TEST(RankByLiftTest, PlantedStructureRanksAboveCompositionalNoise) {
+  // Plant a dense AT region in a uniform background: the planted periodic
+  // patterns must out-lift everything that is frequent by composition.
+  Rng rng(718);
+  Sequence s = *UniformRandomSequence(400, Alphabet::Dna(), rng);
+  s = *PlantNoisyTandemRun(s, "A", 100, 80, 0.95, rng);
+
+  MinerConfig config;
+  config.min_gap = 1;
+  config.max_gap = 3;
+  config.min_support_ratio = 0.001;
+  config.start_length = 2;
+  MiningResult result = *MineMpp(s, config);
+  ASSERT_FALSE(result.patterns.empty());
+
+  StatusOr<std::vector<ScoredPattern>> ranked = RankByLift(result, s);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), result.patterns.size());
+  // Descending lift.
+  for (std::size_t i = 1; i < ranked->size(); ++i) {
+    EXPECT_GE((*ranked)[i - 1].lift, (*ranked)[i].lift);
+  }
+  // The top pattern is an all-A periodic pattern from the planted run.
+  const Pattern& top = (*ranked)[0].pattern.pattern;
+  for (Symbol sym : top.symbols()) {
+    EXPECT_EQ(sym, Alphabet::Dna().Encode('A'));
+  }
+  EXPECT_GT((*ranked)[0].lift, 3.0);
+}
+
+TEST(RankByLiftTest, LiftFieldsConsistent) {
+  Rng rng(719);
+  Sequence s = *UniformRandomSequence(200, Alphabet::Dna(), rng);
+  MinerConfig config;
+  config.min_gap = 1;
+  config.max_gap = 2;
+  config.min_support_ratio = 0.01;
+  config.start_length = 1;
+  MiningResult result = *MineMpp(s, config);
+  std::vector<ScoredPattern> ranked = *RankByLift(result, s);
+  for (const ScoredPattern& entry : ranked) {
+    ASSERT_GT(entry.expected_ratio, 0.0);
+    EXPECT_NEAR(entry.lift,
+                entry.pattern.support_ratio / entry.expected_ratio, 1e-12);
+  }
+}
+
+TEST(RankByLiftTest, AlphabetMismatchFails) {
+  MiningResult result;
+  FrequentPattern fp;
+  fp.pattern = *Pattern::Parse("LW", Alphabet::Protein());
+  result.patterns.push_back(fp);
+  Sequence dna = *Sequence::FromString("ACGT", Alphabet::Dna());
+  EXPECT_FALSE(RankByLift(result, dna).ok());
+}
+
+TEST(RankByLiftTest, EmptySubjectFails) {
+  MiningResult result;
+  Sequence empty = *Sequence::FromString("", Alphabet::Dna());
+  EXPECT_FALSE(RankByLift(result, empty).ok());
+}
+
+}  // namespace
+}  // namespace pgm

@@ -1,0 +1,94 @@
+// End-to-end smoke test: the paper's own worked examples must hold.
+
+#include <gtest/gtest.h>
+
+#include "core/em.h"
+#include "core/gap.h"
+#include "core/miner.h"
+#include "core/pattern.h"
+#include "core/verifier.h"
+#include "seq/sequence.h"
+
+namespace pgm {
+namespace {
+
+// Section 3: S = AAGCC, P = AC, gap [2,3] -> sup(P) = 3.
+TEST(SmokeTest, PaperSection3SupportExample) {
+  Sequence s = *Sequence::FromString("AAGCC", Alphabet::Dna());
+  Pattern p = *Pattern::Parse("AC", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(2, 3);
+  StatusOr<SupportInfo> support = CountSupport(s, p, gap);
+  ASSERT_TRUE(support.ok());
+  EXPECT_EQ(support->count, 3u);
+}
+
+// Section 4.2: S = ACTTT, gap [1,3]: sup(AT) = 3 > sup(A) = 1 — the Apriori
+// property genuinely fails under this model.
+TEST(SmokeTest, AprioriPropertyFails) {
+  Sequence s = *Sequence::FromString("ACTTT", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(1, 3);
+  SupportInfo sup_at =
+      *CountSupport(s, *Pattern::Parse("AT", Alphabet::Dna()), gap);
+  SupportInfo sup_a =
+      *CountSupport(s, *Pattern::Parse("A", Alphabet::Dna()), gap);
+  EXPECT_EQ(sup_at.count, 3u);
+  EXPECT_EQ(sup_a.count, 1u);
+  EXPECT_GT(sup_at.count, sup_a.count);
+}
+
+// Table 2: S = ACGTCCGT, gap [1,2], m = 2 -> K = [2,1,2,1,0,0,0,0], e_m = 2.
+TEST(SmokeTest, PaperTable2Em) {
+  Sequence s = *Sequence::FromString("ACGTCCGT", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(1, 2);
+  StatusOr<EmResult> em = ComputeEm(s, gap, 2);
+  ASSERT_TRUE(em.ok());
+  ASSERT_EQ(em->k_values.size(), 8u);
+  EXPECT_EQ(em->k_values[0], 2u);
+  EXPECT_EQ(em->k_values[1], 1u);
+  EXPECT_EQ(em->k_values[2], 2u);
+  EXPECT_EQ(em->k_values[3], 1u);
+  EXPECT_EQ(em->k_values[4], 0u);
+  EXPECT_EQ(em->k_values[5], 0u);
+  EXPECT_EQ(em->k_values[6], 0u);
+  EXPECT_EQ(em->k_values[7], 0u);
+  EXPECT_EQ(em->em, 2u);
+}
+
+// Section 5.1: S = AACCGTT, P = ACT, gap [1,2] -> PIL = {(0,3),(1,2)}
+// (paper's 1-based {(1,3),(2,2)}).
+TEST(SmokeTest, PaperPilExample) {
+  Sequence s = *Sequence::FromString("AACCGTT", Alphabet::Dna());
+  Pattern p = *Pattern::Parse("ACT", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(1, 2);
+  StatusOr<PartialIndexList> pil = ComputePil(s, p, gap);
+  ASSERT_TRUE(pil.ok());
+  ASSERT_EQ(pil->size(), 2u);
+  EXPECT_EQ(pil->entries()[0].pos, 0u);
+  EXPECT_EQ(pil->entries()[0].count, 3u);
+  EXPECT_EQ(pil->entries()[1].pos, 1u);
+  EXPECT_EQ(pil->entries()[1].count, 2u);
+  EXPECT_EQ(pil->TotalSupport().count, 5u);
+}
+
+// The full miners run end to end on a small input.
+TEST(SmokeTest, MinersRunEndToEnd) {
+  Sequence s = *Sequence::FromString(
+      "ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT", Alphabet::Dna());
+  MinerConfig config;
+  config.min_gap = 1;
+  config.max_gap = 3;
+  config.min_support_ratio = 0.01;
+  config.start_length = 2;
+  StatusOr<MiningResult> mpp = MineMpp(s, config);
+  ASSERT_TRUE(mpp.ok());
+  StatusOr<MiningResult> mppm = MineMppm(s, config);
+  ASSERT_TRUE(mppm.ok());
+  StatusOr<MiningResult> adaptive = MineAdaptive(s, config);
+  ASSERT_TRUE(adaptive.ok());
+  EXPECT_FALSE(mpp->patterns.empty());
+  EXPECT_EQ(mpp->patterns.size(), mppm->patterns.size());
+  EXPECT_EQ(mpp->patterns.size(), adaptive->patterns.size());
+}
+
+}  // namespace
+}  // namespace pgm

@@ -1,0 +1,62 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace pgm {
+namespace {
+
+TEST(TablePrinterTest, RendersAlignedBox) {
+  TablePrinter table({"name", "n"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer", "22"});
+  const std::string expected =
+      "+--------+----+\n"
+      "| name   | n  |\n"
+      "+--------+----+\n"
+      "| a      | 1  |\n"
+      "| longer | 22 |\n"
+      "+--------+----+\n";
+  EXPECT_EQ(table.ToString(), expected);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"1"});
+  std::string rendered = table.ToString();
+  // Row renders with empty cells for b and c.
+  EXPECT_NE(rendered.find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, TruncatesLongRows) {
+  TablePrinter table({"only"});
+  table.AddRow({"x", "dropped"});
+  std::string rendered = table.ToString();
+  EXPECT_EQ(rendered.find("dropped"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RowBuilderFormatsNumbers) {
+  TablePrinter table({"s", "d", "i", "u"});
+  table.Row()
+      .Add("x")
+      .Add(0.5)
+      .Add(static_cast<std::int64_t>(-2))
+      .Add(static_cast<std::uint64_t>(7))
+      .Done();
+  std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("0.5"), std::string::npos);
+  EXPECT_NE(rendered.find("-2"), std::string::npos);
+  EXPECT_NE(rendered.find("7"), std::string::npos);
+}
+
+TEST(TablePrinterTest, EmptyTableIsJustHeader) {
+  TablePrinter table({"h"});
+  const std::string expected =
+      "+---+\n"
+      "| h |\n"
+      "+---+\n"
+      "+---+\n";
+  EXPECT_EQ(table.ToString(), expected);
+}
+
+}  // namespace
+}  // namespace pgm

@@ -1,0 +1,94 @@
+#include "analysis/tandem.h"
+
+#include <gtest/gtest.h>
+
+namespace pgm {
+namespace {
+
+Sequence Seq(const char* text) {
+  return *Sequence::FromString(text, Alphabet::Dna());
+}
+
+TEST(TandemTest, SimplePeriodOneRun) {
+  auto repeats = *FindTandemRepeats(Seq("CAAAAG"), 3);
+  ASSERT_EQ(repeats.size(), 1u);
+  EXPECT_EQ(repeats[0], (TandemRepeat{1, 1, 4}));
+  EXPECT_EQ(repeats[0].copies(), 4);
+}
+
+TEST(TandemTest, PeriodTwoRepeat) {
+  auto repeats = *FindTandemRepeats(Seq("GATATATC"), 3);
+  ASSERT_EQ(repeats.size(), 1u);
+  EXPECT_EQ(repeats[0].start, 1);
+  EXPECT_EQ(repeats[0].period, 2);
+  EXPECT_EQ(repeats[0].length, 6);  // ATATAT
+  EXPECT_EQ(repeats[0].copies(), 3);
+}
+
+TEST(TandemTest, ReportsOnlyMinimalPeriod) {
+  // AAAA is a period-1 repeat; it must not also appear as period 2.
+  auto repeats = *FindTandemRepeats(Seq("AAAA"), 3);
+  ASSERT_EQ(repeats.size(), 1u);
+  EXPECT_EQ(repeats[0].period, 1);
+}
+
+TEST(TandemTest, MinCopiesFilters) {
+  // ATAT has 2 copies of AT; with min_copies=3 it disappears.
+  auto two = *FindTandemRepeats(Seq("GATATG"), 3, 2);
+  ASSERT_EQ(two.size(), 1u);
+  auto three = *FindTandemRepeats(Seq("GATATG"), 3, 3);
+  EXPECT_TRUE(three.empty());
+}
+
+TEST(TandemTest, PartialFinalCopyExtendsLength) {
+  // ATGATGA: period 3, length 7 (2 full copies + 1 extra matching char).
+  auto repeats = *FindTandemRepeats(Seq("ATGATGA"), 4);
+  ASSERT_EQ(repeats.size(), 1u);
+  EXPECT_EQ(repeats[0], (TandemRepeat{0, 3, 7}));
+  EXPECT_EQ(repeats[0].copies(), 2);
+}
+
+TEST(TandemTest, MultipleRepeats) {
+  auto repeats = *FindTandemRepeats(Seq("AAACGTGTGTCAA"), 3);
+  // AAA at 0 (period 1), GTGTGT at 4 (period 2), AA at 11 (period 1).
+  ASSERT_EQ(repeats.size(), 3u);
+  EXPECT_EQ(repeats[0], (TandemRepeat{0, 1, 3}));
+  EXPECT_EQ(repeats[1], (TandemRepeat{4, 2, 6}));
+  EXPECT_EQ(repeats[2], (TandemRepeat{11, 1, 2}));
+}
+
+TEST(TandemTest, NoRepeatsInAperiodicSequence) {
+  EXPECT_TRUE(FindTandemRepeats(Seq("ACGT"), 2)->empty());
+}
+
+TEST(TandemTest, PeriodCapLimitsDetection) {
+  // ACGACG is period 3; with max_period=2 it is invisible.
+  EXPECT_TRUE(FindTandemRepeats(Seq("ACGACG"), 2)->empty());
+  EXPECT_EQ(FindTandemRepeats(Seq("ACGACG"), 3)->size(), 1u);
+}
+
+TEST(TandemTest, ValidatesArguments) {
+  EXPECT_FALSE(FindTandemRepeats(Seq("ACGT"), 0).ok());
+  EXPECT_FALSE(FindTandemRepeats(Seq("ACGT"), 2, 1).ok());
+}
+
+TEST(TandemTest, EmptyAndTinySequences) {
+  Sequence empty = *Sequence::FromString("", Alphabet::Dna());
+  EXPECT_TRUE(FindTandemRepeats(empty, 3)->empty());
+  EXPECT_TRUE(FindTandemRepeats(Seq("A"), 3)->empty());
+  EXPECT_EQ(FindTandemRepeats(Seq("AA"), 3)->size(), 1u);
+}
+
+TEST(TandemTest, SortedByStartThenPeriod) {
+  auto repeats = *FindTandemRepeats(Seq("TTTACACACGGG"), 4);
+  for (std::size_t i = 1; i < repeats.size(); ++i) {
+    const bool ordered =
+        repeats[i - 1].start < repeats[i].start ||
+        (repeats[i - 1].start == repeats[i].start &&
+         repeats[i - 1].period < repeats[i].period);
+    EXPECT_TRUE(ordered);
+  }
+}
+
+}  // namespace
+}  // namespace pgm

@@ -1,0 +1,143 @@
+#include "core/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "util/random.h"
+
+namespace pgm {
+namespace {
+
+TEST(VerifierTest, PaperSupportExample) {
+  // S = AAGCC, P = AC, gap [2,3]: offset sequences {[0,3],[0,4],[1,4]}.
+  Sequence s = *Sequence::FromString("AAGCC", Alphabet::Dna());
+  Pattern p = *Pattern::Parse("AC", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(2, 3);
+  EXPECT_EQ(CountSupport(s, p, gap)->count, 3u);
+}
+
+TEST(VerifierTest, SingleCharacterSupportIsOccurrenceCount) {
+  Sequence s = *Sequence::FromString("ACAGAA", Alphabet::Dna());
+  Pattern p = *Pattern::Parse("A", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(5, 9);  // irrelevant for l=1
+  EXPECT_EQ(CountSupport(s, p, gap)->count, 4u);
+}
+
+TEST(VerifierTest, NoMatchIsZero) {
+  Sequence s = *Sequence::FromString("AAAA", Alphabet::Dna());
+  Pattern p = *Pattern::Parse("AT", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(0, 3);
+  EXPECT_EQ(CountSupport(s, p, gap)->count, 0u);
+}
+
+TEST(VerifierTest, GapTooLargeForSequence) {
+  Sequence s = *Sequence::FromString("AT", Alphabet::Dna());
+  Pattern p = *Pattern::Parse("AT", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(5, 7);
+  EXPECT_EQ(CountSupport(s, p, gap)->count, 0u);
+}
+
+TEST(VerifierTest, ZeroGapAdjacent) {
+  Sequence s = *Sequence::FromString("ATAT", Alphabet::Dna());
+  Pattern p = *Pattern::Parse("AT", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(0, 0);
+  EXPECT_EQ(CountSupport(s, p, gap)->count, 2u);
+}
+
+TEST(VerifierTest, AlphabetMismatchFails) {
+  Sequence s = *Sequence::FromString("ACGT", Alphabet::Dna());
+  Pattern p = *Pattern::Parse("LW", Alphabet::Protein());
+  GapRequirement gap = *GapRequirement::Create(0, 1);
+  EXPECT_FALSE(CountSupport(s, p, gap).ok());
+  EXPECT_FALSE(ComputePil(s, p, gap).ok());
+}
+
+TEST(VerifierTest, HomopolymerCombinatorics) {
+  // S = A^10, P = AAA, gap [1,2]: count by hand with the DP:
+  // positions i<j<k with j-i-1, k-j-1 in [1,2].
+  Sequence s = *Sequence::FromString(std::string(10, 'A'), Alphabet::Dna());
+  Pattern p = *Pattern::Parse("AAA", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(1, 2);
+  // Brute force expectation via EnumerateMatches.
+  auto matches = EnumerateMatches(s, p, gap);
+  EXPECT_EQ(CountSupport(s, p, gap)->count, matches.size());
+  EXPECT_GT(matches.size(), 0u);
+}
+
+TEST(VerifierTest, ComputePilMatchesPaperExample) {
+  Sequence s = *Sequence::FromString("AACCGTT", Alphabet::Dna());
+  Pattern p = *Pattern::Parse("ACT", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(1, 2);
+  PartialIndexList pil = *ComputePil(s, p, gap);
+  ASSERT_EQ(pil.size(), 2u);
+  EXPECT_EQ(pil.entries()[0], (PilEntry{0, 3}));
+  EXPECT_EQ(pil.entries()[1], (PilEntry{1, 2}));
+}
+
+TEST(VerifierTest, EnumerateMatchesListsPaperOffsets) {
+  Sequence s = *Sequence::FromString("AAGCC", Alphabet::Dna());
+  Pattern p = *Pattern::Parse("AC", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(2, 3);
+  auto matches = EnumerateMatches(s, p, gap);
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0], (std::vector<std::int64_t>{0, 3}));
+  EXPECT_EQ(matches[1], (std::vector<std::int64_t>{0, 4}));
+  EXPECT_EQ(matches[2], (std::vector<std::int64_t>{1, 4}));
+}
+
+TEST(VerifierTest, EnumerateMatchesRespectsLimit) {
+  Sequence s = *Sequence::FromString(std::string(30, 'A'), Alphabet::Dna());
+  Pattern p = *Pattern::Parse("AAA", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(0, 3);
+  auto limited = EnumerateMatches(s, p, gap, 7);
+  EXPECT_EQ(limited.size(), 7u);
+}
+
+TEST(VerifierTest, EnumerateMatchesOffsetsSatisfyGapRequirement) {
+  Rng rng(4242);
+  Sequence s = *UniformRandomSequence(50, Alphabet::Dna(), rng);
+  Pattern p = *Pattern::Parse("ACA", Alphabet::Dna());
+  GapRequirement gap = *GapRequirement::Create(1, 4);
+  for (const auto& offsets : EnumerateMatches(s, p, gap)) {
+    ASSERT_EQ(offsets.size(), 3u);
+    for (std::size_t j = 0; j + 1 < offsets.size(); ++j) {
+      std::int64_t g = offsets[j + 1] - offsets[j] - 1;
+      EXPECT_GE(g, 1);
+      EXPECT_LE(g, 4);
+    }
+    for (std::size_t j = 0; j < offsets.size(); ++j) {
+      EXPECT_EQ(s[offsets[j]], p[j]);
+    }
+  }
+}
+
+TEST(VerifierTest, CountSupportAgreesWithEnumerationRandomized) {
+  Rng rng(777);
+  GapRequirement gap = *GapRequirement::Create(1, 3);
+  for (int trial = 0; trial < 25; ++trial) {
+    Sequence s = *UniformRandomSequence(40, Alphabet::Dna(), rng);
+    std::vector<Symbol> symbols;
+    const std::size_t len = 1 + rng.UniformInt(4);
+    for (std::size_t i = 0; i < len; ++i) {
+      symbols.push_back(static_cast<Symbol>(rng.UniformInt(4)));
+    }
+    Pattern p = *Pattern::FromSymbols(symbols, Alphabet::Dna());
+    EXPECT_EQ(CountSupport(s, p, gap)->count,
+              EnumerateMatches(s, p, gap).size())
+        << "trial " << trial << " pattern " << p.ToShorthand();
+  }
+}
+
+TEST(VerifierTest, PilSupportEqualsCountSupport) {
+  Rng rng(888);
+  GapRequirement gap = *GapRequirement::Create(2, 5);
+  Sequence s = *UniformRandomSequence(80, Alphabet::Dna(), rng);
+  for (const char* shorthand : {"A", "AT", "GAT", "CCGA"}) {
+    Pattern p = *Pattern::Parse(shorthand, Alphabet::Dna());
+    EXPECT_EQ(ComputePil(s, p, gap)->TotalSupport().count,
+              CountSupport(s, p, gap)->count);
+  }
+}
+
+}  // namespace
+}  // namespace pgm

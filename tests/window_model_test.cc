@@ -1,0 +1,144 @@
+#include "analysis/window_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.h"
+#include "datagen/generators.h"
+#include "util/random.h"
+
+namespace pgm {
+namespace {
+
+Sequence Seq(const char* text) {
+  return *Sequence::FromString(text, Alphabet::Dna());
+}
+
+Pattern Dna(const char* shorthand) {
+  return *Pattern::Parse(shorthand, Alphabet::Dna());
+}
+
+WindowModelConfig Config(std::size_t width, bool overlapping = true,
+                         double fraction = 0.5) {
+  WindowModelConfig config;
+  config.window_width = width;
+  config.overlapping = overlapping;
+  config.min_window_fraction = fraction;
+  return config;
+}
+
+Pattern RandomPatternHelper(Rng& rng) {
+  const std::size_t length = 2 + rng.UniformInt(2);
+  std::vector<Symbol> symbols;
+  for (std::size_t i = 0; i < length; ++i) {
+    symbols.push_back(static_cast<Symbol>(rng.UniformInt(4)));
+  }
+  return *Pattern::FromSymbols(std::move(symbols), Alphabet::Dna());
+}
+
+TEST(NumWindowsTest, OverlappingAndTiling) {
+  EXPECT_EQ(NumWindows(10, Config(4, true)), 7);
+  EXPECT_EQ(NumWindows(10, Config(4, false)), 2);
+  EXPECT_EQ(NumWindows(10, Config(10, true)), 1);
+  EXPECT_EQ(NumWindows(10, Config(11, true)), 0);
+  EXPECT_EQ(NumWindows(0, Config(4, true)), 0);
+}
+
+TEST(WindowModelTest, CountsByHandOverlapping) {
+  // S = ACGTA, P = AT with gap [2,2]: the only match is [0, 3].
+  // Width-4 windows: [0,3] contains it; [1,4] does not.
+  Sequence s = Seq("ACGTA");
+  Pattern p = Dna("AT");
+  GapRequirement gap = *GapRequirement::Create(2, 2);
+  EXPECT_EQ(*CountWindowsWithOccurrence(s, p, gap, Config(4)), 1);
+  EXPECT_EQ(*CountWindowsWithOccurrence(s, p, gap, Config(5)), 1);
+  // A width-3 window can never hold a span-4 match.
+  EXPECT_EQ(*CountWindowsWithOccurrence(s, p, gap, Config(3)), 0);
+}
+
+TEST(WindowModelTest, CountsByHandTiling) {
+  // S = AATAAT: P = AT, gap [0,0]: matches [1,2] and [4,5].
+  // Width-3 tiles [0,3) and [3,6) each contain one.
+  Sequence s = Seq("AATAAT");
+  Pattern p = Dna("AT");
+  GapRequirement gap = *GapRequirement::Create(0, 0);
+  EXPECT_EQ(*CountWindowsWithOccurrence(s, p, gap, Config(3, false)), 2);
+  // Width-2 tiles: [0,2)=AA no, [2,4)=TA no, [4,6)=AT yes.
+  EXPECT_EQ(*CountWindowsWithOccurrence(s, p, gap, Config(2, false)), 1);
+}
+
+TEST(WindowModelTest, BoundarySpanningMatchInvisible) {
+  // The paper's criticism of the window model: a match crossing a window
+  // boundary is not counted anywhere. S = AAT|TAA tiles of width 3 with
+  // P = TT, gap [0,0]: the only match [2,3] spans the boundary.
+  Sequence s = Seq("AATTAA");
+  Pattern p = Dna("TT");
+  GapRequirement gap = *GapRequirement::Create(0, 0);
+  EXPECT_EQ(CountSupport(s, p, gap)->count, 1u);  // it IS there
+  EXPECT_EQ(*CountWindowsWithOccurrence(s, p, gap, Config(3, false)), 0);
+  // Overlapping windows do see it.
+  EXPECT_EQ(*CountWindowsWithOccurrence(s, p, gap, Config(3, true)), 2);
+}
+
+TEST(WindowModelTest, FrequencyThreshold) {
+  Sequence s = Seq("ATATATATAT");
+  Pattern p = Dna("AT");
+  GapRequirement gap = *GapRequirement::Create(0, 0);
+  // Every width-2 overlapping window starting at an even index matches:
+  // 5 of 9 windows.
+  WindowModelConfig config = Config(2, true, 0.5);
+  EXPECT_EQ(*CountWindowsWithOccurrence(s, p, gap, config), 5);
+  EXPECT_TRUE(*IsWindowFrequent(s, p, gap, config));
+  config.min_window_fraction = 0.6;
+  EXPECT_FALSE(*IsWindowFrequent(s, p, gap, config));
+}
+
+TEST(WindowModelTest, OverlappingMatchesBruteForce) {
+  // Randomized cross-check of the sliding-minimum implementation against a
+  // direct per-window scan of EnumerateMatches.
+  Rng rng(31337);
+  GapRequirement gap = *GapRequirement::Create(1, 2);
+  for (int trial = 0; trial < 10; ++trial) {
+    Sequence s = *UniformRandomSequence(40, Alphabet::Dna(), rng);
+    Pattern p = RandomPatternHelper(rng);
+    const std::size_t width = 6 + rng.UniformInt(6);
+    std::int64_t expected = 0;
+    auto matches = EnumerateMatches(s, p, gap);
+    for (std::size_t b = 0; b + width <= s.size(); ++b) {
+      for (const auto& offsets : matches) {
+        if (offsets.front() >= static_cast<std::int64_t>(b) &&
+            offsets.back() < static_cast<std::int64_t>(b + width)) {
+          ++expected;
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(*CountWindowsWithOccurrence(s, p, gap, Config(width)), expected)
+        << "trial " << trial << " pattern " << p.ToShorthand() << " width "
+        << width;
+  }
+}
+
+TEST(WindowModelTest, Validation) {
+  Sequence s = Seq("ACGT");
+  Pattern p = Dna("AC");
+  GapRequirement gap = *GapRequirement::Create(0, 1);
+  EXPECT_FALSE(CountWindowsWithOccurrence(s, p, gap, Config(0)).ok());
+  WindowModelConfig bad_fraction = Config(3);
+  bad_fraction.min_window_fraction = 0.0;
+  EXPECT_FALSE(CountWindowsWithOccurrence(s, p, gap, bad_fraction).ok());
+  bad_fraction.min_window_fraction = 1.5;
+  EXPECT_FALSE(CountWindowsWithOccurrence(s, p, gap, bad_fraction).ok());
+  Pattern protein = *Pattern::Parse("LW", Alphabet::Protein());
+  EXPECT_FALSE(CountWindowsWithOccurrence(s, protein, gap, Config(3)).ok());
+}
+
+TEST(WindowModelTest, WindowWiderThanSequence) {
+  Sequence s = Seq("ACGT");
+  Pattern p = Dna("AC");
+  GapRequirement gap = *GapRequirement::Create(0, 1);
+  EXPECT_EQ(*CountWindowsWithOccurrence(s, p, gap, Config(10)), 0);
+  EXPECT_FALSE(*IsWindowFrequent(s, p, gap, Config(10)));
+}
+
+}  // namespace
+}  // namespace pgm

@@ -1,0 +1,14 @@
+// The `pgm` command-line tool. All logic lives in the testable pgm_cli
+// library; this binary only routes the rendered report to stdout.
+
+#include <cstdio>
+#include <string>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::string output;
+  const int code = pgm::cli::Run(argc, argv, &output);
+  std::fwrite(output.data(), 1, output.size(), code == 0 ? stdout : stderr);
+  return code;
+}
