@@ -5,6 +5,7 @@
 #include "analysis/maximal.h"
 #include "util/csv_reader.h"
 #include "util/csv_writer.h"
+#include "util/io.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
@@ -21,6 +22,13 @@ std::string FormatMiningReport(const MiningResult& result,
       static_cast<long long>(result.longest_frequent_length),
       static_cast<long long>(result.guaranteed_complete_up_to),
       result.total_seconds);
+  if (!result.complete()) {
+    out += StrFormat(
+        "partial result: stopped early (%s); patterns longer than %lld may "
+        "be missing\n",
+        TerminationReasonToString(result.termination),
+        static_cast<long long>(result.guaranteed_complete_up_to));
+  }
   if (result.estimated_n >= 0) {
     out += StrFormat("MPPm: e_m = %llu, estimated n = %lld\n",
                      static_cast<unsigned long long>(result.em),
@@ -162,17 +170,7 @@ StatusOr<std::vector<FrequentPattern>> ParsePatternsCsv(
 
 StatusOr<std::vector<FrequentPattern>> LoadPatternsCsv(
     const std::string& path, const Alphabet& alphabet) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::IoError("cannot open patterns CSV: " + path);
-  }
-  std::string contents;
-  char buffer[1 << 16];
-  std::size_t n = 0;
-  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
-    contents.append(buffer, n);
-  }
-  std::fclose(f);
+  PGM_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
   return ParsePatternsCsv(contents, alphabet);
 }
 

@@ -15,6 +15,7 @@
 #include "seq/fasta.h"
 #include "util/csv_writer.h"
 #include "util/flags.h"
+#include "util/io.h"
 #include "util/random.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -22,21 +23,6 @@
 namespace pgm::cli {
 
 namespace {
-
-StatusOr<std::string> ReadWholeFile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::IoError("cannot open: " + path);
-  }
-  std::string contents;
-  char buffer[1 << 16];
-  std::size_t n = 0;
-  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
-    contents.append(buffer, n);
-  }
-  std::fclose(f);
-  return contents;
-}
 
 StatusOr<Sequence> LoadPreset(const std::string& body) {
   // body = <name>[:<length>[:<seed>]]
@@ -93,7 +79,7 @@ StatusOr<Sequence> LoadInput(const std::string& spec) {
     return Sequence::FromString(value, *alphabet);
   }
   if (kind == "text") {
-    PGM_ASSIGN_OR_RETURN(std::string contents, ReadWholeFile(value));
+    PGM_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(value));
     std::size_t dropped = 0;
     Sequence sequence = Sequence::FromStringLossy(contents, *alphabet, &dropped);
     if (sequence.empty()) {
@@ -152,6 +138,10 @@ Status RunMine(const std::vector<std::string>& args, std::string* output) {
   bool level_stats = false;
   bool lift = false;
   std::string csv_path;
+  std::int64_t deadline_ms = -1;
+  std::int64_t pil_budget_bytes = 0;
+  std::int64_t max_level_candidates = 0;
+  std::int64_t max_total_candidates = 0;
 
   FlagSet flags("pgm mine: find frequent periodic patterns");
   flags.AddString("input", &input, "input spec (see pgm --help)");
@@ -169,6 +159,15 @@ Status RunMine(const std::vector<std::string>& args, std::string* output) {
                 "also rank patterns by compositional lift (observed/expected)");
   flags.AddBool("level-stats", &level_stats, "include per-level candidates");
   flags.AddString("csv", &csv_path, "also write all patterns as CSV here");
+  flags.AddInt64("deadline-ms", &deadline_ms,
+                 "wall-clock budget in ms; partial result on expiry "
+                 "(-1 = none)");
+  flags.AddInt64("pil-budget-bytes", &pil_budget_bytes,
+                 "PIL memory budget in bytes (0 = unlimited)");
+  flags.AddInt64("max-level-candidates", &max_level_candidates,
+                 "cap on candidates per level (0 = unlimited)");
+  flags.AddInt64("max-total-candidates", &max_total_candidates,
+                 "cap on total candidates (0 = unlimited)");
   std::vector<char*> argv;
   std::vector<std::string> storage = args;
   storage.insert(storage.begin(), "pgm mine");
@@ -187,6 +186,18 @@ Status RunMine(const std::vector<std::string>& args, std::string* output) {
   config.max_length = max_length;
   config.user_n = user_n;
   config.em_order = em_order;
+  if (pil_budget_bytes < 0 || max_level_candidates < 0 ||
+      max_total_candidates < 0) {
+    return Status::InvalidArgument(
+        "resource budgets must be non-negative (0 = unlimited)");
+  }
+  config.limits.deadline_ms = deadline_ms;
+  config.limits.pil_memory_budget_bytes =
+      static_cast<std::uint64_t>(pil_budget_bytes);
+  config.limits.max_level_candidates =
+      static_cast<std::uint64_t>(max_level_candidates);
+  config.limits.max_total_candidates =
+      static_cast<std::uint64_t>(max_total_candidates);
 
   StatusOr<MiningResult> mined = [&]() -> StatusOr<MiningResult> {
     if (algorithm == "mpp") return MineMpp(sequence, config);
@@ -522,9 +533,28 @@ std::string RootUsage() {
       "  append @protein for the amino-acid alphabet\n";
 }
 
-int Run(int argc, char** argv, std::string* output) {
+int ExitCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 2;
+    case StatusCode::kIoError:
+      return 3;
+    case StatusCode::kCorruption:
+      return 4;
+    case StatusCode::kResourceExhausted:
+      return 5;
+    case StatusCode::kNotFound:
+      return 6;
+    default:
+      return 1;
+  }
+}
+
+int Run(int argc, char** argv, std::string* output, std::string* error) {
   if (argc < 2) {
-    output->append(RootUsage());
+    error->append(RootUsage());
     return 2;
   }
   const std::string command = argv[1];
@@ -547,7 +577,7 @@ int Run(int argc, char** argv, std::string* output) {
   } else if (command == "generate") {
     status = RunGenerate(rest, output);
   } else {
-    output->append("unknown command '" + command + "'\n\n" + RootUsage());
+    error->append("unknown command '" + command + "'\n\n" + RootUsage());
     return 2;
   }
   if (!status.ok()) {
@@ -557,21 +587,27 @@ int Run(int argc, char** argv, std::string* output) {
       output->append(status.message());
       return 0;
     }
-    output->append(status.ToString());
-    output->append("\n");
-    return 1;
+    error->append(status.ToString());
+    error->append("\n");
+    return ExitCodeForStatus(status);
   }
   return 0;
 }
 
-int RunFromString(const std::string& command_line, std::string* output) {
+int Run(int argc, char** argv, std::string* output) {
+  return Run(argc, argv, output, output);
+}
+
+int RunFromString(const std::string& command_line, std::string* output,
+                  std::string* error) {
   std::vector<std::string> tokens;
   for (const std::string& token : Split(command_line, ' ')) {
     if (!token.empty()) tokens.push_back(token);
   }
   std::vector<char*> argv;
   for (std::string& token : tokens) argv.push_back(token.data());
-  return Run(static_cast<int>(argv.size()), argv.data(), output);
+  return Run(static_cast<int>(argv.size()), argv.data(), output,
+             error == nullptr ? output : error);
 }
 
 }  // namespace pgm::cli

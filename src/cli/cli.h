@@ -32,13 +32,26 @@ namespace pgm::cli {
 /// Parses an input spec and loads the sequence.
 StatusOr<Sequence> LoadInput(const std::string& spec);
 
+/// Maps a failure Status to the tool's process exit code, so scripts can
+/// branch on the failure class: InvalidArgument/usage errors=2, IoError=3,
+/// Corruption=4, ResourceExhausted=5, NotFound=6, any other failure=1,
+/// OK=0. Note budget exhaustion during mining does NOT produce a failure —
+/// the run exits 0 with a partial result (see MiningResult::termination).
+int ExitCodeForStatus(const Status& status);
+
 /// Executes a full command line (argv[0] is the program name). The
-/// rendered report is appended to *output. Returns the process exit code.
+/// rendered report is appended to *output; failure diagnostics are
+/// appended to *error (the binary routes them to stderr). Returns the
+/// process exit code (see ExitCodeForStatus).
+int Run(int argc, char** argv, std::string* output, std::string* error);
+
+/// Backwards-compatible overload: diagnostics are appended to *output.
 int Run(int argc, char** argv, std::string* output);
 
 /// Convenience for tests: tokenizes `command_line` on spaces (no quoting)
 /// and calls Run.
-int RunFromString(const std::string& command_line, std::string* output);
+int RunFromString(const std::string& command_line, std::string* output,
+                  std::string* error = nullptr);
 
 /// Top-level usage text.
 std::string RootUsage();

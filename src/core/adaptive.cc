@@ -26,8 +26,20 @@ StatusOr<MiningResult> MineAdaptive(const Sequence& sequence,
   while (true) {
     MinerConfig run_config = config;
     run_config.user_n = n;
+    // The deadline governs the whole refinement loop: each inner run gets
+    // only what remains of the overall budget. Memory and candidate caps
+    // apply per run — a re-run starts from a clean slate.
+    if (config.limits.deadline_ms >= 0) {
+      const std::int64_t elapsed_ms =
+          static_cast<std::int64_t>(watch.ElapsedSeconds() * 1000.0);
+      run_config.limits.deadline_ms =
+          std::max<std::int64_t>(0, config.limits.deadline_ms - elapsed_ms);
+    }
     PGM_ASSIGN_OR_RETURN(result, MineMpp(sequence, run_config));
     ++iterations;
+    // A truncated inner run ends the refinement: its partial result (and
+    // its TerminationReason) is what the caller gets.
+    if (!result.complete()) break;
     const std::int64_t longest = result.longest_frequent_length;
     if (longest <= n || iterations >= config.max_iterations) break;
     n = longest;

@@ -12,6 +12,7 @@ StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
   PGM_ASSIGN_OR_RETURN(GapRequirement gap,
                        GapRequirement::Create(config.min_gap, config.max_gap));
   Stopwatch watch;
+  MiningGuard guard(config.limits, config.cancel);
   OffsetCounter counter(static_cast<std::int64_t>(sequence.size()), gap);
 
   MiningResult result;
@@ -22,6 +23,24 @@ StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
       config.max_length >= 0 ? std::min(config.max_length, l2) : l2;
   result.n_used = cap;
   result.guaranteed_complete_up_to = cap;
+
+  std::int64_t last_completed_level = 0;
+  auto finalize = [&]() {
+    result.termination = guard.reason();
+    result.pil_memory_peak_bytes = guard.memory_peak_bytes();
+    if (!result.complete()) {
+      result.guaranteed_complete_up_to =
+          std::min(result.guaranteed_complete_up_to, last_completed_level);
+    }
+    std::sort(result.patterns.begin(), result.patterns.end(),
+              [](const FrequentPattern& a, const FrequentPattern& b) {
+                if (a.pattern.length() != b.pattern.length()) {
+                  return a.pattern.length() < b.pattern.length();
+                }
+                return a.pattern.symbols() < b.pattern.symbols();
+              });
+    result.total_seconds = result.mining_seconds = watch.ElapsedSeconds();
+  };
 
   const long double rho = config.min_support_ratio;
   const std::size_t alphabet_size = sequence.alphabet().size();
@@ -37,7 +56,11 @@ StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
 
   std::int64_t level_length = config.start_length;
   if (level_length > cap) {
-    result.total_seconds = result.mining_seconds = watch.ElapsedSeconds();
+    finalize();
+    return result;
+  }
+  if (!guard.CheckNow()) {
+    finalize();
     return result;
   }
 
@@ -45,36 +68,55 @@ StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
   // PIL(c + P) = Combine(PIL(c), PIL(P)) — valid because `c` is exactly the
   // prefix character preceding P by one gap.
   std::vector<internal::LevelEntry> singles =
-      internal::BuildAllPatternsOfLength(sequence, gap, 1);
+      internal::BuildAllPatternsOfLength(sequence, gap, 1, &guard);
 
   std::vector<internal::LevelEntry> level =
-      internal::BuildAllPatternsOfLength(sequence, gap, level_length);
+      internal::BuildAllPatternsOfLength(sequence, gap, level_length, &guard);
+  if (guard.stopped()) {
+    finalize();
+    return result;
+  }
+  std::uint64_t level_bytes = 0;
+  for (const internal::LevelEntry& entry : level) {
+    level_bytes += entry.pil.MemoryBytes();
+  }
+
+  bool interrupted = false;
   while (true) {
+    if (!guard.CheckNow()) break;
     const long double n_l = counter.Count(level_length);
     const long double full_threshold = rho * n_l;
 
     LevelStats stats;
     stats.length = level_length;
     stats.num_candidates = analytic_candidates(level_length);
-    for (const internal::LevelEntry& entry : level) {
-      const SupportInfo support = entry.pil.TotalSupport();
-      if (support.count == 0) continue;
-      const long double support_ld = static_cast<long double>(support.count);
-      if (support_ld >= full_threshold) {
-        ++stats.num_frequent;
-        FrequentPattern fp;
-        std::vector<Symbol> symbols(entry.symbols.begin(),
-                                    entry.symbols.end());
-        PGM_ASSIGN_OR_RETURN(
-            fp.pattern,
-            Pattern::FromSymbols(std::move(symbols), sequence.alphabet()));
-        fp.support = support.count;
-        fp.saturated = support.saturated;
-        fp.support_ratio = static_cast<double>(support_ld / n_l);
-        result.patterns.push_back(std::move(fp));
-        result.longest_frequent_length =
-            std::max(result.longest_frequent_length, level_length);
+    if (guard.ChargeLevelCandidates(stats.num_candidates)) {
+      for (const internal::LevelEntry& entry : level) {
+        if (!guard.Tick()) {
+          interrupted = true;
+          break;
+        }
+        const SupportInfo support = entry.pil.TotalSupport();
+        if (support.count == 0) continue;
+        const long double support_ld = static_cast<long double>(support.count);
+        if (support_ld >= full_threshold) {
+          ++stats.num_frequent;
+          FrequentPattern fp;
+          std::vector<Symbol> symbols(entry.symbols.begin(),
+                                      entry.symbols.end());
+          PGM_ASSIGN_OR_RETURN(
+              fp.pattern,
+              Pattern::FromSymbols(std::move(symbols), sequence.alphabet()));
+          fp.support = support.count;
+          fp.saturated = support.saturated;
+          fp.support_ratio = static_cast<double>(support_ld / n_l);
+          result.patterns.push_back(std::move(fp));
+          result.longest_frequent_length =
+              std::max(result.longest_frequent_length, level_length);
+        }
       }
+    } else {
+      interrupted = true;
     }
     // Enumeration carries every matched pattern forward regardless of
     // support: num_retained reports the carried-forward set size.
@@ -82,36 +124,47 @@ StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
     result.level_stats.push_back(stats);
     result.total_candidates =
         SatAdd(result.total_candidates, stats.num_candidates);
+    if (interrupted) break;
+    last_completed_level = level_length;
 
     if (level_length >= cap || level.empty()) break;
 
     std::vector<internal::LevelEntry> next;
+    std::uint64_t next_bytes = 0;
     next.reserve(level.size() * singles.size());
     for (const internal::LevelEntry& single : singles) {
       for (const internal::LevelEntry& entry : level) {
+        if (!guard.Tick()) {
+          interrupted = true;
+          break;
+        }
         PartialIndexList pil =
             PartialIndexList::Combine(single.pil, entry.pil, gap);
         if (pil.empty()) continue;
+        const std::uint64_t bytes = pil.MemoryBytes();
+        next_bytes += bytes;
+        const bool within_budget = guard.ChargeMemory(bytes);
         internal::LevelEntry extended;
         extended.symbols.reserve(entry.symbols.size() + 1);
         extended.symbols.push_back(single.symbols.front());
         extended.symbols.append(entry.symbols);
         extended.pil = std::move(pil);
         next.push_back(std::move(extended));
+        if (!within_budget) {
+          interrupted = true;
+          break;
+        }
       }
+      if (interrupted) break;
     }
     level = std::move(next);
+    guard.ReleaseMemory(level_bytes);
+    level_bytes = next_bytes;
+    if (interrupted) break;
     ++level_length;
   }
 
-  std::sort(result.patterns.begin(), result.patterns.end(),
-            [](const FrequentPattern& a, const FrequentPattern& b) {
-              if (a.pattern.length() != b.pattern.length()) {
-                return a.pattern.length() < b.pattern.length();
-              }
-              return a.pattern.symbols() < b.pattern.symbols();
-            });
-  result.total_seconds = result.mining_seconds = watch.ElapsedSeconds();
+  finalize();
   return result;
 }
 

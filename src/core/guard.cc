@@ -1,0 +1,59 @@
+#include "core/guard.h"
+
+#include <algorithm>
+
+#include "util/saturating.h"
+
+namespace pgm {
+
+MiningGuard::MiningGuard(const ResourceLimits& limits,
+                         const CancelToken* cancel)
+    : limits_(limits), cancel_(cancel) {}
+
+bool MiningGuard::CheckNow() {
+  if (stopped()) return false;
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    Stop(TerminationReason::kCancelled);
+    return false;
+  }
+  if (limits_.deadline_ms >= 0 &&
+      watch_.ElapsedMicros() >= limits_.deadline_ms * 1000) {
+    Stop(TerminationReason::kDeadline);
+    return false;
+  }
+  return true;
+}
+
+bool MiningGuard::ChargeMemory(std::uint64_t bytes) {
+  memory_in_use_bytes_ = SatAdd(memory_in_use_bytes_, bytes);
+  memory_peak_bytes_ = std::max(memory_peak_bytes_, memory_in_use_bytes_);
+  if (stopped()) return false;
+  if (limits_.pil_memory_budget_bytes > 0 &&
+      memory_in_use_bytes_ > limits_.pil_memory_budget_bytes) {
+    Stop(TerminationReason::kMemoryBudget);
+    return false;
+  }
+  return true;
+}
+
+void MiningGuard::ReleaseMemory(std::uint64_t bytes) {
+  memory_in_use_bytes_ -= std::min(memory_in_use_bytes_, bytes);
+}
+
+bool MiningGuard::ChargeLevelCandidates(std::uint64_t level_candidates) {
+  total_candidates_ = SatAdd(total_candidates_, level_candidates);
+  if (stopped()) return false;
+  if (limits_.max_level_candidates > 0 &&
+      level_candidates > limits_.max_level_candidates) {
+    Stop(TerminationReason::kCandidateCap);
+    return false;
+  }
+  if (limits_.max_total_candidates > 0 &&
+      total_candidates_ > limits_.max_total_candidates) {
+    Stop(TerminationReason::kCandidateCap);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pgm

@@ -1,0 +1,91 @@
+#ifndef PGM_CORE_GUARD_H_
+#define PGM_CORE_GUARD_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/limits.h"
+#include "util/stopwatch.h"
+
+namespace pgm {
+
+/// Cooperative cancellation flag. The owner (e.g. a request handler) keeps
+/// the token alive for the duration of the mining call and may flip it from
+/// another thread; the miners poll it at level boundaries and every
+/// MiningGuard::kTickPeriod PIL extensions.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Tracks a mining run against its ResourceLimits and an optional
+/// CancelToken. All Charge*/Tick/CheckNow methods return true while mining
+/// may continue; the first violation latches a sticky TerminationReason and
+/// every later call returns false, so callers can unwind level by level.
+///
+/// The guard only observes — it never changes which candidates are generated
+/// or how supports are counted — so a run that finishes without tripping any
+/// limit is bit-identical to an ungoverned run.
+class MiningGuard {
+ public:
+  /// PIL extensions between two wall-clock/cancellation polls. Power of two
+  /// so the fast path of Tick() is a mask, not a division.
+  static constexpr std::uint64_t kTickPeriod = 1 << 16;
+
+  /// `cancel` may be null; when non-null it must outlive the guard.
+  explicit MiningGuard(const ResourceLimits& limits,
+                       const CancelToken* cancel = nullptr);
+
+  /// Full check of deadline and cancellation. Used at level boundaries.
+  bool CheckNow();
+
+  /// Per-PIL-extension tick: a counter bump on the fast path, a full
+  /// CheckNow() every kTickPeriod calls.
+  bool Tick() {
+    if (stopped()) return false;
+    if ((++ticks_ & (kTickPeriod - 1)) != 0) return true;
+    return CheckNow();
+  }
+
+  /// Accounts `bytes` of live PIL memory against the budget.
+  bool ChargeMemory(std::uint64_t bytes);
+  /// Returns memory accounted by a matching ChargeMemory (freed PILs).
+  void ReleaseMemory(std::uint64_t bytes);
+
+  /// Accounts one level's candidate set against the per-level and total
+  /// candidate caps.
+  bool ChargeLevelCandidates(std::uint64_t level_candidates);
+
+  bool stopped() const { return reason_ != TerminationReason::kCompleted; }
+  TerminationReason reason() const { return reason_; }
+
+  std::uint64_t memory_in_use_bytes() const { return memory_in_use_bytes_; }
+  std::uint64_t memory_peak_bytes() const { return memory_peak_bytes_; }
+  double elapsed_seconds() const { return watch_.ElapsedSeconds(); }
+
+ private:
+  void Stop(TerminationReason reason) {
+    if (!stopped()) reason_ = reason;
+  }
+
+  ResourceLimits limits_;
+  const CancelToken* cancel_;
+  Stopwatch watch_;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t memory_in_use_bytes_ = 0;
+  std::uint64_t memory_peak_bytes_ = 0;
+  std::uint64_t total_candidates_ = 0;
+  TerminationReason reason_ = TerminationReason::kCompleted;
+};
+
+}  // namespace pgm
+
+#endif  // PGM_CORE_GUARD_H_

@@ -78,7 +78,18 @@ std::vector<CandidateSpec> GenerateCandidates(
 
 std::vector<LevelEntry> BuildAllPatternsOfLength(const Sequence& sequence,
                                                  const GapRequirement& gap,
-                                                 std::int64_t k) {
+                                                 std::int64_t k,
+                                                 MiningGuard* guard) {
+  // Bytes charged for the level currently held; released when the level is
+  // replaced. The final level's charge is handed off to the caller.
+  std::uint64_t level_bytes = 0;
+  auto charge = [&](const PartialIndexList& pil) {
+    if (guard == nullptr) return true;
+    const std::uint64_t bytes = pil.MemoryBytes();
+    level_bytes += bytes;
+    return guard->ChargeMemory(bytes);
+  };
+
   // Length-1 patterns: one entry per alphabet symbol with occurrences.
   std::vector<LevelEntry> level;
   for (Symbol s = 0; s < sequence.alphabet().size(); ++s) {
@@ -87,17 +98,38 @@ std::vector<LevelEntry> BuildAllPatternsOfLength(const Sequence& sequence,
     LevelEntry entry;
     entry.symbols.assign(1, static_cast<char>(s));
     entry.pil = std::move(pil);
+    const bool within_budget = charge(entry.pil);
     level.push_back(std::move(entry));
+    if (!within_budget) return level;
   }
   for (std::int64_t length = 2; length <= k; ++length) {
     std::vector<LevelEntry> next;
+    std::uint64_t next_bytes = 0;
+    bool interrupted = false;
     for (CandidateSpec& spec : GenerateCandidates(level)) {
+      if (guard != nullptr && !guard->Tick()) {
+        interrupted = true;
+        break;
+      }
       PartialIndexList pil = PartialIndexList::Combine(
           level[spec.left].pil, level[spec.right].pil, gap);
       if (pil.empty()) continue;
+      bool within_budget = true;
+      if (guard != nullptr) {
+        const std::uint64_t bytes = pil.MemoryBytes();
+        next_bytes += bytes;
+        within_budget = guard->ChargeMemory(bytes);
+      }
       next.push_back(LevelEntry{std::move(spec.symbols), std::move(pil)});
+      if (!within_budget) {
+        interrupted = true;
+        break;
+      }
     }
     level = std::move(next);
+    if (guard != nullptr) guard->ReleaseMemory(level_bytes);
+    level_bytes = next_bytes;
+    if (interrupted) break;
   }
   return level;
 }
@@ -106,7 +138,8 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
                                     const MinerConfig& config,
                                     const OffsetCounter& counter,
                                     std::int64_t n_effective,
-                                    std::vector<LevelEntry> seed_level) {
+                                    std::vector<LevelEntry> seed_level,
+                                    MiningGuard& guard) {
   PGM_RETURN_IF_ERROR(ValidateConfig(sequence, config));
   PGM_ASSIGN_OR_RETURN(GapRequirement gap,
                        GapRequirement::Create(config.min_gap, config.max_gap));
@@ -115,11 +148,37 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
   result.n_used = n_effective;
   result.guaranteed_complete_up_to = std::min(n_effective, counter.l1());
 
+  // Last level whose candidates were all processed: on an interrupted run
+  // the completeness guarantee shrinks to this horizon.
+  std::int64_t last_completed_level = 0;
+  auto finalize = [&]() {
+    result.termination = guard.reason();
+    result.pil_memory_peak_bytes = guard.memory_peak_bytes();
+    if (!result.complete()) {
+      result.guaranteed_complete_up_to =
+          std::min(result.guaranteed_complete_up_to, last_completed_level);
+    }
+    std::sort(result.patterns.begin(), result.patterns.end(),
+              [](const FrequentPattern& a, const FrequentPattern& b) {
+                if (a.pattern.length() != b.pattern.length()) {
+                  return a.pattern.length() < b.pattern.length();
+                }
+                return a.pattern.symbols() < b.pattern.symbols();
+              });
+  };
+
   const long double rho = config.min_support_ratio;
   const std::int64_t l2 = counter.l2();
   const std::size_t alphabet_size = sequence.alphabet().size();
   std::int64_t level_length = config.start_length;
-  if (level_length > l2) return result;  // no offset sequences at all
+  if (level_length > l2) {  // no offset sequences at all
+    finalize();
+    return result;
+  }
+  if (!guard.CheckNow()) {
+    finalize();
+    return result;
+  }
 
   // λ factor applied at level i: Theorem 1's λ_{n,n-i} for i <= n, 1 beyond
   // (algorithm lines 4-7).
@@ -128,17 +187,26 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
     return counter.Lambda(n_effective, n_effective - i);
   };
 
-  // Processes one candidate: records it as frequent when it clears the full
-  // threshold and appends it to `retained_out` when it clears the relaxed
-  // one. Candidates failing both thresholds free their PIL immediately, so
+  // Bytes charged to the guard for the currently retained PILs.
+  std::uint64_t retained_bytes = 0;
+
+  // Processes one candidate (whose PIL is already charged to the guard):
+  // records it as frequent when it clears the full threshold and appends it
+  // to `retained_out` when it clears the relaxed one. Candidates failing
+  // both thresholds free their PIL immediately (releasing the charge), so
   // peak memory is |L̂_l| + |L̂_{l+1}| lists rather than |C_{l+1}|.
   auto process_candidate = [&](LevelEntry&& entry, long double n_l,
                                long double full_threshold,
                                long double relaxed_threshold,
                                std::int64_t length, LevelStats& stats,
-                               std::vector<LevelEntry>& retained_out) -> Status {
+                               std::vector<LevelEntry>& retained_out,
+                               std::uint64_t& retained_bytes_out) -> Status {
+    const std::uint64_t entry_bytes = entry.pil.MemoryBytes();
     const SupportInfo support = entry.pil.TotalSupport();
-    if (support.count == 0) return Status::OK();
+    if (support.count == 0) {
+      guard.ReleaseMemory(entry_bytes);
+      return Status::OK();
+    }
     const long double support_ld = static_cast<long double>(support.count);
     if (support_ld >= full_threshold) {
       ++stats.num_frequent;
@@ -156,23 +224,32 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
     }
     if (support_ld >= relaxed_threshold) {
       ++stats.num_retained;
+      retained_bytes_out += entry_bytes;
       retained_out.push_back(std::move(entry));
+    } else {
+      guard.ReleaseMemory(entry_bytes);
     }
     return Status::OK();
   };
 
   // First level: all |Σ|^start_length patterns (counted as candidates even
-  // when their PIL turned out empty).
+  // when their PIL turned out empty). A non-empty seed was built (and
+  // memory-charged) by the caller against the same guard.
   std::vector<LevelEntry> first_level =
       seed_level.empty()
-          ? BuildAllPatternsOfLength(sequence, gap, level_length)
+          ? BuildAllPatternsOfLength(sequence, gap, level_length, &guard)
           : std::move(seed_level);
+  if (guard.stopped()) {
+    finalize();
+    return result;
+  }
   long double first_candidates = 1.0L;
   for (std::int64_t i = 0; i < level_length; ++i) {
     first_candidates *= static_cast<long double>(alphabet_size);
   }
 
   std::vector<LevelEntry> retained;
+  bool interrupted = false;
   {
     const long double n_l = counter.Count(level_length);
     const long double full_threshold = rho * n_l;
@@ -184,20 +261,30 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
         first_candidates >= static_cast<long double>(kSaturatedCount)
             ? kSaturatedCount
             : static_cast<std::uint64_t>(first_candidates);
-    for (LevelEntry& entry : first_level) {
-      PGM_RETURN_IF_ERROR(process_candidate(std::move(entry), n_l,
-                                            full_threshold, relaxed_threshold,
-                                            level_length, stats, retained));
+    if (guard.ChargeLevelCandidates(stats.num_candidates)) {
+      for (LevelEntry& entry : first_level) {
+        if (!guard.Tick()) {
+          interrupted = true;
+          break;
+        }
+        PGM_RETURN_IF_ERROR(process_candidate(
+            std::move(entry), n_l, full_threshold, relaxed_threshold,
+            level_length, stats, retained, retained_bytes));
+      }
+    } else {
+      interrupted = true;
     }
     first_level.clear();
     result.level_stats.push_back(stats);
     result.total_candidates =
         SatAdd(result.total_candidates, stats.num_candidates);
+    if (!interrupted) last_completed_level = level_length;
   }
 
-  while (!retained.empty() &&
+  while (!interrupted && !retained.empty() &&
          (config.max_length < 0 || level_length < config.max_length) &&
          level_length + 1 <= l2) {
+    if (!guard.CheckNow()) break;
     ++level_length;
     const long double n_l = counter.Count(level_length);
     const long double full_threshold = rho * n_l;
@@ -210,28 +297,44 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
     stats.num_candidates = specs.size();
 
     std::vector<LevelEntry> next_retained;
-    for (CandidateSpec& spec : specs) {
-      LevelEntry candidate;
-      candidate.symbols = std::move(spec.symbols);
-      candidate.pil = PartialIndexList::Combine(
-          retained[spec.left].pil, retained[spec.right].pil, gap);
-      PGM_RETURN_IF_ERROR(process_candidate(
-          std::move(candidate), n_l, full_threshold, relaxed_threshold,
-          level_length, stats, next_retained));
+    std::uint64_t next_retained_bytes = 0;
+    if (guard.ChargeLevelCandidates(specs.size())) {
+      for (CandidateSpec& spec : specs) {
+        if (!guard.Tick()) {
+          interrupted = true;
+          break;
+        }
+        LevelEntry candidate;
+        candidate.symbols = std::move(spec.symbols);
+        candidate.pil = PartialIndexList::Combine(
+            retained[spec.left].pil, retained[spec.right].pil, gap);
+        // The candidate is processed even when its charge trips the budget:
+        // the PIL is already live, so recording it keeps strictly more of
+        // the work already paid for.
+        const bool within_budget =
+            guard.ChargeMemory(candidate.pil.MemoryBytes());
+        PGM_RETURN_IF_ERROR(process_candidate(
+            std::move(candidate), n_l, full_threshold, relaxed_threshold,
+            level_length, stats, next_retained, next_retained_bytes));
+        if (!within_budget) {
+          interrupted = true;
+          break;
+        }
+      }
+    } else {
+      interrupted = true;
     }
+    const std::uint64_t old_retained_bytes = retained_bytes;
     retained = std::move(next_retained);
+    guard.ReleaseMemory(old_retained_bytes);
+    retained_bytes = next_retained_bytes;
     result.level_stats.push_back(stats);
     result.total_candidates =
         SatAdd(result.total_candidates, stats.num_candidates);
+    if (!interrupted) last_completed_level = level_length;
   }
 
-  std::sort(result.patterns.begin(), result.patterns.end(),
-            [](const FrequentPattern& a, const FrequentPattern& b) {
-              if (a.pattern.length() != b.pattern.length()) {
-                return a.pattern.length() < b.pattern.length();
-              }
-              return a.pattern.symbols() < b.pattern.symbols();
-            });
+  finalize();
   return result;
 }
 

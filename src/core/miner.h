@@ -6,10 +6,12 @@
 #include <vector>
 
 #include "core/gap.h"
+#include "core/guard.h"
 #include "core/offset_counter.h"
 #include "core/pattern.h"
 #include "core/pil.h"
 #include "seq/sequence.h"
+#include "util/limits.h"
 #include "util/status.h"
 
 namespace pgm {
@@ -52,6 +54,17 @@ struct MinerConfig {
   std::int64_t initial_n = 10;
   /// Safety bound on adaptive iterations.
   std::int64_t max_iterations = 16;
+
+  // --- Resource governance ---
+  /// Budgets for the run (defaults: unlimited). When a budget is exhausted
+  /// the miners return ok() with a partial-but-sound result; see
+  /// MiningResult::termination. For Adaptive, the deadline covers the whole
+  /// refinement loop, not each inner MPP run.
+  ResourceLimits limits;
+  /// Optional cooperative cancellation; must outlive the mining call.
+  /// Polled at level boundaries and every MiningGuard::kTickPeriod PIL
+  /// extensions.
+  const CancelToken* cancel = nullptr;
 };
 
 /// One frequent pattern in a mining result.
@@ -94,6 +107,20 @@ struct MiningResult {
   std::int64_t longest_frequent_length = 0;
   /// Total candidates across levels (sum of LevelStats::num_candidates).
   std::uint64_t total_candidates = 0;
+
+  /// Why the run stopped. Anything except kCompleted marks a partial
+  /// result: every returned pattern is genuinely frequent, patterns with
+  /// length <= guaranteed_complete_up_to are all present, and longer ones
+  /// may be missing. Budget exhaustion is NOT an error — the Status stays
+  /// OK and the caller inspects this field.
+  TerminationReason termination = TerminationReason::kCompleted;
+  /// Peak live PIL heap memory observed by the guard, in bytes.
+  std::uint64_t pil_memory_peak_bytes = 0;
+
+  /// True when no budget, deadline, or cancellation cut the run short.
+  bool complete() const {
+    return termination == TerminationReason::kCompleted;
+  }
 
   /// MPPm: the computed e_m and its estimate of n (-1 when not applicable).
   std::uint64_t em = 0;
@@ -146,19 +173,29 @@ Status ValidateConfig(const Sequence& sequence, const MinerConfig& config);
 
 /// Builds (symbols, PIL) for every length-k pattern with non-empty PIL,
 /// plus nothing for unmatched patterns. Used to seed the level-wise loop
-/// and by MPPm's n-estimation.
+/// and by MPPm's n-estimation. When `guard` is non-null every PIL extension
+/// ticks it and every built PIL is charged against the memory budget (the
+/// final level's charge is handed off to the caller, which releases it as
+/// entries are dropped); on a tripped guard the returned level is partial
+/// and `guard->stopped()` is true.
 std::vector<LevelEntry> BuildAllPatternsOfLength(const Sequence& sequence,
                                                  const GapRequirement& gap,
-                                                 std::int64_t k);
+                                                 std::int64_t k,
+                                                 MiningGuard* guard = nullptr);
 
 /// The shared level-wise engine behind MPP and MPPm. `n_effective` is the
 /// (already clamped) n; `seed_level` may carry a precomputed first level to
-/// avoid duplicate work (pass empty to build internally).
+/// avoid duplicate work (pass empty to build internally — non-empty seeds
+/// must already be charged against `guard`). The guard is checked at every
+/// level boundary and ticked per PIL extension; when it trips, the engine
+/// stops, tightens guaranteed_complete_up_to to the last fully processed
+/// level, and returns the partial result with the guard's reason.
 StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
                                     const MinerConfig& config,
                                     const OffsetCounter& counter,
                                     std::int64_t n_effective,
-                                    std::vector<LevelEntry> seed_level);
+                                    std::vector<LevelEntry> seed_level,
+                                    MiningGuard& guard);
 
 }  // namespace internal
 }  // namespace pgm

@@ -11,6 +11,7 @@ StatusOr<MiningResult> MineMpp(const Sequence& sequence,
   PGM_ASSIGN_OR_RETURN(GapRequirement gap,
                        GapRequirement::Create(config.min_gap, config.max_gap));
   Stopwatch watch;
+  MiningGuard guard(config.limits, config.cancel);
   OffsetCounter counter(static_cast<std::int64_t>(sequence.size()), gap);
 
   // Algorithm line 3: clamp the user estimate to l1 ("if n > l1, n = l1");
@@ -20,7 +21,7 @@ StatusOr<MiningResult> MineMpp(const Sequence& sequence,
 
   PGM_ASSIGN_OR_RETURN(
       MiningResult result,
-      internal::RunLevelwise(sequence, config, counter, n, {}));
+      internal::RunLevelwise(sequence, config, counter, n, {}, guard));
   result.mining_seconds = watch.ElapsedSeconds();
   result.total_seconds = result.mining_seconds;
   return result;

@@ -12,7 +12,17 @@ StatusOr<MiningResult> MineMppm(const Sequence& sequence,
   PGM_ASSIGN_OR_RETURN(GapRequirement gap,
                        GapRequirement::Create(config.min_gap, config.max_gap));
   Stopwatch total_watch;
+  MiningGuard guard(config.limits, config.cancel);
   OffsetCounter counter(static_cast<std::int64_t>(sequence.size()), gap);
+
+  // A budget that is exhausted on arrival (0-ms deadline, pre-cancelled
+  // token) skips every phase and returns an empty partial result.
+  if (!guard.CheckNow()) {
+    MiningResult result;
+    result.termination = guard.reason();
+    result.total_seconds = total_watch.ElapsedSeconds();
+    return result;
+  }
 
   // Phase 1: the e_m statistic (Section 4.2).
   Stopwatch em_watch;
@@ -30,7 +40,17 @@ StatusOr<MiningResult> MineMppm(const Sequence& sequence,
   // downward returns the largest such k directly.
   const std::int64_t s = config.start_length;
   std::vector<internal::LevelEntry> seed =
-      internal::BuildAllPatternsOfLength(sequence, gap, s);
+      internal::BuildAllPatternsOfLength(sequence, gap, s, &guard);
+  if (guard.stopped()) {
+    MiningResult result;
+    result.termination = guard.reason();
+    result.pil_memory_peak_bytes = guard.memory_peak_bytes();
+    result.em = em_result.em;
+    result.em_seconds = em_seconds;
+    result.total_seconds = total_watch.ElapsedSeconds();
+    result.mining_seconds = result.total_seconds - em_seconds;
+    return result;
+  }
   std::uint64_t max_support = 0;
   for (const internal::LevelEntry& entry : seed) {
     max_support = std::max(max_support, entry.pil.TotalSupport().count);
@@ -51,9 +71,9 @@ StatusOr<MiningResult> MineMppm(const Sequence& sequence,
   }
 
   // Phase 3: MPP with the estimated n, reusing the seed level.
-  PGM_ASSIGN_OR_RETURN(
-      MiningResult result,
-      internal::RunLevelwise(sequence, config, counter, n, std::move(seed)));
+  PGM_ASSIGN_OR_RETURN(MiningResult result,
+                       internal::RunLevelwise(sequence, config, counter, n,
+                                              std::move(seed), guard));
   result.em = em_result.em;
   result.estimated_n = n;
   result.em_seconds = em_seconds;

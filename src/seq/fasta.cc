@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdio>
 
+#include "util/io.h"
 #include "util/string_util.h"
 
 namespace pgm {
@@ -52,21 +53,7 @@ StatusOr<std::vector<FastaRecord>> ParseFasta(const std::string& text) {
 }
 
 StatusOr<std::vector<FastaRecord>> ReadFastaFile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::IoError("cannot open FASTA file: " + path);
-  }
-  std::string contents;
-  char buffer[1 << 16];
-  std::size_t n = 0;
-  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
-    contents.append(buffer, n);
-  }
-  bool read_error = std::ferror(f) != 0;
-  std::fclose(f);
-  if (read_error) {
-    return Status::IoError("error while reading FASTA file: " + path);
-  }
+  PGM_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
   return ParseFasta(contents);
 }
 

@@ -1,7 +1,6 @@
 #include "util/csv_reader.h"
 
-#include <cstdio>
-
+#include "util/io.h"
 #include "util/string_util.h"
 
 namespace pgm {
@@ -24,6 +23,13 @@ StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
     field_was_quoted = false;
   };
   auto end_row = [&]() {
+    // A line with no content at all — blank, or a bare "\r" from a CRLF
+    // file — is not a record (tolerates trailing blank lines).
+    if (row.empty() && !field_was_quoted &&
+        (field.empty() || field == "\r")) {
+      field.clear();
+      return;
+    }
     end_field();
     rows.push_back(std::move(row));
     row.clear();
@@ -62,7 +68,8 @@ StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
         ++line;
         break;
       default:
-        if (field_was_quoted && c != '\r') {
+        if (field_was_quoted) {
+          if (c == '\r') break;  // CR of a CRLF line ending after the quote
           return Status::Corruption(
               StrFormat("line %zu: characters after closing quote", line));
         }
@@ -81,21 +88,7 @@ StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
 
 StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
     const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::IoError("cannot open CSV file: " + path);
-  }
-  std::string contents;
-  char buffer[1 << 16];
-  std::size_t n = 0;
-  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
-    contents.append(buffer, n);
-  }
-  const bool read_error = std::ferror(f) != 0;
-  std::fclose(f);
-  if (read_error) {
-    return Status::IoError("error while reading CSV file: " + path);
-  }
+  PGM_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
   return ParseCsv(contents);
 }
 

@@ -9,10 +9,12 @@
 namespace pgm {
 
 /// Parses RFC-4180-style CSV text (the dialect CsvWriter emits): comma
-/// separators, double-quote quoting with "" escapes, rows split on '\n'
-/// (a trailing '\r' per field is stripped for CRLF files). Returns the
-/// rows including the header. Fails with Corruption on unbalanced quotes
-/// or characters trailing a closing quote.
+/// separators, double-quote quoting with "" escapes, rows split on '\n'.
+/// CRLF line endings are accepted after both quoted and unquoted fields,
+/// and lines with no content (blank or bare "\r") are skipped, so files
+/// with trailing blank lines parse cleanly. Returns the rows including the
+/// header. Fails with Corruption on unbalanced quotes or characters
+/// trailing a closing quote.
 StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
     const std::string& text);
 

@@ -1,0 +1,67 @@
+#include "util/fault_injection.h"
+
+#include <cassert>
+
+namespace pgm {
+
+namespace {
+
+// Tests arm at most one fault at a time (ScopedFileFault asserts this), so a
+// plain global suffices; readers run on the armed thread.
+const FileFault* g_active_fault = nullptr;
+std::int64_t g_hits = 0;
+
+bool Matches(const FileFault& fault, const std::string& path) {
+  return fault.path_substring.empty() ||
+         path.find(fault.path_substring) != std::string::npos;
+}
+
+}  // namespace
+
+ScopedFileFault::ScopedFileFault(FileFault fault) : fault_(std::move(fault)) {
+  assert(g_active_fault == nullptr && "ScopedFileFault scopes must not nest");
+  g_active_fault = &fault_;
+  g_hits = 0;
+}
+
+ScopedFileFault::~ScopedFileFault() { g_active_fault = nullptr; }
+
+std::int64_t ScopedFileFault::hits() const { return g_hits; }
+
+namespace internal {
+
+bool ShouldFailOpen(const std::string& path) {
+  if (g_active_fault == nullptr ||
+      g_active_fault->kind != FileFault::Kind::kOpenError ||
+      !Matches(*g_active_fault, path)) {
+    return false;
+  }
+  ++g_hits;
+  return true;
+}
+
+Status ApplyReadFault(const std::string& path, std::string* contents) {
+  if (g_active_fault == nullptr || !Matches(*g_active_fault, path)) {
+    return Status::OK();
+  }
+  switch (g_active_fault->kind) {
+    case FileFault::Kind::kOpenError:
+      return Status::OK();  // handled by ShouldFailOpen
+    case FileFault::Kind::kReadError:
+      ++g_hits;
+      if (contents->size() > g_active_fault->byte_limit) {
+        contents->resize(g_active_fault->byte_limit);
+      }
+      return Status::IoError("injected read failure: " + path);
+    case FileFault::Kind::kTruncate:
+      ++g_hits;
+      if (contents->size() > g_active_fault->byte_limit) {
+        contents->resize(g_active_fault->byte_limit);
+      }
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+}  // namespace internal
+}  // namespace pgm

@@ -1,0 +1,63 @@
+#ifndef PGM_UTIL_FAULT_INJECTION_H_
+#define PGM_UTIL_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace pgm {
+
+/// A deterministic fault to inject into ReadFileToString, so tests can
+/// exercise the IoError/Corruption branches of the file-format parsers
+/// (FASTA, CSV) without relying on the filesystem misbehaving.
+struct FileFault {
+  enum class Kind {
+    /// fopen() appears to fail: the reader returns IoError without reading.
+    kOpenError,
+    /// The read fails mid-stream: the reader sees the first `byte_limit`
+    /// bytes, then gets IoError.
+    kReadError,
+    /// A silent short read: the reader receives only the first `byte_limit`
+    /// bytes and no error — the parser must detect the truncation itself.
+    kTruncate,
+  };
+
+  Kind kind = Kind::kOpenError;
+  /// Bytes delivered before the fault fires (kReadError, kTruncate).
+  std::size_t byte_limit = 0;
+  /// The fault applies only to paths containing this substring; empty
+  /// matches every path.
+  std::string path_substring;
+};
+
+/// Arms `fault` for the duration of the scope (tests only; not thread-safe,
+/// and scopes must not nest). `hits()` reports how many reads the fault
+/// intercepted, so a test can assert the branch actually fired.
+class ScopedFileFault {
+ public:
+  explicit ScopedFileFault(FileFault fault);
+  ~ScopedFileFault();
+  ScopedFileFault(const ScopedFileFault&) = delete;
+  ScopedFileFault& operator=(const ScopedFileFault&) = delete;
+
+  std::int64_t hits() const;
+
+ private:
+  FileFault fault_;
+};
+
+namespace internal {
+
+/// True when an armed kOpenError fault matches `path` (counts a hit).
+bool ShouldFailOpen(const std::string& path);
+
+/// Applies an armed kReadError/kTruncate fault matching `path` to the bytes
+/// just read: truncates *contents to byte_limit and, for kReadError, returns
+/// the injected IoError (counts a hit). OK when no fault applies.
+Status ApplyReadFault(const std::string& path, std::string* contents);
+
+}  // namespace internal
+}  // namespace pgm
+
+#endif  // PGM_UTIL_FAULT_INJECTION_H_

@@ -1,0 +1,32 @@
+#include "util/io.h"
+
+#include <cstdio>
+
+#include "util/fault_injection.h"
+
+namespace pgm {
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  if (internal::ShouldFailOpen(path)) {
+    return Status::IoError("cannot open (injected fault): " + path);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open: " + path);
+  }
+  std::string contents;
+  char buffer[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents.append(buffer, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::IoError("error while reading: " + path);
+  }
+  PGM_RETURN_IF_ERROR(internal::ApplyReadFault(path, &contents));
+  return contents;
+}
+
+}  // namespace pgm

@@ -1,0 +1,20 @@
+#ifndef PGM_UTIL_IO_H_
+#define PGM_UTIL_IO_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace pgm {
+
+/// Reads an entire file into a string. IoError on open or read failure.
+///
+/// This is the single choke point for file ingestion (FASTA, CSV, raw text):
+/// it honors ScopedFileFault (util/fault_injection.h), so tests can
+/// deterministically exercise open failures, mid-stream read errors, and
+/// silent short reads in every caller.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace pgm
+
+#endif  // PGM_UTIL_IO_H_

@@ -1,0 +1,71 @@
+#ifndef PGM_UTIL_LIMITS_H_
+#define PGM_UTIL_LIMITS_H_
+
+#include <cstdint>
+
+namespace pgm {
+
+/// Resource budgets for a mining run. The defaults mean "unlimited": a
+/// negative deadline disables the clock and a zero budget/cap disables that
+/// check entirely, so a default-constructed ResourceLimits reproduces the
+/// ungoverned behavior bit-for-bit.
+///
+/// Limits never make a run fail: when a budget is exhausted the miners stop
+/// early and return a partial-but-sound result (see
+/// MiningResult::termination). Theorem 1's N_l = O(L * W^(l-1)) growth means
+/// candidate sets and PIL memory explode combinatorially with the gap window
+/// W; these knobs are how a service facing arbitrary user inputs bounds that
+/// explosion instead of hanging or OOM-ing.
+struct ResourceLimits {
+  /// Wall-clock deadline for the whole mining call, in milliseconds;
+  /// negative means no deadline. A deadline of 0 trips at the first check.
+  std::int64_t deadline_ms = -1;
+  /// Budget for live PIL heap memory in bytes (the level-wise engine's
+  /// dominant allocation); 0 means unlimited.
+  std::uint64_t pil_memory_budget_bytes = 0;
+  /// Cap on |C_l|, the candidates generated for any single level; 0 means
+  /// unlimited.
+  std::uint64_t max_level_candidates = 0;
+  /// Cap on the total candidates generated across all levels; 0 means
+  /// unlimited.
+  std::uint64_t max_total_candidates = 0;
+
+  /// True when any limit is active.
+  bool any() const {
+    return deadline_ms >= 0 || pil_memory_budget_bytes > 0 ||
+           max_level_candidates > 0 || max_total_candidates > 0;
+  }
+};
+
+/// Why a mining run stopped. Everything except kCompleted marks a partial
+/// result: the patterns returned are all genuinely frequent (sound), but
+/// patterns longer than MiningResult::guaranteed_complete_up_to may be
+/// missing.
+enum class TerminationReason {
+  kCompleted = 0,
+  kDeadline = 1,
+  kMemoryBudget = 2,
+  kCandidateCap = 3,
+  kCancelled = 4,
+};
+
+/// Returns a stable human-readable name for `reason` (e.g. "deadline").
+inline const char* TerminationReasonToString(TerminationReason reason) {
+  switch (reason) {
+    case TerminationReason::kCompleted:
+      return "completed";
+    case TerminationReason::kDeadline:
+      return "deadline";
+    case TerminationReason::kMemoryBudget:
+      return "memory-budget";
+    case TerminationReason::kCandidateCap:
+      return "candidate-cap";
+    case TerminationReason::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+}  // namespace pgm
+
+#endif  // PGM_UTIL_LIMITS_H_

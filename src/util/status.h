@@ -127,8 +127,14 @@ class StatusOr {
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 
-  /// Returns the value, or `fallback` when holding an error.
+  /// Returns the value, or `fallback` when holding an error. The rvalue
+  /// overload moves the value out instead of copying it, so
+  /// `std::move(result).value_or(...)` stays cheap for heavy payloads
+  /// (e.g. MiningResult).
   T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+  T value_or(T fallback) && {
+    return ok() ? *std::move(value_) : std::move(fallback);
+  }
 
  private:
   Status status_;

@@ -112,7 +112,7 @@ TEST(CliRunTest, MineOnRawSequence) {
 
 TEST(CliRunTest, MineRequiresInput) {
   std::string output;
-  EXPECT_EQ(RunFromString("pgm mine --min-gap 1 --max-gap 2", &output), 1);
+  EXPECT_EQ(RunFromString("pgm mine --min-gap 1 --max-gap 2", &output), 2);
   EXPECT_NE(output.find("--input is required"), std::string::npos);
 }
 
@@ -122,7 +122,7 @@ TEST(CliRunTest, MineRejectsUnknownAlgorithm) {
                 "pgm mine --input raw:ACGT --algorithm quantum --min-gap 0 "
                 "--max-gap 1 --rho-percent 1",
                 &output),
-            1);
+            2);
   EXPECT_NE(output.find("unknown --algorithm"), std::string::npos);
 }
 
@@ -199,7 +199,7 @@ TEST(CliRunTest, ScanRejectsBadPair) {
   EXPECT_EQ(RunFromString(
                 "pgm scan --input raw:ACGTACGT --pairs AAT --max-distance 3",
                 &output),
-            1);
+            2);
 }
 
 TEST(CliRunTest, TandemCommand) {
@@ -231,7 +231,7 @@ TEST(CliRunTest, GenerateRoundTripsThroughFastaInput) {
 
 TEST(CliRunTest, GenerateRequiresOutput) {
   std::string output;
-  EXPECT_EQ(RunFromString("pgm generate --preset bacteria", &output), 1);
+  EXPECT_EQ(RunFromString("pgm generate --preset bacteria", &output), 2);
 }
 
 TEST(CliRunTest, CompareCommand) {
@@ -264,7 +264,7 @@ TEST(CliRunTest, CompareCommand) {
 
 TEST(CliRunTest, CompareRequiresTwoFiles) {
   std::string output;
-  EXPECT_EQ(RunFromString("pgm compare /tmp/only_one.csv", &output), 1);
+  EXPECT_EQ(RunFromString("pgm compare /tmp/only_one.csv", &output), 2);
   EXPECT_NE(output.find("at least two"), std::string::npos);
 }
 
@@ -272,6 +272,105 @@ TEST(CliRunTest, SubcommandHelpReturnsZero) {
   std::string output;
   EXPECT_EQ(RunFromString("pgm mine --help", &output), 0);
   EXPECT_NE(output.find("rho-percent"), std::string::npos);
+}
+
+TEST(CliExitCodeTest, StatusCodeMapping) {
+  EXPECT_EQ(ExitCodeForStatus(Status::OK()), 0);
+  EXPECT_EQ(ExitCodeForStatus(Status::InvalidArgument("x")), 2);
+  EXPECT_EQ(ExitCodeForStatus(Status::IoError("x")), 3);
+  EXPECT_EQ(ExitCodeForStatus(Status::Corruption("x")), 4);
+  EXPECT_EQ(ExitCodeForStatus(Status::ResourceExhausted("x")), 5);
+  EXPECT_EQ(ExitCodeForStatus(Status::NotFound("x")), 6);
+  EXPECT_EQ(ExitCodeForStatus(Status::Internal("x")), 1);
+}
+
+TEST(CliExitCodeTest, MissingFastaFileExitsThree) {
+  std::string output, error;
+  const int code = RunFromString(
+      "pgm mine --input fasta:/nonexistent-dir-xyz/missing.fa --min-gap 0 "
+      "--max-gap 1 --rho-percent 1",
+      &output, &error);
+  EXPECT_EQ(code, 3) << error;
+  EXPECT_TRUE(output.empty());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(CliExitCodeTest, CorruptCsvExitsFour) {
+  const std::string path = testing::TempDir() + "/cli_corrupt.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not,a,patterns,header\n", f);
+  std::fclose(f);
+  std::string output, error;
+  const int code =
+      RunFromString("pgm compare " + path + " " + path, &output, &error);
+  std::remove(path.c_str());
+  EXPECT_EQ(code, 4) << error;
+  EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(CliExitCodeTest, DiagnosticsGoToErrorStreamNotOutput) {
+  std::string output, error;
+  EXPECT_EQ(RunFromString("pgm mine --min-gap 1 --max-gap 2", &output, &error),
+            2);
+  EXPECT_TRUE(output.empty()) << output;
+  EXPECT_NE(error.find("--input is required"), std::string::npos);
+}
+
+TEST(CliGovernanceTest, NegativeBudgetRejected) {
+  std::string output, error;
+  EXPECT_EQ(RunFromString(
+                "pgm mine --input raw:ACGTACGT --min-gap 0 --max-gap 1 "
+                "--rho-percent 1 --pil-budget-bytes -5",
+                &output, &error),
+            2);
+  EXPECT_NE(error.find("must be non-negative"), std::string::npos);
+}
+
+TEST(CliGovernanceTest, ZeroDeadlineExitsZeroWithPartialBanner) {
+  std::string output;
+  const int code = RunFromString(
+      "pgm mine --input raw:ACGTACGTACGTACGTACGTACGT --min-gap 0 --max-gap 2 "
+      "--rho-percent 1 --start-length 1 --deadline-ms 0",
+      &output);
+  EXPECT_EQ(code, 0) << output;
+  EXPECT_NE(output.find("partial result"), std::string::npos);
+  EXPECT_NE(output.find("deadline"), std::string::npos);
+}
+
+TEST(CliGovernanceTest, OneBytePilBudgetExitsZeroWithPartialBanner) {
+  std::string output;
+  const int code = RunFromString(
+      "pgm mine --input raw:ACGTACGTACGTACGTACGTACGT --min-gap 0 --max-gap 2 "
+      "--rho-percent 1 --start-length 1 --pil-budget-bytes 1",
+      &output);
+  EXPECT_EQ(code, 0) << output;
+  EXPECT_NE(output.find("partial result"), std::string::npos);
+  EXPECT_NE(output.find("memory-budget"), std::string::npos);
+}
+
+TEST(CliGovernanceTest, GenerousLimitsMatchUnlimitedOutput) {
+  const std::string base =
+      "pgm mine --input preset:bacteria:3000:1 --min-gap 1 --max-gap 3 "
+      "--rho-percent 0.5 --start-length 2 --top 5";
+  std::string unlimited, governed;
+  ASSERT_EQ(RunFromString(base, &unlimited), 0);
+  ASSERT_EQ(RunFromString(base +
+                              " --deadline-ms 600000 --pil-budget-bytes "
+                              "4294967296 --max-level-candidates 1000000000 "
+                              "--max-total-candidates 1000000000",
+                          &governed),
+            0);
+  // The report includes timings, so compare everything except the summary
+  // line's trailing seconds figure.
+  const std::size_t cut_a = unlimited.find(" s\n");
+  const std::size_t cut_b = governed.find(" s\n");
+  ASSERT_NE(cut_a, std::string::npos);
+  ASSERT_NE(cut_b, std::string::npos);
+  const std::size_t start_a = unlimited.rfind(';', cut_a);
+  const std::size_t start_b = governed.rfind(';', cut_b);
+  EXPECT_EQ(unlimited.substr(0, start_a), governed.substr(0, start_b));
+  EXPECT_EQ(unlimited.substr(cut_a), governed.substr(cut_b));
 }
 
 }  // namespace

@@ -43,6 +43,36 @@ TEST(CsvReaderTest, CrlfLineEndings) {
   EXPECT_EQ(rows, (Rows{{"a", "b"}, {"1", "2"}}));
 }
 
+TEST(CsvReaderTest, CrlfAfterQuotedField) {
+  // The CR of a CRLF line ending lands right after the closing quote; it
+  // must be swallowed, not treated as "characters after closing quote" or
+  // appended to the field.
+  Rows rows = *ParseCsv("\"a,b\",\"c\"\r\nplain,2\r\n");
+  EXPECT_EQ(rows, (Rows{{"a,b", "c"}, {"plain", "2"}}));
+}
+
+TEST(CsvReaderTest, TrailingBlankLinesIgnored) {
+  Rows rows = *ParseCsv("a,b\n1,2\n\n\n");
+  EXPECT_EQ(rows, (Rows{{"a", "b"}, {"1", "2"}}));
+}
+
+TEST(CsvReaderTest, TrailingBlankCrlfLinesIgnored) {
+  Rows rows = *ParseCsv("a,b\r\n1,2\r\n\r\n\r\n");
+  EXPECT_EQ(rows, (Rows{{"a", "b"}, {"1", "2"}}));
+}
+
+TEST(CsvReaderTest, InteriorBlankLinesIgnored) {
+  Rows rows = *ParseCsv("a,b\n\n1,2\n");
+  EXPECT_EQ(rows, (Rows{{"a", "b"}, {"1", "2"}}));
+}
+
+TEST(CsvReaderTest, QuotedEmptyFieldIsNotABlankLine) {
+  // A lone "" on its own line is a real one-field record, unlike a truly
+  // blank line.
+  Rows rows = *ParseCsv("\"\"\n");
+  EXPECT_EQ(rows, (Rows{{""}}));
+}
+
 TEST(CsvReaderTest, RejectsUnterminatedQuote) {
   EXPECT_FALSE(ParseCsv("\"abc\n").ok());
 }

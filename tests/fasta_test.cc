@@ -47,6 +47,35 @@ TEST(FastaTest, HeaderWithoutDescription) {
   EXPECT_TRUE((*records)[0].description.empty());
 }
 
+TEST(FastaTest, CrlfLineEndings) {
+  StatusOr<std::vector<FastaRecord>> records =
+      ParseFasta(">r desc\r\nACGT\r\nTTAA\r\n");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].id, "r");
+  EXPECT_EQ((*records)[0].description, "desc");
+  EXPECT_EQ((*records)[0].residues, "ACGTTTAA");
+}
+
+TEST(FastaTest, TrailingBlankLinesIgnored) {
+  StatusOr<std::vector<FastaRecord>> records =
+      ParseFasta(">r\nACGT\n\n\r\n\n");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].residues, "ACGT");
+}
+
+TEST(FastaTest, HeaderlessTrailingRecordIsCorruptionNotTruncation) {
+  // A file cut off right after a '>' header (e.g. a short read) must be
+  // reported loudly, not returned as a record with no residues.
+  StatusOr<std::vector<FastaRecord>> records =
+      ParseFasta(">a\nACGT\n>b\n");
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(records.status().message().find("has no residues"),
+            std::string::npos);
+}
+
 TEST(FastaTest, RejectsResiduesBeforeHeader) {
   StatusOr<std::vector<FastaRecord>> records = ParseFasta("ACGT\n>x\nAC\n");
   ASSERT_FALSE(records.ok());

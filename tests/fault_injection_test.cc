@@ -1,0 +1,244 @@
+// Exercises the deterministic fault-injection hook at the file-ingestion
+// choke point (util/io.h ReadFileToString) and verifies that every
+// IoError/Corruption branch of the FASTA and CSV readers actually fires
+// under injected open errors, read errors, and silent short reads.
+
+#include "util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "seq/fasta.h"
+#include "util/csv_reader.h"
+#include "util/io.h"
+
+namespace pgm {
+namespace {
+
+// Writes `contents` to a file under the test temp dir and returns the path.
+std::string WriteTempFile(const std::string& name,
+                          const std::string& contents) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  EXPECT_NE(f, nullptr);
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  return path;
+}
+
+constexpr char kFasta[] = ">a first\nACGTACGT\n>b\nGGGGCCCC\n";
+constexpr char kCsv[] = "pattern,support\n\"ab,c\",5\nxyz,7\n";
+
+// --- ReadFileToString itself ---
+
+TEST(FaultInjectionTest, NoFaultIsPassthrough) {
+  const std::string path = WriteTempFile("fault_plain.txt", "hello\n");
+  StatusOr<std::string> contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "hello\n");
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, OpenErrorFires) {
+  const std::string path = WriteTempFile("fault_open.txt", "hello\n");
+  FileFault fault;
+  fault.kind = FileFault::Kind::kOpenError;
+  ScopedFileFault scope(fault);
+  StatusOr<std::string> contents = ReadFileToString(path);
+  ASSERT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), StatusCode::kIoError);
+  EXPECT_NE(contents.status().message().find("injected"), std::string::npos);
+  EXPECT_EQ(scope.hits(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, ReadErrorDeliversPrefixThenFails) {
+  const std::string path = WriteTempFile("fault_read.txt", "hello\n");
+  FileFault fault;
+  fault.kind = FileFault::Kind::kReadError;
+  fault.byte_limit = 3;
+  ScopedFileFault scope(fault);
+  StatusOr<std::string> contents = ReadFileToString(path);
+  ASSERT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(scope.hits(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, TruncateIsSilent) {
+  const std::string path = WriteTempFile("fault_trunc.txt", "hello\n");
+  FileFault fault;
+  fault.kind = FileFault::Kind::kTruncate;
+  fault.byte_limit = 3;
+  ScopedFileFault scope(fault);
+  StatusOr<std::string> contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "hel");
+  EXPECT_EQ(scope.hits(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, NonMatchingPathSubstringDoesNotFire) {
+  const std::string path = WriteTempFile("fault_nomatch.txt", "hello\n");
+  FileFault fault;
+  fault.kind = FileFault::Kind::kOpenError;
+  fault.path_substring = "some-other-file";
+  ScopedFileFault scope(fault);
+  StatusOr<std::string> contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "hello\n");
+  EXPECT_EQ(scope.hits(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, MatchingPathSubstringFires) {
+  const std::string path = WriteTempFile("fault_match.txt", "hello\n");
+  FileFault fault;
+  fault.kind = FileFault::Kind::kOpenError;
+  fault.path_substring = "fault_match";
+  ScopedFileFault scope(fault);
+  EXPECT_FALSE(ReadFileToString(path).ok());
+  EXPECT_EQ(scope.hits(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, FaultDisarmsWhenScopeEnds) {
+  const std::string path = WriteTempFile("fault_scope.txt", "hello\n");
+  {
+    FileFault fault;
+    fault.kind = FileFault::Kind::kOpenError;
+    ScopedFileFault scope(fault);
+    EXPECT_FALSE(ReadFileToString(path).ok());
+  }
+  EXPECT_TRUE(ReadFileToString(path).ok());
+  std::remove(path.c_str());
+}
+
+// --- FASTA reader under faults ---
+
+TEST(FaultInjectionTest, FastaOpenErrorSurfacesAsIoError) {
+  const std::string path = WriteTempFile("fault_fasta_open.fa", kFasta);
+  FileFault fault;
+  fault.kind = FileFault::Kind::kOpenError;
+  fault.path_substring = "fault_fasta_open";
+  ScopedFileFault scope(fault);
+  StatusOr<std::vector<FastaRecord>> records = ReadFastaFile(path);
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(scope.hits(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, FastaReadErrorSurfacesAsIoError) {
+  const std::string path = WriteTempFile("fault_fasta_read.fa", kFasta);
+  FileFault fault;
+  fault.kind = FileFault::Kind::kReadError;
+  fault.byte_limit = 10;
+  ScopedFileFault scope(fault);
+  StatusOr<std::vector<FastaRecord>> records = ReadFastaFile(path);
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(scope.hits(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, FastaTruncationAfterHeaderIsCorruption) {
+  // A short read that cuts the file right after ">b\n" leaves a headerless
+  // record; the parser must report Corruption, not silently return it.
+  const std::string path = WriteTempFile("fault_fasta_trunc.fa", kFasta);
+  const std::string text(kFasta);
+  FileFault fault;
+  fault.kind = FileFault::Kind::kTruncate;
+  fault.byte_limit = text.find(">b\n") + 3;
+  ScopedFileFault scope(fault);
+  StatusOr<std::vector<FastaRecord>> records = ReadFastaFile(path);
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(records.status().message().find("has no residues"),
+            std::string::npos);
+  EXPECT_EQ(scope.hits(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, FastaTruncationMidRecordStillParses) {
+  // Cutting inside record b's residues leaves a shorter but well-formed
+  // record — the parser cannot distinguish that from a genuine short
+  // sequence, which is exactly why the headerless case above must be loud.
+  const std::string path = WriteTempFile("fault_fasta_mid.fa", kFasta);
+  const std::string text(kFasta);
+  FileFault fault;
+  fault.kind = FileFault::Kind::kTruncate;
+  fault.byte_limit = text.find("GGGGCCCC") + 4;
+  ScopedFileFault scope(fault);
+  StatusOr<std::vector<FastaRecord>> records = ReadFastaFile(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[1].residues, "GGGG");
+  EXPECT_EQ(scope.hits(), 1);
+  std::remove(path.c_str());
+}
+
+// --- CSV reader under faults ---
+
+TEST(FaultInjectionTest, CsvOpenErrorSurfacesAsIoError) {
+  const std::string path = WriteTempFile("fault_csv_open.csv", kCsv);
+  FileFault fault;
+  fault.kind = FileFault::Kind::kOpenError;
+  ScopedFileFault scope(fault);
+  auto rows = ReadCsvFile(path);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(scope.hits(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, CsvReadErrorSurfacesAsIoError) {
+  const std::string path = WriteTempFile("fault_csv_read.csv", kCsv);
+  FileFault fault;
+  fault.kind = FileFault::Kind::kReadError;
+  fault.byte_limit = 20;
+  ScopedFileFault scope(fault);
+  auto rows = ReadCsvFile(path);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(scope.hits(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, CsvTruncationMidQuotedFieldIsCorruption) {
+  // Cut inside the quoted "ab,c" field: the reader must report the
+  // unterminated quote rather than fabricate a record.
+  const std::string path = WriteTempFile("fault_csv_trunc.csv", kCsv);
+  const std::string text(kCsv);
+  FileFault fault;
+  fault.kind = FileFault::Kind::kTruncate;
+  fault.byte_limit = text.find("\"ab") + 3;
+  ScopedFileFault scope(fault);
+  auto rows = ReadCsvFile(path);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(rows.status().message().find("unterminated quoted field"),
+            std::string::npos);
+  EXPECT_EQ(scope.hits(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, CsvTruncationAtRowBoundaryParsesShort) {
+  const std::string path = WriteTempFile("fault_csv_row.csv", kCsv);
+  const std::string text(kCsv);
+  FileFault fault;
+  fault.kind = FileFault::Kind::kTruncate;
+  fault.byte_limit = text.find("xyz");  // ends exactly after row 2's newline
+  ScopedFileFault scope(fault);
+  auto rows = ReadCsvFile(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1][0], "ab,c");
+  EXPECT_EQ(scope.hits(), 1);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pgm

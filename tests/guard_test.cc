@@ -1,0 +1,307 @@
+// Tests for the resource-governance layer: MiningGuard/CancelToken units
+// and the partial-but-sound failure contract of all four miners. The
+// contract under test (see DESIGN.md "Failure handling & resource
+// limits"): budget exhaustion never fails the call — it returns ok() with
+// the correct TerminationReason, every returned pattern genuinely
+// frequent, and guaranteed_complete_up_to tightened to the truncation
+// horizon.
+
+#include "core/guard.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/miner.h"
+#include "seq/sequence.h"
+
+namespace pgm {
+namespace {
+
+using Miner = StatusOr<MiningResult> (*)(const Sequence&, const MinerConfig&);
+
+struct NamedMiner {
+  const char* name;
+  Miner mine;
+};
+
+const NamedMiner kMiners[] = {
+    {"mpp", MineMpp},
+    {"mppm", MineMppm},
+    {"enum", MineEnumeration},
+    {"adaptive", MineAdaptive},
+};
+
+Sequence TestSequence() {
+  std::string text;
+  for (int i = 0; i < 16; ++i) text += "AACCGGTTACGTAGCT";
+  return *Sequence::FromString(text, Alphabet::Dna());
+}
+
+MinerConfig TestConfig() {
+  MinerConfig config;
+  config.min_gap = 0;
+  config.max_gap = 2;
+  config.min_support_ratio = 0.02;
+  config.start_length = 1;
+  config.max_length = 6;  // keeps enumeration tractable
+  return config;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> PatternSupports(
+    const MiningResult& result) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const FrequentPattern& fp : result.patterns) {
+    out.emplace_back(fp.pattern.ToShorthand(), fp.support);
+  }
+  return out;
+}
+
+// --- MiningGuard units ---
+
+TEST(CancelTokenTest, StartsClearAndLatches) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.RequestCancel();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(MiningGuardTest, UnlimitedGuardNeverStops) {
+  MiningGuard guard(ResourceLimits{});
+  EXPECT_TRUE(guard.CheckNow());
+  EXPECT_TRUE(guard.ChargeMemory(1ull << 40));
+  EXPECT_TRUE(guard.ChargeLevelCandidates(1ull << 40));
+  for (int i = 0; i < 200'000; ++i) EXPECT_TRUE(guard.Tick());
+  EXPECT_FALSE(guard.stopped());
+  EXPECT_EQ(guard.reason(), TerminationReason::kCompleted);
+}
+
+TEST(MiningGuardTest, ZeroDeadlineTripsOnFirstCheck) {
+  ResourceLimits limits;
+  limits.deadline_ms = 0;
+  MiningGuard guard(limits);
+  EXPECT_FALSE(guard.CheckNow());
+  EXPECT_EQ(guard.reason(), TerminationReason::kDeadline);
+  // The reason is sticky: later violations do not overwrite it.
+  EXPECT_FALSE(guard.ChargeMemory(1ull << 40));
+  EXPECT_EQ(guard.reason(), TerminationReason::kDeadline);
+}
+
+TEST(MiningGuardTest, CancelledTokenWins) {
+  CancelToken token;
+  token.RequestCancel();
+  MiningGuard guard(ResourceLimits{}, &token);
+  EXPECT_FALSE(guard.CheckNow());
+  EXPECT_EQ(guard.reason(), TerminationReason::kCancelled);
+}
+
+TEST(MiningGuardTest, MemoryBudgetChargesAndReleases) {
+  ResourceLimits limits;
+  limits.pil_memory_budget_bytes = 100;
+  MiningGuard guard(limits);
+  EXPECT_TRUE(guard.ChargeMemory(60));
+  guard.ReleaseMemory(60);
+  EXPECT_TRUE(guard.ChargeMemory(90));
+  EXPECT_EQ(guard.memory_in_use_bytes(), 90u);
+  EXPECT_FALSE(guard.ChargeMemory(20));
+  EXPECT_EQ(guard.reason(), TerminationReason::kMemoryBudget);
+  EXPECT_EQ(guard.memory_peak_bytes(), 110u);
+}
+
+TEST(MiningGuardTest, CandidateCapsPerLevelAndTotal) {
+  ResourceLimits limits;
+  limits.max_level_candidates = 10;
+  MiningGuard per_level(limits);
+  EXPECT_TRUE(per_level.ChargeLevelCandidates(10));
+  EXPECT_FALSE(per_level.ChargeLevelCandidates(11));
+  EXPECT_EQ(per_level.reason(), TerminationReason::kCandidateCap);
+
+  ResourceLimits total_limits;
+  total_limits.max_total_candidates = 15;
+  MiningGuard total(total_limits);
+  EXPECT_TRUE(total.ChargeLevelCandidates(10));
+  EXPECT_FALSE(total.ChargeLevelCandidates(10));
+  EXPECT_EQ(total.reason(), TerminationReason::kCandidateCap);
+}
+
+TEST(MiningGuardTest, TickPollsTheClockEveryPeriod) {
+  ResourceLimits limits;
+  limits.deadline_ms = 0;
+  MiningGuard guard(limits);
+  // The fast path never reads the clock, so the first kTickPeriod - 1
+  // ticks pass; the period-th performs the full check and trips.
+  for (std::uint64_t i = 0; i + 1 < MiningGuard::kTickPeriod; ++i) {
+    ASSERT_TRUE(guard.Tick());
+  }
+  EXPECT_FALSE(guard.Tick());
+  EXPECT_EQ(guard.reason(), TerminationReason::kDeadline);
+}
+
+TEST(ResourceLimitsTest, AnyDetectsActiveLimits) {
+  EXPECT_FALSE(ResourceLimits{}.any());
+  ResourceLimits deadline;
+  deadline.deadline_ms = 0;
+  EXPECT_TRUE(deadline.any());
+  ResourceLimits memory;
+  memory.pil_memory_budget_bytes = 1;
+  EXPECT_TRUE(memory.any());
+}
+
+// --- Failure contract across all four miners ---
+
+TEST(MinerGovernanceTest, PreCancelledTokenReturnsOkAndEmpty) {
+  const Sequence sequence = TestSequence();
+  for (const NamedMiner& miner : kMiners) {
+    CancelToken token;
+    token.RequestCancel();
+    MinerConfig config = TestConfig();
+    config.cancel = &token;
+    StatusOr<MiningResult> result = miner.mine(sequence, config);
+    ASSERT_TRUE(result.ok()) << miner.name;
+    EXPECT_EQ(result->termination, TerminationReason::kCancelled)
+        << miner.name;
+    EXPECT_TRUE(result->patterns.empty()) << miner.name;
+    EXPECT_EQ(result->guaranteed_complete_up_to, 0) << miner.name;
+  }
+}
+
+TEST(MinerGovernanceTest, ZeroDeadlineReturnsOkPartial) {
+  const Sequence sequence = TestSequence();
+  for (const NamedMiner& miner : kMiners) {
+    MinerConfig config = TestConfig();
+    config.limits.deadline_ms = 0;
+    StatusOr<MiningResult> result = miner.mine(sequence, config);
+    ASSERT_TRUE(result.ok()) << miner.name;
+    EXPECT_EQ(result->termination, TerminationReason::kDeadline)
+        << miner.name;
+    EXPECT_TRUE(result->patterns.empty()) << miner.name;
+    EXPECT_EQ(result->guaranteed_complete_up_to, 0) << miner.name;
+  }
+}
+
+TEST(MinerGovernanceTest, OneBytePilBudgetReturnsOkPartial) {
+  const Sequence sequence = TestSequence();
+  for (const NamedMiner& miner : kMiners) {
+    MinerConfig config = TestConfig();
+    config.limits.pil_memory_budget_bytes = 1;
+    StatusOr<MiningResult> result = miner.mine(sequence, config);
+    ASSERT_TRUE(result.ok()) << miner.name;
+    EXPECT_EQ(result->termination, TerminationReason::kMemoryBudget)
+        << miner.name;
+    EXPECT_EQ(result->guaranteed_complete_up_to, 0) << miner.name;
+    EXPECT_GT(result->pil_memory_peak_bytes, 1u) << miner.name;
+  }
+}
+
+TEST(MinerGovernanceTest, CandidateCapReturnsOkPartial) {
+  const Sequence sequence = TestSequence();
+  for (const NamedMiner& miner : kMiners) {
+    MinerConfig config = TestConfig();
+    // Level 1 has |Σ| = 4 candidates; level 2 joins exceed 2.
+    config.limits.max_level_candidates = 2;
+    StatusOr<MiningResult> result = miner.mine(sequence, config);
+    ASSERT_TRUE(result.ok()) << miner.name;
+    EXPECT_EQ(result->termination, TerminationReason::kCandidateCap)
+        << miner.name;
+    EXPECT_EQ(result->guaranteed_complete_up_to, 0) << miner.name;
+  }
+}
+
+TEST(MinerGovernanceTest, TotalCandidateCapStopsAtLaterLevel) {
+  const Sequence sequence = TestSequence();
+  MinerConfig config = TestConfig();
+  // Level 1 fits (4 candidates), the cumulative total trips afterwards.
+  config.limits.max_total_candidates = 5;
+  StatusOr<MiningResult> result = MineMpp(sequence, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->termination, TerminationReason::kCandidateCap);
+  EXPECT_EQ(result->guaranteed_complete_up_to, 1);
+  // Level 1 completed, so its frequent patterns are all present.
+  EXPECT_GT(result->patterns.size(), 0u);
+  for (const FrequentPattern& fp : result->patterns) {
+    EXPECT_EQ(fp.pattern.length(), 1u);
+  }
+}
+
+TEST(MinerGovernanceTest, GenerousLimitsAreBitIdenticalToUngoverned) {
+  const Sequence sequence = TestSequence();
+  for (const NamedMiner& miner : kMiners) {
+    CancelToken token;  // live but never cancelled
+    MinerConfig governed = TestConfig();
+    governed.limits.deadline_ms = 600'000;
+    governed.limits.pil_memory_budget_bytes = 1ull << 32;
+    governed.limits.max_level_candidates = 1ull << 40;
+    governed.limits.max_total_candidates = 1ull << 40;
+    governed.cancel = &token;
+
+    StatusOr<MiningResult> with_limits = miner.mine(sequence, governed);
+    StatusOr<MiningResult> without_limits =
+        miner.mine(sequence, TestConfig());
+    ASSERT_TRUE(with_limits.ok()) << miner.name;
+    ASSERT_TRUE(without_limits.ok()) << miner.name;
+    EXPECT_EQ(with_limits->termination, TerminationReason::kCompleted)
+        << miner.name;
+    EXPECT_EQ(PatternSupports(*with_limits), PatternSupports(*without_limits))
+        << miner.name;
+    EXPECT_EQ(with_limits->guaranteed_complete_up_to,
+              without_limits->guaranteed_complete_up_to)
+        << miner.name;
+    EXPECT_EQ(with_limits->total_candidates, without_limits->total_candidates)
+        << miner.name;
+  }
+}
+
+TEST(MinerGovernanceTest, PartialResultsAreSound) {
+  // Whatever a truncated run returns must be a subset of the full run,
+  // with identical supports — truncation may drop patterns, never invent
+  // or corrupt them.
+  const Sequence sequence = TestSequence();
+  StatusOr<MiningResult> full = MineMpp(sequence, TestConfig());
+  ASSERT_TRUE(full.ok());
+  const auto full_supports = PatternSupports(*full);
+
+  for (std::uint64_t budget : {1ull, 512ull, 4096ull, 32768ull}) {
+    MinerConfig config = TestConfig();
+    config.limits.pil_memory_budget_bytes = budget;
+    StatusOr<MiningResult> partial = MineMpp(sequence, config);
+    ASSERT_TRUE(partial.ok()) << budget;
+    for (const auto& entry : PatternSupports(*partial)) {
+      EXPECT_NE(std::find(full_supports.begin(), full_supports.end(), entry),
+                full_supports.end())
+          << "budget " << budget << ": spurious pattern " << entry.first;
+    }
+    // Everything within the guaranteed horizon is present.
+    std::size_t full_within = 0, partial_within = 0;
+    for (const FrequentPattern& fp : full->patterns) {
+      if (static_cast<std::int64_t>(fp.pattern.length()) <=
+          partial->guaranteed_complete_up_to) {
+        ++full_within;
+      }
+    }
+    for (const FrequentPattern& fp : partial->patterns) {
+      if (static_cast<std::int64_t>(fp.pattern.length()) <=
+          partial->guaranteed_complete_up_to) {
+        ++partial_within;
+      }
+    }
+    EXPECT_EQ(full_within, partial_within) << "budget " << budget;
+  }
+}
+
+TEST(MinerGovernanceTest, AdaptiveDeadlineSpansAllIterations) {
+  // With a generous deadline the adaptive loop completes normally and
+  // reports kCompleted; the per-iteration deadline handoff must not turn a
+  // finished run into a partial one.
+  const Sequence sequence = TestSequence();
+  MinerConfig config = TestConfig();
+  config.initial_n = 1;
+  config.limits.deadline_ms = 600'000;
+  StatusOr<MiningResult> result = MineAdaptive(sequence, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->complete());
+  EXPECT_GE(result->adaptive_iterations, 1);
+}
+
+}  // namespace
+}  // namespace pgm

@@ -1,0 +1,90 @@
+// Degenerate-input saturation: a homopolymer with a wide gap window makes
+// the number of matching offset sequences overflow 64 bits within a dozen
+// levels. All four miners must clamp the count (FrequentPattern::saturated),
+// keep support_ratio finite, and still terminate normally.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/miner.h"
+#include "seq/sequence.h"
+#include "util/saturating.h"
+
+namespace pgm {
+namespace {
+
+Sequence Homopolymer(std::size_t length) {
+  return *Sequence::FromString(std::string(length, 'A'), Alphabet::Dna());
+}
+
+MinerConfig SaturatingConfig() {
+  MinerConfig config;
+  // W = 81: support of A^l grows like L * 81^(l-1) and passes 2^64 around
+  // l = 10, well inside the level budget below.
+  config.min_gap = 0;
+  config.max_gap = 80;
+  config.min_support_ratio = 1e-12;
+  config.start_length = 1;
+  config.max_length = 12;
+  return config;
+}
+
+void ExpectSaturatesCleanly(const MiningResult& result, const char* miner) {
+  EXPECT_TRUE(result.complete()) << miner;
+  ASSERT_FALSE(result.patterns.empty()) << miner;
+  bool any_saturated = false;
+  for (const FrequentPattern& fp : result.patterns) {
+    // Only A^l can match a homopolymer.
+    for (char c : fp.pattern.ToShorthand()) EXPECT_EQ(c, 'A') << miner;
+    EXPECT_TRUE(std::isfinite(fp.support_ratio)) << miner;
+    EXPECT_GE(fp.support_ratio, 0.0) << miner;
+    EXPECT_LE(fp.support_ratio, 1.0) << miner;
+    if (fp.saturated) {
+      any_saturated = true;
+      EXPECT_EQ(fp.support, kSaturatedCount) << miner;
+    } else {
+      EXPECT_LT(fp.support, kSaturatedCount) << miner;
+    }
+  }
+  EXPECT_TRUE(any_saturated)
+      << miner << ": expected at least one clamped support";
+  EXPECT_EQ(result.longest_frequent_length, 12) << miner;
+}
+
+TEST(MinerSaturationTest, MppClampsSupport) {
+  MiningResult result = *MineMpp(Homopolymer(300), SaturatingConfig());
+  ExpectSaturatesCleanly(result, "mpp");
+}
+
+TEST(MinerSaturationTest, MppmClampsSupport) {
+  MiningResult result = *MineMppm(Homopolymer(300), SaturatingConfig());
+  ExpectSaturatesCleanly(result, "mppm");
+}
+
+TEST(MinerSaturationTest, EnumerationClampsSupport) {
+  MiningResult result = *MineEnumeration(Homopolymer(300), SaturatingConfig());
+  ExpectSaturatesCleanly(result, "enum");
+}
+
+TEST(MinerSaturationTest, AdaptiveClampsSupport) {
+  MinerConfig config = SaturatingConfig();
+  config.initial_n = 2;
+  MiningResult result = *MineAdaptive(Homopolymer(300), config);
+  ExpectSaturatesCleanly(result, "adaptive");
+}
+
+TEST(MinerSaturationTest, SaturatedFlagRoundsTripThroughLowerLevels) {
+  // Shorter prefixes of the same run must not be flagged: the clamp applies
+  // only where the count actually overflowed.
+  MiningResult result = *MineMpp(Homopolymer(300), SaturatingConfig());
+  for (const FrequentPattern& fp : result.patterns) {
+    if (fp.pattern.length() <= 4) {
+      EXPECT_FALSE(fp.saturated) << fp.pattern.ToShorthand();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pgm

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 namespace pgm {
 namespace {
 
@@ -77,6 +80,30 @@ TEST(StatusOrTest, MoveOnlyValue) {
   ASSERT_TRUE(result.ok());
   std::unique_ptr<int> value = std::move(result).value();
   EXPECT_EQ(*value, 5);
+}
+
+TEST(StatusOrTest, RvalueValueOrMovesTheValue) {
+  // The && overload must move-only-compile and move the held value out.
+  StatusOr<std::unique_ptr<int>> result = std::make_unique<int>(9);
+  std::unique_ptr<int> value = std::move(result).value_or(nullptr);
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, 9);
+}
+
+TEST(StatusOrTest, RvalueValueOrMovesTheFallback) {
+  StatusOr<std::unique_ptr<int>> result = Status::NotFound("missing");
+  std::unique_ptr<int> value =
+      std::move(result).value_or(std::make_unique<int>(3));
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, 3);
+}
+
+TEST(StatusOrTest, RvalueValueOrAvoidsCopy) {
+  // A vector's buffer must transfer, not duplicate.
+  StatusOr<std::vector<int>> result = std::vector<int>{1, 2, 3};
+  const int* data = result->data();
+  std::vector<int> moved = std::move(result).value_or({});
+  EXPECT_EQ(moved.data(), data);
 }
 
 TEST(StatusOrTest, ArrowOperator) {

@@ -1,5 +1,9 @@
 // The `pgm` command-line tool. All logic lives in the testable pgm_cli
-// library; this binary only routes the rendered report to stdout.
+// library; this binary only routes the rendered report to stdout and
+// failure diagnostics to stderr. Exit codes distinguish the failure class
+// (see pgm::cli::ExitCodeForStatus): 0 ok, 2 invalid argument / usage,
+// 3 I/O error, 4 corrupt input, 5 resource exhausted, 6 not found,
+// 1 anything else.
 
 #include <cstdio>
 #include <string>
@@ -8,7 +12,13 @@
 
 int main(int argc, char** argv) {
   std::string output;
-  const int code = pgm::cli::Run(argc, argv, &output);
-  std::fwrite(output.data(), 1, output.size(), code == 0 ? stdout : stderr);
+  std::string error;
+  const int code = pgm::cli::Run(argc, argv, &output, &error);
+  if (!output.empty()) {
+    std::fwrite(output.data(), 1, output.size(), stdout);
+  }
+  if (!error.empty()) {
+    std::fwrite(error.data(), 1, error.size(), stderr);
+  }
   return code;
 }
