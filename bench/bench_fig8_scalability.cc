@@ -26,7 +26,9 @@ int Run(int argc, char** argv) {
   Sequence genome = ValueOrDie(MakeAx829174Surrogate());
 
   std::printf(
-      "=== Figure 8: MPPm time vs L (gap [9,12], m=10, rho_s=0.003%%) ===\n");
+      "=== Figure 8: MPPm time vs L (gap [9,12], m=10, rho_s=0.003%%, "
+      "threads=%lld) ===\n",
+      static_cast<long long>(options.threads));
   TablePrinter table({"L", "time (s)", "time/L (ms)", "candidates",
                       "patterns", "n est."});
   CsvWriter csv({"L", "seconds", "candidates", "patterns"});
@@ -35,6 +37,7 @@ int Run(int argc, char** argv) {
     Sequence segment = ValueOrDie(
         RandomSegment(genome, static_cast<std::size_t>(length), rng));
     MinerConfig config = Section6Defaults();
+    config.threads = options.threads;
     MiningResult result = ValueOrDie(MineMppm(segment, config));
     table.Row()
         .Add(length)

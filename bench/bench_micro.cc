@@ -125,6 +125,34 @@ void BM_MineMppBestCase(benchmark::State& state) {
 }
 BENCHMARK(BM_MineMppBestCase);
 
+// --- Parallel level evaluation: the threads axis. ---
+
+// MPPm at Section 6 scale with the level joins sharded over the argument's
+// worker count. Results are identical at every thread count; only the time
+// should move.
+void BM_MineMppmThreads(benchmark::State& state) {
+  Sequence segment = ValueOrDie(SurrogateSegment(1000, 42));
+  MinerConfig config = Section6Defaults();
+  config.threads = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineMppm(segment, config)->patterns.size());
+  }
+}
+BENCHMARK(BM_MineMppmThreads)->Arg(1)->Arg(2)->Arg(4);
+
+// A level-heavy configuration (worst-case n, low threshold, longer segment)
+// so the candidate lists are wide enough for the sharding to matter.
+void BM_MineMppLevelHeavyThreads(benchmark::State& state) {
+  Sequence segment = ValueOrDie(SurrogateSegment(4000, 42));
+  MinerConfig config = Section6Defaults();
+  config.min_support_ratio = 0.00001;  // 0.001%
+  config.threads = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineMpp(segment, config)->patterns.size());
+  }
+}
+BENCHMARK(BM_MineMppLevelHeavyThreads)->Arg(1)->Arg(2)->Arg(4);
+
 // --- Data generation throughput. ---
 
 void BM_GenerateBacteriaGenome(benchmark::State& state) {

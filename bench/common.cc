@@ -14,6 +14,9 @@ void RegisterHarnessFlags(FlagSet& flags, HarnessOptions& options) {
   flags.AddString("csv", &options.csv_path,
                   "also write the table as CSV to this path");
   flags.AddInt64("seed", &options.seed, "seed for synthetic data generation");
+  flags.AddInt64("threads", &options.threads,
+                 "worker threads for level evaluation (1 = serial, 0 = one "
+                 "per hardware thread)");
 }
 
 int HandleParseResult(const Status& status) {

@@ -13,10 +13,12 @@
 namespace pgm::bench {
 
 /// Shared flags every harness binary accepts: --csv <path> to also write the
-/// table as CSV, --seed for data generation.
+/// table as CSV, --seed for data generation, --threads for the miners'
+/// level-evaluation worker count.
 struct HarnessOptions {
   std::string csv_path;
   std::int64_t seed = 42;
+  std::int64_t threads = 1;
 };
 
 /// Registers the shared flags on `flags`.

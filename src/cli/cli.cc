@@ -142,6 +142,7 @@ Status RunMine(const std::vector<std::string>& args, std::string* output) {
   std::int64_t pil_budget_bytes = 0;
   std::int64_t max_level_candidates = 0;
   std::int64_t max_total_candidates = 0;
+  std::int64_t threads = 1;
 
   FlagSet flags("pgm mine: find frequent periodic patterns");
   flags.AddString("input", &input, "input spec (see pgm --help)");
@@ -168,6 +169,10 @@ Status RunMine(const std::vector<std::string>& args, std::string* output) {
                  "cap on candidates per level (0 = unlimited)");
   flags.AddInt64("max-total-candidates", &max_total_candidates,
                  "cap on total candidates (0 = unlimited)");
+  flags.AddInt64("threads", &threads,
+                 "worker threads for level evaluation (1 = serial, 0 = one "
+                 "per hardware thread); results are identical at every "
+                 "thread count");
   std::vector<char*> argv;
   std::vector<std::string> storage = args;
   storage.insert(storage.begin(), "pgm mine");
@@ -198,6 +203,7 @@ Status RunMine(const std::vector<std::string>& args, std::string* output) {
       static_cast<std::uint64_t>(max_level_candidates);
   config.limits.max_total_candidates =
       static_cast<std::uint64_t>(max_total_candidates);
+  config.threads = threads;
 
   StatusOr<MiningResult> mined = [&]() -> StatusOr<MiningResult> {
     if (algorithm == "mpp") return MineMpp(sequence, config);

@@ -13,6 +13,7 @@ StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
                        GapRequirement::Create(config.min_gap, config.max_gap));
   Stopwatch watch;
   MiningGuard guard(config.limits, config.cancel);
+  internal::ParallelLevelExecutor executor(config.threads);
   OffsetCounter counter(static_cast<std::int64_t>(sequence.size()), gap);
 
   MiningResult result;
@@ -68,17 +69,30 @@ StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
   // PIL(c + P) = Combine(PIL(c), PIL(P)) — valid because `c` is exactly the
   // prefix character preceding P by one gap.
   std::vector<internal::LevelEntry> singles =
-      internal::BuildAllPatternsOfLength(sequence, gap, 1, &guard);
-
-  std::vector<internal::LevelEntry> level =
-      internal::BuildAllPatternsOfLength(sequence, gap, level_length, &guard);
-  if (guard.stopped()) {
-    finalize();
-    return result;
+      internal::BuildAllPatternsOfLength(sequence, gap, 1, &guard, &executor);
+  std::uint64_t singles_bytes = 0;
+  for (const internal::LevelEntry& entry : singles) {
+    singles_bytes += entry.pil.MemoryBytes();
   }
+
+  std::vector<internal::LevelEntry> level = internal::BuildAllPatternsOfLength(
+      sequence, gap, level_length, &guard, &executor);
   std::uint64_t level_bytes = 0;
   for (const internal::LevelEntry& entry : level) {
     level_bytes += entry.pil.MemoryBytes();
+  }
+  // Both BuildAll calls handed their levels' charges off to us; every exit
+  // below goes through release_live so the guard's ledger drains to zero.
+  auto release_live = [&]() {
+    guard.ReleaseMemory(singles_bytes);
+    guard.ReleaseMemory(level_bytes);
+    singles.clear();
+    level.clear();
+  };
+  if (guard.stopped()) {
+    release_live();
+    finalize();
+    return result;
   }
 
   bool interrupted = false;
@@ -129,34 +143,38 @@ StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
 
     if (level_length >= cap || level.empty()) break;
 
+    // Extend every level pattern by every single on the left. The specs
+    // index (singles, level), singles-major, matching the serial visit
+    // order, so the executor's merged output is identical to it.
+    std::vector<internal::CandidateSpec> specs;
+    specs.reserve(singles.size() * level.size());
+    for (std::uint32_t si = 0; si < singles.size(); ++si) {
+      for (std::uint32_t li = 0; li < level.size(); ++li) {
+        internal::CandidateSpec spec;
+        spec.symbols.reserve(level[li].symbols.size() + 1);
+        spec.symbols.push_back(singles[si].symbols.front());
+        spec.symbols.append(level[li].symbols);
+        spec.left = si;
+        spec.right = li;
+        specs.push_back(std::move(spec));
+      }
+    }
     std::vector<internal::LevelEntry> next;
     std::uint64_t next_bytes = 0;
-    next.reserve(level.size() * singles.size());
-    for (const internal::LevelEntry& single : singles) {
-      for (const internal::LevelEntry& entry : level) {
-        if (!guard.Tick()) {
-          interrupted = true;
-          break;
-        }
-        PartialIndexList pil =
-            PartialIndexList::Combine(single.pil, entry.pil, gap);
-        if (pil.empty()) continue;
-        const std::uint64_t bytes = pil.MemoryBytes();
-        next_bytes += bytes;
-        const bool within_budget = guard.ChargeMemory(bytes);
-        internal::LevelEntry extended;
-        extended.symbols.reserve(entry.symbols.size() + 1);
-        extended.symbols.push_back(single.symbols.front());
-        extended.symbols.append(entry.symbols);
-        extended.pil = std::move(pil);
-        next.push_back(std::move(extended));
-        if (!within_budget) {
-          interrupted = true;
-          break;
-        }
+    auto sink = [&](internal::EvaluatedCandidate&& candidate) -> Status {
+      if (candidate.entry.pil.empty()) {
+        guard.ReleaseMemory(candidate.bytes);
+        return Status::OK();
       }
-      if (interrupted) break;
-    }
+      next_bytes += candidate.bytes;
+      next.push_back(std::move(candidate.entry));
+      return Status::OK();
+    };
+    bool extension_interrupted = false;
+    PGM_RETURN_IF_ERROR(executor.EvaluateCandidates(
+        singles, level, std::move(specs), gap, &guard, sink,
+        &extension_interrupted));
+    interrupted = extension_interrupted;
     level = std::move(next);
     guard.ReleaseMemory(level_bytes);
     level_bytes = next_bytes;
@@ -164,6 +182,7 @@ StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
     ++level_length;
   }
 
+  release_live();
   finalize();
   return result;
 }

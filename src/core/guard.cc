@@ -25,11 +25,20 @@ bool MiningGuard::CheckNow() {
 }
 
 bool MiningGuard::ChargeMemory(std::uint64_t bytes) {
-  memory_in_use_bytes_ = SatAdd(memory_in_use_bytes_, bytes);
-  memory_peak_bytes_ = std::max(memory_peak_bytes_, memory_in_use_bytes_);
+  std::uint64_t current = memory_in_use_bytes_.load(std::memory_order_relaxed);
+  std::uint64_t updated;
+  do {
+    updated = SatAdd(current, bytes);
+  } while (!memory_in_use_bytes_.compare_exchange_weak(
+      current, updated, std::memory_order_relaxed));
+  std::uint64_t peak = memory_peak_bytes_.load(std::memory_order_relaxed);
+  while (peak < updated &&
+         !memory_peak_bytes_.compare_exchange_weak(
+             peak, updated, std::memory_order_relaxed)) {
+  }
   if (stopped()) return false;
   if (limits_.pil_memory_budget_bytes > 0 &&
-      memory_in_use_bytes_ > limits_.pil_memory_budget_bytes) {
+      updated > limits_.pil_memory_budget_bytes) {
     Stop(TerminationReason::kMemoryBudget);
     return false;
   }
@@ -37,11 +46,21 @@ bool MiningGuard::ChargeMemory(std::uint64_t bytes) {
 }
 
 void MiningGuard::ReleaseMemory(std::uint64_t bytes) {
-  memory_in_use_bytes_ -= std::min(memory_in_use_bytes_, bytes);
+  std::uint64_t current = memory_in_use_bytes_.load(std::memory_order_relaxed);
+  std::uint64_t updated;
+  do {
+    updated = current - std::min(current, bytes);
+  } while (!memory_in_use_bytes_.compare_exchange_weak(
+      current, updated, std::memory_order_relaxed));
 }
 
 bool MiningGuard::ChargeLevelCandidates(std::uint64_t level_candidates) {
-  total_candidates_ = SatAdd(total_candidates_, level_candidates);
+  std::uint64_t current = total_candidates_.load(std::memory_order_relaxed);
+  std::uint64_t updated;
+  do {
+    updated = SatAdd(current, level_candidates);
+  } while (!total_candidates_.compare_exchange_weak(
+      current, updated, std::memory_order_relaxed));
   if (stopped()) return false;
   if (limits_.max_level_candidates > 0 &&
       level_candidates > limits_.max_level_candidates) {
@@ -49,7 +68,7 @@ bool MiningGuard::ChargeLevelCandidates(std::uint64_t level_candidates) {
     return false;
   }
   if (limits_.max_total_candidates > 0 &&
-      total_candidates_ > limits_.max_total_candidates) {
+      updated > limits_.max_total_candidates) {
     Stop(TerminationReason::kCandidateCap);
     return false;
   }

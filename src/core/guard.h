@@ -34,6 +34,14 @@ class CancelToken {
 /// The guard only observes — it never changes which candidates are generated
 /// or how supports are counted — so a run that finishes without tripping any
 /// limit is bit-identical to an ungoverned run.
+///
+/// Thread safety: every method may be called concurrently from the parallel
+/// level engine's workers. The tick counter, memory ledger, and candidate
+/// totals are atomics; the termination reason latches via compare-exchange,
+/// so exactly one violation wins and all workers observe the stop. The
+/// partial-but-sound contract survives parallelism: a trip seen by one
+/// worker is seen by all at their next Tick/Charge, and whatever candidates
+/// were fully evaluated before the stop carry exact supports.
 class MiningGuard {
  public:
   /// PIL extensions between two wall-clock/cancellation polls. Power of two
@@ -47,11 +55,14 @@ class MiningGuard {
   /// Full check of deadline and cancellation. Used at level boundaries.
   bool CheckNow();
 
-  /// Per-PIL-extension tick: a counter bump on the fast path, a full
-  /// CheckNow() every kTickPeriod calls.
+  /// Per-PIL-extension tick: an atomic counter bump on the fast path, a
+  /// full CheckNow() every kTickPeriod calls (per process, not per worker —
+  /// the counter is shared, so the polling cadence is independent of the
+  /// thread count).
   bool Tick() {
     if (stopped()) return false;
-    if ((++ticks_ & (kTickPeriod - 1)) != 0) return true;
+    const std::uint64_t tick = ticks_.fetch_add(1, std::memory_order_relaxed);
+    if (((tick + 1) & (kTickPeriod - 1)) != 0) return true;
     return CheckNow();
   }
 
@@ -64,26 +75,39 @@ class MiningGuard {
   /// candidate caps.
   bool ChargeLevelCandidates(std::uint64_t level_candidates);
 
-  bool stopped() const { return reason_ != TerminationReason::kCompleted; }
-  TerminationReason reason() const { return reason_; }
+  bool stopped() const {
+    return reason() != TerminationReason::kCompleted;
+  }
+  TerminationReason reason() const {
+    return reason_.load(std::memory_order_acquire);
+  }
 
-  std::uint64_t memory_in_use_bytes() const { return memory_in_use_bytes_; }
-  std::uint64_t memory_peak_bytes() const { return memory_peak_bytes_; }
+  std::uint64_t memory_in_use_bytes() const {
+    return memory_in_use_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t memory_peak_bytes() const {
+    return memory_peak_bytes_.load(std::memory_order_relaxed);
+  }
   double elapsed_seconds() const { return watch_.ElapsedSeconds(); }
 
  private:
+  /// Latches the first violation: later calls (from any thread) lose the
+  /// compare-exchange and keep the original reason.
   void Stop(TerminationReason reason) {
-    if (!stopped()) reason_ = reason;
+    TerminationReason expected = TerminationReason::kCompleted;
+    reason_.compare_exchange_strong(expected, reason,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire);
   }
 
   ResourceLimits limits_;
   const CancelToken* cancel_;
   Stopwatch watch_;
-  std::uint64_t ticks_ = 0;
-  std::uint64_t memory_in_use_bytes_ = 0;
-  std::uint64_t memory_peak_bytes_ = 0;
-  std::uint64_t total_candidates_ = 0;
-  TerminationReason reason_ = TerminationReason::kCompleted;
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<std::uint64_t> memory_in_use_bytes_{0};
+  std::atomic<std::uint64_t> memory_peak_bytes_{0};
+  std::atomic<std::uint64_t> total_candidates_{0};
+  std::atomic<TerminationReason> reason_{TerminationReason::kCompleted};
 };
 
 }  // namespace pgm

@@ -1,7 +1,6 @@
 #include "core/miner.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "util/saturating.h"
 #include "util/string_util.h"
@@ -13,6 +12,7 @@ Status ValidateConfig(const Sequence& sequence, const MinerConfig& config) {
   if (sequence.empty()) {
     return Status::InvalidArgument("subject sequence must not be empty");
   }
+  PGM_RETURN_IF_ERROR(ValidateSequenceLength(sequence.size()));
   PGM_ASSIGN_OR_RETURN(GapRequirement gap,
                        GapRequirement::Create(config.min_gap, config.max_gap));
   (void)gap;
@@ -28,67 +28,34 @@ Status ValidateConfig(const Sequence& sequence, const MinerConfig& config) {
     return Status::InvalidArgument(
         "max_length must be >= start_length (or -1 for unbounded)");
   }
+  if (config.threads < 0) {
+    return Status::InvalidArgument(
+        "threads must be >= 0 (0 = one per hardware thread)");
+  }
   return Status::OK();
 }
 
 namespace {
 
-/// Generates the join of `level` with itself: for every pair (P1, P2) with
-/// suffix(P1) == prefix(P2), the candidate P1[0] + P2. Returns tuples of
-/// (candidate symbols, index of P1, index of P2). Works uniformly for all
-/// lengths: joining length-1 entries keys on the empty string, i.e. the
-/// full cross product.
-struct CandidateSpec {
-  std::string symbols;
-  std::uint32_t left;
-  std::uint32_t right;
-};
-
-std::vector<CandidateSpec> GenerateCandidates(
-    const std::vector<LevelEntry>& level) {
-  std::vector<CandidateSpec> candidates;
-  if (level.empty()) return candidates;
-  const std::size_t len = level.front().symbols.size();
-
-  // Bucket level entries by their (len-1)-prefix.
-  std::unordered_map<std::string, std::vector<std::uint32_t>> by_prefix;
-  by_prefix.reserve(level.size());
-  for (std::uint32_t i = 0; i < level.size(); ++i) {
-    by_prefix[level[i].symbols.substr(0, len - 1)].push_back(i);
-  }
-
-  for (std::uint32_t i = 0; i < level.size(); ++i) {
-    const std::string suffix_key = level[i].symbols.substr(1);
-    auto it = by_prefix.find(suffix_key);
-    if (it == by_prefix.end()) continue;
-    for (std::uint32_t j : it->second) {
-      CandidateSpec spec;
-      spec.symbols.reserve(len + 1);
-      spec.symbols.push_back(level[i].symbols.front());
-      spec.symbols.append(level[j].symbols);
-      spec.left = i;
-      spec.right = j;
-      candidates.push_back(std::move(spec));
-    }
-  }
-  return candidates;
+/// Sum of the heap bytes the entries' PILs hold — the charge the level
+/// carries against the guard's memory ledger.
+std::uint64_t LevelBytes(const std::vector<LevelEntry>& level) {
+  std::uint64_t bytes = 0;
+  for (const LevelEntry& entry : level) bytes += entry.pil.MemoryBytes();
+  return bytes;
 }
 
 }  // namespace
 
-std::vector<LevelEntry> BuildAllPatternsOfLength(const Sequence& sequence,
-                                                 const GapRequirement& gap,
-                                                 std::int64_t k,
-                                                 MiningGuard* guard) {
+std::vector<LevelEntry> BuildAllPatternsOfLength(
+    const Sequence& sequence, const GapRequirement& gap, std::int64_t k,
+    MiningGuard* guard, ParallelLevelExecutor* executor) {
+  ParallelLevelExecutor serial_executor(1);
+  if (executor == nullptr) executor = &serial_executor;
+
   // Bytes charged for the level currently held; released when the level is
   // replaced. The final level's charge is handed off to the caller.
   std::uint64_t level_bytes = 0;
-  auto charge = [&](const PartialIndexList& pil) {
-    if (guard == nullptr) return true;
-    const std::uint64_t bytes = pil.MemoryBytes();
-    level_bytes += bytes;
-    return guard->ChargeMemory(bytes);
-  };
 
   // Length-1 patterns: one entry per alphabet symbol with occurrences.
   std::vector<LevelEntry> level;
@@ -98,7 +65,12 @@ std::vector<LevelEntry> BuildAllPatternsOfLength(const Sequence& sequence,
     LevelEntry entry;
     entry.symbols.assign(1, static_cast<char>(s));
     entry.pil = std::move(pil);
-    const bool within_budget = charge(entry.pil);
+    bool within_budget = true;
+    if (guard != nullptr) {
+      const std::uint64_t bytes = entry.pil.MemoryBytes();
+      level_bytes += bytes;
+      within_budget = guard->ChargeMemory(bytes);
+    }
     level.push_back(std::move(entry));
     if (!within_budget) return level;
   }
@@ -106,26 +78,20 @@ std::vector<LevelEntry> BuildAllPatternsOfLength(const Sequence& sequence,
     std::vector<LevelEntry> next;
     std::uint64_t next_bytes = 0;
     bool interrupted = false;
-    for (CandidateSpec& spec : GenerateCandidates(level)) {
-      if (guard != nullptr && !guard->Tick()) {
-        interrupted = true;
-        break;
+    auto sink = [&](EvaluatedCandidate&& candidate) -> Status {
+      if (candidate.entry.pil.empty()) {
+        if (guard != nullptr) guard->ReleaseMemory(candidate.bytes);
+        return Status::OK();
       }
-      PartialIndexList pil = PartialIndexList::Combine(
-          level[spec.left].pil, level[spec.right].pil, gap);
-      if (pil.empty()) continue;
-      bool within_budget = true;
-      if (guard != nullptr) {
-        const std::uint64_t bytes = pil.MemoryBytes();
-        next_bytes += bytes;
-        within_budget = guard->ChargeMemory(bytes);
-      }
-      next.push_back(LevelEntry{std::move(spec.symbols), std::move(pil)});
-      if (!within_budget) {
-        interrupted = true;
-        break;
-      }
-    }
+      next_bytes += candidate.bytes;
+      next.push_back(std::move(candidate.entry));
+      return Status::OK();
+    };
+    // The sink cannot fail, so the status is always OK.
+    const Status status = executor->EvaluateCandidates(
+        level, level, GenerateCandidates(level), gap, guard, sink,
+        &interrupted);
+    (void)status;
     level = std::move(next);
     if (guard != nullptr) guard->ReleaseMemory(level_bytes);
     level_bytes = next_bytes;
@@ -139,10 +105,13 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
                                     const OffsetCounter& counter,
                                     std::int64_t n_effective,
                                     std::vector<LevelEntry> seed_level,
-                                    MiningGuard& guard) {
+                                    MiningGuard& guard,
+                                    ParallelLevelExecutor* executor) {
   PGM_RETURN_IF_ERROR(ValidateConfig(sequence, config));
   PGM_ASSIGN_OR_RETURN(GapRequirement gap,
                        GapRequirement::Create(config.min_gap, config.max_gap));
+  ParallelLevelExecutor own_executor(executor == nullptr ? config.threads : 1);
+  if (executor == nullptr) executor = &own_executor;
 
   MiningResult result;
   result.n_used = n_effective;
@@ -166,16 +135,26 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
                 return a.pattern.symbols() < b.pattern.symbols();
               });
   };
+  // Ledger audit: every exit drops the level entries it still holds, so
+  // their charges must go back to the guard — a leak here would make later
+  // levels (or a caller reusing the guard) trip the memory budget
+  // spuriously.
+  auto release_level = [&](std::vector<LevelEntry>& level) {
+    guard.ReleaseMemory(LevelBytes(level));
+    level.clear();
+  };
 
   const long double rho = config.min_support_ratio;
   const std::int64_t l2 = counter.l2();
   const std::size_t alphabet_size = sequence.alphabet().size();
   std::int64_t level_length = config.start_length;
   if (level_length > l2) {  // no offset sequences at all
+    release_level(seed_level);
     finalize();
     return result;
   }
   if (!guard.CheckNow()) {
+    release_level(seed_level);
     finalize();
     return result;
   }
@@ -194,15 +173,15 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
   // records it as frequent when it clears the full threshold and appends it
   // to `retained_out` when it clears the relaxed one. Candidates failing
   // both thresholds free their PIL immediately (releasing the charge), so
-  // peak memory is |L̂_l| + |L̂_{l+1}| lists rather than |C_{l+1}|.
-  auto process_candidate = [&](LevelEntry&& entry, long double n_l,
-                               long double full_threshold,
+  // peak memory is |L̂_l| + |L̂_{l+1}| lists (plus the executor's bounded
+  // in-flight block) rather than |C_{l+1}|.
+  auto process_candidate = [&](LevelEntry&& entry, const SupportInfo& support,
+                               long double n_l, long double full_threshold,
                                long double relaxed_threshold,
                                std::int64_t length, LevelStats& stats,
                                std::vector<LevelEntry>& retained_out,
                                std::uint64_t& retained_bytes_out) -> Status {
     const std::uint64_t entry_bytes = entry.pil.MemoryBytes();
-    const SupportInfo support = entry.pil.TotalSupport();
     if (support.count == 0) {
       guard.ReleaseMemory(entry_bytes);
       return Status::OK();
@@ -237,9 +216,11 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
   // memory-charged) by the caller against the same guard.
   std::vector<LevelEntry> first_level =
       seed_level.empty()
-          ? BuildAllPatternsOfLength(sequence, gap, level_length, &guard)
+          ? BuildAllPatternsOfLength(sequence, gap, level_length, &guard,
+                                     executor)
           : std::move(seed_level);
   if (guard.stopped()) {
+    release_level(first_level);
     finalize();
     return result;
   }
@@ -262,17 +243,26 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
             ? kSaturatedCount
             : static_cast<std::uint64_t>(first_candidates);
     if (guard.ChargeLevelCandidates(stats.num_candidates)) {
-      for (LevelEntry& entry : first_level) {
+      std::size_t processed = 0;
+      for (; processed < first_level.size(); ++processed) {
         if (!guard.Tick()) {
           interrupted = true;
           break;
         }
+        LevelEntry& entry = first_level[processed];
+        const SupportInfo support = entry.pil.TotalSupport();
         PGM_RETURN_IF_ERROR(process_candidate(
-            std::move(entry), n_l, full_threshold, relaxed_threshold,
+            std::move(entry), support, n_l, full_threshold, relaxed_threshold,
             level_length, stats, retained, retained_bytes));
+      }
+      // Entries the interrupt left unprocessed are dropped here; return
+      // their charge to the guard.
+      for (std::size_t i = processed; i < first_level.size(); ++i) {
+        guard.ReleaseMemory(first_level[i].pil.MemoryBytes());
       }
     } else {
       interrupted = true;
+      guard.ReleaseMemory(LevelBytes(first_level));
     }
     first_level.clear();
     result.level_stats.push_back(stats);
@@ -299,28 +289,17 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
     std::vector<LevelEntry> next_retained;
     std::uint64_t next_retained_bytes = 0;
     if (guard.ChargeLevelCandidates(specs.size())) {
-      for (CandidateSpec& spec : specs) {
-        if (!guard.Tick()) {
-          interrupted = true;
-          break;
-        }
-        LevelEntry candidate;
-        candidate.symbols = std::move(spec.symbols);
-        candidate.pil = PartialIndexList::Combine(
-            retained[spec.left].pil, retained[spec.right].pil, gap);
-        // The candidate is processed even when its charge trips the budget:
-        // the PIL is already live, so recording it keeps strictly more of
-        // the work already paid for.
-        const bool within_budget =
-            guard.ChargeMemory(candidate.pil.MemoryBytes());
-        PGM_RETURN_IF_ERROR(process_candidate(
-            std::move(candidate), n_l, full_threshold, relaxed_threshold,
-            level_length, stats, next_retained, next_retained_bytes));
-        if (!within_budget) {
-          interrupted = true;
-          break;
-        }
-      }
+      auto sink = [&](EvaluatedCandidate&& candidate) -> Status {
+        return process_candidate(std::move(candidate.entry), candidate.support,
+                                 n_l, full_threshold, relaxed_threshold,
+                                 level_length, stats, next_retained,
+                                 next_retained_bytes);
+      };
+      bool level_interrupted = false;
+      PGM_RETURN_IF_ERROR(executor->EvaluateCandidates(
+          retained, retained, std::move(specs), gap, &guard, sink,
+          &level_interrupted));
+      interrupted = level_interrupted;
     } else {
       interrupted = true;
     }
@@ -334,6 +313,8 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
     if (!interrupted) last_completed_level = level_length;
   }
 
+  guard.ReleaseMemory(retained_bytes);
+  retained.clear();
   finalize();
   return result;
 }

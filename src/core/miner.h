@@ -8,6 +8,7 @@
 #include "core/gap.h"
 #include "core/guard.h"
 #include "core/offset_counter.h"
+#include "core/parallel.h"
 #include "core/pattern.h"
 #include "core/pil.h"
 #include "seq/sequence.h"
@@ -54,6 +55,16 @@ struct MinerConfig {
   std::int64_t initial_n = 10;
   /// Safety bound on adaptive iterations.
   std::int64_t max_iterations = 16;
+
+  // --- Parallel execution ---
+  /// Worker threads for level evaluation: 1 = serial (the default), 0 = one
+  /// per hardware thread, T > 1 = exactly T workers. Candidates within a
+  /// level are evaluated in parallel and merged in candidate order, so runs
+  /// that no resource limit interrupts produce byte-identical results at
+  /// every thread count; under an interrupting limit the partial-but-sound
+  /// contract holds at every thread count, but the truncation point may
+  /// differ.
+  std::int64_t threads = 1;
 
   // --- Resource governance ---
   /// Budgets for the run (defaults: unlimited). When a budget is exhausted
@@ -161,12 +172,8 @@ StatusOr<MiningResult> MineAdaptive(const Sequence& sequence,
 
 namespace internal {
 
-/// A pattern under construction: its encoded symbols (one byte per Symbol,
-/// usable as a hash key) and its PIL.
-struct LevelEntry {
-  std::string symbols;
-  PartialIndexList pil;
-};
+// LevelEntry, CandidateSpec, GenerateCandidates, and the
+// ParallelLevelExecutor live in core/parallel.h (re-exported here).
 
 /// Validates the shared configuration fields against the sequence.
 Status ValidateConfig(const Sequence& sequence, const MinerConfig& config);
@@ -175,13 +182,14 @@ Status ValidateConfig(const Sequence& sequence, const MinerConfig& config);
 /// plus nothing for unmatched patterns. Used to seed the level-wise loop
 /// and by MPPm's n-estimation. When `guard` is non-null every PIL extension
 /// ticks it and every built PIL is charged against the memory budget (the
-/// final level's charge is handed off to the caller, which releases it as
+/// final level's charge — exactly the sum of the returned entries'
+/// MemoryBytes() — is handed off to the caller, which releases it as
 /// entries are dropped); on a tripped guard the returned level is partial
-/// and `guard->stopped()` is true.
-std::vector<LevelEntry> BuildAllPatternsOfLength(const Sequence& sequence,
-                                                 const GapRequirement& gap,
-                                                 std::int64_t k,
-                                                 MiningGuard* guard = nullptr);
+/// and `guard->stopped()` is true. When `executor` is non-null the level
+/// joins run on it; null means serial.
+std::vector<LevelEntry> BuildAllPatternsOfLength(
+    const Sequence& sequence, const GapRequirement& gap, std::int64_t k,
+    MiningGuard* guard = nullptr, ParallelLevelExecutor* executor = nullptr);
 
 /// The shared level-wise engine behind MPP and MPPm. `n_effective` is the
 /// (already clamped) n; `seed_level` may carry a precomputed first level to
@@ -189,13 +197,18 @@ std::vector<LevelEntry> BuildAllPatternsOfLength(const Sequence& sequence,
 /// must already be charged against `guard`). The guard is checked at every
 /// level boundary and ticked per PIL extension; when it trips, the engine
 /// stops, tightens guaranteed_complete_up_to to the last fully processed
-/// level, and returns the partial result with the guard's reason.
+/// level, and returns the partial result with the guard's reason. On every
+/// exit the engine has released all memory it still holds, so the guard's
+/// ledger returns to whatever the caller's outstanding charges are.
+/// `executor` runs the level joins (null = construct one from
+/// config.threads internally).
 StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
                                     const MinerConfig& config,
                                     const OffsetCounter& counter,
                                     std::int64_t n_effective,
                                     std::vector<LevelEntry> seed_level,
-                                    MiningGuard& guard);
+                                    MiningGuard& guard,
+                                    ParallelLevelExecutor* executor = nullptr);
 
 }  // namespace internal
 }  // namespace pgm

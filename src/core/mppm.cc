@@ -13,6 +13,7 @@ StatusOr<MiningResult> MineMppm(const Sequence& sequence,
                        GapRequirement::Create(config.min_gap, config.max_gap));
   Stopwatch total_watch;
   MiningGuard guard(config.limits, config.cancel);
+  internal::ParallelLevelExecutor executor(config.threads);
   OffsetCounter counter(static_cast<std::int64_t>(sequence.size()), gap);
 
   // A budget that is exhausted on arrival (0-ms deadline, pre-cancelled
@@ -40,8 +41,16 @@ StatusOr<MiningResult> MineMppm(const Sequence& sequence,
   // downward returns the largest such k directly.
   const std::int64_t s = config.start_length;
   std::vector<internal::LevelEntry> seed =
-      internal::BuildAllPatternsOfLength(sequence, gap, s, &guard);
+      internal::BuildAllPatternsOfLength(sequence, gap, s, &guard, &executor);
   if (guard.stopped()) {
+    // The seed's PIL charges were handed off to us; dropping the seed here
+    // must return them, or the guard's ledger would stay inflated.
+    std::uint64_t seed_bytes = 0;
+    for (const internal::LevelEntry& entry : seed) {
+      seed_bytes += entry.pil.MemoryBytes();
+    }
+    guard.ReleaseMemory(seed_bytes);
+    seed.clear();
     MiningResult result;
     result.termination = guard.reason();
     result.pil_memory_peak_bytes = guard.memory_peak_bytes();
@@ -71,9 +80,10 @@ StatusOr<MiningResult> MineMppm(const Sequence& sequence,
   }
 
   // Phase 3: MPP with the estimated n, reusing the seed level.
-  PGM_ASSIGN_OR_RETURN(MiningResult result,
-                       internal::RunLevelwise(sequence, config, counter, n,
-                                              std::move(seed), guard));
+  PGM_ASSIGN_OR_RETURN(
+      MiningResult result,
+      internal::RunLevelwise(sequence, config, counter, n, std::move(seed),
+                             guard, &executor));
   result.em = em_result.em;
   result.estimated_n = n;
   result.em_seconds = em_seconds;

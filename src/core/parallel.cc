@@ -1,0 +1,175 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <string_view>
+#include <unordered_map>
+
+namespace pgm {
+namespace internal {
+
+namespace {
+
+/// Candidates a worker claims per grab of the shared chunk counter: small
+/// enough to balance skewed PIL sizes, large enough that the counter is not
+/// contended.
+constexpr std::size_t kChunkSize = 16;
+/// Chunks per worker per block. The block is the unit the sink consumes, so
+/// this (times kChunkSize, times workers) bounds the candidate PILs live
+/// beyond the retained set.
+constexpr std::size_t kChunksPerWorker = 8;
+
+}  // namespace
+
+std::vector<CandidateSpec> GenerateCandidates(
+    const std::vector<LevelEntry>& level) {
+  std::vector<CandidateSpec> candidates;
+  if (level.empty()) return candidates;
+  const std::size_t len = level.front().symbols.size();
+
+  // Bucket level entries by their (len-1)-prefix. Keys are views into the
+  // entries' stable symbol storage, so neither bucketing nor probing
+  // allocates a key string.
+  std::unordered_map<std::string_view, std::vector<std::uint32_t>> by_prefix;
+  by_prefix.reserve(level.size());
+  for (std::uint32_t i = 0; i < level.size(); ++i) {
+    const std::string_view prefix =
+        std::string_view(level[i].symbols).substr(0, len - 1);
+    by_prefix[prefix].push_back(i);
+  }
+
+  for (std::uint32_t i = 0; i < level.size(); ++i) {
+    const std::string_view suffix_key =
+        std::string_view(level[i].symbols).substr(1);
+    auto it = by_prefix.find(suffix_key);
+    if (it == by_prefix.end()) continue;
+    for (std::uint32_t j : it->second) {
+      CandidateSpec spec;
+      spec.symbols.reserve(len + 1);
+      spec.symbols.push_back(level[i].symbols.front());
+      spec.symbols.append(level[j].symbols);
+      spec.left = i;
+      spec.right = j;
+      candidates.push_back(std::move(spec));
+    }
+  }
+  return candidates;
+}
+
+ParallelLevelExecutor::ParallelLevelExecutor(std::int64_t threads) {
+  const std::size_t resolved = ThreadPool::ResolveThreadCount(threads);
+  if (resolved > 1) pool_ = std::make_unique<ThreadPool>(resolved);
+}
+
+ParallelLevelExecutor::~ParallelLevelExecutor() = default;
+
+std::size_t ParallelLevelExecutor::num_threads() const {
+  return pool_ == nullptr ? 1 : pool_->num_threads();
+}
+
+Status ParallelLevelExecutor::EvaluateCandidates(
+    const std::vector<LevelEntry>& left_level,
+    const std::vector<LevelEntry>& right_level,
+    std::vector<CandidateSpec> specs, const GapRequirement& gap,
+    MiningGuard* guard, const CandidateSink& sink, bool* interrupted) {
+  *interrupted = false;
+  if (specs.empty()) return Status::OK();
+
+  // Serial path: stream one candidate at a time, so at most a single
+  // non-retained PIL is ever live (the pre-parallel memory behavior).
+  if (pool_ == nullptr) {
+    for (CandidateSpec& spec : specs) {
+      if (guard != nullptr && !guard->Tick()) {
+        *interrupted = true;
+        return Status::OK();
+      }
+      EvaluatedCandidate candidate;
+      candidate.entry.pil = PartialIndexList::Combine(
+          left_level[spec.left].pil, right_level[spec.right].pil, gap);
+      candidate.entry.symbols = std::move(spec.symbols);
+      candidate.bytes = candidate.entry.pil.MemoryBytes();
+      candidate.within_budget =
+          guard == nullptr || guard->ChargeMemory(candidate.bytes);
+      candidate.support = candidate.entry.pil.TotalSupport();
+      const bool stop = !candidate.within_budget;
+      PGM_RETURN_IF_ERROR(sink(std::move(candidate)));
+      if (stop) {
+        *interrupted = true;
+        return Status::OK();
+      }
+    }
+    return Status::OK();
+  }
+
+  struct Slot {
+    LevelEntry entry;
+    SupportInfo support;
+    std::uint64_t bytes = 0;
+    bool within_budget = true;
+    bool filled = false;
+  };
+  const std::size_t block_size =
+      pool_->num_threads() * kChunksPerWorker * kChunkSize;
+  std::vector<Slot> slots(std::min(block_size, specs.size()));
+
+  for (std::size_t begin = 0; begin < specs.size(); begin += block_size) {
+    const std::size_t count = std::min(block_size, specs.size() - begin);
+    std::atomic<std::size_t> next_chunk{0};
+    std::atomic<bool> tripped{false};
+    pool_->Execute([&](std::size_t) {
+      while (true) {
+        const std::size_t chunk =
+            next_chunk.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t chunk_begin = chunk * kChunkSize;
+        if (chunk_begin >= count) return;
+        const std::size_t chunk_end = std::min(count, chunk_begin + kChunkSize);
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+          if (guard != nullptr && !guard->Tick()) {
+            tripped.store(true, std::memory_order_relaxed);
+            return;
+          }
+          CandidateSpec& spec = specs[begin + i];
+          Slot& slot = slots[i];
+          slot.entry.pil = PartialIndexList::Combine(
+              left_level[spec.left].pil, right_level[spec.right].pil, gap);
+          slot.entry.symbols = std::move(spec.symbols);
+          slot.bytes = slot.entry.pil.MemoryBytes();
+          slot.within_budget =
+              guard == nullptr || guard->ChargeMemory(slot.bytes);
+          slot.support = slot.entry.pil.TotalSupport();
+          slot.filled = true;
+          if (!slot.within_budget) {
+            tripped.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+      }
+    });
+
+    // Merge the block in candidate order. Every filled slot reaches the
+    // sink even after a trip — its PIL was charged, and the sink owns the
+    // charge — while slots abandoned by stopping workers were never
+    // charged, so the ledger balances on every path.
+    const bool block_tripped = tripped.load(std::memory_order_relaxed) ||
+                               (guard != nullptr && guard->stopped());
+    for (std::size_t i = 0; i < count; ++i) {
+      Slot& slot = slots[i];
+      if (!slot.filled) continue;
+      EvaluatedCandidate candidate;
+      candidate.entry = std::move(slot.entry);
+      candidate.support = slot.support;
+      candidate.bytes = slot.bytes;
+      candidate.within_budget = slot.within_budget;
+      slot = Slot{};
+      PGM_RETURN_IF_ERROR(sink(std::move(candidate)));
+    }
+    if (block_tripped) {
+      *interrupted = true;
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace internal
+}  // namespace pgm

@@ -1,0 +1,114 @@
+#ifndef PGM_CORE_PARALLEL_H_
+#define PGM_CORE_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/gap.h"
+#include "core/guard.h"
+#include "core/pil.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace pgm {
+namespace internal {
+
+/// A pattern under construction: its encoded symbols (one byte per Symbol,
+/// usable as a hash key) and its PIL.
+struct LevelEntry {
+  std::string symbols;
+  PartialIndexList pil;
+};
+
+/// One level-join candidate: `symbols` is the joined pattern, whose PIL is
+/// Combine(left_level[left].pil, right_level[right].pil).
+struct CandidateSpec {
+  std::string symbols;
+  std::uint32_t left;
+  std::uint32_t right;
+};
+
+/// Generates the join of `level` with itself: for every pair (P1, P2) with
+/// suffix(P1) == prefix(P2), the candidate P1[0] + P2. Returns tuples of
+/// (candidate symbols, index of P1, index of P2). Works uniformly for all
+/// lengths: joining length-1 entries keys on the empty string, i.e. the
+/// full cross product.
+std::vector<CandidateSpec> GenerateCandidates(
+    const std::vector<LevelEntry>& level);
+
+/// One combined candidate, handed to the consumer in candidate order.
+struct EvaluatedCandidate {
+  LevelEntry entry;
+  SupportInfo support;
+  /// Heap bytes of entry.pil, already charged to the guard. The consumer
+  /// owns the charge: keep it for retained entries, ReleaseMemory it for
+  /// dropped ones.
+  std::uint64_t bytes = 0;
+  /// False when this candidate's charge tripped the memory budget. The
+  /// consumer still sees the candidate (its PIL is live and its support
+  /// exact — recording it keeps strictly more of the work already paid
+  /// for), but the level stops after the current block.
+  bool within_budget = true;
+};
+
+/// Serial, in-candidate-order consumer of evaluated candidates.
+using CandidateSink = std::function<Status(EvaluatedCandidate&&)>;
+
+/// Data-parallel evaluation of one level's candidate list.
+///
+/// Each level's CandidateSpecs are independent — evaluating one is a pure
+/// PartialIndexList::Combine plus a support sum — so the executor shards
+/// them across a ThreadPool and merges the outputs back in candidate order.
+/// Because the merge order equals the serial processing order, a run that
+/// no resource limit interrupts produces byte-identical results at every
+/// thread count (there is no work stealing whose schedule could leak into
+/// the output).
+///
+/// Evaluation proceeds in fixed-size blocks: workers drain a block's chunks
+/// off an atomic counter, then the sink consumes the block serially. The
+/// block size bounds how many candidate PILs are live beyond the retained
+/// set, so the memory high-water stays close to the serial path's
+/// |retained| + O(threads) instead of ballooning to |C_l|.
+///
+/// Guard interaction: workers Tick() per candidate and charge each combined
+/// PIL's bytes before publishing it. When the guard trips, workers stop
+/// picking up new candidates; every candidate already evaluated still
+/// reaches the sink (its charge must be owned by someone), so the ledger
+/// stays balanced and the partial result stays sound. Under an interrupting
+/// limit the set of evaluated candidates may differ between thread counts —
+/// that is the documented partial-result latitude, never unsoundness.
+class ParallelLevelExecutor {
+ public:
+  /// `threads` follows MinerConfig::threads: 1 = serial (no pool), 0 = one
+  /// worker per hardware thread, T > 1 = exactly T workers.
+  explicit ParallelLevelExecutor(std::int64_t threads);
+  ~ParallelLevelExecutor();
+
+  ParallelLevelExecutor(const ParallelLevelExecutor&) = delete;
+  ParallelLevelExecutor& operator=(const ParallelLevelExecutor&) = delete;
+
+  /// Worker count (1 when serial).
+  std::size_t num_threads() const;
+
+  /// Combines every spec (left_level[left] ⋈ right_level[right]) under
+  /// `gap` and feeds the results to `sink` serially, in spec order. `guard`
+  /// may be null (ungoverned build). Returns a non-OK status only when the
+  /// sink fails; *interrupted is set when the guard tripped, in which case
+  /// the sink saw a sound subset of the candidates.
+  Status EvaluateCandidates(const std::vector<LevelEntry>& left_level,
+                            const std::vector<LevelEntry>& right_level,
+                            std::vector<CandidateSpec> specs,
+                            const GapRequirement& gap, MiningGuard* guard,
+                            const CandidateSink& sink, bool* interrupted);
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;  // null when serial
+};
+
+}  // namespace internal
+}  // namespace pgm
+
+#endif  // PGM_CORE_PARALLEL_H_

@@ -2,6 +2,7 @@
 #define PGM_CORE_PIL_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/gap.h"
@@ -20,6 +21,17 @@ struct PilEntry {
     return pos == other.pos && count == other.count;
   }
 };
+
+// `pos` is 32 bits, so a PIL can only index sequences whose last position
+// fits in it. Sequence construction and ValidateConfig reject anything
+// longer (kMaxSequenceLength in seq/sequence.h); this assert ties that
+// limit to the field so widening one without the other fails to compile
+// instead of silently truncating positions.
+static_assert(kMaxSequenceLength - 1 <=
+                  std::numeric_limits<decltype(PilEntry::pos)>::max(),
+              "PilEntry::pos must be able to index every position of a "
+              "maximum-length sequence; update kMaxSequenceLength and "
+              "PilEntry::pos together");
 
 /// Aggregate support of a pattern together with an overflow indicator.
 struct SupportInfo {

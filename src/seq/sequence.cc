@@ -6,8 +6,20 @@
 
 namespace pgm {
 
+Status ValidateSequenceLength(std::uint64_t length) {
+  if (length > kMaxSequenceLength) {
+    return Status::InvalidArgument(
+        StrFormat("sequence length %llu exceeds the supported maximum %llu "
+                  "(PIL positions are 32-bit)",
+                  static_cast<unsigned long long>(length),
+                  static_cast<unsigned long long>(kMaxSequenceLength)));
+  }
+  return Status::OK();
+}
+
 StatusOr<Sequence> Sequence::FromString(std::string_view text,
                                         const Alphabet& alphabet) {
+  PGM_RETURN_IF_ERROR(ValidateSequenceLength(text.size()));
   std::vector<Symbol> symbols;
   symbols.reserve(text.size());
   for (std::size_t i = 0; i < text.size(); ++i) {
@@ -42,6 +54,7 @@ Sequence Sequence::FromStringLossy(std::string_view text,
 
 StatusOr<Sequence> Sequence::FromSymbols(std::vector<Symbol> symbols,
                                          const Alphabet& alphabet) {
+  PGM_RETURN_IF_ERROR(ValidateSequenceLength(symbols.size()));
   for (std::size_t i = 0; i < symbols.size(); ++i) {
     if (symbols[i] >= alphabet.size()) {
       return Status::InvalidArgument(

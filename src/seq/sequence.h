@@ -11,6 +11,19 @@
 
 namespace pgm {
 
+/// Longest supported subject sequence, in symbols. The miners' partial
+/// index lists store positions as 32-bit integers (PilEntry::pos), so a
+/// longer sequence would silently wrap positions and corrupt mining; the
+/// factories and MinerConfig validation reject it up front instead.
+inline constexpr std::uint64_t kMaxSequenceLength = 1ULL << 32;
+
+/// InvalidArgument when `length` exceeds kMaxSequenceLength, OK otherwise.
+/// Exposed separately so callers (and tests) can check a length without
+/// materializing a multi-gigabyte sequence. Note Sequence::FromStringLossy
+/// cannot fail and so does not call this; lossy-decoded input is gated at
+/// mining time by ValidateConfig.
+Status ValidateSequenceLength(std::uint64_t length);
+
 /// A subject sequence: an immutable, alphabet-encoded character string.
 ///
 /// Positions are 0-based throughout the library (the paper uses 1-based

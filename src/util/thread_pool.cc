@@ -1,0 +1,68 @@
+#include "util/thread_pool.h"
+
+namespace pgm {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads <= 1) return;
+  workers_.reserve(num_threads - 1);
+  for (std::size_t i = 1; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Execute(const std::function<void(std::size_t)>& fn) {
+  if (workers_.empty()) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = &fn;
+    pending_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  fn(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  task_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(std::size_t worker_index) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(std::size_t)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      task = task_;
+    }
+    (*task)(worker_index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+std::size_t ThreadPool::ResolveThreadCount(std::int64_t requested) {
+  if (requested > 0) return static_cast<std::size_t>(requested);
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<std::size_t>(hardware);
+}
+
+}  // namespace pgm

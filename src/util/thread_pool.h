@@ -1,0 +1,66 @@
+#ifndef PGM_UTIL_THREAD_POOL_H_
+#define PGM_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pgm {
+
+/// A fixed-size pool of worker threads for fork-join data parallelism.
+///
+/// The pool targets the miners' level loops: the caller partitions a level
+/// into chunks, hands Execute() a function that drains chunks off a shared
+/// atomic counter, and Execute() runs it on every worker (the calling
+/// thread included) and blocks until all invocations return. There is no
+/// task queue and no work stealing — scheduling lives in the caller's chunk
+/// counter, which is what keeps output slots deterministic.
+///
+/// A pool asked for <= 1 threads spawns nothing: Execute() runs the
+/// function inline on the caller, so serial runs never touch threading
+/// machinery.
+class ThreadPool {
+ public:
+  /// `num_threads` counts the calling thread, so num_threads - 1 workers
+  /// are spawned (none for num_threads <= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count including the calling thread (always >= 1).
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Invokes fn(worker_index) for every worker_index in [0, num_threads())
+  /// concurrently — index 0 on the calling thread — and returns once all
+  /// invocations have finished, so writes made by the workers are visible
+  /// to the caller. Not reentrant: `fn` must not call Execute itself.
+  void Execute(const std::function<void(std::size_t)>& fn);
+
+  /// Maps a user-facing thread-count request to an actual worker count:
+  /// 0 means one per hardware thread, anything else is clamped to >= 1.
+  static std::size_t ResolveThreadCount(std::int64_t requested);
+
+ private:
+  void WorkerLoop(std::size_t worker_index);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // All guarded by mu_. task_ is non-null exactly while a generation runs.
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace pgm
+
+#endif  // PGM_UTIL_THREAD_POOL_H_

@@ -77,6 +77,43 @@ TEST_P(OffsetCounterSweep, MatchesBruteForceForAllLengths) {
   }
 }
 
+// Targeted probes of the l1/l2 boundary, where Count switches from the
+// Theorem 4 closed form to the case-3 DP: exactly at l1, one past it
+// (first DP-backed length), and at l2 (last non-zero length).
+class OffsetCounterBoundary
+    : public testing::TestWithParam<std::tuple<std::int64_t, std::int64_t,
+                                               std::int64_t>> {};
+
+TEST_P(OffsetCounterBoundary, CaseThreeBoundariesMatchBruteForce) {
+  const auto [L, N, M] = GetParam();
+  GapRequirement gap = *GapRequirement::Create(N, M);
+  OffsetCounter counter(L, gap);
+  for (std::int64_t l :
+       {counter.l1(), counter.l1() + 1, counter.l2()}) {
+    if (l < 1) continue;
+    const std::uint64_t brute = BruteForceCountOffsetSequences(L, gap, l);
+    const long double formula = counter.Count(l);
+    EXPECT_EQ(static_cast<std::uint64_t>(formula + 0.5L), brute)
+        << "L=" << L << " gap=[" << N << "," << M << "] l=" << l
+        << " (l1=" << counter.l1() << ", l2=" << counter.l2() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, OffsetCounterBoundary,
+    testing::Values(
+        // W > 1 configurations spanning small and larger L.
+        std::tuple<std::int64_t, std::int64_t, std::int64_t>{12, 0, 1},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t>{25, 1, 3},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t>{48, 2, 5},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t>{70, 9, 12},
+        // Degenerate window W == 1 (N == M): every offset sequence is
+        // fully determined by its start, so N_l == L - l*(N+1) + N + 1...
+        // which the DP must reproduce exactly at the boundary too.
+        std::tuple<std::int64_t, std::int64_t, std::int64_t>{9, 0, 0},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t>{21, 2, 2},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t>{33, 5, 5}));
+
 INSTANTIATE_TEST_SUITE_P(
     AllCases, OffsetCounterSweep,
     testing::Values(

@@ -1,0 +1,309 @@
+// The parallel level engine's contract: multi-threaded mining is
+// result-identical to serial mining (the executor merges shard outputs in
+// candidate order, so thread scheduling never leaks into the result), the
+// MiningGuard's atomic ledger balances under concurrent charge/release,
+// and budget trips latch exactly one termination reason visible to every
+// worker.
+
+#include "core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/guard.h"
+#include "core/miner.h"
+#include "core/offset_counter.h"
+#include "datagen/generators.h"
+#include "seq/sequence.h"
+#include "util/random.h"
+
+namespace pgm {
+namespace {
+
+using Miner = StatusOr<MiningResult> (*)(const Sequence&, const MinerConfig&);
+
+struct NamedMiner {
+  const char* name;
+  Miner mine;
+};
+
+const NamedMiner kMiners[] = {
+    {"mpp", MineMpp},
+    {"mppm", MineMppm},
+    {"enum", MineEnumeration},
+    {"adaptive", MineAdaptive},
+};
+
+MinerConfig TestConfig() {
+  MinerConfig config;
+  config.min_gap = 0;
+  config.max_gap = 3;
+  config.min_support_ratio = 0.01;
+  config.start_length = 1;
+  config.max_length = 6;  // keeps enumeration tractable
+  return config;
+}
+
+// Everything in a MiningResult except wall-clock times and the memory peak
+// (the peak depends on how many candidate PILs are simultaneously live,
+// which legitimately varies with the thread count).
+void ExpectSameResult(const MiningResult& serial, const MiningResult& parallel,
+                      const std::string& context) {
+  SCOPED_TRACE(context);
+  ASSERT_EQ(serial.patterns.size(), parallel.patterns.size());
+  for (std::size_t i = 0; i < serial.patterns.size(); ++i) {
+    EXPECT_EQ(serial.patterns[i].pattern.ToShorthand(),
+              parallel.patterns[i].pattern.ToShorthand());
+    EXPECT_EQ(serial.patterns[i].support, parallel.patterns[i].support);
+    EXPECT_EQ(serial.patterns[i].saturated, parallel.patterns[i].saturated);
+    EXPECT_DOUBLE_EQ(serial.patterns[i].support_ratio,
+                     parallel.patterns[i].support_ratio);
+  }
+  ASSERT_EQ(serial.level_stats.size(), parallel.level_stats.size());
+  for (std::size_t i = 0; i < serial.level_stats.size(); ++i) {
+    EXPECT_EQ(serial.level_stats[i].length, parallel.level_stats[i].length);
+    EXPECT_EQ(serial.level_stats[i].num_candidates,
+              parallel.level_stats[i].num_candidates);
+    EXPECT_EQ(serial.level_stats[i].num_frequent,
+              parallel.level_stats[i].num_frequent);
+    EXPECT_EQ(serial.level_stats[i].num_retained,
+              parallel.level_stats[i].num_retained);
+  }
+  EXPECT_EQ(serial.n_used, parallel.n_used);
+  EXPECT_EQ(serial.guaranteed_complete_up_to,
+            parallel.guaranteed_complete_up_to);
+  EXPECT_EQ(serial.longest_frequent_length, parallel.longest_frequent_length);
+  EXPECT_EQ(serial.total_candidates, parallel.total_candidates);
+  EXPECT_EQ(serial.termination, parallel.termination);
+  EXPECT_EQ(serial.em, parallel.em);
+  EXPECT_EQ(serial.estimated_n, parallel.estimated_n);
+  EXPECT_EQ(serial.adaptive_iterations, parallel.adaptive_iterations);
+}
+
+TEST(ParallelMiningTest, AllMinersIdenticalAcrossThreadCountsRandomized) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed * 7919);
+    Sequence sequence =
+        *UniformRandomSequence(600 + 100 * seed, Alphabet::Dna(), rng);
+    for (const NamedMiner& miner : kMiners) {
+      MinerConfig config = TestConfig();
+      config.threads = 1;
+      StatusOr<MiningResult> serial = miner.mine(sequence, config);
+      ASSERT_TRUE(serial.ok()) << serial.status().message();
+      for (std::int64_t threads : {2, 4}) {
+        config.threads = threads;
+        StatusOr<MiningResult> parallel = miner.mine(sequence, config);
+        ASSERT_TRUE(parallel.ok()) << parallel.status().message();
+        ExpectSameResult(*serial, *parallel,
+                         std::string(miner.name) + " seed " +
+                             std::to_string(seed) + " threads " +
+                             std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(ParallelMiningTest, GappyConfigIdenticalAcrossThreadCounts) {
+  Rng rng(424242);
+  Sequence sequence = *UniformRandomSequence(2000, Alphabet::Dna(), rng);
+  MinerConfig config;
+  config.min_gap = 9;
+  config.max_gap = 12;  // the paper's Section 6 gap requirement
+  config.min_support_ratio = 0.0005;
+  config.start_length = 3;
+  config.threads = 1;
+  StatusOr<MiningResult> serial = MineMppm(sequence, config);
+  ASSERT_TRUE(serial.ok()) << serial.status().message();
+  config.threads = 3;
+  StatusOr<MiningResult> parallel = MineMppm(sequence, config);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().message();
+  ExpectSameResult(*serial, *parallel, "mppm gap [9,12] threads 3");
+}
+
+TEST(ParallelMiningTest, ExecutorMergesInCandidateOrder) {
+  // Evaluate a level join with 1 and 4 workers; the sink must observe the
+  // same candidates, in the same order, with the same supports.
+  Rng rng(99);
+  Sequence sequence = *UniformRandomSequence(800, Alphabet::Dna(), rng);
+  GapRequirement gap = *GapRequirement::Create(0, 2);
+  std::vector<internal::LevelEntry> level =
+      internal::BuildAllPatternsOfLength(sequence, gap, 2);
+  ASSERT_FALSE(level.empty());
+
+  auto evaluate = [&](std::int64_t threads) {
+    internal::ParallelLevelExecutor executor(threads);
+    std::vector<std::pair<std::string, std::uint64_t>> seen;
+    bool interrupted = false;
+    Status status = executor.EvaluateCandidates(
+        level, level, internal::GenerateCandidates(level), gap,
+        /*guard=*/nullptr,
+        [&](internal::EvaluatedCandidate&& candidate) -> Status {
+          seen.emplace_back(candidate.entry.symbols, candidate.support.count);
+          return Status::OK();
+        },
+        &interrupted);
+    EXPECT_TRUE(status.ok());
+    EXPECT_FALSE(interrupted);
+    return seen;
+  };
+  const auto serial = evaluate(1);
+  const auto parallel = evaluate(4);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelMiningTest, LedgerDrainsToZeroAfterCompletedRun) {
+  Rng rng(7);
+  Sequence sequence = *UniformRandomSequence(500, Alphabet::Dna(), rng);
+  MinerConfig config = TestConfig();
+  config.threads = 4;
+  GapRequirement gap = *GapRequirement::Create(config.min_gap, config.max_gap);
+  OffsetCounter counter(static_cast<std::int64_t>(sequence.size()), gap);
+  MiningGuard guard(config.limits, config.cancel);
+  StatusOr<MiningResult> result = internal::RunLevelwise(
+      sequence, config, counter, counter.l1(), {}, guard);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_TRUE(result->complete());
+  EXPECT_EQ(guard.memory_in_use_bytes(), 0u);
+  EXPECT_GT(guard.memory_peak_bytes(), 0u);
+}
+
+TEST(ParallelMiningTest, LedgerDrainsToZeroAfterBudgetTrippedRun) {
+  Rng rng(8);
+  Sequence sequence = *UniformRandomSequence(500, Alphabet::Dna(), rng);
+  for (std::int64_t threads : {1, 4}) {
+    MinerConfig config = TestConfig();
+    config.threads = threads;
+    config.limits.pil_memory_budget_bytes = 2048;  // trips mid-level
+    GapRequirement gap =
+        *GapRequirement::Create(config.min_gap, config.max_gap);
+    OffsetCounter counter(static_cast<std::int64_t>(sequence.size()), gap);
+    MiningGuard guard(config.limits, config.cancel);
+    StatusOr<MiningResult> result = internal::RunLevelwise(
+        sequence, config, counter, counter.l1(), {}, guard);
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    EXPECT_EQ(result->termination, TerminationReason::kMemoryBudget)
+        << "threads " << threads;
+    EXPECT_EQ(guard.memory_in_use_bytes(), 0u) << "threads " << threads;
+  }
+}
+
+TEST(ParallelMiningTest, PartialResultsStaySoundUnderBudgetAtAnyThreadCount) {
+  // Under a memory budget the truncation point may differ per thread
+  // count, but every returned pattern must carry its exact support
+  // (verified against an unbudgeted serial run).
+  Rng rng(31);
+  Sequence sequence = *UniformRandomSequence(800, Alphabet::Dna(), rng);
+  MinerConfig config = TestConfig();
+  StatusOr<MiningResult> full = MineMpp(sequence, config);
+  ASSERT_TRUE(full.ok());
+  std::vector<std::pair<std::string, std::uint64_t>> truth;
+  for (const FrequentPattern& fp : full->patterns) {
+    truth.emplace_back(fp.pattern.ToShorthand(), fp.support);
+  }
+  for (std::int64_t threads : {1, 2, 4}) {
+    config.threads = threads;
+    config.limits.pil_memory_budget_bytes = 4096;
+    StatusOr<MiningResult> partial = MineMpp(sequence, config);
+    ASSERT_TRUE(partial.ok()) << partial.status().message();
+    for (const FrequentPattern& fp : partial->patterns) {
+      const std::pair<std::string, std::uint64_t> entry(
+          fp.pattern.ToShorthand(), fp.support);
+      EXPECT_NE(std::find(truth.begin(), truth.end(), entry), truth.end())
+          << "threads " << threads << ": pattern " << entry.first
+          << " (support " << entry.second
+          << ") not in the unbudgeted result";
+    }
+  }
+}
+
+TEST(GuardConcurrencyTest, ChargeReleaseBalancesAcrossThreads) {
+  ResourceLimits limits;  // unlimited
+  MiningGuard guard(limits);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&guard] {
+      for (int i = 0; i < kRounds; ++i) {
+        const std::uint64_t bytes = 16 + static_cast<std::uint64_t>(i % 7);
+        EXPECT_TRUE(guard.ChargeMemory(bytes));
+        guard.ReleaseMemory(bytes);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(guard.memory_in_use_bytes(), 0u);
+  EXPECT_FALSE(guard.stopped());
+}
+
+TEST(GuardConcurrencyTest, BudgetTripLatchesExactlyOneReason) {
+  ResourceLimits limits;
+  limits.pil_memory_budget_bytes = 1000;
+  MiningGuard guard(limits);
+  constexpr int kThreads = 8;
+  std::atomic<int> violations{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (!guard.ChargeMemory(64)) {
+          violations.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_GT(violations.load(), 0);
+  EXPECT_TRUE(guard.stopped());
+  EXPECT_EQ(guard.reason(), TerminationReason::kMemoryBudget);
+}
+
+TEST(GuardConcurrencyTest, CancellationVisibleToAllWorkers) {
+  CancelToken cancel;
+  ResourceLimits limits;
+  MiningGuard guard(limits, &cancel);
+  constexpr int kThreads = 4;
+  std::atomic<int> observed_stop{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (guard.CheckNow()) {
+        std::this_thread::yield();
+      }
+      observed_stop.fetch_add(1);
+    });
+  }
+  cancel.RequestCancel();
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(observed_stop.load(), kThreads);
+  EXPECT_EQ(guard.reason(), TerminationReason::kCancelled);
+}
+
+TEST(GuardConcurrencyTest, ConcurrentTicksKeepSharedCadence) {
+  ResourceLimits limits;
+  MiningGuard guard(limits);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<bool> any_false{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100'000; ++i) {
+        if (!guard.Tick()) any_false.store(true);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(any_false.load());  // nothing to trip: all ticks succeed
+  EXPECT_FALSE(guard.stopped());
+}
+
+}  // namespace
+}  // namespace pgm

@@ -101,5 +101,17 @@ TEST(SequenceTest, CopyIsIndependent) {
   EXPECT_TRUE(a.alphabet() == b.alphabet());
 }
 
+TEST(SequenceTest, ValidateSequenceLengthBoundary) {
+  // PIL positions are 32-bit, so 2^32 symbols (positions 0..2^32-1) is the
+  // last admissible length; one more would wrap.
+  EXPECT_TRUE(ValidateSequenceLength(0).ok());
+  EXPECT_TRUE(ValidateSequenceLength(kMaxSequenceLength).ok());
+  Status too_long = ValidateSequenceLength(kMaxSequenceLength + 1);
+  EXPECT_EQ(too_long.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(too_long.message().find("exceeds"), std::string::npos);
+  EXPECT_EQ(ValidateSequenceLength(1ULL << 33).code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace pgm

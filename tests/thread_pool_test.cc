@@ -1,0 +1,82 @@
+// Unit tests for the fork-join ThreadPool behind the parallel level
+// engine: full fan-out, inline execution for <= 1 threads, reuse across
+// generations, and visibility of worker writes after Execute returns.
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace pgm {
+namespace {
+
+TEST(ThreadPoolTest, RunsFunctionOnEveryWorker) {
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.num_threads(), 4u);
+  std::vector<std::atomic<int>> hits(4);
+  pool.Execute([&](std::size_t worker) { hits[worker].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "worker " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.Execute([&](std::size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsBehavesLikeOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  int calls = 0;
+  pool.Execute([&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyGenerations) {
+  ThreadPool pool(3);
+  std::atomic<std::uint64_t> total{0};
+  for (int round = 0; round < 100; ++round) {
+    pool.Execute([&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 300u);
+}
+
+TEST(ThreadPoolTest, WorkerWritesVisibleAfterExecute) {
+  ThreadPool pool(4);
+  // Plain (non-atomic) writes to disjoint slots must be visible to the
+  // caller once Execute returns — the join is a synchronization point.
+  std::vector<int> slots(1024, 0);
+  std::atomic<std::size_t> next{0};
+  pool.Execute([&](std::size_t) {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= slots.size()) return;
+      slots[i] = static_cast<int>(i) + 1;
+    }
+  });
+  long long sum = std::accumulate(slots.begin(), slots.end(), 0LL);
+  EXPECT_EQ(sum, 1024LL * 1025 / 2);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCountClampsAndDetects) {
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(7), 7u);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(-5), 1u);
+  EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1u);  // hardware concurrency
+}
+
+}  // namespace
+}  // namespace pgm
