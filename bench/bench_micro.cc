@@ -115,6 +115,21 @@ void BM_MineMppm(benchmark::State& state) {
 }
 BENCHMARK(BM_MineMppm);
 
+// Same run with a full observer (metrics registry + trace) attached. The
+// contract in DESIGN.md §Observability is that BM_MineMppm (null observer)
+// stays within 1% of the pre-observability baseline; this variant shows the
+// cost of actually recording, which is allowed to be visible.
+void BM_MineMppmObserved(benchmark::State& state) {
+  Sequence segment = ValueOrDie(SurrogateSegment(1000, 42));
+  MinerConfig config = Section6Defaults();
+  for (auto _ : state) {
+    RunObservation obs;
+    benchmark::DoNotOptimize(
+        MineMppm(segment, obs.Attach(config))->patterns.size());
+  }
+}
+BENCHMARK(BM_MineMppmObserved);
+
 void BM_MineMppBestCase(benchmark::State& state) {
   Sequence segment = ValueOrDie(SurrogateSegment(1000, 42));
   MinerConfig config = Section6Defaults();

@@ -35,13 +35,19 @@ int Run(int argc, char** argv) {
       SurrogateSegment(static_cast<std::size_t>(length), options.seed));
   MinerConfig config = Section6Defaults();
 
+  // Each run gets its own observer so --metrics-json can emit one
+  // machine-readable line per algorithm next to the human table.
+  RunObservation worst_obs, mppm_obs, best_obs;
   MinerConfig worst = config;
   worst.user_n = -1;
-  MiningResult mpp_worst = ValueOrDie(MineMpp(segment, worst));
-  MiningResult mppm = ValueOrDie(MineMppm(segment, config));
+  MiningResult mpp_worst = ValueOrDie(MineMpp(segment, worst_obs.Attach(worst)));
+  MiningResult mppm = ValueOrDie(MineMppm(segment, mppm_obs.Attach(config)));
   MinerConfig best = config;
   best.user_n = mpp_worst.longest_frequent_length;  // no(ρs)
-  MiningResult mpp_best = ValueOrDie(MineMpp(segment, best));
+  MiningResult mpp_best = ValueOrDie(MineMpp(segment, best_obs.Attach(best)));
+  MaybeAppendRunJson(options, "mpp_worst", worst_obs);
+  MaybeAppendRunJson(options, "mppm", mppm_obs);
+  MaybeAppendRunJson(options, "mpp_best", best_obs);
 
   std::printf(
       "L=%lld, gap [9,12], rho_s=0.003%%, m=10; no(rho_s)=%lld, l1=%lld, "

@@ -13,6 +13,9 @@ namespace pgm::bench {
 void RegisterHarnessFlags(FlagSet& flags, HarnessOptions& options) {
   flags.AddString("csv", &options.csv_path,
                   "also write the table as CSV to this path");
+  flags.AddString("metrics-json", &options.metrics_json_path,
+                  "append one JSON line of metrics+trace per mining run to "
+                  "this path");
   flags.AddInt64("seed", &options.seed, "seed for synthetic data generation");
   flags.AddInt64("threads", &options.threads,
                  "worker threads for level evaluation (1 = serial, 0 = one "
@@ -54,6 +57,37 @@ void MaybeWriteCsv(const HarnessOptions& options, const CsvWriter& csv) {
   } else {
     PGM_LOG(kError) << "failed to write CSV: " << status;
   }
+}
+
+void MaybeAppendRunJson(const HarnessOptions& options, const std::string& label,
+                        const RunObservation& run) {
+  if (options.metrics_json_path.empty()) return;
+  TraceJsonOptions trace_options;
+  trace_options.include_volatile = true;
+  std::string line = "{\"run\": \"" + label + "\", \"metrics\": " +
+                     run.metrics.ToJson() +
+                     ", \"trace\": " + run.trace.ToJson(trace_options) + "}";
+  // The exports are pretty-printed; strip the newlines (no string value can
+  // contain one — the escaper encodes control characters) so each appended
+  // record is one JSON line.
+  std::string::size_type pos = 0;
+  while ((pos = line.find('\n', pos)) != std::string::npos) {
+    line.erase(pos, 1);
+  }
+  line += "\n";
+  std::FILE* f = std::fopen(options.metrics_json_path.c_str(), "ab");
+  if (f == nullptr) {
+    PGM_LOG(kError) << "cannot open " << options.metrics_json_path;
+    return;
+  }
+  const std::size_t written = std::fwrite(line.data(), 1, line.size(), f);
+  if (std::fclose(f) != 0 || written != line.size()) {
+    PGM_LOG(kError) << "failed to append run JSON to "
+                    << options.metrics_json_path;
+    return;
+  }
+  PGM_LOG(kInfo) << "appended run '" << label << "' to "
+                 << options.metrics_json_path;
 }
 
 void CheckOk(const Status& status) {

@@ -5,18 +5,22 @@
 #include <string>
 
 #include "core/miner.h"
+#include "core/trace.h"
 #include "seq/sequence.h"
 #include "util/csv_writer.h"
 #include "util/flags.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace pgm::bench {
 
 /// Shared flags every harness binary accepts: --csv <path> to also write the
 /// table as CSV, --seed for data generation, --threads for the miners'
-/// level-evaluation worker count.
+/// level-evaluation worker count, --metrics-json for machine-readable
+/// per-run observability output next to the human tables.
 struct HarnessOptions {
   std::string csv_path;
+  std::string metrics_json_path;
   std::int64_t seed = 42;
   std::int64_t threads = 1;
 };
@@ -39,6 +43,35 @@ MinerConfig Section6Defaults();
 
 /// Writes `csv` to options.csv_path when set, logging the outcome.
 void MaybeWriteCsv(const HarnessOptions& options, const CsvWriter& csv);
+
+/// One mining run's observer bundle: fresh metrics registry + trace wired
+/// into a MiningObserver. Attach to a config with Attach(), run the miner,
+/// then emit the run with MaybeAppendRunJson.
+struct RunObservation {
+  RunObservation() {
+    observer.metrics = &metrics;
+    observer.trace = &trace;
+  }
+  RunObservation(const RunObservation&) = delete;
+  RunObservation& operator=(const RunObservation&) = delete;
+
+  /// Returns `config` with this observation's observer attached. The
+  /// RunObservation must outlive the mining call.
+  MinerConfig Attach(MinerConfig config) const {
+    config.observer = &observer;
+    return config;
+  }
+
+  MetricsRegistry metrics;
+  MiningTrace trace;
+  MiningObserver observer;
+};
+
+/// Appends `{"run": <label>, "metrics": ..., "trace": ...}` as one JSON line
+/// to options.metrics_json_path when set (timing fields included — bench
+/// output is for comparison, not byte-stability), logging failures.
+void MaybeAppendRunJson(const HarnessOptions& options, const std::string& label,
+                        const RunObservation& run);
 
 /// Crashes with the status message when not OK (harness binaries only).
 void CheckOk(const Status& status);

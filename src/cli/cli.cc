@@ -11,6 +11,7 @@
 #include "analysis/tandem.h"
 #include "core/em.h"
 #include "core/miner.h"
+#include "core/trace.h"
 #include "datagen/presets.h"
 #include "seq/fasta.h"
 #include "util/csv_writer.h"
@@ -138,6 +139,9 @@ Status RunMine(const std::vector<std::string>& args, std::string* output) {
   bool level_stats = false;
   bool lift = false;
   std::string csv_path;
+  std::string metrics_path;
+  std::string trace_path;
+  bool trace_timings = false;
   std::int64_t deadline_ms = -1;
   std::int64_t pil_budget_bytes = 0;
   std::int64_t max_level_candidates = 0;
@@ -160,6 +164,15 @@ Status RunMine(const std::vector<std::string>& args, std::string* output) {
                 "also rank patterns by compositional lift (observed/expected)");
   flags.AddBool("level-stats", &level_stats, "include per-level candidates");
   flags.AddString("csv", &csv_path, "also write all patterns as CSV here");
+  flags.AddString("metrics-out", &metrics_path,
+                  "write run metrics (counters/gauges/histograms) as "
+                  "deterministic JSON here");
+  flags.AddString("trace", &trace_path,
+                  "write the structured mining trace (level starts/ends, "
+                  "prune decisions, guard trips) as JSON here");
+  flags.AddBool("trace-timings", &trace_timings,
+                "include wall-clock/worker fields and shard timings in "
+                "--trace output (not byte-stable across runs)");
   flags.AddInt64("deadline-ms", &deadline_ms,
                  "wall-clock budget in ms; partial result on expiry "
                  "(-1 = none)");
@@ -204,6 +217,15 @@ Status RunMine(const std::vector<std::string>& args, std::string* output) {
   config.limits.max_total_candidates =
       static_cast<std::uint64_t>(max_total_candidates);
   config.threads = threads;
+
+  MetricsRegistry metrics;
+  MiningTrace trace;
+  MiningObserver observer;
+  if (!metrics_path.empty()) observer.metrics = &metrics;
+  if (!trace_path.empty()) observer.trace = &trace;
+  if (observer.metrics != nullptr || observer.trace != nullptr) {
+    config.observer = &observer;
+  }
 
   StatusOr<MiningResult> mined = [&]() -> StatusOr<MiningResult> {
     if (algorithm == "mpp") return MineMpp(sequence, config);
@@ -250,6 +272,19 @@ Status RunMine(const std::vector<std::string>& args, std::string* output) {
     PGM_RETURN_IF_ERROR(SavePatternsCsv(result, csv_path));
     output->append("wrote " + std::to_string(result.patterns.size()) +
                    " patterns to " + csv_path + "\n");
+  }
+  // The observability exports come after the report so a failed write
+  // (IoError, loud in *error) never swallows the mining result itself.
+  if (!metrics_path.empty()) {
+    PGM_RETURN_IF_ERROR(WriteStringToFile(metrics_path, metrics.ToJson() + "\n"));
+    output->append("wrote metrics JSON to " + metrics_path + "\n");
+  }
+  if (!trace_path.empty()) {
+    TraceJsonOptions trace_options;
+    trace_options.include_volatile = trace_timings;
+    PGM_RETURN_IF_ERROR(
+        WriteStringToFile(trace_path, trace.ToJson(trace_options) + "\n"));
+    output->append("wrote trace JSON to " + trace_path + "\n");
   }
   return Status::OK();
 }

@@ -13,7 +13,9 @@ StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
                        GapRequirement::Create(config.min_gap, config.max_gap));
   Stopwatch watch;
   MiningGuard guard(config.limits, config.cancel);
+  internal::ObserverContext ctx(config.observer, "enum");
   internal::ParallelLevelExecutor executor(config.threads);
+  executor.set_observer(&ctx);
   OffsetCounter counter(static_cast<std::int64_t>(sequence.size()), gap);
 
   MiningResult result;
@@ -40,6 +42,7 @@ StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
                 }
                 return a.pattern.symbols() < b.pattern.symbols();
               });
+    ctx.Finish(&result);
     result.total_seconds = result.mining_seconds = watch.ElapsedSeconds();
   };
 
@@ -61,9 +64,22 @@ StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
     return result;
   }
   if (!guard.CheckNow()) {
+    ctx.GuardTrip(guard.reason(), 0);
     finalize();
     return result;
   }
+
+  // The enumeration applies no λ relaxation, so every level's relaxed
+  // threshold equals its full one.
+  auto full_threshold_for = [&](std::int64_t length) -> double {
+    return static_cast<double>(rho * counter.Count(length));
+  };
+  // The first level opens in the registry before its construction, so a
+  // budget trip during the builds still reports the level (and its analytic
+  // candidate count) instead of an empty stats vector.
+  ctx.LevelStart(level_length, analytic_candidates(level_length), 1.0,
+                 full_threshold_for(level_length),
+                 full_threshold_for(level_length));
 
   // PILs of the length-1 patterns, used to extend levels on the left:
   // PIL(c + P) = Combine(PIL(c), PIL(P)) — valid because `c` is exactly the
@@ -91,26 +107,37 @@ StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
   };
   if (guard.stopped()) {
     release_live();
+    ctx.GuardTrip(guard.reason(), level_length);
+    ctx.LevelEnd(level_length, analytic_candidates(level_length), 0, 0, 0,
+                 /*completed=*/false);
     finalize();
     return result;
   }
 
   bool interrupted = false;
   while (true) {
-    if (!guard.CheckNow()) break;
+    if (!guard.CheckNow()) {
+      ctx.GuardTrip(guard.reason(), level_length);
+      ctx.LevelEnd(level_length, analytic_candidates(level_length), 0, 0, 0,
+                   /*completed=*/false);
+      break;
+    }
     const long double n_l = counter.Count(level_length);
     const long double full_threshold = rho * n_l;
 
     LevelStats stats;
     stats.length = level_length;
     stats.num_candidates = analytic_candidates(level_length);
+    std::uint64_t evaluated = 0;
     if (guard.ChargeLevelCandidates(stats.num_candidates)) {
       for (const internal::LevelEntry& entry : level) {
         if (!guard.Tick()) {
           interrupted = true;
           break;
         }
+        ++evaluated;
         const SupportInfo support = entry.pil.TotalSupport();
+        ctx.ObserveCandidate(support.count, entry.pil.MemoryBytes());
         if (support.count == 0) continue;
         const long double support_ld = static_cast<long double>(support.count);
         if (support_ld >= full_threshold) {
@@ -135,9 +162,9 @@ StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
     // Enumeration carries every matched pattern forward regardless of
     // support: num_retained reports the carried-forward set size.
     stats.num_retained = level.size();
-    result.level_stats.push_back(stats);
-    result.total_candidates =
-        SatAdd(result.total_candidates, stats.num_candidates);
+    if (interrupted) ctx.GuardTrip(guard.reason(), level_length);
+    ctx.LevelEnd(level_length, stats.num_candidates, evaluated,
+                 stats.num_frequent, stats.num_retained, !interrupted);
     if (interrupted) break;
     last_completed_level = level_length;
 
@@ -178,8 +205,22 @@ StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
     level = std::move(next);
     guard.ReleaseMemory(level_bytes);
     level_bytes = next_bytes;
-    if (interrupted) break;
+    if (interrupted) {
+      // The trip happened while building the next level's PILs: record that
+      // level as started-and-cut-short so the candidate totals stay true.
+      const std::int64_t next_length = level_length + 1;
+      ctx.LevelStart(next_length, analytic_candidates(next_length), 1.0,
+                     full_threshold_for(next_length),
+                     full_threshold_for(next_length));
+      ctx.GuardTrip(guard.reason(), next_length);
+      ctx.LevelEnd(next_length, analytic_candidates(next_length), 0, 0, 0,
+                   /*completed=*/false);
+      break;
+    }
     ++level_length;
+    ctx.LevelStart(level_length, analytic_candidates(level_length), 1.0,
+                   full_threshold_for(level_length),
+                   full_threshold_for(level_length));
   }
 
   release_live();

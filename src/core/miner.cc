@@ -1,6 +1,7 @@
 #include "core/miner.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "util/saturating.h"
 #include "util/string_util.h"
@@ -106,12 +107,21 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
                                     std::int64_t n_effective,
                                     std::vector<LevelEntry> seed_level,
                                     MiningGuard& guard,
-                                    ParallelLevelExecutor* executor) {
+                                    ParallelLevelExecutor* executor,
+                                    ObserverContext* ctx) {
   PGM_RETURN_IF_ERROR(ValidateConfig(sequence, config));
   PGM_ASSIGN_OR_RETURN(GapRequirement gap,
                        GapRequirement::Create(config.min_gap, config.max_gap));
   ParallelLevelExecutor own_executor(executor == nullptr ? config.threads : 1);
   if (executor == nullptr) executor = &own_executor;
+  // Only direct callers (tests) get a context made here; the engines pass
+  // their own so the trace carries their algorithm name, not "levelwise".
+  std::optional<ObserverContext> own_ctx;
+  if (ctx == nullptr) {
+    own_ctx.emplace(config.observer, "levelwise");
+    ctx = &*own_ctx;
+  }
+  executor->set_observer(ctx);
 
   MiningResult result;
   result.n_used = n_effective;
@@ -134,6 +144,7 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
                 }
                 return a.pattern.symbols() < b.pattern.symbols();
               });
+    ctx->Finish(&result);
   };
   // Ledger audit: every exit drops the level entries it still holds, so
   // their charges must go back to the guard — a leak here would make later
@@ -155,6 +166,7 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
   }
   if (!guard.CheckNow()) {
     release_level(seed_level);
+    ctx->GuardTrip(guard.reason(), 0);
     finalize();
     return result;
   }
@@ -180,8 +192,11 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
                                long double relaxed_threshold,
                                std::int64_t length, LevelStats& stats,
                                std::vector<LevelEntry>& retained_out,
-                               std::uint64_t& retained_bytes_out) -> Status {
+                               std::uint64_t& retained_bytes_out,
+                               std::uint64_t& evaluated_out) -> Status {
     const std::uint64_t entry_bytes = entry.pil.MemoryBytes();
+    ++evaluated_out;
+    ctx->ObserveCandidate(support.count, entry_bytes);
     if (support.count == 0) {
       guard.ReleaseMemory(entry_bytes);
       return Status::OK();
@@ -212,18 +227,10 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
   };
 
   // First level: all |Σ|^start_length patterns (counted as candidates even
-  // when their PIL turned out empty). A non-empty seed was built (and
-  // memory-charged) by the caller against the same guard.
-  std::vector<LevelEntry> first_level =
-      seed_level.empty()
-          ? BuildAllPatternsOfLength(sequence, gap, level_length, &guard,
-                                     executor)
-          : std::move(seed_level);
-  if (guard.stopped()) {
-    release_level(first_level);
-    finalize();
-    return result;
-  }
+  // when their PIL turned out empty). The level opens in the registry
+  // before the build, so a trip during construction still reports the level
+  // it was working on. A non-empty seed was built (and memory-charged) by
+  // the caller against the same guard.
   long double first_candidates = 1.0L;
   for (std::int64_t i = 0; i < level_length; ++i) {
     first_candidates *= static_cast<long double>(alphabet_size);
@@ -242,6 +249,24 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
         first_candidates >= static_cast<long double>(kSaturatedCount)
             ? kSaturatedCount
             : static_cast<std::uint64_t>(first_candidates);
+    ctx->LevelStart(level_length, stats.num_candidates,
+                    static_cast<double>(level_lambda(level_length)),
+                    static_cast<double>(full_threshold),
+                    static_cast<double>(relaxed_threshold));
+    std::uint64_t evaluated = 0;
+    std::vector<LevelEntry> first_level =
+        seed_level.empty()
+            ? BuildAllPatternsOfLength(sequence, gap, level_length, &guard,
+                                       executor)
+            : std::move(seed_level);
+    if (guard.stopped()) {
+      release_level(first_level);
+      ctx->GuardTrip(guard.reason(), level_length);
+      ctx->LevelEnd(level_length, stats.num_candidates, evaluated, 0, 0,
+                    /*completed=*/false);
+      finalize();
+      return result;
+    }
     if (guard.ChargeLevelCandidates(stats.num_candidates)) {
       std::size_t processed = 0;
       for (; processed < first_level.size(); ++processed) {
@@ -253,7 +278,7 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
         const SupportInfo support = entry.pil.TotalSupport();
         PGM_RETURN_IF_ERROR(process_candidate(
             std::move(entry), support, n_l, full_threshold, relaxed_threshold,
-            level_length, stats, retained, retained_bytes));
+            level_length, stats, retained, retained_bytes, evaluated));
       }
       // Entries the interrupt left unprocessed are dropped here; return
       // their charge to the guard.
@@ -265,16 +290,19 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
       guard.ReleaseMemory(LevelBytes(first_level));
     }
     first_level.clear();
-    result.level_stats.push_back(stats);
-    result.total_candidates =
-        SatAdd(result.total_candidates, stats.num_candidates);
+    if (interrupted) ctx->GuardTrip(guard.reason(), level_length);
+    ctx->LevelEnd(level_length, stats.num_candidates, evaluated,
+                  stats.num_frequent, stats.num_retained, !interrupted);
     if (!interrupted) last_completed_level = level_length;
   }
 
   while (!interrupted && !retained.empty() &&
          (config.max_length < 0 || level_length < config.max_length) &&
          level_length + 1 <= l2) {
-    if (!guard.CheckNow()) break;
+    if (!guard.CheckNow()) {
+      ctx->GuardTrip(guard.reason(), level_length);
+      break;
+    }
     ++level_length;
     const long double n_l = counter.Count(level_length);
     const long double full_threshold = rho * n_l;
@@ -285,6 +313,11 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
     stats.length = level_length;
     std::vector<CandidateSpec> specs = GenerateCandidates(retained);
     stats.num_candidates = specs.size();
+    ctx->LevelStart(level_length, stats.num_candidates,
+                    static_cast<double>(level_lambda(level_length)),
+                    static_cast<double>(full_threshold),
+                    static_cast<double>(relaxed_threshold));
+    std::uint64_t evaluated = 0;
 
     std::vector<LevelEntry> next_retained;
     std::uint64_t next_retained_bytes = 0;
@@ -293,7 +326,7 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
         return process_candidate(std::move(candidate.entry), candidate.support,
                                  n_l, full_threshold, relaxed_threshold,
                                  level_length, stats, next_retained,
-                                 next_retained_bytes);
+                                 next_retained_bytes, evaluated);
       };
       bool level_interrupted = false;
       PGM_RETURN_IF_ERROR(executor->EvaluateCandidates(
@@ -307,9 +340,9 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
     retained = std::move(next_retained);
     guard.ReleaseMemory(old_retained_bytes);
     retained_bytes = next_retained_bytes;
-    result.level_stats.push_back(stats);
-    result.total_candidates =
-        SatAdd(result.total_candidates, stats.num_candidates);
+    if (interrupted) ctx->GuardTrip(guard.reason(), level_length);
+    ctx->LevelEnd(level_length, stats.num_candidates, evaluated,
+                  stats.num_frequent, stats.num_retained, !interrupted);
     if (!interrupted) last_completed_level = level_length;
   }
 

@@ -11,6 +11,7 @@
 #include "core/parallel.h"
 #include "core/pattern.h"
 #include "core/pil.h"
+#include "core/trace.h"
 #include "seq/sequence.h"
 #include "util/limits.h"
 #include "util/status.h"
@@ -76,6 +77,15 @@ struct MinerConfig {
   /// Polled at level boundaries and every MiningGuard::kTickPeriod PIL
   /// extensions.
   const CancelToken* cancel = nullptr;
+
+  // --- Observability ---
+  /// Optional metrics/trace sinks (core/trace.h); the observer and its
+  /// registries must outlive the mining call. Null (the default) keeps the
+  /// per-candidate hot path at a single predicted branch. Adaptive attaches
+  /// the observer to every inner MPP run, so counters accumulate across
+  /// iterations and the trace carries one run_start/run_end pair per
+  /// iteration.
+  const MiningObserver* observer = nullptr;
 };
 
 /// One frequent pattern in a mining result.
@@ -90,6 +100,10 @@ struct FrequentPattern {
 };
 
 /// Per-level candidate accounting (the raw material of the paper's Table 3).
+/// A view derived from the run's metrics registry at finish time: the
+/// engines record per-level counters as they mine and this struct is read
+/// back from them, so it agrees with any attached MetricsRegistry by
+/// construction.
 struct LevelStats {
   /// Pattern length of the level.
   std::int64_t length = 0;
@@ -116,7 +130,10 @@ struct MiningResult {
   std::int64_t guaranteed_complete_up_to = 0;
   /// Length of the longest frequent pattern found (0 when none).
   std::int64_t longest_frequent_length = 0;
-  /// Total candidates across levels (sum of LevelStats::num_candidates).
+  /// Total candidates across levels. Derived from the run's metrics
+  /// registry, so it equals the (saturating) sum of
+  /// LevelStats::num_candidates and includes the level a budget trip cut
+  /// short — partial runs report the true count of generated candidates.
   std::uint64_t total_candidates = 0;
 
   /// Why the run stopped. Anything except kCompleted marks a partial
@@ -201,14 +218,18 @@ std::vector<LevelEntry> BuildAllPatternsOfLength(
 /// exit the engine has released all memory it still holds, so the guard's
 /// ledger returns to whatever the caller's outstanding charges are.
 /// `executor` runs the level joins (null = construct one from
-/// config.threads internally).
+/// config.threads internally). `ctx` is the caller's recording context
+/// (null = the engine creates one from config.observer); the engine calls
+/// ctx->Finish, which derives the result's LevelStats/total_candidates from
+/// the run registry.
 StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
                                     const MinerConfig& config,
                                     const OffsetCounter& counter,
                                     std::int64_t n_effective,
                                     std::vector<LevelEntry> seed_level,
                                     MiningGuard& guard,
-                                    ParallelLevelExecutor* executor = nullptr);
+                                    ParallelLevelExecutor* executor = nullptr,
+                                    ObserverContext* ctx = nullptr);
 
 }  // namespace internal
 }  // namespace pgm

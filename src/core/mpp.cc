@@ -12,6 +12,7 @@ StatusOr<MiningResult> MineMpp(const Sequence& sequence,
                        GapRequirement::Create(config.min_gap, config.max_gap));
   Stopwatch watch;
   MiningGuard guard(config.limits, config.cancel);
+  internal::ObserverContext ctx(config.observer, "mpp");
   OffsetCounter counter(static_cast<std::int64_t>(sequence.size()), gap);
 
   // Algorithm line 3: clamp the user estimate to l1 ("if n > l1, n = l1");
@@ -21,7 +22,8 @@ StatusOr<MiningResult> MineMpp(const Sequence& sequence,
 
   PGM_ASSIGN_OR_RETURN(
       MiningResult result,
-      internal::RunLevelwise(sequence, config, counter, n, {}, guard));
+      internal::RunLevelwise(sequence, config, counter, n, {}, guard,
+                             /*executor=*/nullptr, &ctx));
   result.mining_seconds = watch.ElapsedSeconds();
   result.total_seconds = result.mining_seconds;
   return result;

@@ -2,6 +2,7 @@
 
 #include "core/em.h"
 #include "core/miner.h"
+#include "util/saturating.h"
 #include "util/stopwatch.h"
 
 namespace pgm {
@@ -13,7 +14,9 @@ StatusOr<MiningResult> MineMppm(const Sequence& sequence,
                        GapRequirement::Create(config.min_gap, config.max_gap));
   Stopwatch total_watch;
   MiningGuard guard(config.limits, config.cancel);
+  internal::ObserverContext ctx(config.observer, "mppm");
   internal::ParallelLevelExecutor executor(config.threads);
+  executor.set_observer(&ctx);
   OffsetCounter counter(static_cast<std::int64_t>(sequence.size()), gap);
 
   // A budget that is exhausted on arrival (0-ms deadline, pre-cancelled
@@ -22,6 +25,8 @@ StatusOr<MiningResult> MineMppm(const Sequence& sequence,
     MiningResult result;
     result.termination = guard.reason();
     result.total_seconds = total_watch.ElapsedSeconds();
+    ctx.GuardTrip(guard.reason(), 0);
+    ctx.Finish(&result);
     return result;
   }
 
@@ -58,6 +63,20 @@ StatusOr<MiningResult> MineMppm(const Sequence& sequence,
     result.em_seconds = em_seconds;
     result.total_seconds = total_watch.ElapsedSeconds();
     result.mining_seconds = result.total_seconds - em_seconds;
+    // The trip cut the first level's construction short. Record the level
+    // with its analytic |Σ|^s candidate count (n is not yet estimated, so
+    // no λ relaxation applies) so the partial result reports the true
+    // candidate total instead of zero.
+    std::uint64_t analytic = 1;
+    for (std::int64_t i = 0; i < s; ++i) {
+      analytic = SatMul(analytic, sequence.alphabet().size());
+    }
+    const double full_threshold = static_cast<double>(
+        static_cast<long double>(config.min_support_ratio) * counter.Count(s));
+    ctx.LevelStart(s, analytic, 1.0, full_threshold, full_threshold);
+    ctx.GuardTrip(guard.reason(), s);
+    ctx.LevelEnd(s, analytic, 0, 0, 0, /*completed=*/false);
+    ctx.Finish(&result);
     return result;
   }
   std::uint64_t max_support = 0;
@@ -79,11 +98,13 @@ StatusOr<MiningResult> MineMppm(const Sequence& sequence,
     }
   }
 
+  ctx.Estimate(em_result.em, n);
+
   // Phase 3: MPP with the estimated n, reusing the seed level.
   PGM_ASSIGN_OR_RETURN(
       MiningResult result,
       internal::RunLevelwise(sequence, config, counter, n, std::move(seed),
-                             guard, &executor));
+                             guard, &executor, &ctx));
   result.em = em_result.em;
   result.estimated_n = n;
   result.em_seconds = em_seconds;

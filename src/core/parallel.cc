@@ -5,10 +5,29 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "core/trace.h"
+#include "util/stopwatch.h"
+
 namespace pgm {
 namespace internal {
 
 namespace {
+
+/// Emits one shard-timing event when the enclosing EvaluateCandidates call
+/// returns — RAII so every early return (sink error, guard trip) still
+/// records. Runs on the caller thread, after the pool has quiesced.
+struct ShardTimingScope {
+  ObserverContext* ctx;
+  std::uint64_t candidates;
+  std::int64_t workers;
+  Stopwatch watch;
+
+  ~ShardTimingScope() {
+    if (ctx != nullptr) {
+      ctx->ShardTiming(candidates, workers, watch.ElapsedSeconds());
+    }
+  }
+};
 
 /// Candidates a worker claims per grab of the shared chunk counter: small
 /// enough to balance skewed PIL sizes, large enough that the counter is not
@@ -74,6 +93,8 @@ Status ParallelLevelExecutor::EvaluateCandidates(
     MiningGuard* guard, const CandidateSink& sink, bool* interrupted) {
   *interrupted = false;
   if (specs.empty()) return Status::OK();
+  ShardTimingScope timing{ctx_, specs.size(),
+                          static_cast<std::int64_t>(num_threads()), {}};
 
   // Serial path: stream one candidate at a time, so at most a single
   // non-retained PIL is ever live (the pre-parallel memory behavior).

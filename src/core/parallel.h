@@ -16,6 +16,8 @@
 namespace pgm {
 namespace internal {
 
+class ObserverContext;
+
 /// A pattern under construction: its encoded symbols (one byte per Symbol,
 /// usable as a hash key) and its PIL.
 struct LevelEntry {
@@ -93,6 +95,12 @@ class ParallelLevelExecutor {
   /// Worker count (1 when serial).
   std::size_t num_threads() const;
 
+  /// Attaches the recording context that receives one shard-timing trace
+  /// event per EvaluateCandidates call (wall-clock and worker count — the
+  /// volatile part of the trace). Null (the default) disables recording;
+  /// the context must outlive the executor's use.
+  void set_observer(ObserverContext* ctx) { ctx_ = ctx; }
+
   /// Combines every spec (left_level[left] ⋈ right_level[right]) under
   /// `gap` and feeds the results to `sink` serially, in spec order. `guard`
   /// may be null (ungoverned build). Returns a non-OK status only when the
@@ -106,6 +114,7 @@ class ParallelLevelExecutor {
 
  private:
   std::unique_ptr<ThreadPool> pool_;  // null when serial
+  ObserverContext* ctx_ = nullptr;
 };
 
 }  // namespace internal

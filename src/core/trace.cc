@@ -1,0 +1,307 @@
+#include "core/trace.h"
+
+#include <utility>
+
+#include "core/miner.h"
+#include "util/saturating.h"
+#include "util/string_util.h"
+
+namespace pgm {
+
+const char* TraceEventKindToString(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kRunStart:
+      return "run_start";
+    case TraceEventKind::kLevelStart:
+      return "level_start";
+    case TraceEventKind::kLevelEnd:
+      return "level_end";
+    case TraceEventKind::kGuardTrip:
+      return "guard_trip";
+    case TraceEventKind::kEstimate:
+      return "estimate";
+    case TraceEventKind::kShardTiming:
+      return "shard_timing";
+    case TraceEventKind::kRunEnd:
+      return "run_end";
+  }
+  return "unknown";
+}
+
+void MiningTrace::Append(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::size_t MiningTrace::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> MiningTrace::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void MiningTrace::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+namespace {
+
+/// Shortest-round-trip double formatting; %.17g prints the same bytes for
+/// the same bit pattern, which is all the determinism contract needs.
+std::string JsonDouble(double value) { return StrFormat("%.17g", value); }
+
+void AppendEventJson(const TraceEvent& event, bool include_volatile,
+                     std::string* out) {
+  out->append("{\"kind\": \"");
+  out->append(TraceEventKindToString(event.kind));
+  out->append("\"");
+  switch (event.kind) {
+    case TraceEventKind::kRunStart:
+      out->append(", \"algorithm\": \"" + event.detail + "\"");
+      break;
+    case TraceEventKind::kLevelStart:
+      out->append(", \"level\": " + std::to_string(event.level));
+      out->append(", \"candidates\": " + std::to_string(event.candidates));
+      out->append(", \"lambda\": " + JsonDouble(event.lambda));
+      out->append(", \"full_threshold\": " +
+                  JsonDouble(event.full_threshold));
+      out->append(", \"relaxed_threshold\": " +
+                  JsonDouble(event.relaxed_threshold));
+      break;
+    case TraceEventKind::kLevelEnd:
+      out->append(", \"level\": " + std::to_string(event.level));
+      out->append(", \"candidates\": " + std::to_string(event.candidates));
+      out->append(", \"evaluated\": " + std::to_string(event.evaluated));
+      out->append(", \"frequent\": " + std::to_string(event.frequent));
+      out->append(", \"retained\": " + std::to_string(event.retained));
+      out->append(", \"pruned\": " + std::to_string(event.pruned));
+      out->append(event.completed ? ", \"completed\": true"
+                                  : ", \"completed\": false");
+      break;
+    case TraceEventKind::kGuardTrip:
+      out->append(", \"level\": " + std::to_string(event.level));
+      out->append(", \"reason\": \"" + event.detail + "\"");
+      break;
+    case TraceEventKind::kEstimate:
+      out->append(", \"em\": " + std::to_string(event.em));
+      out->append(", \"estimated_n\": " + std::to_string(event.estimated_n));
+      break;
+    case TraceEventKind::kShardTiming:
+      out->append(", \"level\": " + std::to_string(event.level));
+      out->append(", \"candidates\": " + std::to_string(event.candidates));
+      out->append(", \"workers\": " + std::to_string(event.workers));
+      out->append(", \"seconds\": " + JsonDouble(event.seconds));
+      break;
+    case TraceEventKind::kRunEnd:
+      out->append(", \"reason\": \"" + event.detail + "\"");
+      out->append(", \"patterns\": " + std::to_string(event.patterns));
+      out->append(", \"levels\": " + std::to_string(event.levels));
+      if (include_volatile) {
+        out->append(", \"memory_peak_bytes\": " +
+                    std::to_string(event.memory_bytes));
+      }
+      break;
+  }
+  out->append("}");
+}
+
+}  // namespace
+
+std::string MiningTrace::ToJson(const TraceJsonOptions& options) const {
+  std::vector<TraceEvent> snapshot = events();
+  std::string out = "{\n  \"events\": [";
+  bool first = true;
+  for (const TraceEvent& event : snapshot) {
+    if (event.kind == TraceEventKind::kShardTiming &&
+        !options.include_volatile) {
+      continue;
+    }
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendEventJson(event, options.include_volatile, &out);
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}";
+  return out;
+}
+
+namespace internal {
+
+namespace {
+
+/// Per-level counter key: zero-padded so the registry's lexicographic order
+/// equals the numeric level order.
+std::string LevelKey(std::int64_t length, const char* field) {
+  return StrFormat("mine.level.%05lld.%s", static_cast<long long>(length),
+                   field);
+}
+
+std::vector<std::uint64_t> SupportBounds() {
+  return {1,    2,    4,     8,     16,    32,     64,     128,
+          256,  512,  1024,  4096,  16384, 65536,  262144, 1048576};
+}
+
+std::vector<std::uint64_t> PilBytesBounds() {
+  return {64,      256,     1024,    4096,     16384,    65536,
+          262144,  1048576, 4194304, 16777216, 67108864};
+}
+
+}  // namespace
+
+ObserverContext::ObserverContext(const MiningObserver* observer,
+                                 const char* algorithm)
+    : user_metrics_(observer == nullptr ? nullptr : observer->metrics),
+      trace_(observer == nullptr ? nullptr : observer->trace) {
+  if (user_metrics_ != nullptr) {
+    support_histogram_ =
+        run_metrics_.GetHistogram("mine.candidate.support", SupportBounds());
+    pil_bytes_histogram_ = run_metrics_.GetHistogram("mine.candidate.pil_bytes",
+                                                     PilBytesBounds());
+  }
+  if (trace_ != nullptr) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kRunStart;
+    event.detail = algorithm;
+    trace_->Append(std::move(event));
+  }
+}
+
+void ObserverContext::LevelStart(std::int64_t length, std::uint64_t candidates,
+                                 double lambda, double full_threshold,
+                                 double relaxed_threshold) {
+  levels_.push_back(length);
+  current_level_ = length;
+  run_metrics_.GetCounter("mine.levels.started")->Increment();
+  run_metrics_.GetCounter("mine.candidates.generated")->Add(candidates);
+  run_metrics_.GetCounter(LevelKey(length, "candidates"))->Add(candidates);
+  if (trace_ != nullptr) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kLevelStart;
+    event.level = length;
+    event.candidates = candidates;
+    event.lambda = lambda;
+    event.full_threshold = full_threshold;
+    event.relaxed_threshold = relaxed_threshold;
+    trace_->Append(std::move(event));
+  }
+}
+
+void ObserverContext::LevelEnd(std::int64_t length, std::uint64_t candidates,
+                               std::uint64_t evaluated, std::uint64_t frequent,
+                               std::uint64_t retained, bool completed) {
+  const std::uint64_t pruned = candidates - retained;
+  run_metrics_.GetCounter("mine.candidates.evaluated")->Add(evaluated);
+  run_metrics_.GetCounter("mine.candidates.frequent")->Add(frequent);
+  run_metrics_.GetCounter("mine.candidates.retained")->Add(retained);
+  run_metrics_.GetCounter("mine.candidates.pruned")->Add(pruned);
+  run_metrics_.GetCounter(LevelKey(length, "evaluated"))->Add(evaluated);
+  run_metrics_.GetCounter(LevelKey(length, "frequent"))->Add(frequent);
+  run_metrics_.GetCounter(LevelKey(length, "retained"))->Add(retained);
+  if (completed) {
+    run_metrics_.GetCounter("mine.levels.completed")->Increment();
+  }
+  if (trace_ != nullptr) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kLevelEnd;
+    event.level = length;
+    event.candidates = candidates;
+    event.evaluated = evaluated;
+    event.frequent = frequent;
+    event.retained = retained;
+    event.pruned = pruned;
+    event.completed = completed;
+    trace_->Append(std::move(event));
+  }
+}
+
+void ObserverContext::GuardTrip(TerminationReason reason, std::int64_t level) {
+  run_metrics_.GetCounter("mine.guard.trips")->Increment();
+  run_metrics_
+      .GetCounter(std::string("mine.guard.trips.") +
+                  TerminationReasonToString(reason))
+      ->Increment();
+  if (trace_ != nullptr) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kGuardTrip;
+    event.level = level;
+    event.detail = TerminationReasonToString(reason);
+    trace_->Append(std::move(event));
+  }
+}
+
+void ObserverContext::Estimate(std::uint64_t em, std::int64_t estimated_n) {
+  run_metrics_.GetGauge("mine.last.em")->Set(static_cast<std::int64_t>(em));
+  run_metrics_.GetGauge("mine.last.estimated_n")->Set(estimated_n);
+  if (trace_ != nullptr) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kEstimate;
+    event.em = em;
+    event.estimated_n = estimated_n;
+    trace_->Append(std::move(event));
+  }
+}
+
+void ObserverContext::ShardTiming(std::uint64_t candidates,
+                                  std::int64_t workers, double seconds) {
+  if (trace_ == nullptr) return;
+  TraceEvent event;
+  event.kind = TraceEventKind::kShardTiming;
+  event.level = current_level_;
+  event.candidates = candidates;
+  event.workers = workers;
+  event.seconds = seconds;
+  trace_->Append(std::move(event));
+}
+
+void ObserverContext::Finish(MiningResult* result) {
+  if (finished_) return;
+  finished_ = true;
+
+  // The registry is authoritative: LevelStats is re-derived as a view of
+  // the per-level counters, and total_candidates as their (saturating) sum,
+  // so a run the guard cut mid-level still reports the level it was working
+  // on — the counts were recorded at LevelStart, before any evaluation.
+  result->level_stats.clear();
+  result->level_stats.reserve(levels_.size());
+  std::uint64_t total = 0;
+  for (std::int64_t length : levels_) {
+    LevelStats stats;
+    stats.length = length;
+    stats.num_candidates =
+        run_metrics_.CounterValue(LevelKey(length, "candidates"));
+    stats.num_frequent =
+        run_metrics_.CounterValue(LevelKey(length, "frequent"));
+    stats.num_retained =
+        run_metrics_.CounterValue(LevelKey(length, "retained"));
+    total = SatAdd(total, stats.num_candidates);
+    result->level_stats.push_back(stats);
+  }
+  result->total_candidates = total;
+
+  run_metrics_.GetCounter("mine.runs")->Increment();
+  run_metrics_.GetCounter("mine.patterns.emitted")
+      ->Add(result->patterns.size());
+  run_metrics_.GetGauge("mine.last.n_used")->Set(result->n_used);
+  run_metrics_.GetGauge("mine.last.guaranteed_complete_up_to")
+      ->Set(result->guaranteed_complete_up_to);
+  run_metrics_.GetGauge("mine.last.longest_frequent_length")
+      ->Set(result->longest_frequent_length);
+
+  if (trace_ != nullptr) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kRunEnd;
+    event.detail = TerminationReasonToString(result->termination);
+    event.patterns = result->patterns.size();
+    event.levels = levels_.size();
+    event.memory_bytes = result->pil_memory_peak_bytes;
+    trace_->Append(std::move(event));
+  }
+  if (user_metrics_ != nullptr) user_metrics_->MergeFrom(run_metrics_);
+}
+
+}  // namespace internal
+}  // namespace pgm

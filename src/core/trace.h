@@ -1,0 +1,186 @@
+#ifndef PGM_CORE_TRACE_H_
+#define PGM_CORE_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/limits.h"
+#include "util/metrics.h"
+
+namespace pgm {
+
+struct MiningResult;
+
+/// Structured trace events emitted by the mining engines. Each kind has a
+/// fixed JSON key schema (see MiningTrace::ToJson), so consumers can parse
+/// the stream without guessing which fields are meaningful.
+enum class TraceEventKind {
+  /// A mining run began; `detail` names the algorithm.
+  kRunStart,
+  /// A level's candidate set was generated (or, for the first level, its
+  /// analytic |Σ|^l count fixed): level, candidates, and the λ/λ′-derived
+  /// thresholds the level will apply.
+  kLevelStart,
+  /// A level finished (completed == true) or was cut short by the guard:
+  /// candidates generated, candidates actually evaluated (PIL join +
+  /// support count), how many met the full threshold (frequent), how many
+  /// met the relaxed threshold and seed the next join (retained), and how
+  /// many were pruned (generated - retained).
+  kLevelEnd,
+  /// The MiningGuard latched a termination reason; `detail` carries it.
+  kGuardTrip,
+  /// MPPm's Theorem 2 phase: the e_m statistic and the estimated n.
+  kEstimate,
+  /// One ParallelLevelExecutor::EvaluateCandidates call: candidate count,
+  /// worker count, and wall-clock seconds. Volatile (thread/timing
+  /// dependent) — exported only with TraceJsonOptions::include_volatile.
+  kShardTiming,
+  /// The run finished; `detail` carries the termination reason.
+  kRunEnd,
+};
+
+const char* TraceEventKindToString(TraceEventKind kind);
+
+/// One trace event. Only the fields its kind documents are meaningful; the
+/// rest stay at their defaults.
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kRunStart;
+  std::int64_t level = 0;
+  std::uint64_t candidates = 0;
+  std::uint64_t evaluated = 0;
+  std::uint64_t frequent = 0;
+  std::uint64_t retained = 0;
+  std::uint64_t pruned = 0;
+  bool completed = false;
+  double lambda = 0.0;
+  double full_threshold = 0.0;
+  double relaxed_threshold = 0.0;
+  std::uint64_t em = 0;
+  std::int64_t estimated_n = -1;
+  std::uint64_t patterns = 0;
+  std::uint64_t levels = 0;
+  /// Algorithm name (kRunStart) or termination reason (kGuardTrip, kRunEnd).
+  std::string detail;
+
+  // Volatile fields: wall-clock and thread-count dependent, so they are not
+  // byte-stable across runs. Exported only with include_volatile.
+  std::int64_t workers = 0;
+  double seconds = 0.0;
+  std::uint64_t memory_bytes = 0;
+};
+
+struct TraceJsonOptions {
+  /// Include kShardTiming events and the workers/seconds/memory fields.
+  /// Off by default so the export is byte-identical across thread counts
+  /// and repeated runs of the same seed.
+  bool include_volatile = false;
+};
+
+/// An append-only event log. Appends take a mutex (events are emitted at
+/// level granularity, never per candidate, so this is far off the hot
+/// path); reads snapshot under the same mutex.
+class MiningTrace {
+ public:
+  MiningTrace() = default;
+  MiningTrace(const MiningTrace&) = delete;
+  MiningTrace& operator=(const MiningTrace&) = delete;
+
+  void Append(TraceEvent event);
+  std::size_t size() const;
+  std::vector<TraceEvent> events() const;
+  void Clear();
+
+  /// Deterministic JSON export: {"events": [...]} with one object per line,
+  /// fixed per-kind key order. See TraceJsonOptions for the determinism
+  /// contract.
+  std::string ToJson(const TraceJsonOptions& options = {}) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// The observer handle mining callers attach to MinerConfig::observer.
+/// Either pointer may be null; both sinks must outlive the mining call.
+/// Metrics enable per-candidate histograms (support, PIL bytes); the trace
+/// records the level-by-level event stream.
+struct MiningObserver {
+  MetricsRegistry* metrics = nullptr;
+  MiningTrace* trace = nullptr;
+};
+
+namespace internal {
+
+/// Per-run recording context the engines thread through their level loops.
+///
+/// The context always owns a private MetricsRegistry — the single source of
+/// truth from which Finish() derives MiningResult::level_stats and
+/// total_candidates — and mirrors it into the user's registry at Finish.
+/// All methods except ObserveCandidate run in the engines' serial sections,
+/// so the recorded values are independent of the thread count; the
+/// per-candidate histograms are skipped entirely unless a user metrics
+/// registry is attached, keeping the null-observer hot path to one branch.
+class ObserverContext {
+ public:
+  /// `observer` may be null (the null-observer fast path); `algorithm` names
+  /// the run in the kRunStart event.
+  ObserverContext(const MiningObserver* observer, const char* algorithm);
+
+  ObserverContext(const ObserverContext&) = delete;
+  ObserverContext& operator=(const ObserverContext&) = delete;
+
+  /// A level's candidate set is fixed; records the generated count and the
+  /// thresholds, and opens the level in the registry.
+  void LevelStart(std::int64_t length, std::uint64_t candidates,
+                  double lambda, double full_threshold,
+                  double relaxed_threshold);
+
+  /// One candidate evaluated (support counted). Hot path: a no-op branch
+  /// unless a metrics registry is attached.
+  void ObserveCandidate(std::uint64_t support, std::uint64_t pil_bytes) {
+    if (support_histogram_ == nullptr) return;
+    support_histogram_->Observe(support);
+    pil_bytes_histogram_->Observe(pil_bytes);
+  }
+
+  /// Closes a level. `completed` is false when the guard cut it short.
+  void LevelEnd(std::int64_t length, std::uint64_t candidates,
+                std::uint64_t evaluated, std::uint64_t frequent,
+                std::uint64_t retained, bool completed);
+
+  /// The guard latched `reason` while working on `level` (0 = before any
+  /// level started).
+  void GuardTrip(TerminationReason reason, std::int64_t level);
+
+  /// MPPm's n-estimation outcome.
+  void Estimate(std::uint64_t em, std::int64_t estimated_n);
+
+  /// One executor shard pass (trace-only; volatile).
+  void ShardTiming(std::uint64_t candidates, std::int64_t workers,
+                   double seconds);
+
+  /// Seals the run: derives result->level_stats and total_candidates from
+  /// the run registry, records the run gauges and the kRunEnd event, and
+  /// mirrors the run registry into the user's. Idempotent.
+  void Finish(MiningResult* result);
+
+  /// The run-private registry (authoritative for this run's counts).
+  const MetricsRegistry& run_metrics() const { return run_metrics_; }
+
+ private:
+  MetricsRegistry* user_metrics_ = nullptr;
+  MiningTrace* trace_ = nullptr;
+  MetricsRegistry run_metrics_;
+  Histogram* support_histogram_ = nullptr;   // null = histograms disabled
+  Histogram* pil_bytes_histogram_ = nullptr;
+  std::vector<std::int64_t> levels_;  // lengths, in LevelStart order
+  std::int64_t current_level_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace internal
+}  // namespace pgm
+
+#endif  // PGM_CORE_TRACE_H_

@@ -29,4 +29,19 @@ StatusOr<std::string> ReadFileToString(const std::string& path) {
   return contents;
 }
 
+Status WriteStringToFile(const std::string& path,
+                         const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  const std::size_t written =
+      contents.empty() ? 0 : std::fwrite(contents.data(), 1, contents.size(), f);
+  const bool write_error = written != contents.size();
+  if (std::fclose(f) != 0 || write_error) {
+    return Status::IoError("error while writing: " + path);
+  }
+  return Status::OK();
+}
+
 }  // namespace pgm

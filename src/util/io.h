@@ -15,6 +15,12 @@ namespace pgm {
 /// silent short reads in every caller.
 StatusOr<std::string> ReadFileToString(const std::string& path);
 
+/// Writes `contents` to `path`, truncating any existing file. IoError on
+/// open or write failure — callers that must not lose their primary result
+/// (e.g. the CLI's --metrics-out) surface the Status loudly after the
+/// result is already delivered.
+Status WriteStringToFile(const std::string& path, const std::string& contents);
+
 }  // namespace pgm
 
 #endif  // PGM_UTIL_IO_H_

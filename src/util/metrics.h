@@ -1,0 +1,145 @@
+#ifndef PGM_UTIL_METRICS_H_
+#define PGM_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/saturating.h"
+
+namespace pgm {
+
+/// A monotonically increasing counter. The hot path is a single CAS loop
+/// with relaxed ordering; values saturate at kSaturatedCount instead of
+/// wrapping, matching the mining counters they aggregate.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+
+  void Add(std::uint64_t delta) {
+    std::uint64_t current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, SatAdd(current, delta),
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A last-write-wins integral gauge.
+class Gauge {
+ public:
+  void Set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  /// Raises the gauge to `value` when larger (peak tracking).
+  void SetMax(std::int64_t value) {
+    std::int64_t current = value_.load(std::memory_order_relaxed);
+    while (current < value &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// A fixed-bucket histogram: bucket i counts observations <= bounds[i], and
+/// one extra overflow bucket counts the rest. Observe is a binary search
+/// over the (immutable) bounds plus relaxed atomic adds, so concurrent
+/// observation is safe and cheap.
+class Histogram {
+ public:
+  void Observe(std::uint64_t value);
+
+  /// Total observations and their (saturating) sum.
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  const std::vector<std::uint64_t>& bounds() const { return bounds_; }
+
+  /// Count in bucket `i`; `i == bounds().size()` is the overflow bucket.
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// A thread-safe registry of named metrics. Registration (Get*) takes a
+/// mutex; the returned handles are stable for the registry's lifetime and
+/// their update paths are lock-free, so callers hoist the lookup out of hot
+/// loops and pay only an atomic per update.
+///
+/// All values are integral and all exports are key-sorted, so ToJson() is
+/// deterministic: two registries fed the same updates serialize to the same
+/// bytes regardless of thread count or timing.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the named metric, creating it on first use.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` must be strictly increasing; it is ignored when the histogram
+  /// already exists.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<std::uint64_t> bounds);
+
+  /// Read-only lookups; null when the name was never registered.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  /// Value of the named counter, 0 when absent.
+  std::uint64_t CounterValue(const std::string& name) const;
+
+  /// Folds `other` into this registry: counters and histogram buckets add,
+  /// gauges take the source's value (last write wins). Histograms that exist
+  /// in both keep this registry's bounds; bucket counts merge index-wise.
+  void MergeFrom(const MetricsRegistry& other);
+
+  /// Deterministic key-sorted JSON export:
+  ///   {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace pgm
+
+#endif  // PGM_UTIL_METRICS_H_

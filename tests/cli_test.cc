@@ -317,6 +317,119 @@ TEST(CliExitCodeTest, DiagnosticsGoToErrorStreamNotOutput) {
   EXPECT_NE(error.find("--input is required"), std::string::npos);
 }
 
+TEST(CliObservabilityTest, MetricsAndTraceFilesAreWritten) {
+  const std::string metrics_path = testing::TempDir() + "/cli_metrics.json";
+  const std::string trace_path = testing::TempDir() + "/cli_trace.json";
+  std::string output;
+  const int code = RunFromString(
+      "pgm mine --input raw:ACGTACGTACGTACGTACGTACGT --min-gap 0 --max-gap 2 "
+      "--rho-percent 1 --start-length 1 --metrics-out " + metrics_path +
+          " --trace " + trace_path,
+      &output);
+  EXPECT_EQ(code, 0) << output;
+  EXPECT_NE(output.find("wrote metrics JSON to"), std::string::npos);
+  EXPECT_NE(output.find("wrote trace JSON to"), std::string::npos);
+
+  auto read_file = [](const std::string& path) {
+    std::string contents;
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    if (f == nullptr) return contents;
+    char buffer[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+      contents.append(buffer, n);
+    }
+    std::fclose(f);
+    return contents;
+  };
+  const std::string metrics = read_file(metrics_path);
+  const std::string trace = read_file(trace_path);
+  std::remove(metrics_path.c_str());
+  std::remove(trace_path.c_str());
+  EXPECT_NE(metrics.find("\"counters\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"mine.candidates.generated\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"mine.runs\": 1"), std::string::npos);
+  EXPECT_NE(trace.find("\"events\""), std::string::npos);
+  EXPECT_NE(trace.find("\"kind\": \"run_start\""), std::string::npos);
+  EXPECT_NE(trace.find("\"kind\": \"run_end\""), std::string::npos);
+  // Byte-stable export: no volatile fields without --trace-timings.
+  EXPECT_EQ(trace.find("shard_timing"), std::string::npos);
+  EXPECT_EQ(trace.find("memory_peak_bytes"), std::string::npos);
+}
+
+TEST(CliObservabilityTest, ExportsAreByteIdenticalAcrossThreadCounts) {
+  auto run = [](int threads, const std::string& suffix) {
+    const std::string metrics_path =
+        testing::TempDir() + "/cli_m_" + suffix + ".json";
+    const std::string trace_path =
+        testing::TempDir() + "/cli_t_" + suffix + ".json";
+    std::string output;
+    EXPECT_EQ(RunFromString(
+                  "pgm mine --input preset:bacteria:2000:7 --min-gap 1 "
+                  "--max-gap 3 --rho-percent 1 --start-length 1 --threads " +
+                      std::to_string(threads) + " --metrics-out " +
+                      metrics_path + " --trace " + trace_path,
+                  &output),
+              0)
+        << output;
+    std::string contents;
+    for (const std::string& path : {metrics_path, trace_path}) {
+      std::FILE* f = std::fopen(path.c_str(), "rb");
+      EXPECT_NE(f, nullptr) << path;
+      if (f != nullptr) {
+        char buffer[4096];
+        std::size_t n = 0;
+        while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+          contents.append(buffer, n);
+        }
+        std::fclose(f);
+      }
+      std::remove(path.c_str());
+    }
+    return contents;
+  };
+  const std::string serial = run(1, "1");
+  EXPECT_EQ(run(2, "2"), serial);
+  EXPECT_EQ(run(8, "8"), serial);
+}
+
+TEST(CliObservabilityTest, UnwritableMetricsPathExitsThreeWithReport) {
+  std::string output, error;
+  const int code = RunFromString(
+      "pgm mine --input raw:ACGTACGTACGTACGTACGTACGT --min-gap 0 --max-gap 2 "
+      "--rho-percent 1 --start-length 1 "
+      "--metrics-out /nonexistent-dir-xyz/metrics.json",
+      &output, &error);
+  EXPECT_EQ(code, 3) << error;
+  // The mining report was already produced before the write failed — the
+  // failure is loud but does not eat the result.
+  EXPECT_NE(output.find("frequent patterns"), std::string::npos);
+  EXPECT_NE(error.find("cannot open for writing"), std::string::npos);
+}
+
+TEST(CliObservabilityTest, TraceTimingsFlagIncludesVolatileFields) {
+  const std::string trace_path = testing::TempDir() + "/cli_trace_vol.json";
+  std::string output;
+  const int code = RunFromString(
+      "pgm mine --input raw:ACGTACGTACGTACGTACGTACGT --min-gap 0 --max-gap 2 "
+      "--rho-percent 1 --start-length 1 --trace " + trace_path +
+          " --trace-timings",
+      &output);
+  EXPECT_EQ(code, 0) << output;
+  std::string contents;
+  std::FILE* f = std::fopen(trace_path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(f);
+  std::remove(trace_path.c_str());
+  EXPECT_NE(contents.find("\"memory_peak_bytes\""), std::string::npos);
+}
+
 TEST(CliGovernanceTest, NegativeBudgetRejected) {
   std::string output, error;
   EXPECT_EQ(RunFromString(

@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "core/miner.h"
+#include "core/trace.h"
 #include "seq/sequence.h"
+#include "util/metrics.h"
 
 namespace pgm {
 namespace {
@@ -286,6 +288,62 @@ TEST(MinerGovernanceTest, PartialResultsAreSound) {
       }
     }
     EXPECT_EQ(full_within, partial_within) << "budget " << budget;
+  }
+}
+
+TEST(MinerGovernanceTest, TruncatedRunsStillReportTheLevelTheyWereCutIn) {
+  // Regression: total_candidates used to be summed from LevelStats, and a
+  // budget trip returned before the stats for the level in flight were
+  // pushed — a truncated run could report zero candidates despite having
+  // generated a whole level. Both numbers are now views of the same per-run
+  // metrics registry, recorded at LevelStart (before any evaluation), so
+  // the cut level is counted and the two stay consistent by construction.
+  const Sequence sequence = TestSequence();
+  for (const NamedMiner& miner : kMiners) {
+    MinerConfig config = TestConfig();
+    config.limits.pil_memory_budget_bytes = 1;  // trips inside level 1
+    StatusOr<MiningResult> result = miner.mine(sequence, config);
+    ASSERT_TRUE(result.ok()) << miner.name;
+    EXPECT_EQ(result->termination, TerminationReason::kMemoryBudget)
+        << miner.name;
+    EXPECT_FALSE(result->level_stats.empty()) << miner.name;
+    EXPECT_GT(result->total_candidates, 0u) << miner.name;
+    std::uint64_t from_levels = 0;
+    for (const LevelStats& stats : result->level_stats) {
+      from_levels += stats.num_candidates;
+    }
+    EXPECT_EQ(result->total_candidates, from_levels) << miner.name;
+  }
+}
+
+TEST(MinerGovernanceTest, TrippedRunsRecordTheTripInTheObserver) {
+  const Sequence sequence = TestSequence();
+  for (const NamedMiner& miner : kMiners) {
+    MetricsRegistry metrics;
+    MiningTrace trace;
+    MiningObserver observer;
+    observer.metrics = &metrics;
+    observer.trace = &trace;
+    MinerConfig config = TestConfig();
+    config.limits.pil_memory_budget_bytes = 1;
+    config.observer = &observer;
+    ASSERT_TRUE(miner.mine(sequence, config).ok()) << miner.name;
+    EXPECT_GE(metrics.CounterValue("mine.guard.trips"), 1u) << miner.name;
+    EXPECT_GE(metrics.CounterValue("mine.guard.trips.memory-budget"), 1u)
+        << miner.name;
+    bool saw_trip = false;
+    bool saw_incomplete_level = false;
+    for (const TraceEvent& event : trace.events()) {
+      if (event.kind == TraceEventKind::kGuardTrip) {
+        saw_trip = true;
+        EXPECT_EQ(event.detail, "memory-budget") << miner.name;
+      }
+      if (event.kind == TraceEventKind::kLevelEnd && !event.completed) {
+        saw_incomplete_level = true;
+      }
+    }
+    EXPECT_TRUE(saw_trip) << miner.name;
+    EXPECT_TRUE(saw_incomplete_level) << miner.name;
   }
 }
 

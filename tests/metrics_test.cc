@@ -1,0 +1,197 @@
+// Unit tests for the metrics registry: counter/gauge/histogram semantics,
+// saturation, deterministic key-sorted JSON, MergeFrom, and concurrent
+// updates (the latter is what the TSan configuration exercises).
+
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/saturating.h"
+
+namespace pgm {
+namespace {
+
+TEST(CounterTest, IncrementAndAdd) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  EXPECT_EQ(counter->value(), 0u);
+  counter->Increment();
+  counter->Add(41);
+  EXPECT_EQ(counter->value(), 42u);
+}
+
+TEST(CounterTest, SaturatesInsteadOfWrapping) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  counter->Add(kSaturatedCount - 1);
+  counter->Add(100);
+  EXPECT_EQ(counter->value(), kSaturatedCount);
+  counter->Increment();
+  EXPECT_EQ(counter->value(), kSaturatedCount);
+}
+
+TEST(GaugeTest, SetAndSetMax) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("g");
+  gauge->Set(10);
+  EXPECT_EQ(gauge->value(), 10);
+  gauge->Set(-3);
+  EXPECT_EQ(gauge->value(), -3);
+  gauge->SetMax(7);
+  EXPECT_EQ(gauge->value(), 7);
+  gauge->SetMax(2);  // lower: no effect
+  EXPECT_EQ(gauge->value(), 7);
+}
+
+TEST(HistogramTest, BucketsCountAndSum) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("h", {10, 100, 1000});
+  histogram->Observe(5);     // <= 10 -> bucket 0
+  histogram->Observe(10);    // <= 10 -> bucket 0 (inclusive upper bound)
+  histogram->Observe(11);    // bucket 1
+  histogram->Observe(1000);  // bucket 2
+  histogram->Observe(5000);  // overflow bucket
+  EXPECT_EQ(histogram->bucket_count(0), 2u);
+  EXPECT_EQ(histogram->bucket_count(1), 1u);
+  EXPECT_EQ(histogram->bucket_count(2), 1u);
+  EXPECT_EQ(histogram->bucket_count(3), 1u);
+  EXPECT_EQ(histogram->count(), 5u);
+  EXPECT_EQ(histogram->sum(), 5u + 10 + 11 + 1000 + 5000);
+  EXPECT_EQ(histogram->bounds(), (std::vector<std::uint64_t>{10, 100, 1000}));
+}
+
+TEST(RegistryTest, GetReturnsSameHandleForSameName) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.GetCounter("x"), registry.GetCounter("x"));
+  EXPECT_EQ(registry.GetGauge("x"), registry.GetGauge("x"));
+  EXPECT_EQ(registry.GetHistogram("x", {1, 2}),
+            registry.GetHistogram("x", {7, 8, 9}));  // bounds ignored on reuse
+  EXPECT_NE(registry.GetCounter("x"), registry.GetCounter("y"));
+}
+
+TEST(RegistryTest, FindAndCounterValueOnAbsentNames) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.FindCounter("missing"), nullptr);
+  EXPECT_EQ(registry.FindGauge("missing"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("missing"), nullptr);
+  EXPECT_EQ(registry.CounterValue("missing"), 0u);
+  registry.GetCounter("present")->Add(9);
+  EXPECT_EQ(registry.CounterValue("present"), 9u);
+  ASSERT_NE(registry.FindCounter("present"), nullptr);
+  EXPECT_EQ(registry.FindCounter("present")->value(), 9u);
+}
+
+TEST(RegistryTest, MergeFromAddsCountersAndBucketsOverwritesGauges) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("shared")->Add(10);
+  b.GetCounter("shared")->Add(5);
+  b.GetCounter("only_b")->Add(3);
+  a.GetGauge("g")->Set(1);
+  b.GetGauge("g")->Set(99);
+  a.GetHistogram("h", {10, 100})->Observe(5);
+  b.GetHistogram("h", {10, 100})->Observe(50);
+  b.GetHistogram("h", {10, 100})->Observe(500);
+
+  a.MergeFrom(b);
+  EXPECT_EQ(a.CounterValue("shared"), 15u);
+  EXPECT_EQ(a.CounterValue("only_b"), 3u);
+  EXPECT_EQ(a.FindGauge("g")->value(), 99);
+  const Histogram* h = a.FindHistogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->bucket_count(0), 1u);
+  EXPECT_EQ(h->bucket_count(1), 1u);
+  EXPECT_EQ(h->bucket_count(2), 1u);
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_EQ(h->sum(), 555u);
+  // The source is untouched.
+  EXPECT_EQ(b.CounterValue("shared"), 5u);
+}
+
+TEST(RegistryTest, EmptyJson) {
+  MetricsRegistry registry;
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(RegistryTest, JsonIsKeySortedAndDeterministic) {
+  // Register in reverse order; the export must still be key-sorted, so two
+  // registries fed the same values in different orders serialize the same.
+  MetricsRegistry a;
+  a.GetCounter("zeta")->Add(1);
+  a.GetCounter("alpha")->Add(2);
+  a.GetGauge("mid")->Set(-7);
+  a.GetHistogram("h", {1, 2})->Observe(1);
+
+  MetricsRegistry b;
+  b.GetHistogram("h", {1, 2})->Observe(1);
+  b.GetGauge("mid")->Set(-7);
+  b.GetCounter("alpha")->Add(2);
+  b.GetCounter("zeta")->Add(1);
+
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+  const std::string json = a.ToJson();
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+  EXPECT_NE(json.find("\"mid\": -7"), std::string::npos);
+}
+
+TEST(RegistryTest, ConcurrentUpdatesAreExact) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  Gauge* gauge = registry.GetGauge("g");
+  Histogram* histogram = registry.GetHistogram("h", {8, 64});
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 5000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        counter->Increment();
+        gauge->SetMax(t * kIterations + i);
+        histogram->Observe(static_cast<std::uint64_t>(i % 100));
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(counter->value(),
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(gauge->value(), (kThreads - 1) * kIterations + kIterations - 1);
+  EXPECT_EQ(histogram->count(),
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i <= histogram->bounds().size(); ++i) {
+    bucket_total += histogram->bucket_count(i);
+  }
+  EXPECT_EQ(bucket_total, histogram->count());
+}
+
+TEST(RegistryTest, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        registry.GetCounter("shared." + std::to_string(i % 10))->Increment();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  std::uint64_t total = 0;
+  for (int i = 0; i < 10; ++i) {
+    total += registry.CounterValue("shared." + std::to_string(i));
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * 200);
+}
+
+}  // namespace
+}  // namespace pgm
