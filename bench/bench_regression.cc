@@ -1,0 +1,373 @@
+// Benchmark-regression harness for the arena join path (PR "arena-backed
+// PILs"). Two measurements, emitted as a flat JSON file that
+// tools/bench_check compares against the committed baseline
+// (BENCH_pr4.json at the repo root):
+//
+//   1. Candidate-join benchmark: one level's full candidate pipeline run
+//      (a) the pre-arena way — eager CandidateSpec generation with one
+//      symbol string per candidate, one heap-allocating
+//      PartialIndexList::Combine per candidate, a per-PIL MiningGuard
+//      memory charge/release pair, and a separate TotalSupport pass — and
+//      (b) through the shipped arena path: JoinPlan::SelfJoin +
+//      ParallelLevelExecutor::ExecuteJoin writing into a reused output
+//      arena, support computed inside the kernel, symbols built lazily for
+//      retained candidates only. Both paths apply the same retention
+//      threshold and fold the identical checksum over every candidate's
+//      rows, so the comparison also re-verifies the byte-equivalence
+//      contract. Two regimes: the Section 6 wide-gap DNA join (few
+//      candidates, long PILs — bandwidth-bound) and a deep protein-alphabet
+//      level (~150k candidates over ~4-row PILs in prefix groups of 20 —
+//      where per-candidate spec generation, allocation, and ledger traffic
+//      dominate and the arena wins big).
+//   2. End-to-end MineMpp wall clock on a surrogate segment at 1, 2, and 8
+//      worker threads.
+//
+// Every timing is the minimum over several repetitions (robust against
+// scheduler noise). Keys prefixed "info." are informational only;
+// bench_check ignores them. --smoke runs fewer repetitions of the same
+// workloads, so its numbers remain comparable to a full run's baseline.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/candidate_index.h"
+#include "core/gap.h"
+#include "core/guard.h"
+#include "core/miner.h"
+#include "core/parallel.h"
+#include "core/pil.h"
+#include "core/pil_arena.h"
+#include "seq/alphabet.h"
+#include "util/flags.h"
+#include "util/io.h"
+#include "util/limits.h"
+#include "util/random.h"
+#include "util/saturating.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace pgm::bench {
+namespace {
+
+constexpr std::size_t kJoinSequenceLength = 8000;
+constexpr std::size_t kEndToEndSequenceLength = 8000;
+
+// Uniform random sequence over the 20-letter protein alphabet — the
+// deep-level join workload (a DNA alphabet caps prefix groups at 4
+// suffixes; protein groups of 20 exercise the prefix-sharing kernel the
+// way dense deep levels do).
+Sequence RandomProteinSegment(std::size_t length, std::uint64_t seed) {
+  Rng rng(seed);
+  const Alphabet& protein = Alphabet::Protein();
+  std::string text;
+  text.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    text.push_back(
+        protein.CharAt(static_cast<Symbol>(rng.UniformInt(protein.size()))));
+  }
+  return ValueOrDie(Sequence::FromString(text, protein));
+}
+
+// Minimum wall clock over `reps` runs of `fn`, in milliseconds.
+template <typename Fn>
+double MinMillis(int reps, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    fn();
+    const double ms = watch.ElapsedSeconds() * 1e3;
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+// Folds a candidate's output rows into a checksum that the compiler cannot
+// elide and both join paths must agree on.
+std::uint64_t Fold(std::uint64_t checksum, const PilEntry* rows,
+                   std::size_t len, const SupportInfo& support) {
+  checksum = checksum * 1099511628211ull + len;
+  checksum += support.count;
+  if (len > 0) checksum ^= rows[0].pos + rows[len - 1].count;
+  return checksum;
+}
+
+// The pre-arena level representation and candidate generator, reproduced
+// from the engine this PR replaced (git history: core/parallel.cc
+// GenerateCandidates): eager specs, one symbol string per candidate.
+struct LegacyEntry {
+  std::string symbols;
+  PartialIndexList pil;
+};
+
+struct LegacySpec {
+  std::string symbols;
+  std::uint32_t left = 0;
+  std::uint32_t right = 0;
+};
+
+std::vector<LegacySpec> GenerateLegacyCandidates(
+    const std::vector<LegacyEntry>& level) {
+  std::vector<LegacySpec> candidates;
+  if (level.empty()) return candidates;
+  const std::size_t len = level.front().symbols.size();
+  std::unordered_map<std::string_view, std::vector<std::uint32_t>> by_prefix;
+  by_prefix.reserve(level.size());
+  for (std::uint32_t i = 0; i < level.size(); ++i) {
+    const std::string_view prefix =
+        std::string_view(level[i].symbols).substr(0, len - 1);
+    by_prefix[prefix].push_back(i);
+  }
+  for (std::uint32_t i = 0; i < level.size(); ++i) {
+    const std::string_view suffix_key =
+        std::string_view(level[i].symbols).substr(1);
+    auto it = by_prefix.find(suffix_key);
+    if (it == by_prefix.end()) continue;
+    for (std::uint32_t j : it->second) {
+      LegacySpec spec;
+      spec.symbols.reserve(len + 1);
+      spec.symbols.push_back(level[i].symbols.front());
+      spec.symbols.append(level[j].symbols);
+      spec.left = i;
+      spec.right = j;
+      candidates.push_back(std::move(spec));
+    }
+  }
+  return candidates;
+}
+
+struct JoinBenchResult {
+  double legacy_ms = 0.0;
+  double arena_ms = 0.0;
+  double arena_t2_ms = 0.0;
+  double arena_t8_ms = 0.0;
+  std::uint64_t candidates = 0;
+};
+
+// Times one level's candidate pipeline — generation, join, support,
+// threshold, retention — through the pre-arena engine loop and through the
+// shipped arena executor, on the same level at the same retention
+// threshold.
+JoinBenchResult RunJoinBench(const Sequence& sequence,
+                             const GapRequirement& gap, std::int64_t level_k,
+                             int reps) {
+  internal::BuiltLevel level =
+      internal::BuildAllPatternsOfLength(sequence, gap, level_k);
+  const internal::JoinPlan ref_plan =
+      internal::JoinPlan::SelfJoin(level.entries);
+
+  std::vector<LegacyEntry> legacy_level;
+  legacy_level.reserve(level.entries.size());
+  for (const internal::ArenaEntry& entry : level.entries) {
+    const PilEntry* rows = level.arena.Rows(entry.span);
+    legacy_level.push_back(
+        {entry.symbols, PartialIndexList::FromEntries(std::vector<PilEntry>(
+                            rows, rows + entry.span.len))});
+  }
+
+  // Retention threshold at roughly the 80th percentile of candidate
+  // supports (computed once, untimed): most candidates get pruned, the
+  // survivors get promoted/stored — the shape of a real mining level.
+  std::uint64_t threshold = 0;
+  {
+    std::vector<std::uint64_t> supports;
+    for (const internal::JoinTask& task : ref_plan.tasks()) {
+      for (std::uint32_t r = task.rights_begin; r < task.rights_end; ++r) {
+        supports.push_back(
+            PartialIndexList::Combine(
+                legacy_level[task.left].pil,
+                legacy_level[ref_plan.rights_pool()[r]].pil, gap)
+                .TotalSupport()
+                .count);
+      }
+    }
+    std::sort(supports.begin(), supports.end());
+    threshold = supports.empty() ? 0 : supports[supports.size() * 4 / 5];
+  }
+
+  MiningGuard guard(ResourceLimits{});
+  std::uint64_t legacy_checksum = 0;
+  const double legacy_ms = MinMillis(reps, [&] {
+    legacy_checksum = 0;
+    std::vector<LegacySpec> specs = GenerateLegacyCandidates(legacy_level);
+    std::vector<LegacyEntry> retained;
+    for (LegacySpec& spec : specs) {
+      guard.Tick();
+      PartialIndexList pil = PartialIndexList::Combine(
+          legacy_level[spec.left].pil, legacy_level[spec.right].pil, gap);
+      const std::uint64_t bytes = pil.MemoryBytes();
+      guard.ChargeMemory(bytes);
+      const SupportInfo support = pil.TotalSupport();
+      legacy_checksum =
+          Fold(legacy_checksum, pil.entries().data(), pil.size(), support);
+      if (support.count >= threshold) {
+        retained.push_back({std::move(spec.symbols), std::move(pil)});
+      } else {
+        guard.ReleaseMemory(bytes);
+      }
+    }
+    for (const LegacyEntry& entry : retained) {
+      guard.ReleaseMemory(entry.pil.MemoryBytes());
+    }
+  });
+
+  PilArena out(&guard);
+  std::uint64_t arena_checksum = 0;
+  std::uint64_t num_candidates = 0;
+  // One arena-path repetition at the given worker count. The merge is
+  // deterministic (candidate order) at every thread count, so the checksum
+  // must match the legacy one regardless of `threads`.
+  auto arena_rep = [&](internal::ParallelLevelExecutor& executor) {
+    arena_checksum = 0;
+    num_candidates = 0;
+    const internal::JoinPlan plan = internal::JoinPlan::SelfJoin(level.entries);
+    std::vector<internal::ArenaEntry> retained;
+    bool interrupted = false;
+    auto sink = [&](const internal::JoinedCandidate& candidate) -> Status {
+      ++num_candidates;
+      arena_checksum = Fold(arena_checksum, out.Rows(candidate.span),
+                            candidate.span.len, candidate.support);
+      if (candidate.support.count >= threshold) {
+        internal::ArenaEntry entry;
+        entry.symbols.reserve(level.entries.front().symbols.size() + 1);
+        entry.symbols.push_back(
+            level.entries[candidate.left].symbols.front());
+        entry.symbols.append(level.entries[candidate.right].symbols);
+        entry.span = out.Promote(candidate.span);
+        retained.push_back(std::move(entry));
+      }
+      return Status::OK();
+    };
+    CheckOk(executor.ExecuteJoin(level.entries, level.arena, level.entries,
+                                 level.arena, plan, gap, &guard, out, sink,
+                                 &interrupted));
+    // Steady state: the output arena keeps its capacity across levels.
+    out.Clear();
+  };
+
+  internal::ParallelLevelExecutor serial(1);
+  const double arena_ms = MinMillis(reps, [&] { arena_rep(serial); });
+
+  if (legacy_checksum != arena_checksum) {
+    std::fprintf(stderr,
+                 "FATAL: join paths disagree (legacy %llu vs arena %llu)\n",
+                 static_cast<unsigned long long>(legacy_checksum),
+                 static_cast<unsigned long long>(arena_checksum));
+    std::exit(1);
+  }
+
+  JoinBenchResult result;
+  result.legacy_ms = legacy_ms;
+  result.arena_ms = arena_ms;
+  result.candidates = num_candidates;
+  internal::ParallelLevelExecutor two(2);
+  result.arena_t2_ms = MinMillis(reps, [&] { arena_rep(two); });
+  internal::ParallelLevelExecutor eight(8);
+  result.arena_t8_ms = MinMillis(reps, [&] { arena_rep(eight); });
+  if (legacy_checksum != arena_checksum) {
+    std::fprintf(stderr, "FATAL: threaded arena join is not deterministic\n");
+    std::exit(1);
+  }
+  return result;
+}
+
+double RunEndToEnd(const Sequence& sequence, std::int64_t threads, int reps) {
+  MinerConfig config = Section6Defaults();
+  config.threads = threads;
+  return MinMillis(reps, [&] {
+    const StatusOr<MiningResult> result = MineMpp(sequence, config);
+    CheckOk(result.status());
+  });
+}
+
+std::string ToJson(const std::map<std::string, double>& metrics) {
+  std::string json = "{\n";
+  bool first = true;
+  for (const auto& [key, value] : metrics) {
+    if (!first) json += ",\n";
+    first = false;
+    json += StrFormat("  \"%s\": %.6g", key.c_str(), value);
+  }
+  json += "\n}\n";
+  return json;
+}
+
+int Main(int argc, char** argv) {
+  FlagSet flags(
+      "Arena join benchmark-regression harness: candidate-join pipeline "
+      "(pre-arena engine loop vs arena executor) and end-to-end MineMpp "
+      "wall clock, written as flat JSON for tools/bench_check.");
+  bool smoke = false;
+  std::string json_path = "BENCH_pr4.json";
+  std::int64_t seed = 42;
+  flags.AddBool("smoke", &smoke,
+                "fewer repetitions of the same workloads (CI mode)");
+  flags.AddString("json", &json_path, "output path for the flat metrics JSON");
+  flags.AddInt64("seed", &seed, "surrogate segment seed");
+  const int parse_exit = HandleParseResult(flags.Parse(argc, argv));
+  if (parse_exit >= 0) return parse_exit;
+
+  const int join_reps = smoke ? 5 : 9;
+  const int e2e_reps = smoke ? 2 : 5;
+  const MinerConfig defaults = Section6Defaults();
+  const GapRequirement gap =
+      ValueOrDie(GapRequirement::Create(defaults.min_gap, defaults.max_gap));
+
+  const Sequence join_sequence = ValueOrDie(
+      SurrogateSegment(kJoinSequenceLength, static_cast<std::uint64_t>(seed)));
+  // Wide-gap regime (the Section 6 defaults): few long PILs, memory-bound.
+  const JoinBenchResult wide = RunJoinBench(join_sequence, gap, 3, join_reps);
+  // Deep-level regime: a protein alphabet with a narrow gap yields ~150k
+  // length-4 candidates over ~4-row PILs in prefix groups of 20 — the
+  // regime where the pre-arena engine's eager per-candidate spec (one
+  // symbol-string allocation each), per-Combine heap PIL, and per-PIL
+  // ledger round-trip dominate the window arithmetic.
+  const GapRequirement deep_gap = ValueOrDie(GapRequirement::Create(0, 1));
+  const Sequence deep_sequence =
+      RandomProteinSegment(kJoinSequenceLength, static_cast<std::uint64_t>(seed));
+  const JoinBenchResult deep =
+      RunJoinBench(deep_sequence, deep_gap, 3, join_reps);
+
+  const Sequence e2e_sequence = ValueOrDie(SurrogateSegment(
+      kEndToEndSequenceLength, static_cast<std::uint64_t>(seed)));
+
+  std::map<std::string, double> metrics;
+  metrics["join_wide_legacy_ms"] = wide.legacy_ms;
+  metrics["join_wide_arena_ms"] = wide.arena_ms;
+  metrics["join_wide_speedup"] = wide.legacy_ms / wide.arena_ms;
+  metrics["join_deep_legacy_ms"] = deep.legacy_ms;
+  metrics["join_deep_arena_ms"] = deep.arena_ms;
+  metrics["join_deep_speedup"] = deep.legacy_ms / deep.arena_ms;
+  metrics["join_speedup"] =
+      (wide.legacy_ms + deep.legacy_ms) / (wide.arena_ms + deep.arena_ms);
+  metrics["e2e_mpp_t1_ms"] = RunEndToEnd(e2e_sequence, 1, e2e_reps);
+  metrics["info.e2e_mpp_t2_ms"] = RunEndToEnd(e2e_sequence, 2, e2e_reps);
+  metrics["info.e2e_mpp_t8_ms"] = RunEndToEnd(e2e_sequence, 8, e2e_reps);
+  metrics["info.join_wide_arena_t2_ms"] = wide.arena_t2_ms;
+  metrics["info.join_wide_arena_t8_ms"] = wide.arena_t8_ms;
+  metrics["info.join_deep_arena_t2_ms"] = deep.arena_t2_ms;
+  metrics["info.join_deep_arena_t8_ms"] = deep.arena_t8_ms;
+  metrics["info.join_wide_candidates"] = static_cast<double>(wide.candidates);
+  metrics["info.join_deep_candidates"] = static_cast<double>(deep.candidates);
+  metrics["info.join_reps"] = join_reps;
+  metrics["info.sequence_length"] =
+      static_cast<double>(kJoinSequenceLength);
+
+  const std::string json = ToJson(metrics);
+  std::fputs(json.c_str(), stdout);
+  CheckOk(WriteStringToFile(json_path, json));
+  std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace pgm::bench
+
+int main(int argc, char** argv) { return pgm::bench::Main(argc, argv); }

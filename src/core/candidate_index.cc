@@ -1,0 +1,80 @@
+#include "core/candidate_index.h"
+
+#include <string_view>
+#include <unordered_map>
+
+namespace pgm {
+namespace internal {
+
+JoinPlan JoinPlan::SelfJoin(const std::vector<ArenaEntry>& level) {
+  JoinPlan plan;
+  if (level.empty()) return plan;
+  const std::size_t len = level.front().symbols.size();
+
+  // Bucket level entries by their (len-1)-prefix. Keys are views into the
+  // entries' stable symbol storage, so neither bucketing nor probing
+  // allocates a key string. Each bucket becomes one contiguous slice of the
+  // rights pool, shared by every left whose suffix matches it.
+  std::unordered_map<std::string_view, std::uint32_t> group_of_prefix;
+  group_of_prefix.reserve(level.size());
+  struct Group {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+  std::vector<Group> groups;
+  {
+    std::vector<std::vector<std::uint32_t>> members;
+    for (std::uint32_t i = 0; i < level.size(); ++i) {
+      const std::string_view prefix =
+          std::string_view(level[i].symbols).substr(0, len - 1);
+      auto [it, inserted] = group_of_prefix.emplace(
+          prefix, static_cast<std::uint32_t>(members.size()));
+      if (inserted) members.emplace_back();
+      members[it->second].push_back(i);
+    }
+    groups.reserve(members.size());
+    std::size_t total = 0;
+    for (const auto& m : members) total += m.size();
+    plan.rights_pool_.reserve(total);
+    for (const auto& m : members) {
+      Group g;
+      g.begin = static_cast<std::uint32_t>(plan.rights_pool_.size());
+      plan.rights_pool_.insert(plan.rights_pool_.end(), m.begin(), m.end());
+      g.end = static_cast<std::uint32_t>(plan.rights_pool_.size());
+      groups.push_back(g);
+    }
+  }
+
+  // One task per (left, matching group), in left order: candidate t's
+  // position in the flattened task list equals its position in the old
+  // left-major CandidateSpec vector, so the executor's merge — and with it
+  // the mined output — is unchanged by the grouping.
+  for (std::uint32_t i = 0; i < level.size(); ++i) {
+    const std::string_view suffix_key =
+        std::string_view(level[i].symbols).substr(1);
+    auto it = group_of_prefix.find(suffix_key);
+    if (it == group_of_prefix.end()) continue;
+    const Group& g = groups[it->second];
+    plan.tasks_.push_back(JoinTask{i, g.begin, g.end});
+    plan.num_candidates_ += g.end - g.begin;
+  }
+  return plan;
+}
+
+JoinPlan JoinPlan::CrossProduct(std::uint32_t num_left,
+                                std::uint32_t num_right) {
+  JoinPlan plan;
+  if (num_left == 0 || num_right == 0) return plan;
+  plan.rights_pool_.reserve(num_right);
+  for (std::uint32_t j = 0; j < num_right; ++j) plan.rights_pool_.push_back(j);
+  plan.tasks_.reserve(num_left);
+  for (std::uint32_t i = 0; i < num_left; ++i) {
+    plan.tasks_.push_back(JoinTask{i, 0, num_right});
+  }
+  plan.num_candidates_ =
+      static_cast<std::uint64_t>(num_left) * num_right;
+  return plan;
+}
+
+}  // namespace internal
+}  // namespace pgm

@@ -1,4 +1,6 @@
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "core/miner.h"
 #include "util/saturating.h"
@@ -83,30 +85,17 @@ StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
 
   // PILs of the length-1 patterns, used to extend levels on the left:
   // PIL(c + P) = Combine(PIL(c), PIL(P)) — valid because `c` is exactly the
-  // prefix character preceding P by one gap.
-  std::vector<internal::LevelEntry> singles =
+  // prefix character preceding P by one gap. The singles level stays live
+  // for the whole run; the current level ping-pongs between two arenas.
+  // All three arenas drop their charges when they go out of scope, so the
+  // guard's ledger drains to zero on every exit.
+  internal::BuiltLevel singles =
       internal::BuildAllPatternsOfLength(sequence, gap, 1, &guard, &executor);
-  std::uint64_t singles_bytes = 0;
-  for (const internal::LevelEntry& entry : singles) {
-    singles_bytes += entry.pil.MemoryBytes();
-  }
 
-  std::vector<internal::LevelEntry> level = internal::BuildAllPatternsOfLength(
+  internal::BuiltLevel level = internal::BuildAllPatternsOfLength(
       sequence, gap, level_length, &guard, &executor);
-  std::uint64_t level_bytes = 0;
-  for (const internal::LevelEntry& entry : level) {
-    level_bytes += entry.pil.MemoryBytes();
-  }
-  // Both BuildAll calls handed their levels' charges off to us; every exit
-  // below goes through release_live so the guard's ledger drains to zero.
-  auto release_live = [&]() {
-    guard.ReleaseMemory(singles_bytes);
-    guard.ReleaseMemory(level_bytes);
-    singles.clear();
-    level.clear();
-  };
+  PilArena other(&guard);
   if (guard.stopped()) {
-    release_live();
     ctx.GuardTrip(guard.reason(), level_length);
     ctx.LevelEnd(level_length, analytic_candidates(level_length), 0, 0, 0,
                  /*completed=*/false);
@@ -130,14 +119,14 @@ StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
     stats.num_candidates = analytic_candidates(level_length);
     std::uint64_t evaluated = 0;
     if (guard.ChargeLevelCandidates(stats.num_candidates)) {
-      for (const internal::LevelEntry& entry : level) {
+      for (const internal::ArenaEntry& entry : level.entries) {
         if (!guard.Tick()) {
           interrupted = true;
           break;
         }
         ++evaluated;
-        const SupportInfo support = entry.pil.TotalSupport();
-        ctx.ObserveCandidate(support.count, entry.pil.MemoryBytes());
+        const SupportInfo support = level.arena.Support(entry.span);
+        ctx.ObserveCandidate(support.count, entry.span.bytes());
         if (support.count == 0) continue;
         const long double support_ld = static_cast<long double>(support.count);
         if (support_ld >= full_threshold) {
@@ -161,50 +150,42 @@ StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
     }
     // Enumeration carries every matched pattern forward regardless of
     // support: num_retained reports the carried-forward set size.
-    stats.num_retained = level.size();
+    stats.num_retained = level.entries.size();
     if (interrupted) ctx.GuardTrip(guard.reason(), level_length);
     ctx.LevelEnd(level_length, stats.num_candidates, evaluated,
                  stats.num_frequent, stats.num_retained, !interrupted);
     if (interrupted) break;
     last_completed_level = level_length;
 
-    if (level_length >= cap || level.empty()) break;
+    if (level_length >= cap || level.entries.empty()) break;
 
-    // Extend every level pattern by every single on the left. The specs
-    // index (singles, level), singles-major, matching the serial visit
+    // Extend every level pattern by every single on the left. The plan
+    // indexes (singles, level), singles-major, matching the serial visit
     // order, so the executor's merged output is identical to it.
-    std::vector<internal::CandidateSpec> specs;
-    specs.reserve(singles.size() * level.size());
-    for (std::uint32_t si = 0; si < singles.size(); ++si) {
-      for (std::uint32_t li = 0; li < level.size(); ++li) {
-        internal::CandidateSpec spec;
-        spec.symbols.reserve(level[li].symbols.size() + 1);
-        spec.symbols.push_back(singles[si].symbols.front());
-        spec.symbols.append(level[li].symbols);
-        spec.left = si;
-        spec.right = li;
-        specs.push_back(std::move(spec));
-      }
-    }
-    std::vector<internal::LevelEntry> next;
-    std::uint64_t next_bytes = 0;
-    auto sink = [&](internal::EvaluatedCandidate&& candidate) -> Status {
-      if (candidate.entry.pil.empty()) {
-        guard.ReleaseMemory(candidate.bytes);
-        return Status::OK();
-      }
-      next_bytes += candidate.bytes;
-      next.push_back(std::move(candidate.entry));
+    const internal::JoinPlan plan = internal::JoinPlan::CrossProduct(
+        static_cast<std::uint32_t>(singles.entries.size()),
+        static_cast<std::uint32_t>(level.entries.size()));
+    std::vector<internal::ArenaEntry> next;
+    auto sink = [&](const internal::JoinedCandidate& candidate) -> Status {
+      if (candidate.span.empty()) return Status::OK();
+      internal::ArenaEntry entry;
+      entry.symbols.reserve(
+          level.entries[candidate.right].symbols.size() + 1);
+      entry.symbols.push_back(
+          singles.entries[candidate.left].symbols.front());
+      entry.symbols.append(level.entries[candidate.right].symbols);
+      entry.span = other.Promote(candidate.span);
+      next.push_back(std::move(entry));
       return Status::OK();
     };
     bool extension_interrupted = false;
-    PGM_RETURN_IF_ERROR(executor.EvaluateCandidates(
-        singles, level, std::move(specs), gap, &guard, sink,
-        &extension_interrupted));
+    PGM_RETURN_IF_ERROR(executor.ExecuteJoin(
+        singles.entries, singles.arena, level.entries, level.arena, plan, gap,
+        &guard, other, sink, &extension_interrupted));
     interrupted = extension_interrupted;
-    level = std::move(next);
-    guard.ReleaseMemory(level_bytes);
-    level_bytes = next_bytes;
+    level.entries = std::move(next);
+    level.arena.Clear();
+    std::swap(level.arena, other);
     if (interrupted) {
       // The trip happened while building the next level's PILs: record that
       // level as started-and-cut-short so the candidate totals stay true.
@@ -223,7 +204,6 @@ StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
                    full_threshold_for(level_length));
   }
 
-  release_live();
   finalize();
   return result;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <optional>
+#include <string>
+#include <utility>
 
 #include "util/saturating.h"
 #include "util/string_util.h"
@@ -36,66 +38,61 @@ Status ValidateConfig(const Sequence& sequence, const MinerConfig& config) {
   return Status::OK();
 }
 
-namespace {
-
-/// Sum of the heap bytes the entries' PILs hold — the charge the level
-/// carries against the guard's memory ledger.
-std::uint64_t LevelBytes(const std::vector<LevelEntry>& level) {
-  std::uint64_t bytes = 0;
-  for (const LevelEntry& entry : level) bytes += entry.pil.MemoryBytes();
-  return bytes;
-}
-
-}  // namespace
-
-std::vector<LevelEntry> BuildAllPatternsOfLength(
-    const Sequence& sequence, const GapRequirement& gap, std::int64_t k,
-    MiningGuard* guard, ParallelLevelExecutor* executor) {
+BuiltLevel BuildAllPatternsOfLength(const Sequence& sequence,
+                                    const GapRequirement& gap, std::int64_t k,
+                                    MiningGuard* guard,
+                                    ParallelLevelExecutor* executor) {
   ParallelLevelExecutor serial_executor(1);
   if (executor == nullptr) executor = &serial_executor;
 
-  // Bytes charged for the level currently held; released when the level is
-  // replaced. The final level's charge is handed off to the caller.
-  std::uint64_t level_bytes = 0;
-
-  // Length-1 patterns: one entry per alphabet symbol with occurrences.
-  std::vector<LevelEntry> level;
+  // Length-1 patterns: every position contributes exactly one row (to its
+  // symbol's span), so one reservation of |S| rows covers the whole level.
+  BuiltLevel level{PilArena(guard), {}};
+  level.arena.Reserve(sequence.size());
   for (Symbol s = 0; s < sequence.alphabet().size(); ++s) {
-    PartialIndexList pil = PartialIndexList::ForSymbol(sequence, s);
-    if (pil.empty()) continue;
-    LevelEntry entry;
-    entry.symbols.assign(1, static_cast<char>(s));
-    entry.pil = std::move(pil);
-    bool within_budget = true;
-    if (guard != nullptr) {
-      const std::uint64_t bytes = entry.pil.MemoryBytes();
-      level_bytes += bytes;
-      within_budget = guard->ChargeMemory(bytes);
-    }
-    level.push_back(std::move(entry));
-    if (!within_budget) return level;
-  }
-  for (std::int64_t length = 2; length <= k; ++length) {
-    std::vector<LevelEntry> next;
-    std::uint64_t next_bytes = 0;
-    bool interrupted = false;
-    auto sink = [&](EvaluatedCandidate&& candidate) -> Status {
-      if (candidate.entry.pil.empty()) {
-        if (guard != nullptr) guard->ReleaseMemory(candidate.bytes);
-        return Status::OK();
+    const std::uint64_t begin = level.arena.size();
+    for (std::size_t pos = 0; pos < sequence.size(); ++pos) {
+      if (sequence[pos] == s) {
+        level.arena.AppendRow(PilEntry{static_cast<std::uint32_t>(pos), 1});
       }
-      next_bytes += candidate.bytes;
-      next.push_back(std::move(candidate.entry));
+    }
+    const std::uint64_t len = level.arena.size() - begin;
+    if (len == 0) continue;
+    ArenaEntry entry;
+    entry.symbols.assign(1, static_cast<char>(s));
+    entry.span = PilSpan{begin, len};
+    level.entries.push_back(std::move(entry));
+  }
+  level.arena.SealWatermark();
+  if (guard != nullptr && guard->stopped()) return level;
+
+  // Longer levels: self-join into the other arena, then swap — the same
+  // ping-pong the mining loop uses, so a multi-level build touches exactly
+  // two arenas regardless of k.
+  PilArena other(guard);
+  for (std::int64_t length = 2; length <= k; ++length) {
+    const JoinPlan plan = JoinPlan::SelfJoin(level.entries);
+    std::vector<ArenaEntry> next;
+    bool interrupted = false;
+    auto sink = [&](const JoinedCandidate& candidate) -> Status {
+      if (candidate.span.empty()) return Status::OK();
+      ArenaEntry entry;
+      entry.symbols.reserve(static_cast<std::size_t>(length));
+      entry.symbols.push_back(level.entries[candidate.left].symbols.front());
+      entry.symbols.append(level.entries[candidate.right].symbols);
+      entry.span = other.Promote(candidate.span);
+      next.push_back(std::move(entry));
       return Status::OK();
     };
     // The sink cannot fail, so the status is always OK.
-    const Status status = executor->EvaluateCandidates(
-        level, level, GenerateCandidates(level), gap, guard, sink,
-        &interrupted);
+    const Status status =
+        executor->ExecuteJoin(level.entries, level.arena, level.entries,
+                              level.arena, plan, gap, guard, other, sink,
+                              &interrupted);
     (void)status;
-    level = std::move(next);
-    if (guard != nullptr) guard->ReleaseMemory(level_bytes);
-    level_bytes = next_bytes;
+    level.entries = std::move(next);
+    level.arena.Clear();
+    std::swap(level.arena, other);
     if (interrupted) break;
   }
   return level;
@@ -105,8 +102,7 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
                                     const MinerConfig& config,
                                     const OffsetCounter& counter,
                                     std::int64_t n_effective,
-                                    std::vector<LevelEntry> seed_level,
-                                    MiningGuard& guard,
+                                    BuiltLevel seed_level, MiningGuard& guard,
                                     ParallelLevelExecutor* executor,
                                     ObserverContext* ctx) {
   PGM_RETURN_IF_ERROR(ValidateConfig(sequence, config));
@@ -146,26 +142,16 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
               });
     ctx->Finish(&result);
   };
-  // Ledger audit: every exit drops the level entries it still holds, so
-  // their charges must go back to the guard — a leak here would make later
-  // levels (or a caller reusing the guard) trip the memory budget
-  // spuriously.
-  auto release_level = [&](std::vector<LevelEntry>& level) {
-    guard.ReleaseMemory(LevelBytes(level));
-    level.clear();
-  };
 
   const long double rho = config.min_support_ratio;
   const std::int64_t l2 = counter.l2();
   const std::size_t alphabet_size = sequence.alphabet().size();
   std::int64_t level_length = config.start_length;
   if (level_length > l2) {  // no offset sequences at all
-    release_level(seed_level);
     finalize();
     return result;
   }
   if (!guard.CheckNow()) {
-    release_level(seed_level);
     ctx->GuardTrip(guard.reason(), 0);
     finalize();
     return result;
@@ -178,53 +164,35 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
     return counter.Lambda(n_effective, n_effective - i);
   };
 
-  // Bytes charged to the guard for the currently retained PILs.
-  std::uint64_t retained_bytes = 0;
-
-  // Processes one candidate (whose PIL is already charged to the guard):
-  // records it as frequent when it clears the full threshold and appends it
-  // to `retained_out` when it clears the relaxed one. Candidates failing
-  // both thresholds free their PIL immediately (releasing the charge), so
-  // peak memory is |L̂_l| + |L̂_{l+1}| lists (plus the executor's bounded
-  // in-flight block) rather than |C_{l+1}|.
-  auto process_candidate = [&](LevelEntry&& entry, const SupportInfo& support,
-                               long double n_l, long double full_threshold,
-                               long double relaxed_threshold,
-                               std::int64_t length, LevelStats& stats,
-                               std::vector<LevelEntry>& retained_out,
-                               std::uint64_t& retained_bytes_out,
-                               std::uint64_t& evaluated_out) -> Status {
-    const std::uint64_t entry_bytes = entry.pil.MemoryBytes();
-    ++evaluated_out;
-    ctx->ObserveCandidate(support.count, entry_bytes);
-    if (support.count == 0) {
-      guard.ReleaseMemory(entry_bytes);
-      return Status::OK();
-    }
-    const long double support_ld = static_cast<long double>(support.count);
-    if (support_ld >= full_threshold) {
-      ++stats.num_frequent;
-      FrequentPattern fp;
-      std::vector<Symbol> symbols(entry.symbols.begin(), entry.symbols.end());
-      PGM_ASSIGN_OR_RETURN(
-          fp.pattern,
-          Pattern::FromSymbols(std::move(symbols), sequence.alphabet()));
-      fp.support = support.count;
-      fp.saturated = support.saturated;
-      fp.support_ratio = static_cast<double>(support_ld / n_l);
-      result.patterns.push_back(std::move(fp));
-      result.longest_frequent_length =
-          std::max(result.longest_frequent_length, length);
-    }
-    if (support_ld >= relaxed_threshold) {
-      ++stats.num_retained;
-      retained_bytes_out += entry_bytes;
-      retained_out.push_back(std::move(entry));
-    } else {
-      guard.ReleaseMemory(entry_bytes);
-    }
+  // Records one pattern that cleared the full threshold.
+  auto record_frequent = [&](const std::string& symbols,
+                             const SupportInfo& support, long double n_l,
+                             std::int64_t length) -> Status {
+    FrequentPattern fp;
+    std::vector<Symbol> syms(symbols.begin(), symbols.end());
+    PGM_ASSIGN_OR_RETURN(
+        fp.pattern, Pattern::FromSymbols(std::move(syms), sequence.alphabet()));
+    fp.support = support.count;
+    fp.saturated = support.saturated;
+    fp.support_ratio = static_cast<double>(
+        static_cast<long double>(support.count) / n_l);
+    result.patterns.push_back(std::move(fp));
+    result.longest_frequent_length =
+        std::max(result.longest_frequent_length, length);
     return Status::OK();
   };
+
+  // The two arenas the mining loop ping-pongs between: arenas[cur] owns the
+  // retained entries' rows, arenas[cur ^ 1] receives the next level. After
+  // a level the source is Clear()ed — capacity (and its ledger charge)
+  // stays, so warmed-up levels run without arena growth. Dropped candidates
+  // are never released individually; their scratch rows vanish with the
+  // executor's block truncation and their share of the capacity charge with
+  // the arenas at function exit.
+  PilArena arenas[2] = {PilArena(&guard), PilArena(&guard)};
+  int cur = 0;
+  std::vector<ArenaEntry> retained;
+  bool interrupted = false;
 
   // First level: all |Σ|^start_length patterns (counted as candidates even
   // when their PIL turned out empty). The level opens in the registry
@@ -235,9 +203,6 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
   for (std::int64_t i = 0; i < level_length; ++i) {
     first_candidates *= static_cast<long double>(alphabet_size);
   }
-
-  std::vector<LevelEntry> retained;
-  bool interrupted = false;
   {
     const long double n_l = counter.Count(level_length);
     const long double full_threshold = rho * n_l;
@@ -254,13 +219,13 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
                     static_cast<double>(full_threshold),
                     static_cast<double>(relaxed_threshold));
     std::uint64_t evaluated = 0;
-    std::vector<LevelEntry> first_level =
-        seed_level.empty()
+    BuiltLevel first_level =
+        seed_level.entries.empty()
             ? BuildAllPatternsOfLength(sequence, gap, level_length, &guard,
                                        executor)
             : std::move(seed_level);
     if (guard.stopped()) {
-      release_level(first_level);
+      // Dropping the level here returns its arena's charge to the guard.
       ctx->GuardTrip(guard.reason(), level_length);
       ctx->LevelEnd(level_length, stats.num_candidates, evaluated, 0, 0,
                     /*completed=*/false);
@@ -268,28 +233,33 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
       return result;
     }
     if (guard.ChargeLevelCandidates(stats.num_candidates)) {
-      std::size_t processed = 0;
-      for (; processed < first_level.size(); ++processed) {
+      for (ArenaEntry& entry : first_level.entries) {
         if (!guard.Tick()) {
           interrupted = true;
           break;
         }
-        LevelEntry& entry = first_level[processed];
-        const SupportInfo support = entry.pil.TotalSupport();
-        PGM_RETURN_IF_ERROR(process_candidate(
-            std::move(entry), support, n_l, full_threshold, relaxed_threshold,
-            level_length, stats, retained, retained_bytes, evaluated));
-      }
-      // Entries the interrupt left unprocessed are dropped here; return
-      // their charge to the guard.
-      for (std::size_t i = processed; i < first_level.size(); ++i) {
-        guard.ReleaseMemory(first_level[i].pil.MemoryBytes());
+        const SupportInfo support = first_level.arena.Support(entry.span);
+        ++evaluated;
+        ctx->ObserveCandidate(support.count, entry.span.bytes());
+        if (support.count == 0) continue;
+        const long double support_ld =
+            static_cast<long double>(support.count);
+        if (support_ld >= full_threshold) {
+          ++stats.num_frequent;
+          PGM_RETURN_IF_ERROR(
+              record_frequent(entry.symbols, support, n_l, level_length));
+        }
+        if (support_ld >= relaxed_threshold) {
+          ++stats.num_retained;
+          retained.push_back(std::move(entry));
+        }
       }
     } else {
       interrupted = true;
-      guard.ReleaseMemory(LevelBytes(first_level));
     }
-    first_level.clear();
+    // Retained spans stay valid: the whole first-level arena becomes the
+    // loop's source side.
+    arenas[cur] = std::move(first_level.arena);
     if (interrupted) ctx->GuardTrip(guard.reason(), level_length);
     ctx->LevelEnd(level_length, stats.num_candidates, evaluated,
                   stats.num_frequent, stats.num_retained, !interrupted);
@@ -311,43 +281,63 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
 
     LevelStats stats;
     stats.length = level_length;
-    std::vector<CandidateSpec> specs = GenerateCandidates(retained);
-    stats.num_candidates = specs.size();
+    const JoinPlan plan = JoinPlan::SelfJoin(retained);
+    stats.num_candidates = plan.num_candidates();
     ctx->LevelStart(level_length, stats.num_candidates,
                     static_cast<double>(level_lambda(level_length)),
                     static_cast<double>(full_threshold),
                     static_cast<double>(relaxed_threshold));
     std::uint64_t evaluated = 0;
 
-    std::vector<LevelEntry> next_retained;
-    std::uint64_t next_retained_bytes = 0;
-    if (guard.ChargeLevelCandidates(specs.size())) {
-      auto sink = [&](EvaluatedCandidate&& candidate) -> Status {
-        return process_candidate(std::move(candidate.entry), candidate.support,
-                                 n_l, full_threshold, relaxed_threshold,
-                                 level_length, stats, next_retained,
-                                 next_retained_bytes, evaluated);
+    PilArena& src = arenas[cur];
+    PilArena& dst = arenas[cur ^ 1];
+    std::vector<ArenaEntry> next_retained;
+    if (guard.ChargeLevelCandidates(stats.num_candidates)) {
+      auto sink = [&](const JoinedCandidate& candidate) -> Status {
+        ++evaluated;
+        ctx->ObserveCandidate(candidate.support.count,
+                              candidate.span.bytes());
+        if (candidate.support.count == 0) return Status::OK();
+        const long double support_ld =
+            static_cast<long double>(candidate.support.count);
+        const bool frequent = support_ld >= full_threshold;
+        const bool retain = support_ld >= relaxed_threshold;
+        if (!frequent && !retain) return Status::OK();
+        std::string symbols;
+        symbols.reserve(static_cast<std::size_t>(level_length));
+        symbols.push_back(retained[candidate.left].symbols.front());
+        symbols.append(retained[candidate.right].symbols);
+        if (frequent) {
+          ++stats.num_frequent;
+          PGM_RETURN_IF_ERROR(
+              record_frequent(symbols, candidate.support, n_l, level_length));
+        }
+        if (retain) {
+          ++stats.num_retained;
+          ArenaEntry entry;
+          entry.symbols = std::move(symbols);
+          entry.span = dst.Promote(candidate.span);
+          next_retained.push_back(std::move(entry));
+        }
+        return Status::OK();
       };
       bool level_interrupted = false;
-      PGM_RETURN_IF_ERROR(executor->EvaluateCandidates(
-          retained, retained, std::move(specs), gap, &guard, sink,
-          &level_interrupted));
+      PGM_RETURN_IF_ERROR(executor->ExecuteJoin(retained, src, retained, src,
+                                                plan, gap, &guard, dst, sink,
+                                                &level_interrupted));
       interrupted = level_interrupted;
     } else {
       interrupted = true;
     }
-    const std::uint64_t old_retained_bytes = retained_bytes;
     retained = std::move(next_retained);
-    guard.ReleaseMemory(old_retained_bytes);
-    retained_bytes = next_retained_bytes;
+    src.Clear();
+    cur ^= 1;
     if (interrupted) ctx->GuardTrip(guard.reason(), level_length);
     ctx->LevelEnd(level_length, stats.num_candidates, evaluated,
                   stats.num_frequent, stats.num_retained, !interrupted);
     if (!interrupted) last_completed_level = level_length;
   }
 
-  guard.ReleaseMemory(retained_bytes);
-  retained.clear();
   finalize();
   return result;
 }

@@ -142,7 +142,9 @@ struct MiningResult {
   /// may be missing. Budget exhaustion is NOT an error — the Status stays
   /// OK and the caller inspects this field.
   TerminationReason termination = TerminationReason::kCompleted;
-  /// Peak live PIL heap memory observed by the guard, in bytes.
+  /// Peak PIL memory observed by the guard, in bytes. Measured as the
+  /// high-water capacity of the run's PIL arenas (core/pil_arena.h) — the
+  /// memory actually held for pattern rows — not per-pattern heap blocks.
   std::uint64_t pil_memory_peak_bytes = 0;
 
   /// True when no budget, deadline, or cancellation cut the run short.
@@ -189,33 +191,34 @@ StatusOr<MiningResult> MineAdaptive(const Sequence& sequence,
 
 namespace internal {
 
-// LevelEntry, CandidateSpec, GenerateCandidates, and the
-// ParallelLevelExecutor live in core/parallel.h (re-exported here).
+// ArenaEntry, BuiltLevel, JoinPlan (core/candidate_index.h) and the
+// ParallelLevelExecutor (core/parallel.h) are re-exported here.
 
 /// Validates the shared configuration fields against the sequence.
 Status ValidateConfig(const Sequence& sequence, const MinerConfig& config);
 
-/// Builds (symbols, PIL) for every length-k pattern with non-empty PIL,
-/// plus nothing for unmatched patterns. Used to seed the level-wise loop
-/// and by MPPm's n-estimation. When `guard` is non-null every PIL extension
-/// ticks it and every built PIL is charged against the memory budget (the
-/// final level's charge — exactly the sum of the returned entries'
-/// MemoryBytes() — is handed off to the caller, which releases it as
-/// entries are dropped); on a tripped guard the returned level is partial
-/// and `guard->stopped()` is true. When `executor` is non-null the level
-/// joins run on it; null means serial.
-std::vector<LevelEntry> BuildAllPatternsOfLength(
-    const Sequence& sequence, const GapRequirement& gap, std::int64_t k,
-    MiningGuard* guard = nullptr, ParallelLevelExecutor* executor = nullptr);
+/// Builds the arena-backed level of every length-k pattern with non-empty
+/// PIL. Used to seed the level-wise loop and by MPPm's n-estimation. When
+/// `guard` is non-null every PIL extension ticks it and the level arena's
+/// capacity is charged against the memory budget; the charge travels with
+/// the returned BuiltLevel and drains when it is destroyed. On a tripped
+/// guard the returned level is partial and `guard->stopped()` is true.
+/// When `executor` is non-null the level joins run on it; null means
+/// serial.
+BuiltLevel BuildAllPatternsOfLength(const Sequence& sequence,
+                                    const GapRequirement& gap, std::int64_t k,
+                                    MiningGuard* guard = nullptr,
+                                    ParallelLevelExecutor* executor = nullptr);
 
 /// The shared level-wise engine behind MPP and MPPm. `n_effective` is the
 /// (already clamped) n; `seed_level` may carry a precomputed first level to
-/// avoid duplicate work (pass empty to build internally — non-empty seeds
-/// must already be charged against `guard`). The guard is checked at every
-/// level boundary and ticked per PIL extension; when it trips, the engine
-/// stops, tightens guaranteed_complete_up_to to the last fully processed
-/// level, and returns the partial result with the guard's reason. On every
-/// exit the engine has released all memory it still holds, so the guard's
+/// avoid duplicate work (pass a default-constructed BuiltLevel to build
+/// internally — non-empty seeds must be backed by arenas charged against
+/// `guard`). The guard is checked at every level boundary and ticked per
+/// PIL extension; when it trips, the engine stops, tightens
+/// guaranteed_complete_up_to to the last fully processed level, and returns
+/// the partial result with the guard's reason. The engine's arenas release
+/// their charges when they go out of scope, so on every exit the guard's
 /// ledger returns to whatever the caller's outstanding charges are.
 /// `executor` runs the level joins (null = construct one from
 /// config.threads internally). `ctx` is the caller's recording context
@@ -226,8 +229,7 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
                                     const MinerConfig& config,
                                     const OffsetCounter& counter,
                                     std::int64_t n_effective,
-                                    std::vector<LevelEntry> seed_level,
-                                    MiningGuard& guard,
+                                    BuiltLevel seed_level, MiningGuard& guard,
                                     ParallelLevelExecutor* executor = nullptr,
                                     ObserverContext* ctx = nullptr);
 

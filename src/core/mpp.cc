@@ -22,7 +22,8 @@ StatusOr<MiningResult> MineMpp(const Sequence& sequence,
 
   PGM_ASSIGN_OR_RETURN(
       MiningResult result,
-      internal::RunLevelwise(sequence, config, counter, n, {}, guard,
+      internal::RunLevelwise(sequence, config, counter, n,
+                             internal::BuiltLevel{}, guard,
                              /*executor=*/nullptr, &ctx));
   result.mining_seconds = watch.ElapsedSeconds();
   result.total_seconds = result.mining_seconds;

@@ -45,17 +45,12 @@ StatusOr<MiningResult> MineMppm(const Sequence& sequence,
   // clears the Theorem 2 prefix bound λ'_{k,k-s} * ρs * N_s. Scanning k
   // downward returns the largest such k directly.
   const std::int64_t s = config.start_length;
-  std::vector<internal::LevelEntry> seed =
+  internal::BuiltLevel seed =
       internal::BuildAllPatternsOfLength(sequence, gap, s, &guard, &executor);
   if (guard.stopped()) {
-    // The seed's PIL charges were handed off to us; dropping the seed here
-    // must return them, or the guard's ledger would stay inflated.
-    std::uint64_t seed_bytes = 0;
-    for (const internal::LevelEntry& entry : seed) {
-      seed_bytes += entry.pil.MemoryBytes();
-    }
-    guard.ReleaseMemory(seed_bytes);
-    seed.clear();
+    // Dropping the seed returns its arena's charge to the guard; the ledger
+    // needs no manual balancing.
+    seed = internal::BuiltLevel{};
     MiningResult result;
     result.termination = guard.reason();
     result.pil_memory_peak_bytes = guard.memory_peak_bytes();
@@ -80,8 +75,8 @@ StatusOr<MiningResult> MineMppm(const Sequence& sequence,
     return result;
   }
   std::uint64_t max_support = 0;
-  for (const internal::LevelEntry& entry : seed) {
-    max_support = std::max(max_support, entry.pil.TotalSupport().count);
+  for (const internal::ArenaEntry& entry : seed.entries) {
+    max_support = std::max(max_support, seed.arena.Support(entry.span).count);
   }
   const long double rho = config.min_support_ratio;
   const long double n_s = counter.Count(s);

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <string_view>
-#include <unordered_map>
 
 #include "core/trace.h"
 #include "util/stopwatch.h"
@@ -13,9 +11,9 @@ namespace internal {
 
 namespace {
 
-/// Emits one shard-timing event when the enclosing EvaluateCandidates call
-/// returns — RAII so every early return (sink error, guard trip) still
-/// records. Runs on the caller thread, after the pool has quiesced.
+/// Emits one shard-timing event when the enclosing ExecuteJoin call returns
+/// — RAII so every early return (sink error, guard trip) still records.
+/// Runs on the caller thread, after the pool has quiesced.
 struct ShardTimingScope {
   ObserverContext* ctx;
   std::uint64_t candidates;
@@ -29,51 +27,44 @@ struct ShardTimingScope {
   }
 };
 
-/// Candidates a worker claims per grab of the shared chunk counter: small
-/// enough to balance skewed PIL sizes, large enough that the counter is not
-/// contended.
+/// Candidates per piece — the unit a worker claims off the shared counter
+/// and the group size of one kernel call. Small enough to balance skewed
+/// PIL sizes, large enough that the counter is not contended and the
+/// prefix rows are streamed once for a useful number of candidates.
 constexpr std::size_t kChunkSize = 16;
 /// Chunks per worker per block. The block is the unit the sink consumes, so
-/// this (times kChunkSize, times workers) bounds the candidate PILs live
-/// beyond the retained set.
+/// this (times kChunkSize, times workers) bounds the scratch candidate
+/// slices live beyond the retained set.
 constexpr std::size_t kChunksPerWorker = 8;
 
+/// One kernel call's worth of candidates: a slice [begin, end) of one
+/// task's rights range, with a pre-assigned output slice per candidate.
+struct Piece {
+  std::uint32_t task = 0;
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  /// Arena offset of the first candidate's output slice; candidate k's
+  /// slice starts at out_offset + k * left_len.
+  std::uint64_t out_offset = 0;
+  std::uint64_t left_len = 0;
+  /// Index of the piece's first candidate in the block metadata arrays.
+  std::uint32_t cand_base = 0;
+  /// Set by the worker that completed the piece; pieces abandoned by a
+  /// stopping worker stay false and are skipped by the merge. Distinct
+  /// pieces are owned by one worker each, and ThreadPool::Execute's join
+  /// publishes the writes to the merging thread.
+  bool filled = false;
+};
+
+/// Per-worker reusable buffers: once warmed up to the largest piece, the
+/// fill phase performs no allocation.
+struct WorkerScratch {
+  std::vector<GroupSuffix> suffixes;
+  std::vector<GroupOutput> outputs;
+  GroupJoinScratch kernel;
+};
+
 }  // namespace
-
-std::vector<CandidateSpec> GenerateCandidates(
-    const std::vector<LevelEntry>& level) {
-  std::vector<CandidateSpec> candidates;
-  if (level.empty()) return candidates;
-  const std::size_t len = level.front().symbols.size();
-
-  // Bucket level entries by their (len-1)-prefix. Keys are views into the
-  // entries' stable symbol storage, so neither bucketing nor probing
-  // allocates a key string.
-  std::unordered_map<std::string_view, std::vector<std::uint32_t>> by_prefix;
-  by_prefix.reserve(level.size());
-  for (std::uint32_t i = 0; i < level.size(); ++i) {
-    const std::string_view prefix =
-        std::string_view(level[i].symbols).substr(0, len - 1);
-    by_prefix[prefix].push_back(i);
-  }
-
-  for (std::uint32_t i = 0; i < level.size(); ++i) {
-    const std::string_view suffix_key =
-        std::string_view(level[i].symbols).substr(1);
-    auto it = by_prefix.find(suffix_key);
-    if (it == by_prefix.end()) continue;
-    for (std::uint32_t j : it->second) {
-      CandidateSpec spec;
-      spec.symbols.reserve(len + 1);
-      spec.symbols.push_back(level[i].symbols.front());
-      spec.symbols.append(level[j].symbols);
-      spec.left = i;
-      spec.right = j;
-      candidates.push_back(std::move(spec));
-    }
-  }
-  return candidates;
-}
 
 ParallelLevelExecutor::ParallelLevelExecutor(std::int64_t threads) {
   const std::size_t resolved = ThreadPool::ResolveThreadCount(threads);
@@ -86,104 +77,146 @@ std::size_t ParallelLevelExecutor::num_threads() const {
   return pool_ == nullptr ? 1 : pool_->num_threads();
 }
 
-Status ParallelLevelExecutor::EvaluateCandidates(
-    const std::vector<LevelEntry>& left_level,
-    const std::vector<LevelEntry>& right_level,
-    std::vector<CandidateSpec> specs, const GapRequirement& gap,
-    MiningGuard* guard, const CandidateSink& sink, bool* interrupted) {
+Status ParallelLevelExecutor::ExecuteJoin(
+    const std::vector<ArenaEntry>& left_entries, const PilArena& left_arena,
+    const std::vector<ArenaEntry>& right_entries, const PilArena& right_arena,
+    const JoinPlan& plan, const GapRequirement& gap, MiningGuard* guard,
+    PilArena& out, const JoinSink& sink, bool* interrupted) {
   *interrupted = false;
-  if (specs.empty()) return Status::OK();
-  ShardTimingScope timing{ctx_, specs.size(),
+  if (plan.empty()) return Status::OK();
+  ShardTimingScope timing{ctx_, plan.num_candidates(),
                           static_cast<std::int64_t>(num_threads()), {}};
 
-  // Serial path: stream one candidate at a time, so at most a single
-  // non-retained PIL is ever live (the pre-parallel memory behavior).
-  if (pool_ == nullptr) {
-    for (CandidateSpec& spec : specs) {
-      if (guard != nullptr && !guard->Tick()) {
-        *interrupted = true;
-        return Status::OK();
+  const std::vector<JoinTask>& tasks = plan.tasks();
+  const std::vector<std::uint32_t>& pool = plan.rights_pool();
+  const std::size_t workers = num_threads();
+  const std::size_t block_target = workers * kChunksPerWorker * kChunkSize;
+
+  std::vector<Piece> pieces;
+  std::vector<std::uint32_t> out_lens;      // per block candidate
+  std::vector<SupportInfo> out_supports;    // per block candidate
+  std::vector<WorkerScratch> scratch(workers);
+
+  // Fills one piece: ticks the guard per candidate, then runs the group
+  // kernel into the piece's pre-assigned slices. Returns false on a trip
+  // (the piece stays unfilled).
+  auto run_piece = [&](Piece& piece, WorkerScratch& ws,
+                       PilEntry* out_base) -> bool {
+    const JoinTask& task = tasks[piece.task];
+    const std::uint32_t count = piece.end - piece.begin;
+    for (std::uint32_t k = 0; k < count; ++k) {
+      if (guard != nullptr && !guard->Tick()) return false;
+    }
+    if (ws.suffixes.size() < count) {
+      ws.suffixes.resize(count);
+      ws.outputs.resize(count);
+    }
+    for (std::uint32_t k = 0; k < count; ++k) {
+      const ArenaEntry& right =
+          right_entries[pool[task.rights_begin + piece.begin + k]];
+      ws.suffixes[k] = GroupSuffix{right_arena.Rows(right.span),
+                                   right.span.len};
+      ws.outputs[k] =
+          GroupOutput{out_base + piece.out_offset + k * piece.left_len, 0, {}};
+    }
+    CombinePrefixGroup(left_arena.Rows(left_entries[task.left].span),
+                       piece.left_len, gap, ws.suffixes.data(),
+                       ws.outputs.data(), count, ws.kernel);
+    for (std::uint32_t k = 0; k < count; ++k) {
+      out_lens[piece.cand_base + k] =
+          static_cast<std::uint32_t>(ws.outputs[k].len);
+      out_supports[piece.cand_base + k] = ws.outputs[k].support;
+    }
+    piece.filled = true;
+    return true;
+  };
+
+  std::size_t task_idx = 0;
+  std::uint32_t task_off = 0;  // rights of tasks[task_idx] already sliced
+  while (task_idx < tasks.size()) {
+    // --- Slice the next block (serial; depends only on the plan). ---
+    pieces.clear();
+    std::size_t block_cands = 0;
+    std::uint64_t block_rows = 0;
+    while (task_idx < tasks.size() && block_cands < block_target) {
+      const JoinTask& task = tasks[task_idx];
+      const std::uint32_t remaining = task.group_size() - task_off;
+      if (remaining == 0) {
+        ++task_idx;
+        task_off = 0;
+        continue;
       }
-      EvaluatedCandidate candidate;
-      candidate.entry.pil = PartialIndexList::Combine(
-          left_level[spec.left].pil, right_level[spec.right].pil, gap);
-      candidate.entry.symbols = std::move(spec.symbols);
-      candidate.bytes = candidate.entry.pil.MemoryBytes();
-      candidate.within_budget =
-          guard == nullptr || guard->ChargeMemory(candidate.bytes);
-      candidate.support = candidate.entry.pil.TotalSupport();
-      const bool stop = !candidate.within_budget;
-      PGM_RETURN_IF_ERROR(sink(std::move(candidate)));
-      if (stop) {
-        *interrupted = true;
-        return Status::OK();
+      const std::uint32_t take = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(kChunkSize, remaining));
+      Piece piece;
+      piece.task = static_cast<std::uint32_t>(task_idx);
+      piece.begin = task_off;
+      piece.end = task_off + take;
+      piece.left_len = left_entries[task.left].span.len;
+      piece.cand_base = static_cast<std::uint32_t>(block_cands);
+      block_cands += take;
+      block_rows += piece.left_len * take;
+      pieces.push_back(piece);
+      task_off += take;
+      if (task_off == task.group_size()) {
+        ++task_idx;
+        task_off = 0;
       }
     }
-    return Status::OK();
-  }
+    if (pieces.empty()) break;
 
-  struct Slot {
-    LevelEntry entry;
-    SupportInfo support;
-    std::uint64_t bytes = 0;
-    bool within_budget = true;
-    bool filled = false;
-  };
-  const std::size_t block_size =
-      pool_->num_threads() * kChunksPerWorker * kChunkSize;
-  std::vector<Slot> slots(std::min(block_size, specs.size()));
+    // --- Reserve scratch and assign output slices (serial). ---
+    // A Reserve that trips the budget still grew the capacity, so the block
+    // it was charged for runs to completion before the level unwinds.
+    const bool within_budget = out.Reserve(out.size() + block_rows);
+    for (Piece& piece : pieces) {
+      piece.out_offset =
+          out.Allocate(piece.left_len * (piece.end - piece.begin)).offset;
+    }
+    out_lens.assign(block_cands, 0);
+    out_supports.assign(block_cands, SupportInfo{});
+    PilEntry* out_base = out.MutableRows(PilSpan{0, 0});
 
-  for (std::size_t begin = 0; begin < specs.size(); begin += block_size) {
-    const std::size_t count = std::min(block_size, specs.size() - begin);
-    std::atomic<std::size_t> next_chunk{0};
-    std::atomic<bool> tripped{false};
-    pool_->Execute([&](std::size_t) {
-      while (true) {
-        const std::size_t chunk =
-            next_chunk.fetch_add(1, std::memory_order_relaxed);
-        const std::size_t chunk_begin = chunk * kChunkSize;
-        if (chunk_begin >= count) return;
-        const std::size_t chunk_end = std::min(count, chunk_begin + kChunkSize);
-        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
-          if (guard != nullptr && !guard->Tick()) {
-            tripped.store(true, std::memory_order_relaxed);
-            return;
-          }
-          CandidateSpec& spec = specs[begin + i];
-          Slot& slot = slots[i];
-          slot.entry.pil = PartialIndexList::Combine(
-              left_level[spec.left].pil, right_level[spec.right].pil, gap);
-          slot.entry.symbols = std::move(spec.symbols);
-          slot.bytes = slot.entry.pil.MemoryBytes();
-          slot.within_budget =
-              guard == nullptr || guard->ChargeMemory(slot.bytes);
-          slot.support = slot.entry.pil.TotalSupport();
-          slot.filled = true;
-          if (!slot.within_budget) {
-            tripped.store(true, std::memory_order_relaxed);
-            return;
-          }
+    // --- Fill phase: workers drain pieces into disjoint slices. ---
+    if (pool_ == nullptr) {
+      for (Piece& piece : pieces) {
+        if (!run_piece(piece, scratch[0], out_base)) break;
+      }
+    } else {
+      std::atomic<std::size_t> next_piece{0};
+      pool_->Execute([&](std::size_t worker) {
+        while (true) {
+          const std::size_t i =
+              next_piece.fetch_add(1, std::memory_order_relaxed);
+          if (i >= pieces.size()) return;
+          if (!run_piece(pieces[i], scratch[worker], out_base)) return;
+        }
+      });
+    }
+
+    // --- Merge the block in candidate order. Every filled piece reaches
+    // the sink even after a trip (its candidates' work is done and its
+    // scratch is live); pieces abandoned by stopping workers are skipped.
+    const bool block_tripped =
+        !within_budget || (guard != nullptr && guard->stopped());
+    for (const Piece& piece : pieces) {
+      if (!piece.filled) continue;
+      const JoinTask& task = tasks[piece.task];
+      for (std::uint32_t k = 0; k < piece.end - piece.begin; ++k) {
+        JoinedCandidate candidate;
+        candidate.left = task.left;
+        candidate.right = pool[task.rights_begin + piece.begin + k];
+        candidate.span = PilSpan{piece.out_offset + k * piece.left_len,
+                                 out_lens[piece.cand_base + k]};
+        candidate.support = out_supports[piece.cand_base + k];
+        const Status status = sink(candidate);
+        if (!status.ok()) {
+          out.TruncateToWatermark();
+          return status;
         }
       }
-    });
-
-    // Merge the block in candidate order. Every filled slot reaches the
-    // sink even after a trip — its PIL was charged, and the sink owns the
-    // charge — while slots abandoned by stopping workers were never
-    // charged, so the ledger balances on every path.
-    const bool block_tripped = tripped.load(std::memory_order_relaxed) ||
-                               (guard != nullptr && guard->stopped());
-    for (std::size_t i = 0; i < count; ++i) {
-      Slot& slot = slots[i];
-      if (!slot.filled) continue;
-      EvaluatedCandidate candidate;
-      candidate.entry = std::move(slot.entry);
-      candidate.support = slot.support;
-      candidate.bytes = slot.bytes;
-      candidate.within_budget = slot.within_budget;
-      slot = Slot{};
-      PGM_RETURN_IF_ERROR(sink(std::move(candidate)));
     }
+    out.TruncateToWatermark();
     if (block_tripped) {
       *interrupted = true;
       return Status::OK();

@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <string>
 #include <vector>
 
+#include "core/candidate_index.h"
 #include "core/gap.h"
 #include "core/guard.h"
-#include "core/pil.h"
+#include "core/pil_arena.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -18,70 +18,52 @@ namespace internal {
 
 class ObserverContext;
 
-/// A pattern under construction: its encoded symbols (one byte per Symbol,
-/// usable as a hash key) and its PIL.
-struct LevelEntry {
-  std::string symbols;
-  PartialIndexList pil;
-};
-
-/// One level-join candidate: `symbols` is the joined pattern, whose PIL is
-/// Combine(left_level[left].pil, right_level[right].pil).
-struct CandidateSpec {
-  std::string symbols;
-  std::uint32_t left;
-  std::uint32_t right;
-};
-
-/// Generates the join of `level` with itself: for every pair (P1, P2) with
-/// suffix(P1) == prefix(P2), the candidate P1[0] + P2. Returns tuples of
-/// (candidate symbols, index of P1, index of P2). Works uniformly for all
-/// lengths: joining length-1 entries keys on the empty string, i.e. the
-/// full cross product.
-std::vector<CandidateSpec> GenerateCandidates(
-    const std::vector<LevelEntry>& level);
-
-/// One combined candidate, handed to the consumer in candidate order.
-struct EvaluatedCandidate {
-  LevelEntry entry;
+/// One joined candidate, handed to the consumer in candidate order. `span`
+/// is scratch in the output arena (above its watermark): the consumer
+/// Promote()s it to retain the candidate, or simply returns to drop it —
+/// scratch is reclaimed wholesale after the block, so dropping costs
+/// nothing and there is no per-candidate charge to hand back.
+struct JoinedCandidate {
+  /// Index into the join's left entry table.
+  std::uint32_t left = 0;
+  /// Index into the join's right entry table.
+  std::uint32_t right = 0;
+  /// The candidate's PIL rows in the output arena (scratch).
+  PilSpan span;
+  /// sup of the candidate, computed inside the join kernel.
   SupportInfo support;
-  /// Heap bytes of entry.pil, already charged to the guard. The consumer
-  /// owns the charge: keep it for retained entries, ReleaseMemory it for
-  /// dropped ones.
-  std::uint64_t bytes = 0;
-  /// False when this candidate's charge tripped the memory budget. The
-  /// consumer still sees the candidate (its PIL is live and its support
-  /// exact — recording it keeps strictly more of the work already paid
-  /// for), but the level stops after the current block.
-  bool within_budget = true;
 };
 
-/// Serial, in-candidate-order consumer of evaluated candidates.
-using CandidateSink = std::function<Status(EvaluatedCandidate&&)>;
+/// Serial, in-candidate-order consumer of joined candidates. May call
+/// Promote on the output arena (and nothing else on it).
+using JoinSink = std::function<Status(const JoinedCandidate&)>;
 
-/// Data-parallel evaluation of one level's candidate list.
+/// Data-parallel execution of one level's join plan.
 ///
-/// Each level's CandidateSpecs are independent — evaluating one is a pure
-/// PartialIndexList::Combine plus a support sum — so the executor shards
-/// them across a ThreadPool and merges the outputs back in candidate order.
-/// Because the merge order equals the serial processing order, a run that
-/// no resource limit interrupts produces byte-identical results at every
-/// thread count (there is no work stealing whose schedule could leak into
-/// the output).
+/// The plan's tasks are sliced into "pieces" of at most kChunkSize
+/// candidates sharing one left pattern; each piece is one call of the
+/// prefix-group kernel (core/pil_arena.h), so a left PIL is streamed once
+/// per piece instead of once per candidate. Slicing depends only on the
+/// plan, never on the schedule, and the serial merge consumes pieces in
+/// plan order — so a run that no resource limit interrupts produces
+/// byte-identical results at every thread count.
 ///
-/// Evaluation proceeds in fixed-size blocks: workers drain a block's chunks
-/// off an atomic counter, then the sink consumes the block serially. The
-/// block size bounds how many candidate PILs are live beyond the retained
-/// set, so the memory high-water stays close to the serial path's
-/// |retained| + O(threads) instead of ballooning to |C_l|.
+/// Execution proceeds in blocks of pieces. Per block: the caller thread
+/// Reserve()s the block's worst-case rows in the output arena (one slice of
+/// left-PIL length per candidate) and assigns every piece its slice —
+/// workers never allocate, and the arena buffer is stable while they write.
+/// Workers then drain pieces off an atomic counter into their disjoint
+/// slices; the sink consumes the block serially in piece order, promoting
+/// what it keeps; TruncateToWatermark() reclaims the rest. The block size
+/// bounds the scratch rows live beyond the retained set.
 ///
-/// Guard interaction: workers Tick() per candidate and charge each combined
-/// PIL's bytes before publishing it. When the guard trips, workers stop
-/// picking up new candidates; every candidate already evaluated still
-/// reaches the sink (its charge must be owned by someone), so the ledger
-/// stays balanced and the partial result stays sound. Under an interrupting
-/// limit the set of evaluated candidates may differ between thread counts —
-/// that is the documented partial-result latitude, never unsoundness.
+/// Guard interaction: workers Tick() per candidate. When the guard trips,
+/// workers stop claiming pieces; every piece already filled still reaches
+/// the sink (delivering the work already paid for), and the level stops
+/// after the current block. A Reserve() that trips the memory budget
+/// likewise finishes its block first. Under an interrupting limit the set
+/// of delivered candidates may differ between thread counts — the
+/// documented partial-result latitude, never unsoundness.
 class ParallelLevelExecutor {
  public:
   /// `threads` follows MinerConfig::threads: 1 = serial (no pool), 0 = one
@@ -96,21 +78,26 @@ class ParallelLevelExecutor {
   std::size_t num_threads() const;
 
   /// Attaches the recording context that receives one shard-timing trace
-  /// event per EvaluateCandidates call (wall-clock and worker count — the
-  /// volatile part of the trace). Null (the default) disables recording;
-  /// the context must outlive the executor's use.
+  /// event per ExecuteJoin call (wall-clock and worker count — the volatile
+  /// part of the trace). Null (the default) disables recording; the context
+  /// must outlive the executor's use.
   void set_observer(ObserverContext* ctx) { ctx_ = ctx; }
 
-  /// Combines every spec (left_level[left] ⋈ right_level[right]) under
-  /// `gap` and feeds the results to `sink` serially, in spec order. `guard`
-  /// may be null (ungoverned build). Returns a non-OK status only when the
-  /// sink fails; *interrupted is set when the guard tripped, in which case
-  /// the sink saw a sound subset of the candidates.
-  Status EvaluateCandidates(const std::vector<LevelEntry>& left_level,
-                            const std::vector<LevelEntry>& right_level,
-                            std::vector<CandidateSpec> specs,
-                            const GapRequirement& gap, MiningGuard* guard,
-                            const CandidateSink& sink, bool* interrupted);
+  /// Runs `plan` — every candidate left_entries[t.left] ⋈
+  /// right_entries[rights_pool[r]] under `gap` — writing candidate PILs
+  /// into `out` and feeding the results to `sink` serially, in plan order.
+  /// `left_arena`/`right_arena` back the entries' spans and may alias each
+  /// other (the level self-join) but never `out`. `guard` may be null
+  /// (ungoverned build). Returns a non-OK status only when the sink fails;
+  /// *interrupted is set when the guard tripped, in which case the sink saw
+  /// a sound subset of the candidates. On return `out` holds exactly the
+  /// spans the sink promoted (scratch is truncated on every path).
+  Status ExecuteJoin(const std::vector<ArenaEntry>& left_entries,
+                     const PilArena& left_arena,
+                     const std::vector<ArenaEntry>& right_entries,
+                     const PilArena& right_arena, const JoinPlan& plan,
+                     const GapRequirement& gap, MiningGuard* guard,
+                     PilArena& out, const JoinSink& sink, bool* interrupted);
 
  private:
   std::unique_ptr<ThreadPool> pool_;  // null when serial

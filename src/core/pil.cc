@@ -4,47 +4,23 @@
 
 namespace pgm {
 
-namespace {
-
-/// Sliding-window accumulator over suffix-PIL counts. Saturated entries are
-/// tracked separately so the running sum stays exact under removal.
-class WindowSum {
- public:
-  void Add(std::uint64_t count) {
-    if (IsSaturated(count)) {
-      ++num_saturated_;
-    } else {
-      sum_ += count;
-    }
+SupportInfo SupportOfRows(const PilEntry* rows, std::size_t len) {
+  unsigned __int128 sum = 0;
+  bool any_saturated = false;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (IsSaturated(rows[i].count)) any_saturated = true;
+    sum += rows[i].count;
   }
-
-  void Remove(std::uint64_t count) {
-    if (IsSaturated(count)) {
-      assert(num_saturated_ > 0);
-      --num_saturated_;
-    } else {
-      assert(sum_ >= count);
-      sum_ -= count;
-    }
+  SupportInfo info;
+  if (any_saturated || sum >= static_cast<unsigned __int128>(kSaturatedCount)) {
+    info.count = kSaturatedCount;
+    info.saturated = true;
+  } else {
+    info.count = static_cast<std::uint64_t>(sum);
+    info.saturated = false;
   }
-
-  /// Current window total, clamped at 2^64-1.
-  std::uint64_t Total() const {
-    if (num_saturated_ > 0) return kSaturatedCount;
-    if (sum_ >= static_cast<unsigned __int128>(kSaturatedCount)) {
-      return kSaturatedCount;
-    }
-    return static_cast<std::uint64_t>(sum_);
-  }
-
- private:
-  // Sum of non-saturated counts. Entries are < 2^64 and there are < 2^32 of
-  // them, so the exact sum fits comfortably in 128 bits.
-  unsigned __int128 sum_ = 0;
-  std::uint64_t num_saturated_ = 0;
-};
-
-}  // namespace
+  return info;
+}
 
 PartialIndexList PartialIndexList::ForSymbol(const Sequence& sequence,
                                              Symbol symbol) {
@@ -70,7 +46,7 @@ PartialIndexList PartialIndexList::Combine(const PartialIndexList& prefix_pil,
   // For prefix position x, eligible suffix positions lie in
   // [x + N + 1, x + M + 1]. Both bounds are monotone in x, so `lo` and `hi`
   // only ever advance: amortized O(|prefix| + |suffix|).
-  WindowSum window;
+  internal::WindowSum window;
   std::size_t lo = 0;  // first suffix index inside the window
   std::size_t hi = 0;  // first suffix index beyond the window
   for (const PilEntry& entry : prefix) {
@@ -109,21 +85,7 @@ PartialIndexList PartialIndexList::FromEntries(std::vector<PilEntry> entries) {
 }
 
 SupportInfo PartialIndexList::TotalSupport() const {
-  unsigned __int128 sum = 0;
-  bool any_saturated = false;
-  for (const PilEntry& entry : entries_) {
-    if (IsSaturated(entry.count)) any_saturated = true;
-    sum += entry.count;
-  }
-  SupportInfo info;
-  if (any_saturated || sum >= static_cast<unsigned __int128>(kSaturatedCount)) {
-    info.count = kSaturatedCount;
-    info.saturated = true;
-  } else {
-    info.count = static_cast<std::uint64_t>(sum);
-    info.saturated = false;
-  }
-  return info;
+  return SupportOfRows(entries_.data(), entries_.size());
 }
 
 }  // namespace pgm

@@ -41,6 +41,54 @@ struct SupportInfo {
   bool saturated = false;
 };
 
+/// sup over a row range: the saturating sum of the entries' counts. The one
+/// support computation both PIL representations (heap-backed
+/// PartialIndexList and arena spans) share, so their results are identical
+/// by construction.
+SupportInfo SupportOfRows(const PilEntry* rows, std::size_t len);
+
+namespace internal {
+
+/// Sliding-window accumulator over suffix-PIL counts. Saturated entries are
+/// tracked separately so the running sum stays exact under removal. Shared
+/// by PartialIndexList::Combine and the arena group-join kernel
+/// (core/pil_arena.h) — one definition, identical arithmetic.
+class WindowSum {
+ public:
+  void Add(std::uint64_t count) {
+    if (IsSaturated(count)) {
+      ++num_saturated_;
+    } else {
+      sum_ += count;
+    }
+  }
+
+  void Remove(std::uint64_t count) {
+    if (IsSaturated(count)) {
+      --num_saturated_;
+    } else {
+      sum_ -= count;
+    }
+  }
+
+  /// Current window total, clamped at 2^64-1.
+  std::uint64_t Total() const {
+    if (num_saturated_ > 0) return kSaturatedCount;
+    if (sum_ >= static_cast<unsigned __int128>(kSaturatedCount)) {
+      return kSaturatedCount;
+    }
+    return static_cast<std::uint64_t>(sum_);
+  }
+
+ private:
+  // Sum of non-saturated counts. Entries are < 2^64 and there are < 2^32 of
+  // them, so the exact sum fits comfortably in 128 bits.
+  unsigned __int128 sum_ = 0;
+  std::uint64_t num_saturated_ = 0;
+};
+
+}  // namespace internal
+
 /// The partial index list (PIL) of Section 5.1: for a pattern P over a
 /// subject sequence S, a sorted list of (x, y) pairs meaning "y offset
 /// sequences of the form [x, c2, ..., cl] match P". The PIL supports the

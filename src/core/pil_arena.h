@@ -1,0 +1,212 @@
+#ifndef PGM_CORE_PIL_ARENA_H_
+#define PGM_CORE_PIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/gap.h"
+#include "core/guard.h"
+#include "core/pil.h"
+
+namespace pgm {
+
+/// A half-open row range inside a PilArena: the arena-backed representation
+/// of one pattern's partial index list. Spans are trivially copyable and
+/// 16 bytes, so pattern tables stay compact; the rows themselves live in
+/// the owning arena's contiguous buffer.
+struct PilSpan {
+  std::uint64_t offset = 0;
+  std::uint64_t len = 0;
+
+  bool empty() const { return len == 0; }
+  std::uint64_t bytes() const { return len * sizeof(PilEntry); }
+};
+
+/// Contiguous bump storage for the PIL rows of one mining level.
+///
+/// The level-wise engines keep two arenas that ping-pong across levels: the
+/// join reads level l-1's spans from the source arena and writes level l's
+/// rows into the destination arena, then the source is Clear()ed (capacity
+/// kept) and the roles swap. Once both arenas have grown to the run's
+/// high-water mark, steady-state mining performs zero heap allocations in
+/// the join loop.
+///
+/// Scratch/watermark protocol: rows appended above `watermark()` are
+/// speculative join output ("scratch"). The serial consumer either
+/// Promote()s a scratch span — compacting its rows down onto the watermark —
+/// or abandons it; TruncateToWatermark() then reclaims everything
+/// speculative at once. This is what lets parallel workers write candidate
+/// PILs into disjoint pre-reserved slices and still end the level with the
+/// retained rows densely packed.
+///
+/// Guard accounting: the arena charges its *capacity* against the guard's
+/// memory ledger — the delta on every growth, the whole capacity back on
+/// destruction (or move-assignment). Capacity never shrinks while the arena
+/// lives, so the ledger carries each arena's high-water footprint rather
+/// than per-PIL vector capacities, and it drains to zero exactly when the
+/// arenas die with the run.
+///
+/// Thread safety: Reserve/Allocate/Promote/Truncate/Clear are serial-only.
+/// Concurrent workers may call Rows()/MutableRows() on disjoint spans
+/// between a Reserve and the next serial mutation (the buffer is stable in
+/// that window — this is the executor's fill phase).
+class PilArena {
+ public:
+  /// An unaccounted arena (no guard).
+  PilArena() = default;
+  /// `guard` may be null (unaccounted); when non-null it must outlive the
+  /// arena.
+  explicit PilArena(MiningGuard* guard) : guard_(guard) {}
+  ~PilArena() { Release(); }
+
+  PilArena(const PilArena&) = delete;
+  PilArena& operator=(const PilArena&) = delete;
+
+  /// Moves transfer the buffer and its ledger charge; the source is left
+  /// empty and chargeless.
+  PilArena(PilArena&& other) noexcept { MoveFrom(other); }
+  PilArena& operator=(PilArena&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  /// Grows capacity to at least `total_rows` (geometric growth, never
+  /// shrinks) and charges the delta to the guard. Returns false when the
+  /// charge tripped the memory budget — the capacity is still available, so
+  /// the caller can finish the in-flight block before unwinding (the same
+  /// "deliver what was paid for" contract the per-vector ledger had).
+  bool Reserve(std::size_t total_rows);
+
+  /// Appends `len` uninitialized rows and returns their span. Capacity must
+  /// have been Reserve()d. Serial-only.
+  PilSpan Allocate(std::size_t len) {
+    PilSpan span{size_, len};
+    size_ += len;
+    return span;
+  }
+
+  /// Appends one initialized row (first-level construction). Capacity must
+  /// have been Reserve()d. Serial-only.
+  void AppendRow(PilEntry row) { rows_[size_++] = row; }
+
+  const PilEntry* Rows(const PilSpan& span) const {
+    return rows_.data() + span.offset;
+  }
+  PilEntry* MutableRows(const PilSpan& span) {
+    return rows_.data() + span.offset;
+  }
+
+  /// Rows in use (retained + scratch).
+  std::uint64_t size() const { return size_; }
+  /// The retained frontier: rows below it are promoted level output, rows
+  /// at or above it are speculative scratch.
+  std::uint64_t watermark() const { return watermark_; }
+
+  /// Compacts a scratch span down onto the watermark and returns its final
+  /// span. Spans must be promoted in increasing offset order (the serial
+  /// merge's candidate order), which guarantees the destination never
+  /// overtakes the source.
+  PilSpan Promote(const PilSpan& span);
+
+  /// Drops all scratch rows (size back to the watermark).
+  void TruncateToWatermark() { size_ = watermark_; }
+
+  /// Marks everything currently in the arena as retained (used after
+  /// first-level construction, where every row is level output).
+  void SealWatermark() { watermark_ = size_; }
+
+  /// Empties the arena but keeps the capacity and its ledger charge — the
+  /// ping-pong reuse path.
+  void Clear() {
+    size_ = 0;
+    watermark_ = 0;
+  }
+
+  /// sup(P) for an arena-backed pattern.
+  SupportInfo Support(const PilSpan& span) const {
+    return SupportOfRows(Rows(span), span.len);
+  }
+
+  /// Capacity bytes currently charged to the guard (the arena's high-water
+  /// footprint).
+  std::uint64_t capacity_bytes() const {
+    return rows_.size() * sizeof(PilEntry);
+  }
+
+  /// Number of buffer growths since construction. A warmed-up arena stops
+  /// growing: steady-state levels report zero new growths, which is the
+  /// "zero allocations in the join loop" claim in checkable form.
+  std::uint64_t growth_count() const { return growths_; }
+
+ private:
+  void Release();
+  void MoveFrom(PilArena& other);
+
+  MiningGuard* guard_ = nullptr;
+  // Sized to capacity up front (Reserve resizes, Allocate only bumps), so
+  // worker threads never observe a reallocation.
+  std::vector<PilEntry> rows_;
+  std::uint64_t size_ = 0;
+  std::uint64_t watermark_ = 0;
+  std::uint64_t growths_ = 0;
+};
+
+/// One suffix input of a prefix-group join.
+struct GroupSuffix {
+  const PilEntry* rows = nullptr;
+  std::size_t len = 0;
+};
+
+/// One candidate's output slot: `rows` must point at a pre-reserved slice of
+/// at least the prefix length (Combine emits at most one row per prefix
+/// row). The kernel sets `len` and `support`.
+struct GroupOutput {
+  PilEntry* rows = nullptr;
+  std::size_t len = 0;
+  SupportInfo support;
+};
+
+/// Reusable per-worker state for CombinePrefixGroup, so the kernel performs
+/// no allocation once warmed up to the largest group it has seen.
+class GroupJoinScratch {
+ public:
+  struct State {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    internal::WindowSum window;
+    unsigned __int128 support_sum = 0;
+    bool support_saturated = false;
+  };
+
+  State* Prepare(std::size_t group_size) {
+    if (states_.size() < group_size) states_.resize(group_size);
+    for (std::size_t i = 0; i < group_size; ++i) states_[i] = State{};
+    return states_.data();
+  }
+
+ private:
+  std::vector<State> states_;
+};
+
+/// The arena join kernel: combines one prefix PIL with every suffix PIL of
+/// its prefix group, writing each candidate's rows into its pre-reserved
+/// output slice. The prefix rows are streamed in cache-sized blocks, each
+/// block replayed per suffix with that suffix's window state held in
+/// registers (see the comment in the implementation). Arithmetic is
+/// identical to PartialIndexList::Combine followed by TotalSupport — same
+/// sliding window, same saturation handling — so row contents and supports
+/// are byte-identical to the per-candidate path; only the order in which
+/// (prefix row, suffix) pairs are visited changes, never the per-suffix
+/// sequence of window operations.
+void CombinePrefixGroup(const PilEntry* prefix_rows, std::size_t prefix_len,
+                        const GapRequirement& gap, const GroupSuffix* suffixes,
+                        GroupOutput* outputs, std::size_t group_size,
+                        GroupJoinScratch& scratch);
+
+}  // namespace pgm
+
+#endif  // PGM_CORE_PIL_ARENA_H_

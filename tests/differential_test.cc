@@ -20,8 +20,14 @@
 #include "util/metrics.h"
 #include "util/random.h"
 
+#include "differential_params.h"
+
 namespace pgm {
 namespace {
+
+// Reference pattern sets captured from the pre-arena engine (threads=1);
+// see tools/gen_differential_goldens.
+#include "differential_goldens_pr4.inc"
 
 // (alphabet symbols, L, N, M, rho, seed)
 using DiffParam = std::tuple<const char*, std::size_t, std::int64_t,
@@ -230,6 +236,54 @@ INSTANTIATE_TEST_SUITE_P(
         DiffParam{"ACGT", 50, 0, 5, 0.03, 3025},
         DiffParam{"ABC", 44, 1, 1, 0.05, 3026},
         DiffParam{"ACGT", 66, 4, 5, 0.01, 3027}));
+
+// The randomized-oracle sweep (satellite of the arena refactor): 50 seeded
+// configurations drawn in tests/differential_params.h, each mined by all
+// three engines at several thread counts and compared both against the
+// brute-force enumeration oracle and against pattern sets captured from the
+// *pre-arena* engine (tests/differential_goldens_pr4.inc). The fixture
+// comparison is what makes this a refactor gate: agreement among today's
+// engines is necessary but would not notice all of them drifting together.
+TEST(RandomizedOracleSweep, EnginesMatchOracleAndPreArenaGoldens) {
+  const std::vector<difftest::OracleConfig> configs =
+      difftest::OracleConfigs();
+  ASSERT_EQ(configs.size(), difftest::kNumOracleConfigs);
+  ASSERT_EQ(std::size(kDifferentialGoldensPr4), difftest::kNumOracleConfigs);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const difftest::OracleConfig& oracle_config = configs[i];
+    SCOPED_TRACE("config " + std::to_string(i) + ": " +
+                 difftest::DescribeConfig(oracle_config));
+    Alphabet alphabet = *Alphabet::Create(oracle_config.alphabet);
+    Rng rng(oracle_config.data_seed);
+    Sequence s =
+        *UniformRandomSequence(oracle_config.length, alphabet, rng);
+    const std::size_t horizon = difftest::OracleHorizon(oracle_config);
+    const std::string golden = kDifferentialGoldensPr4[i];
+    for (std::int64_t threads : {std::int64_t{1}, std::int64_t{2},
+                                 std::int64_t{8}}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      MinerConfig config = difftest::ToMinerConfig(oracle_config);
+      config.threads = threads;
+
+      StatusOr<MiningResult> mpp = MineMpp(s, config);
+      ASSERT_TRUE(mpp.ok()) << mpp.status().message();
+      EXPECT_EQ(difftest::CanonicalPatterns(*mpp, horizon), golden)
+          << "MPP drifted from the pre-arena fixture";
+
+      StatusOr<MiningResult> mppm = MineMppm(s, config);
+      ASSERT_TRUE(mppm.ok()) << mppm.status().message();
+      EXPECT_EQ(difftest::CanonicalPatterns(*mppm, horizon), golden)
+          << "MPPm drifted from the pre-arena fixture";
+
+      MinerConfig enum_config = config;
+      enum_config.max_length = static_cast<std::int64_t>(horizon);
+      StatusOr<MiningResult> enumeration = MineEnumeration(s, enum_config);
+      ASSERT_TRUE(enumeration.ok()) << enumeration.status().message();
+      EXPECT_EQ(difftest::CanonicalPatterns(*enumeration, horizon), golden)
+          << "enumeration oracle disagrees with the fixture";
+    }
+  }
+}
 
 }  // namespace
 }  // namespace pgm

@@ -127,24 +127,42 @@ TEST(ParallelMiningTest, GappyConfigIdenticalAcrossThreadCounts) {
 }
 
 TEST(ParallelMiningTest, ExecutorMergesInCandidateOrder) {
-  // Evaluate a level join with 1 and 4 workers; the sink must observe the
-  // same candidates, in the same order, with the same supports.
+  // Run a level join with 1 and 4 workers; the sink must observe the same
+  // candidates, in the same order, with the same supports and PIL rows.
   Rng rng(99);
   Sequence sequence = *UniformRandomSequence(800, Alphabet::Dna(), rng);
   GapRequirement gap = *GapRequirement::Create(0, 2);
-  std::vector<internal::LevelEntry> level =
+  internal::BuiltLevel level =
       internal::BuildAllPatternsOfLength(sequence, gap, 2);
-  ASSERT_FALSE(level.empty());
+  ASSERT_FALSE(level.entries.empty());
+  const internal::JoinPlan plan = internal::JoinPlan::SelfJoin(level.entries);
+  ASSERT_FALSE(plan.empty());
 
+  struct Seen {
+    std::string symbols;
+    std::uint64_t support;
+    std::vector<PilEntry> rows;
+    bool operator==(const Seen& other) const {
+      return symbols == other.symbols && support == other.support &&
+             rows == other.rows;
+    }
+  };
   auto evaluate = [&](std::int64_t threads) {
     internal::ParallelLevelExecutor executor(threads);
-    std::vector<std::pair<std::string, std::uint64_t>> seen;
+    PilArena out;
+    std::vector<Seen> seen;
     bool interrupted = false;
-    Status status = executor.EvaluateCandidates(
-        level, level, internal::GenerateCandidates(level), gap,
-        /*guard=*/nullptr,
-        [&](internal::EvaluatedCandidate&& candidate) -> Status {
-          seen.emplace_back(candidate.entry.symbols, candidate.support.count);
+    Status status = executor.ExecuteJoin(
+        level.entries, level.arena, level.entries, level.arena, plan, gap,
+        /*guard=*/nullptr, out,
+        [&](const internal::JoinedCandidate& candidate) -> Status {
+          Seen s;
+          s.symbols.push_back(level.entries[candidate.left].symbols.front());
+          s.symbols.append(level.entries[candidate.right].symbols);
+          s.support = candidate.support.count;
+          const PilEntry* rows = out.Rows(candidate.span);
+          s.rows.assign(rows, rows + candidate.span.len);
+          seen.push_back(std::move(s));
           return Status::OK();
         },
         &interrupted);
@@ -167,7 +185,7 @@ TEST(ParallelMiningTest, LedgerDrainsToZeroAfterCompletedRun) {
   OffsetCounter counter(static_cast<std::int64_t>(sequence.size()), gap);
   MiningGuard guard(config.limits, config.cancel);
   StatusOr<MiningResult> result = internal::RunLevelwise(
-      sequence, config, counter, counter.l1(), {}, guard);
+      sequence, config, counter, counter.l1(), internal::BuiltLevel{}, guard);
   ASSERT_TRUE(result.ok()) << result.status().message();
   EXPECT_TRUE(result->complete());
   EXPECT_EQ(guard.memory_in_use_bytes(), 0u);
@@ -185,8 +203,9 @@ TEST(ParallelMiningTest, LedgerDrainsToZeroAfterBudgetTrippedRun) {
         *GapRequirement::Create(config.min_gap, config.max_gap);
     OffsetCounter counter(static_cast<std::int64_t>(sequence.size()), gap);
     MiningGuard guard(config.limits, config.cancel);
-    StatusOr<MiningResult> result = internal::RunLevelwise(
-        sequence, config, counter, counter.l1(), {}, guard);
+    StatusOr<MiningResult> result =
+        internal::RunLevelwise(sequence, config, counter, counter.l1(),
+                               internal::BuiltLevel{}, guard);
     ASSERT_TRUE(result.ok()) << result.status().message();
     EXPECT_EQ(result->termination, TerminationReason::kMemoryBudget)
         << "threads " << threads;
