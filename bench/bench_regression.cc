@@ -29,6 +29,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <string_view>
@@ -45,6 +46,7 @@
 #include "core/pil.h"
 #include "core/pil_arena.h"
 #include "seq/alphabet.h"
+#include "util/bench_abi.h"
 #include "util/flags.h"
 #include "util/io.h"
 #include "util/limits.h"
@@ -199,11 +201,14 @@ JoinBenchResult RunJoinBench(const Sequence& sequence,
     std::vector<LegacySpec> specs = GenerateLegacyCandidates(legacy_level);
     std::vector<LegacyEntry> retained;
     for (LegacySpec& spec : specs) {
-      guard.Tick();
+      // Engine-faithful charging. The bench guard has unlimited limits, so
+      // a trip here means the harness itself is broken — fail loudly rather
+      // than time a short-circuited loop.
+      if (!guard.Tick()) std::abort();
       PartialIndexList pil = PartialIndexList::Combine(
           legacy_level[spec.left].pil, legacy_level[spec.right].pil, gap);
       const std::uint64_t bytes = pil.MemoryBytes();
-      guard.ChargeMemory(bytes);
+      if (!guard.ChargeMemory(bytes)) std::abort();
       const SupportInfo support = pil.TotalSupport();
       legacy_checksum =
           Fold(legacy_checksum, pil.entries().data(), pil.size(), support);
@@ -245,9 +250,11 @@ JoinBenchResult RunJoinBench(const Sequence& sequence,
       }
       return Status::OK();
     };
+    out.BeginScratch();
     CheckOk(executor.ExecuteJoin(level.entries, level.arena, level.entries,
                                  level.arena, plan, gap, &guard, out, sink,
                                  &interrupted));
+    out.EndScratch();
     // Steady state: the output arena keeps its capacity across levels.
     out.Clear();
   };
@@ -339,6 +346,7 @@ int Main(int argc, char** argv) {
       kEndToEndSequenceLength, static_cast<std::uint64_t>(seed)));
 
   std::map<std::string, double> metrics;
+  metrics["info.abi_stamp"] = kBenchAbiStamp;
   metrics["join_wide_legacy_ms"] = wide.legacy_ms;
   metrics["join_wide_arena_ms"] = wide.arena_ms;
   metrics["join_wide_speedup"] = wide.legacy_ms / wide.arena_ms;

@@ -179,9 +179,12 @@ StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
       return Status::OK();
     };
     bool extension_interrupted = false;
-    PGM_RETURN_IF_ERROR(executor.ExecuteJoin(
+    other.BeginScratch();
+    const Status join_status = executor.ExecuteJoin(
         singles.entries, singles.arena, level.entries, level.arena, plan, gap,
-        &guard, other, sink, &extension_interrupted));
+        &guard, other, sink, &extension_interrupted);
+    other.EndScratch();
+    PGM_RETURN_IF_ERROR(join_status);
     interrupted = extension_interrupted;
     level.entries = std::move(next);
     level.arena.Clear();

@@ -42,6 +42,15 @@ class CancelToken {
 /// partial-but-sound contract survives parallelism: a trip seen by one
 /// worker is seen by all at their next Tick/Charge, and whatever candidates
 /// were fully evaluated before the stop carry exact supports.
+///
+/// Under the thread-safety capability model (util/thread_annotations.h) the
+/// guard is deliberately capability-free: it owns no mutex, every member is
+/// an atomic (asserted lock-free below), and cross-member consistency is
+/// never assumed — each charge checks its own budget against its own
+/// counter, and the only multi-member protocol (trip exactly once) is the
+/// CAS latch in Stop(). There is therefore nothing for PGM_GUARDED_BY to
+/// name; the enforced contract is instead the [[nodiscard]] on every
+/// charge, which makes ignoring a trip a compile error.
 class MiningGuard {
  public:
   /// PIL extensions between two wall-clock/cancellation polls. Power of two
@@ -53,13 +62,13 @@ class MiningGuard {
                        const CancelToken* cancel = nullptr);
 
   /// Full check of deadline and cancellation. Used at level boundaries.
-  bool CheckNow();
+  [[nodiscard]] bool CheckNow();
 
   /// Per-PIL-extension tick: an atomic counter bump on the fast path, a
   /// full CheckNow() every kTickPeriod calls (per process, not per worker —
   /// the counter is shared, so the polling cadence is independent of the
   /// thread count).
-  bool Tick() {
+  [[nodiscard]] bool Tick() {
     if (stopped()) return false;
     const std::uint64_t tick = ticks_.fetch_add(1, std::memory_order_relaxed);
     if (((tick + 1) & (kTickPeriod - 1)) != 0) return true;
@@ -67,13 +76,13 @@ class MiningGuard {
   }
 
   /// Accounts `bytes` of live PIL memory against the budget.
-  bool ChargeMemory(std::uint64_t bytes);
+  [[nodiscard]] bool ChargeMemory(std::uint64_t bytes);
   /// Returns memory accounted by a matching ChargeMemory (freed PILs).
   void ReleaseMemory(std::uint64_t bytes);
 
   /// Accounts one level's candidate set against the per-level and total
   /// candidate caps.
-  bool ChargeLevelCandidates(std::uint64_t level_candidates);
+  [[nodiscard]] bool ChargeLevelCandidates(std::uint64_t level_candidates);
 
   bool stopped() const {
     return reason() != TerminationReason::kCompleted;
@@ -99,6 +108,14 @@ class MiningGuard {
                                     std::memory_order_acq_rel,
                                     std::memory_order_acquire);
   }
+
+  // The capability-free design above only holds while these stay lock-free;
+  // a platform where they silently degrade to mutex-backed atomics would
+  // reintroduce the locking the annotations claim is absent.
+  static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+                "MiningGuard's ledger must be lock-free atomics");
+  static_assert(std::atomic<bool>::is_always_lock_free,
+                "CancelToken's flag must be a lock-free atomic");
 
   ResourceLimits limits_;
   const CancelToken* cancel_;

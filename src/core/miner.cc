@@ -18,7 +18,7 @@ Status ValidateConfig(const Sequence& sequence, const MinerConfig& config) {
   PGM_RETURN_IF_ERROR(ValidateSequenceLength(sequence.size()));
   PGM_ASSIGN_OR_RETURN(GapRequirement gap,
                        GapRequirement::Create(config.min_gap, config.max_gap));
-  (void)gap;
+  (void)gap;  // validation only; the engines re-create their own
   if (!(config.min_support_ratio > 0.0) || config.min_support_ratio > 1.0) {
     return Status::InvalidArgument(
         StrFormat("min_support_ratio must lie in (0, 1], got %g",
@@ -48,7 +48,13 @@ BuiltLevel BuildAllPatternsOfLength(const Sequence& sequence,
   // Length-1 patterns: every position contributes exactly one row (to its
   // symbol's span), so one reservation of |S| rows covers the whole level.
   BuiltLevel level{PilArena(guard), {}};
-  level.arena.Reserve(sequence.size());
+  if (!level.arena.Reserve(sequence.size())) {
+    // The very first reservation tripped the memory budget. The guard has
+    // latched, so skip the build: every caller checks guard->stopped() and
+    // unwinds, and the rows would only be discarded.
+    level.arena.SealWatermark();
+    return level;
+  }
   for (Symbol s = 0; s < sequence.alphabet().size(); ++s) {
     const std::uint64_t begin = level.arena.size();
     for (std::size_t pos = 0; pos < sequence.size(); ++pos) {
@@ -84,12 +90,14 @@ BuiltLevel BuildAllPatternsOfLength(const Sequence& sequence,
       next.push_back(std::move(entry));
       return Status::OK();
     };
+    other.BeginScratch();
     // The sink cannot fail, so the status is always OK.
     const Status status =
         executor->ExecuteJoin(level.entries, level.arena, level.entries,
                               level.arena, plan, gap, guard, other, sink,
                               &interrupted);
-    (void)status;
+    other.EndScratch();
+    (void)status;  // the sink above cannot fail, so this is always OK
     level.entries = std::move(next);
     level.arena.Clear();
     std::swap(level.arena, other);
@@ -322,9 +330,12 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
         return Status::OK();
       };
       bool level_interrupted = false;
-      PGM_RETURN_IF_ERROR(executor->ExecuteJoin(retained, src, retained, src,
-                                                plan, gap, &guard, dst, sink,
-                                                &level_interrupted));
+      dst.BeginScratch();
+      const Status join_status =
+          executor->ExecuteJoin(retained, src, retained, src, plan, gap,
+                                &guard, dst, sink, &level_interrupted);
+      dst.EndScratch();
+      PGM_RETURN_IF_ERROR(join_status);
       interrupted = level_interrupted;
     } else {
       interrupted = true;

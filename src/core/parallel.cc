@@ -1,7 +1,12 @@
 #include "core/parallel.h"
 
+// pgm-lint: allow(arena-scratch) — ExecuteJoin runs INSIDE the caller's
+// BeginScratch/EndScratch bracket (asserted at entry); the truncate calls
+// here are the protocol's cleanup half, not an unbracketed use.
+
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 
 #include "core/trace.h"
 #include "util/stopwatch.h"
@@ -83,6 +88,8 @@ Status ParallelLevelExecutor::ExecuteJoin(
     const JoinPlan& plan, const GapRequirement& gap, MiningGuard* guard,
     PilArena& out, const JoinSink& sink, bool* interrupted) {
   *interrupted = false;
+  assert(out.scratch_open() &&
+         "ExecuteJoin requires the caller's BeginScratch/EndScratch bracket");
   if (plan.empty()) return Status::OK();
   ShardTimingScope timing{ctx_, plan.num_candidates(),
                           static_cast<std::int64_t>(num_threads()), {}};

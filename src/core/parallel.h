@@ -64,6 +64,16 @@ using JoinSink = std::function<Status(const JoinedCandidate&)>;
 /// likewise finishes its block first. Under an interrupting limit the set
 /// of delivered candidates may differ between thread counts — the
 /// documented partial-result latitude, never unsoundness.
+///
+/// Thread-safety shape (why there is no PGM_GUARDED_BY state here): the
+/// executor deliberately owns no mutex. Workers communicate through an
+/// atomic piece counter and write disjoint, pre-reserved arena slices; the
+/// sink and all arena mutation run on the caller thread only. The
+/// cross-thread invariants therefore live outside the capability system:
+/// the `arena-scratch` lint rule plus PilArena's runtime asserts enforce
+/// the scratch bracket, and the TSan `concurrency` suite checks the
+/// handoff. (Same reasoning as MiningGuard's all-atomic ledger — see
+/// core/guard.h.)
 class ParallelLevelExecutor {
  public:
   /// `threads` follows MinerConfig::threads: 1 = serial (no pool), 0 = one

@@ -1,5 +1,8 @@
 #include "core/pil_arena.h"
 
+// pgm-lint: allow(arena-scratch) — this file IMPLEMENTS the scratch
+// protocol; the bracket lives in callers.
+
 #include <algorithm>
 #include <cassert>
 #include <cstring>
@@ -24,6 +27,7 @@ bool PilArena::Reserve(std::size_t total_rows) {
 }
 
 PilSpan PilArena::Promote(const PilSpan& span) {
+  assert(scratch_open_ && "Promote outside a scratch window");
   assert(span.offset >= watermark_);
   PilSpan promoted{watermark_, span.len};
   if (span.offset != watermark_ && span.len > 0) {
@@ -49,11 +53,13 @@ void PilArena::MoveFrom(PilArena& other) {
   size_ = other.size_;
   watermark_ = other.watermark_;
   growths_ = other.growths_;
+  scratch_open_ = other.scratch_open_;
   other.guard_ = nullptr;
   other.rows_.clear();
   other.size_ = 0;
   other.watermark_ = 0;
   other.growths_ = 0;
+  other.scratch_open_ = false;
 }
 
 void CombinePrefixGroup(const PilEntry* prefix_rows, std::size_t prefix_len,

@@ -1,6 +1,7 @@
 #ifndef PGM_CORE_PIL_ARENA_H_
 #define PGM_CORE_PIL_ARENA_H_
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -39,6 +40,14 @@ struct PilSpan {
 /// speculative at once. This is what lets parallel workers write candidate
 /// PILs into disjoint pre-reserved slices and still end the level with the
 /// retained rows densely packed.
+///
+/// The window in which scratch operations are legal is explicit: the join
+/// driver brackets it with BeginScratch()/EndScratch(), and Promote /
+/// TruncateToWatermark assert the window is open (debug builds; the
+/// `arena-scratch` pgm_lint rule enforces the same pairing textually at
+/// build time). EndScratch additionally asserts no speculative rows
+/// survived — every scratch row was either promoted or truncated — which is
+/// the structural half of the ledger-balance invariant.
 ///
 /// Guard accounting: the arena charges its *capacity* against the guard's
 /// memory ledger — the delta on every growth, the whole capacity back on
@@ -79,7 +88,8 @@ class PilArena {
   /// charge tripped the memory budget — the capacity is still available, so
   /// the caller can finish the in-flight block before unwinding (the same
   /// "deliver what was paid for" contract the per-vector ledger had).
-  bool Reserve(std::size_t total_rows);
+  /// [[nodiscard]]: ignoring the verdict would mine past a tripped budget.
+  [[nodiscard]] bool Reserve(std::size_t total_rows);
 
   /// Appends `len` uninitialized rows and returns their span. Capacity must
   /// have been Reserve()d. Serial-only.
@@ -106,22 +116,47 @@ class PilArena {
   /// at or above it are speculative scratch.
   std::uint64_t watermark() const { return watermark_; }
 
+  /// Opens the scratch window: the caller is about to Allocate speculative
+  /// spans and consume them with Promote/TruncateToWatermark. No scratch
+  /// rows may be pending from a previous window.
+  void BeginScratch() {
+    assert(!scratch_open_ && "BeginScratch inside an open scratch window");
+    assert(size_ == watermark_ && "scratch rows pending at BeginScratch");
+    scratch_open_ = true;
+  }
+
+  /// Closes the scratch window. Every speculative row must have been
+  /// promoted or truncated.
+  void EndScratch() {
+    assert(scratch_open_ && "EndScratch without BeginScratch");
+    assert(size_ == watermark_ && "scratch rows leaked past EndScratch");
+    scratch_open_ = false;
+  }
+
+  /// True between BeginScratch and EndScratch.
+  bool scratch_open() const { return scratch_open_; }
+
   /// Compacts a scratch span down onto the watermark and returns its final
   /// span. Spans must be promoted in increasing offset order (the serial
   /// merge's candidate order), which guarantees the destination never
-  /// overtakes the source.
+  /// overtakes the source. Legal only inside a scratch window.
   PilSpan Promote(const PilSpan& span);
 
-  /// Drops all scratch rows (size back to the watermark).
-  void TruncateToWatermark() { size_ = watermark_; }
+  /// Drops all scratch rows (size back to the watermark). Legal only inside
+  /// a scratch window.
+  void TruncateToWatermark() {
+    assert(scratch_open_ && "TruncateToWatermark outside a scratch window");
+    size_ = watermark_;
+  }
 
   /// Marks everything currently in the arena as retained (used after
   /// first-level construction, where every row is level output).
   void SealWatermark() { watermark_ = size_; }
 
   /// Empties the arena but keeps the capacity and its ledger charge — the
-  /// ping-pong reuse path.
+  /// ping-pong reuse path. Illegal inside a scratch window.
   void Clear() {
+    assert(!scratch_open_ && "Clear inside an open scratch window");
     size_ = 0;
     watermark_ = 0;
   }
@@ -153,6 +188,7 @@ class PilArena {
   std::uint64_t size_ = 0;
   std::uint64_t watermark_ = 0;
   std::uint64_t growths_ = 0;
+  bool scratch_open_ = false;
 };
 
 /// One suffix input of a prefix-group join.

@@ -29,22 +29,22 @@ const char* TraceEventKindToString(TraceEventKind kind) {
 }
 
 void MiningTrace::Append(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.push_back(std::move(event));
 }
 
 std::size_t MiningTrace::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_.size();
 }
 
 std::vector<TraceEvent> MiningTrace::events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_;
 }
 
 void MiningTrace::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.clear();
 }
 

@@ -2,12 +2,13 @@
 #define PGM_CORE_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/limits.h"
 #include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace pgm {
 
@@ -98,8 +99,8 @@ class MiningTrace {
   std::string ToJson(const TraceJsonOptions& options = {}) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mutex_;
+  std::vector<TraceEvent> events_ PGM_GUARDED_BY(mutex_);
 };
 
 /// The observer handle mining callers attach to MinerConfig::observer.

@@ -1,0 +1,19 @@
+#ifndef PGM_UTIL_BENCH_ABI_H_
+#define PGM_UTIL_BENCH_ABI_H_
+
+namespace pgm {
+
+/// The benchmark measurement ABI stamp. Bump it whenever the *meaning* of a
+/// tracked bench_regression metric changes — arena row layout, join-plan
+/// shape, workload sizes — so stale baselines announce themselves:
+/// bench_regression writes the stamp as `info.abi_stamp`, and bench_check
+/// prints a deprecation warning (not a failure) when the baseline's stamp
+/// is missing or older than this constant.
+///
+/// Stamp history:
+///   1  PR 4 arena-join harness (per-level arenas, prefix-group joins)
+inline constexpr double kBenchAbiStamp = 1;
+
+}  // namespace pgm
+
+#endif  // PGM_UTIL_BENCH_ABI_H_

@@ -71,14 +71,14 @@ void Histogram::Observe(std::uint64_t value) {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::unique_ptr<Counter>& slot = counters_[name];
   if (slot == nullptr) slot.reset(new Counter());
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::unique_ptr<Gauge>& slot = gauges_[name];
   if (slot == nullptr) slot.reset(new Gauge());
   return slot.get();
@@ -86,27 +86,27 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<std::uint64_t> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (slot == nullptr) slot.reset(new Histogram(std::move(bounds)));
   return slot.get();
 }
 
 const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : it->second.get();
 }
 
 const Histogram* MetricsRegistry::FindHistogram(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
@@ -124,7 +124,7 @@ void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
   std::vector<std::pair<std::string, std::int64_t>> gauges;
   std::vector<std::pair<std::string, const Histogram*>> histograms;
   {
-    std::lock_guard<std::mutex> lock(other.mutex_);
+    MutexLock lock(other.mutex_);
     for (const auto& [name, counter] : other.counters_) {
       counters.emplace_back(name, counter->value());
     }
@@ -158,7 +158,7 @@ void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, counter] : counters_) {

@@ -6,11 +6,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/saturating.h"
+#include "util/thread_annotations.h"
 
 namespace pgm {
 
@@ -134,10 +135,16 @@ class MetricsRegistry {
   std::string ToJson() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // The mutex guards only the maps (registration and export); the metric
+  // objects the map values own are internally atomic, so updates through
+  // previously returned handles need no capability.
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      PGM_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      PGM_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      PGM_GUARDED_BY(mutex_);
 };
 
 }  // namespace pgm

@@ -1,0 +1,55 @@
+#ifndef PGM_UTIL_MUTEX_H_
+#define PGM_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace pgm {
+
+/// An annotated std::mutex. libstdc++ ships std::mutex without thread-safety
+/// annotations, so locking through the raw type is invisible to Clang's
+/// analysis; this wrapper is the capability the PGM_GUARDED_BY declarations
+/// throughout the codebase refer to. It satisfies BasicLockable (lowercase
+/// lock/unlock), so std::condition_variable_any waits on it directly.
+///
+/// Lock through MutexLock; the bare lock()/unlock() methods exist for the
+/// condition-variable protocol and the RAII wrapper only (the `naked-lock`
+/// lint rule rejects direct calls elsewhere).
+class PGM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PGM_ACQUIRE() { mu_.lock(); }    // pgm-lint: allow(naked-lock)
+  void unlock() PGM_RELEASE() { mu_.unlock(); }  // pgm-lint: allow(naked-lock)
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for pgm::Mutex — the only sanctioned way to hold one outside a
+/// condition-variable wait loop.
+class PGM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PGM_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }  // pgm-lint: allow(naked-lock)
+  ~MutexLock() PGM_RELEASE() { mu_.unlock(); }  // pgm-lint: allow(naked-lock)
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with pgm::Mutex. Waits release and reacquire
+/// the capability, which the analysis cannot see; callers therefore keep
+/// guarded reads in the function that holds the MutexLock (a manual
+/// while-wait loop), never in a predicate lambda.
+using CondVar = std::condition_variable_any;
+
+}  // namespace pgm
+
+#endif  // PGM_UTIL_MUTEX_H_

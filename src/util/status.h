@@ -30,7 +30,12 @@ const char* StatusCodeToString(StatusCode code);
 /// A lightweight success-or-error result used throughout the library instead
 /// of exceptions. Library code never throws; fallible operations return
 /// `Status` (or `StatusOr<T>` when they produce a value).
-class Status {
+///
+/// The class is [[nodiscard]]: a call site that drops a returned Status on
+/// the floor is a compile warning (an error under PGM_ANALYZE=ON). The rare
+/// construct whose failure is genuinely unobservable must say so with an
+/// explicit `(void)` cast and a comment defending it.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -93,8 +98,10 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 
 /// Either a value of type `T` or an error `Status`. Accessing the value of a
 /// non-OK StatusOr is a programming error (asserted in debug builds).
+/// [[nodiscard]] for the same reason as Status: dropping one silently
+/// discards both the value and the error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit construction from a value or from an error Status keeps call
   /// sites terse (`return 42;` / `return Status::InvalidArgument(...)`).

@@ -1,0 +1,69 @@
+#ifndef PGM_UTIL_THREAD_ANNOTATIONS_H_
+#define PGM_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis annotations, compiled out on toolchains
+/// without the attribute (GCC, MSVC). Annotating a member
+///
+///   std::vector<TraceEvent> events_ PGM_GUARDED_BY(mutex_);
+///
+/// makes any access outside a scope that holds `mutex_` a compile error
+/// under `-Wthread-safety` (the PGM_ANALYZE=ON build config), turning the
+/// locking discipline that TSan checks dynamically into a build-time
+/// guarantee. See https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+/// for the capability model.
+///
+/// The macro set mirrors the annotations the codebase actually uses; add
+/// new wrappers here rather than spelling the attribute inline, so the
+/// non-Clang no-op path stays complete.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define PGM_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef PGM_THREAD_ANNOTATION_
+#define PGM_THREAD_ANNOTATION_(x)  // no-op on non-Clang toolchains
+#endif
+
+/// Declares a type as a capability (lockable). libstdc++'s std::mutex
+/// carries no TSA annotations, so the codebase locks through the annotated
+/// pgm::Mutex wrapper (util/mutex.h) instead.
+#define PGM_CAPABILITY(x) PGM_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor releases
+/// a capability (e.g. pgm::MutexLock).
+#define PGM_SCOPED_CAPABILITY PGM_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Declares that a data member may only be read or written while holding
+/// the given capability.
+#define PGM_GUARDED_BY(x) PGM_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Declares that the pointee (not the pointer) is protected by the given
+/// capability.
+#define PGM_PT_GUARDED_BY(x) PGM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Declares that a function must be called with the capability held; the
+/// caller keeps ownership across the call.
+#define PGM_REQUIRES(...) \
+  PGM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Declares that a function acquires the capability and does not release
+/// it before returning.
+#define PGM_ACQUIRE(...) \
+  PGM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Declares that a function releases a capability the caller held.
+#define PGM_RELEASE(...) \
+  PGM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Declares that a function must NOT be called with the capability held
+/// (deadlock prevention for functions that acquire it themselves).
+#define PGM_EXCLUDES(...) PGM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch: disables the analysis for one function whose locking is
+/// correct for reasons the analysis cannot see. Every use must carry a
+/// comment explaining why.
+#define PGM_NO_THREAD_SAFETY_ANALYSIS \
+  PGM_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // PGM_UTIL_THREAD_ANNOTATIONS_H_

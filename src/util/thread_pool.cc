@@ -12,7 +12,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -25,15 +25,18 @@ void ThreadPool::Execute(const std::function<void(std::size_t)>& fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     task_ = &fn;
     pending_ = workers_.size();
     ++generation_;
   }
   work_cv_.notify_all();
   fn(0);
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  // Manual wait loop (not the predicate overload): the guarded read of
+  // pending_ must sit in this function, where the analysis sees the lock
+  // held — a predicate lambda would be analyzed as an unlocked context.
+  while (pending_ != 0) done_cv_.wait(mu_);
   task_ = nullptr;
 }
 
@@ -42,17 +45,15 @@ void ThreadPool::WorkerLoop(std::size_t worker_index) {
   while (true) {
     const std::function<void(std::size_t)>* task = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
+      MutexLock lock(mu_);
+      while (!shutdown_ && generation_ == seen_generation) work_cv_.wait(mu_);
       if (shutdown_) return;
       seen_generation = generation_;
       task = task_;
     }
     (*task)(worker_index);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --pending_;
     }
     done_cv_.notify_one();

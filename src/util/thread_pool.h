@@ -1,13 +1,14 @@
 #ifndef PGM_UTIL_THREAD_POOL_H_
 #define PGM_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace pgm {
 
@@ -51,14 +52,14 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  // All guarded by mu_. task_ is non-null exactly while a generation runs.
-  const std::function<void(std::size_t)>* task_ = nullptr;
-  std::uint64_t generation_ = 0;
-  std::size_t pending_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  // task_ is non-null exactly while a generation runs.
+  const std::function<void(std::size_t)>* task_ PGM_GUARDED_BY(mu_) = nullptr;
+  std::uint64_t generation_ PGM_GUARDED_BY(mu_) = 0;
+  std::size_t pending_ PGM_GUARDED_BY(mu_) = 0;
+  bool shutdown_ PGM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace pgm

@@ -1,0 +1,146 @@
+// The linter's own test suite: every rule must fire on its seeded bad
+// fixture (tests/lint_fixtures/), waivers must silence it, and the live
+// source tree must lint clean. PGM_LINT_FIXTURE_DIR and PGM_LINT_SOURCE_DIR
+// are injected by tests/CMakeLists.txt.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+#include "util/io.h"
+
+namespace pgm {
+namespace lint {
+namespace {
+
+std::vector<Finding> LintFixture(const std::string& name, bool all_rules) {
+  const std::string path = std::string(PGM_LINT_FIXTURE_DIR) + "/" + name;
+  StatusOr<std::string> content = ReadFileToString(path);
+  EXPECT_TRUE(content.ok()) << path;
+  LintOptions options;
+  options.all_rules = all_rules;
+  return LintSource(path, content.ok() ? content.value() : "", options);
+}
+
+std::set<std::string> Rules(const std::vector<Finding>& findings) {
+  std::set<std::string> rules;
+  for (const Finding& f : findings) rules.insert(f.rule);
+  return rules;
+}
+
+TEST(LintFixtureTest, NakedLockFires) {
+  const std::vector<Finding> findings =
+      LintFixture("bad_naked_lock.cc", /*all_rules=*/true);
+  EXPECT_EQ(Rules(findings), std::set<std::string>{"naked-lock"});
+  // lock, unlock, try_lock, unlock: four offending lines.
+  EXPECT_EQ(findings.size(), 4u);
+}
+
+TEST(LintFixtureTest, RawAllocFires) {
+  const std::vector<Finding> findings =
+      LintFixture("bad_raw_alloc.cc", /*all_rules=*/true);
+  EXPECT_EQ(Rules(findings), std::set<std::string>{"raw-alloc"});
+  // new, delete, malloc, free.
+  EXPECT_EQ(findings.size(), 4u);
+}
+
+TEST(LintFixtureTest, RawAllocIsScopedToCore) {
+  // The same content under a non-core path is exempt unless all_rules.
+  const std::string path = std::string(PGM_LINT_FIXTURE_DIR) + "/bad_raw_alloc.cc";
+  StatusOr<std::string> content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_TRUE(
+      LintSource("tests/helper.cc", content.value(), LintOptions{}).empty());
+  EXPECT_FALSE(
+      LintSource("src/core/helper.cc", content.value(), LintOptions{})
+          .empty());
+}
+
+TEST(LintFixtureTest, UnseededRngFires) {
+  const std::vector<Finding> findings =
+      LintFixture("bad_unseeded_rng.cc", /*all_rules=*/true);
+  EXPECT_EQ(Rules(findings), std::set<std::string>{"unseeded-rng"});
+  // std::rand, random_device, default-constructed mt19937.
+  EXPECT_EQ(findings.size(), 3u);
+}
+
+TEST(LintFixtureTest, UndocumentedDiscardFires) {
+  const std::vector<Finding> findings =
+      LintFixture("bad_undocumented_discard.cc", /*all_rules=*/true);
+  EXPECT_EQ(Rules(findings), std::set<std::string>{"undocumented-discard"});
+  EXPECT_EQ(findings.size(), 1u);
+}
+
+TEST(LintFixtureTest, LedgerPairingFires) {
+  const std::vector<Finding> findings =
+      LintFixture("bad_ledger_pairing.cc", /*all_rules=*/true);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "ledger-pairing");
+}
+
+TEST(LintFixtureTest, ArenaScratchFires) {
+  const std::vector<Finding> findings =
+      LintFixture("bad_arena_scratch.cc", /*all_rules=*/true);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "arena-scratch");
+}
+
+TEST(LintFixtureTest, WaiversSilenceEveryRule) {
+  EXPECT_TRUE(LintFixture("good_waivers.cc", /*all_rules=*/true).empty());
+}
+
+TEST(LintFixtureTest, DigitSeparatorsDoNotDerailStripping) {
+  // 200'000 is a digit separator, not a char-literal open; the release on
+  // the next line must still register.
+  const std::string source =
+      "void f(G& g) {\n"
+      "  for (int i = 0; i < 200'000; ++i) g.ChargeMemory(1);\n"
+      "  g.ReleaseMemory(200'000);\n"
+      "}\n";
+  LintOptions options;
+  options.all_rules = true;
+  EXPECT_TRUE(LintSource("x.cc", source, options).empty());
+}
+
+TEST(LintFixtureTest, CommentsAndStringsAreInvisible) {
+  const std::string source =
+      "// mu.lock() and new int[3] and std::rand()\n"
+      "/* delete p; (void)x; */\n"
+      "const char* s = \"mu.lock()\";\n";
+  LintOptions options;
+  options.all_rules = true;
+  EXPECT_TRUE(LintSource("x.cc", source, options).empty());
+}
+
+// The gate itself: the live tree must be clean. Same scan `ctest -L lint`
+// runs through the pgm_lint binary, duplicated here so a plain `ctest`
+// (tier-1) also refuses a tree with violations.
+TEST(LintTreeTest, SourceTreeIsClean) {
+  StatusOr<std::vector<Finding>> findings =
+      LintTree(PGM_LINT_SOURCE_DIR, LintOptions{});
+  ASSERT_TRUE(findings.ok()) << findings.status().ToString();
+  std::string report;
+  for (const Finding& f : findings.value()) {
+    report += FormatFinding(f) + "\n";
+  }
+  EXPECT_TRUE(findings.value().empty()) << report;
+}
+
+TEST(LintTreeTest, FixtureCorpusIsExcludedFromTreeScans) {
+  LintOptions options;
+  options.all_rules = true;
+  StatusOr<std::vector<Finding>> findings =
+      LintTree(PGM_LINT_SOURCE_DIR, options);
+  ASSERT_TRUE(findings.ok());
+  for (const Finding& f : findings.value()) {
+    EXPECT_EQ(f.file.find("lint_fixtures"), std::string::npos) << f.file;
+  }
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace pgm

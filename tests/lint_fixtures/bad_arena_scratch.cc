@@ -1,0 +1,13 @@
+// Fixture: arena-scratch must fire on Promote/TruncateToWatermark outside
+// a BeginScratch/EndScratch bracket.
+struct Span {};
+struct Arena {
+  Span Promote(Span span);
+  void TruncateToWatermark();
+};
+
+Span Broken(Arena& arena, Span span) {
+  Span kept = arena.Promote(span);
+  arena.TruncateToWatermark();
+  return kept;
+}

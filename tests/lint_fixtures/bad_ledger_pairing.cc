@@ -1,0 +1,12 @@
+// Fixture: ledger-pairing must fire when a file charges the guard ledger
+// without any release path.
+// The rule is textual: even a ReleaseMemory *declaration* would count as a
+// release path, so this guard only charges.
+struct Guard {
+  bool ChargeMemory(unsigned long long bytes);
+};
+
+bool Broken(Guard& guard) {
+  // Charges but never releases: the ledger cannot drain to zero.
+  return guard.ChargeMemory(4096);
+}

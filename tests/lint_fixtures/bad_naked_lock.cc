@@ -1,0 +1,14 @@
+// Fixture: naked-lock must fire on direct mutex member calls.
+#include <mutex>
+
+void Broken(std::mutex& mu, int* shared) {
+  mu.lock();
+  ++*shared;
+  mu.unlock();
+}
+
+void AlsoBroken(std::mutex* mu) {
+  if (mu->try_lock()) {
+    mu->unlock();
+  }
+}

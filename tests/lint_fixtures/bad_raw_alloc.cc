@@ -1,0 +1,10 @@
+// Fixture: raw-alloc must fire on new/delete/malloc in core code.
+#include <cstdlib>
+
+int* Broken(int n) {
+  int* rows = new int[static_cast<unsigned>(n)];
+  delete[] rows;
+  return static_cast<int*>(std::malloc(16));
+}
+
+void AlsoBroken(void* p) { std::free(p); }

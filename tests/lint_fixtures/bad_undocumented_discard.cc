@@ -1,0 +1,6 @@
+// Fixture: undocumented-discard must fire on a bare (void) cast.
+int Compute();
+
+void Broken() {
+  (void)Compute();
+}

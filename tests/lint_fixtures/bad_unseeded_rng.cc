@@ -1,0 +1,15 @@
+// Fixture: unseeded-rng must fire on every nondeterministic RNG source.
+#include <cstdlib>
+#include <random>
+
+int Broken() { return std::rand(); }
+
+unsigned AlsoBroken() {
+  std::random_device rd;
+  return rd();
+}
+
+unsigned DefaultSeeded() {
+  std::mt19937 rng;
+  return rng();
+}

@@ -1,0 +1,29 @@
+// Fixture: every rule stays quiet when waived or when the code is clean.
+// pgm-lint: allow(ledger-pairing) — fixture exercises the file-scope waiver.
+#include <mutex>
+
+struct Guard {
+  bool ChargeMemory(unsigned long long bytes);
+};
+
+struct Wrapper {
+  // Same-line waiver.
+  void lock() { mu_.lock(); }  // pgm-lint: allow(naked-lock)
+  // Previous-line waiver.
+  // pgm-lint: allow(naked-lock)
+  void unlock() { mu_.unlock(); }
+
+  std::mutex mu_;
+};
+
+int Compute();
+
+bool Clean(Guard& guard) {
+  // Documented discard: the comment satisfies undocumented-discard.
+  (void)Compute();
+  return guard.ChargeMemory(1);
+}
+
+// Mentions in comments and strings must never fire: new delete malloc
+// std::rand random_device mt19937 Promote( TruncateToWatermark( lock().
+const char* kDoc = "call mu.lock() then new int[4] then std::rand()";

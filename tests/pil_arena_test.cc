@@ -174,6 +174,7 @@ TEST(PilArenaMechanicsTest, PromoteCompactsScratchOntoWatermark) {
 
   // Three scratch spans; the middle one is abandoned (an infrequent
   // candidate), the other two are promoted in offset order.
+  arena.BeginScratch();
   const PilSpan keep_a = SpanOf(arena, {PilEntry{3, 30}});
   SpanOf(arena, {PilEntry{4, 40}, PilEntry{5, 50}});  // abandoned
   const PilSpan keep_b = SpanOf(arena, {PilEntry{6, 60}, PilEntry{7, 70}});
@@ -183,6 +184,7 @@ TEST(PilArenaMechanicsTest, PromoteCompactsScratchOntoWatermark) {
   EXPECT_EQ(a.offset, 2u);
   EXPECT_EQ(b.offset, 3u);
   arena.TruncateToWatermark();
+  arena.EndScratch();
   EXPECT_EQ(arena.size(), arena.watermark());
   EXPECT_EQ(arena.size(), 5u);
 
@@ -398,10 +400,12 @@ TEST(ArenaLedgerTest, WarmedArenaStopsGrowing) {
   for (int level = 0; level < 16; ++level) {
     arena.Clear();
     ASSERT_TRUE(arena.Reserve(1 + (level * 251) % 4096));
+    arena.BeginScratch();
     const PilSpan span = arena.Allocate(64);
     arena.MutableRows(span)[0] = PilEntry{0, 1};
     arena.Promote(span);
     arena.TruncateToWatermark();
+    arena.EndScratch();
   }
   EXPECT_EQ(arena.growth_count(), warm_growths);
 }

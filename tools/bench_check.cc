@@ -9,7 +9,9 @@
 // "*_speedup" / "*_ratio" metrics regress by going down. Keys prefixed
 // "info." are informational and never checked; a tracked baseline key
 // missing from the current file is a failure (a silently dropped metric is
-// a regression of the harness itself).
+// a regression of the harness itself). A baseline whose `info.abi_stamp`
+// is missing or older than util/bench_abi.h's current stamp draws a
+// deprecation warning (not a failure) asking for regeneration.
 
 #include <cctype>
 #include <cstdio>
@@ -17,6 +19,7 @@
 #include <map>
 #include <string>
 
+#include "util/bench_abi.h"
 #include "util/flags.h"
 #include "util/io.h"
 #include "util/status.h"
@@ -104,6 +107,25 @@ int Main(int argc, char** argv) {
                  (!baseline.ok() ? baseline : current).status().ToString()
                      .c_str());
     return 2;
+  }
+
+  // Deprecation check, not a gate: a baseline measured under an older
+  // benchmark ABI (or before stamps existed) still compares, but the
+  // numbers may not mean what the current harness measures — warn so the
+  // baseline gets regenerated.
+  const auto stamp_it = baseline->find("info.abi_stamp");
+  if (stamp_it == baseline->end()) {
+    std::fprintf(stderr,
+                 "WARNING: baseline %s predates ABI stamps (current stamp "
+                 "%g); regenerate it with bench_regression\n",
+                 flags.positional_args()[0].c_str(), kBenchAbiStamp);
+  } else if (stamp_it->second < kBenchAbiStamp) {
+    std::fprintf(stderr,
+                 "WARNING: baseline %s has ABI stamp %g, older than the "
+                 "current harness's %g; its tracked metrics are deprecated "
+                 "-- regenerate it with bench_regression\n",
+                 flags.positional_args()[0].c_str(), stamp_it->second,
+                 kBenchAbiStamp);
   }
 
   int failures = 0;

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Checks .clang-format conformance for every tracked .h/.cc file under the
+# repo root given as $1 (default: the script's parent directory). Exit 0 on
+# conformance, 1 on drift (with a per-file diff summary), 77 when
+# clang-format is not installed (ctest maps 77 to SKIP via
+# SKIP_RETURN_CODE).
+set -u
+
+root="${1:-$(dirname "$0")/..}"
+cd "$root" || exit 2
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not installed; skipping" >&2
+  exit 77
+fi
+
+status=0
+for file in $(find src tools bench tests examples \
+                   -name lint_fixtures -prune -o \
+                   \( -name '*.h' -o -name '*.cc' \) -print | sort); do
+  if ! clang-format --dry-run --Werror "$file" >/dev/null 2>&1; then
+    echo "check_format: $file is not clang-format clean" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "check_format: run 'clang-format -i' on the files above" >&2
+fi
+exit "$status"

@@ -1,0 +1,383 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+
+#include "util/io.h"
+#include "util/string_util.h"
+
+namespace pgm {
+namespace lint {
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Splits `content` into lines with comments, string literals, and char
+/// literals blanked out (newlines preserved, so line numbers survive). The
+/// raw lines come back too — waiver detection and the "has a comment"
+/// checks must see what the stripper removed.
+void SplitAndStrip(const std::string& content, std::vector<std::string>* raw,
+                   std::vector<std::string>* stripped) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  std::string raw_line;
+  std::string stripped_line;
+  auto flush = [&]() {
+    raw->push_back(raw_line);
+    stripped->push_back(stripped_line);
+    raw_line.clear();
+    stripped_line.clear();
+  };
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      flush();
+      continue;
+    }
+    raw_line.push_back(c);
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          raw_line.push_back(next);
+          stripped_line.append("  ");
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          stripped_line.push_back(' ');
+        } else if (c == '\'') {
+          // A quote right after an identifier/number char is a C++14 digit
+          // separator (200'000), not a char-literal open.
+          if (!stripped_line.empty() && IsWordChar(stripped_line.back())) {
+            stripped_line.push_back(c);
+          } else {
+            state = State::kChar;
+            stripped_line.push_back(' ');
+          }
+        } else {
+          stripped_line.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        break;  // dropped; newline resets
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          raw_line.push_back(next);
+          ++i;
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          raw_line.push_back(next);
+          ++i;
+        } else if (c == quote) {
+          state = State::kCode;
+        }
+        break;
+      }
+    }
+  }
+  if (!raw_line.empty() || !stripped_line.empty()) flush();
+}
+
+/// True when `line` names `rule` inside a `pgm-lint: allow(...)` marker.
+bool LineWaives(const std::string& line, const std::string& rule) {
+  const std::size_t at = line.find("pgm-lint: allow(");
+  if (at == std::string::npos) return false;
+  const std::size_t close = line.find(')', at);
+  if (close == std::string::npos) return false;
+  const std::string list = line.substr(at + 16, close - at - 16);
+  for (const std::string& allowed : Split(list, ',')) {
+    if (Trim(allowed) == rule) return true;
+  }
+  return false;
+}
+
+/// True when the offending line or the line above carries a waiver for
+/// `rule`.
+bool HasWaiver(const std::vector<std::string>& raw, std::size_t index,
+               const std::string& rule) {
+  if (LineWaives(raw[index], rule)) return true;
+  return index > 0 && LineWaives(raw[index - 1], rule);
+}
+
+bool FileHasWaiver(const std::vector<std::string>& raw,
+                   const std::string& rule) {
+  for (const std::string& line : raw) {
+    if (LineWaives(line, rule)) return true;
+  }
+  return false;
+}
+
+/// Finds whole-word occurrences of `word` in `line` starting at or after
+/// `from`; returns npos when absent.
+std::size_t FindWord(const std::string& line, const std::string& word,
+                     std::size_t from = 0) {
+  std::size_t at = line.find(word, from);
+  while (at != std::string::npos) {
+    const bool left_ok = at == 0 || !IsWordChar(line[at - 1]);
+    const std::size_t end = at + word.size();
+    const bool right_ok = end >= line.size() || !IsWordChar(line[end]);
+    if (left_ok && right_ok) return at;
+    at = line.find(word, at + 1);
+  }
+  return std::string::npos;
+}
+
+/// Whole-word `word` immediately followed by '(' (ignoring spaces).
+bool HasCall(const std::string& line, const std::string& word) {
+  std::size_t at = FindWord(line, word);
+  while (at != std::string::npos) {
+    std::size_t after = at + word.size();
+    while (after < line.size() && line[after] == ' ') ++after;
+    if (after < line.size() && line[after] == '(') return true;
+    at = FindWord(line, word, at + 1);
+  }
+  return false;
+}
+
+/// The word before position `at`, skipping trailing spaces ("" when none).
+std::string WordBefore(const std::string& line, std::size_t at) {
+  std::size_t end = at;
+  while (end > 0 && line[end - 1] == ' ') --end;
+  std::size_t begin = end;
+  while (begin > 0 && IsWordChar(line[begin - 1])) --begin;
+  return line.substr(begin, end - begin);
+}
+
+// --- Line-scoped rules. Each returns a message when the stripped line
+// violates the rule, or "" when clean. ---
+
+std::string CheckNakedLock(const std::string& line) {
+  for (const char* method : {"lock", "unlock", "try_lock"}) {
+    std::size_t at = FindWord(line, method);
+    while (at != std::string::npos) {
+      const bool member_call =
+          (at >= 1 && line[at - 1] == '.') ||
+          (at >= 2 && line[at - 2] == '-' && line[at - 1] == '>');
+      std::size_t after = at + std::string(method).size();
+      const bool is_call = after < line.size() && line[after] == '(';
+      if (member_call && is_call) {
+        return std::string("naked ") + method +
+               "() call; hold locks through pgm::MutexLock (util/mutex.h)";
+      }
+      at = FindWord(line, method, at + 1);
+    }
+  }
+  return "";
+}
+
+std::string CheckRawAlloc(const std::string& line) {
+  std::size_t at = FindWord(line, "new");
+  if (at != std::string::npos && WordBefore(line, at) != "operator") {
+    return "raw `new` in src/core; PIL storage must come from PilArena so "
+           "the MiningGuard ledger stays truthful";
+  }
+  at = FindWord(line, "delete");
+  if (at != std::string::npos && WordBefore(line, at) != "operator") {
+    // `= delete;` (deleted special member) is a declaration, not a
+    // deallocation.
+    std::size_t before = at;
+    while (before > 0 && line[before - 1] == ' ') --before;
+    if (before == 0 || line[before - 1] != '=') {
+      return "raw `delete` in src/core; arena-owned rows are reclaimed by "
+             "TruncateToWatermark/Clear, never freed directly";
+    }
+  }
+  for (const char* fn : {"malloc", "calloc", "realloc", "free"}) {
+    if (HasCall(line, fn)) {
+      return std::string("raw ") + fn +
+             "() in src/core; use PilArena or standard containers";
+    }
+  }
+  return "";
+}
+
+std::string CheckUnseededRng(const std::string& line) {
+  if (line.find("std::rand") != std::string::npos || HasCall(line, "rand") ||
+      HasCall(line, "srand")) {
+    return "std::rand/srand is unseeded global state; use util/random.h's "
+           "Rng with an explicit seed";
+  }
+  if (FindWord(line, "random_device") != std::string::npos) {
+    return "std::random_device is nondeterministic; runs must be "
+           "reproducible from an explicit seed (util/random.h)";
+  }
+  for (const char* type : {"mt19937", "mt19937_64"}) {
+    std::size_t at = FindWord(line, type);
+    while (at != std::string::npos) {
+      std::size_t after = at + std::string(type).size();
+      while (after < line.size() && line[after] == ' ') ++after;
+      std::size_t name_end = after;
+      while (name_end < line.size() && IsWordChar(line[name_end])) ++name_end;
+      std::size_t semi = name_end;
+      while (semi < line.size() && line[semi] == ' ') ++semi;
+      if (name_end > after && semi < line.size() && line[semi] == ';') {
+        return "default-constructed mt19937 uses the fixed default seed "
+               "silently; seed explicitly via util/random.h";
+      }
+      at = FindWord(line, type, at + 1);
+    }
+  }
+  return "";
+}
+
+std::string CheckUndocumentedDiscard(const std::string& stripped,
+                                     const std::vector<std::string>& raw,
+                                     std::size_t index) {
+  std::size_t at = stripped.find("(void)");
+  while (at != std::string::npos) {
+    std::size_t after = at + 6;
+    while (after < stripped.size() && stripped[after] == ' ') ++after;
+    // `(void)` directly before ')' is a C-style empty parameter list, not a
+    // discard.
+    if (after < stripped.size() && stripped[after] != ')') {
+      const bool documented =
+          raw[index].find("//") != std::string::npos ||
+          raw[index].find("/*") != std::string::npos ||
+          (index > 0 && (raw[index - 1].find("//") != std::string::npos ||
+                         raw[index - 1].find("/*") != std::string::npos));
+      if (!documented) {
+        return "(void) discard without a justifying comment; (void) is the "
+               "only escape from [[nodiscard]], so say why it is sound";
+      }
+    }
+    at = stripped.find("(void)", at + 1);
+  }
+  return "";
+}
+
+struct FileScopeHit {
+  std::size_t first_line = 0;  // 1-based; 0 = not seen
+};
+
+}  // namespace
+
+std::vector<Finding> LintSource(const std::string& path,
+                                const std::string& content,
+                                const LintOptions& options) {
+  std::vector<std::string> raw;
+  std::vector<std::string> stripped;
+  SplitAndStrip(content, &raw, &stripped);
+
+  std::vector<Finding> findings;
+  auto add = [&](std::size_t index, const char* rule,
+                 const std::string& message) {
+    if (HasWaiver(raw, index, rule)) return;
+    findings.push_back(Finding{path, index + 1, rule, message});
+  };
+
+  const bool core_rules =
+      options.all_rules || path.find("src/core") != std::string::npos;
+
+  FileScopeHit charge, release, scratch_use, scratch_begin, scratch_end;
+  for (std::size_t i = 0; i < stripped.size(); ++i) {
+    const std::string& line = stripped[i];
+    if (line.empty()) continue;
+
+    std::string msg = CheckNakedLock(line);
+    if (!msg.empty()) add(i, "naked-lock", msg);
+    if (core_rules) {
+      msg = CheckRawAlloc(line);
+      if (!msg.empty()) add(i, "raw-alloc", msg);
+    }
+    msg = CheckUnseededRng(line);
+    if (!msg.empty()) add(i, "unseeded-rng", msg);
+    msg = CheckUndocumentedDiscard(line, raw, i);
+    if (!msg.empty()) add(i, "undocumented-discard", msg);
+
+    auto note = [&](FileScopeHit* hit, const char* token) {
+      if (hit->first_line == 0 && HasCall(line, token)) {
+        hit->first_line = i + 1;
+      }
+    };
+    note(&charge, "ChargeMemory");
+    note(&release, "ReleaseMemory");
+    note(&scratch_use, "Promote");
+    note(&scratch_use, "TruncateToWatermark");
+    note(&scratch_begin, "BeginScratch");
+    note(&scratch_end, "EndScratch");
+  }
+
+  if (charge.first_line != 0 && release.first_line == 0 &&
+      !FileHasWaiver(raw, "ledger-pairing")) {
+    findings.push_back(Finding{
+        path, charge.first_line, "ledger-pairing",
+        "ChargeMemory without a ReleaseMemory path in this file; every "
+        "ledger charge needs a structural release or the ledger cannot "
+        "drain to zero"});
+  }
+  if (scratch_use.first_line != 0 &&
+      (scratch_begin.first_line == 0 || scratch_end.first_line == 0) &&
+      !FileHasWaiver(raw, "arena-scratch")) {
+    findings.push_back(Finding{
+        path, scratch_use.first_line, "arena-scratch",
+        "Promote/TruncateToWatermark without the BeginScratch/EndScratch "
+        "bracket in this file; scratch operations are only legal inside an "
+        "open scratch window"});
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+StatusOr<std::vector<Finding>> LintTree(const std::string& root,
+                                        const LintOptions& options) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    return Status::IoError("lint root is not a directory: " + root);
+  }
+  std::vector<std::string> paths;
+  for (const char* top : {"src", "tools", "bench", "tests", "examples"}) {
+    const fs::path dir = fs::path(root) / top;
+    if (!fs::is_directory(dir, ec)) continue;
+    for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) return Status::IoError("walking " + dir.string() + ": " +
+                                     ec.message());
+      if (!it->is_regular_file(ec)) continue;
+      const std::string path = it->path().string();
+      if (path.find("lint_fixtures") != std::string::npos) continue;
+      if (path.size() >= 3 && path.compare(path.size() - 3, 3, ".cc") == 0) {
+        paths.push_back(path);
+      } else if (path.size() >= 2 &&
+                 path.compare(path.size() - 2, 2, ".h") == 0) {
+        paths.push_back(path);
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<Finding> findings;
+  for (const std::string& path : paths) {
+    PGM_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+    std::vector<Finding> file_findings = LintSource(path, content, options);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+std::string FormatFinding(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" +
+         finding.rule + "] " + finding.message;
+}
+
+}  // namespace lint
+}  // namespace pgm

@@ -1,0 +1,76 @@
+#ifndef PGM_TOOLS_LINT_LINT_H_
+#define PGM_TOOLS_LINT_LINT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pgm {
+namespace lint {
+
+/// One rule violation. `line` is 1-based.
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// The project-specific invariants the compiler cannot see. Each rule is a
+/// file-scope textual check over comment- and string-stripped source:
+///
+///   naked-lock            .lock()/.unlock()/.try_lock() member calls —
+///                         locking must go through the MutexLock RAII
+///                         wrapper (util/mutex.h).
+///   raw-alloc             new/delete/malloc/free in src/core — PIL memory
+///                         must flow through PilArena so the MiningGuard
+///                         ledger stays truthful.
+///   unseeded-rng          std::rand/srand/std::random_device or a
+///                         default-constructed mt19937 — all randomness
+///                         must be seeded through util/random.h or results
+///                         stop being reproducible.
+///   undocumented-discard  a `(void)expr;` cast with no comment on the same
+///                         or previous line — (void) is the only escape
+///                         from [[nodiscard]], so each use must defend
+///                         itself.
+///   ledger-pairing        a file that calls MiningGuard::ChargeMemory must
+///                         also contain a ReleaseMemory path (the ledger
+///                         drains to zero only if every charge has a
+///                         structural release).
+///   arena-scratch         a file that calls PilArena::Promote or
+///                         TruncateToWatermark must also contain the
+///                         BeginScratch/EndScratch bracket those calls are
+///                         only legal inside.
+///
+/// Waivers: `// pgm-lint: allow(rule-a,rule-b)` on the offending line or
+/// the line above waives line-scoped rules; anywhere in the file it waives
+/// the file-scoped rules (ledger-pairing, arena-scratch). Waivers are
+/// comments, so every one doubles as documentation of the exception.
+struct LintOptions {
+  /// Apply every rule regardless of the file's path. Tree scans leave this
+  /// false so path-scoped rules (raw-alloc) only fire where they apply;
+  /// fixture tests set it to exercise all rules on one file.
+  bool all_rules = false;
+};
+
+/// Lints one translation unit given its contents. `path` decides which
+/// path-scoped rules apply (unless options.all_rules).
+std::vector<Finding> LintSource(const std::string& path,
+                                const std::string& content,
+                                const LintOptions& options);
+
+/// Walks src/, tools/, bench/, tests/, and examples/ under `root` (skipping
+/// the lint_fixtures corpus) and lints every .h/.cc file, in sorted path
+/// order. IoError when root is missing.
+StatusOr<std::vector<Finding>> LintTree(const std::string& root,
+                                        const LintOptions& options);
+
+/// Formats one finding as "path:line: [rule] message".
+std::string FormatFinding(const Finding& finding);
+
+}  // namespace lint
+}  // namespace pgm
+
+#endif  // PGM_TOOLS_LINT_LINT_H_

@@ -1,0 +1,80 @@
+// pgm_lint — the project-specific invariant checker (see tools/lint/lint.h
+// for the rule catalogue). Exit codes: 0 clean, 1 findings, 2 usage/IO
+// error. `ctest -L lint` runs this over the source tree.
+//
+// Usage:
+//   pgm_lint --root <repo-root>        lint the whole tree
+//   pgm_lint [--all-rules] <file>...   lint specific files (fixture mode)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+#include "util/io.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pgm_lint --root <dir> | pgm_lint [--all-rules] "
+               "<file>...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  pgm::lint::LintOptions options;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0) {
+      if (i + 1 >= argc) return Usage();
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--all-rules") == 0) {
+      options.all_rules = true;
+    } else if (argv[i][0] == '-') {
+      return Usage();
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (root.empty() == files.empty()) return Usage();
+
+  std::vector<pgm::lint::Finding> findings;
+  if (!root.empty()) {
+    pgm::StatusOr<std::vector<pgm::lint::Finding>> tree =
+        pgm::lint::LintTree(root, options);
+    if (!tree.ok()) {
+      std::fprintf(stderr, "pgm_lint: %s\n",
+                   tree.status().ToString().c_str());
+      return 2;
+    }
+    findings = std::move(tree).value();
+  } else {
+    for (const std::string& file : files) {
+      pgm::StatusOr<std::string> content = pgm::ReadFileToString(file);
+      if (!content.ok()) {
+        std::fprintf(stderr, "pgm_lint: %s\n",
+                     content.status().ToString().c_str());
+        return 2;
+      }
+      std::vector<pgm::lint::Finding> file_findings =
+          pgm::lint::LintSource(file, content.value(), options);
+      findings.insert(findings.end(), file_findings.begin(),
+                      file_findings.end());
+    }
+  }
+
+  for (const pgm::lint::Finding& finding : findings) {
+    std::fprintf(stderr, "%s\n",
+                 pgm::lint::FormatFinding(finding).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "pgm_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}

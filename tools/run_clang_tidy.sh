@@ -1,0 +1,28 @@
+#!/bin/sh
+# Runs the repo's .clang-tidy profile over src/ and tools/ using the
+# compile database in the build tree given as $2. Exit 0 when clean, 1 on
+# findings, 77 when clang-tidy or the compile database is unavailable
+# (ctest maps 77 to SKIP via SKIP_RETURN_CODE).
+set -u
+
+root="${1:?usage: run_clang_tidy.sh <repo-root> <build-dir>}"
+build="${2:?usage: run_clang_tidy.sh <repo-root> <build-dir>}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not installed; skipping" >&2
+  exit 77
+fi
+if [ ! -f "$build/compile_commands.json" ]; then
+  echo "run_clang_tidy: $build/compile_commands.json missing; configure" \
+       "with CMAKE_EXPORT_COMPILE_COMMANDS=ON (the default here); skipping" >&2
+  exit 77
+fi
+
+cd "$root" || exit 2
+status=0
+for file in $(find src tools -name '*.cc' -print | sort); do
+  if ! clang-tidy -p "$build" --quiet "$file"; then
+    status=1
+  fi
+done
+exit "$status"
