@@ -1,7 +1,7 @@
 // Benchmark-regression harness for the arena join path (PR "arena-backed
-// PILs"). Two measurements, emitted as a flat JSON file that
-// tools/bench_check compares against the committed baseline
-// (BENCH_pr4.json at the repo root):
+// PILs") and the serving layer (PR "pgm serve"). Three measurement groups,
+// emitted as a flat JSON file that tools/bench_check compares against the
+// committed baseline (BENCH_pr6.json at the repo root):
 //
 //   1. Candidate-join benchmark: one level's full candidate pipeline run
 //      (a) the pre-arena way — eager CandidateSpec generation with one
@@ -21,11 +21,26 @@
 //      dominate and the arena wins big).
 //   2. End-to-end MineMpp wall clock on a surrogate segment at 1, 2, and 8
 //      worker threads.
+//   3. Serving-layer rows (PR "pgm serve"): a 100-job batch through a full
+//      MiningService lifecycle — cold (cache off, every job mines), miss
+//      (cache on, 100 distinct inputs: mining plus insert/lookup overhead),
+//      and hit (cache on, 1000 identical jobs: one mine plus 999 cache
+//      hits, so the row prices the admission + lookup path itself; the
+//      larger batch amortizes service start/stop noise).
 //
 // Every timing is the minimum over several repetitions (robust against
 // scheduler noise). Keys prefixed "info." are informational only;
 // bench_check ignores them. --smoke runs fewer repetitions of the same
 // workloads, so its numbers remain comparable to a full run's baseline.
+//
+// Gating policy (abi_stamp 2): only *ratio* rows (join_*_speedup,
+// join_speedup, serve_hit_speedup) are tracked by bench_check. Both sides
+// of each ratio are measured in the same process seconds apart, so
+// machine-wide slowdowns (noisy neighbours, thermal throttling) cancel and
+// the 10% tolerance is meaningful. Absolute wall-clock rows are emitted as
+// info.* — recorded in the baseline for eyeballing trends, never gated,
+// because on shared hardware they swing well past any sane tolerance
+// between back-to-back runs.
 
 #include <algorithm>
 #include <cstdio>
@@ -46,6 +61,7 @@
 #include "core/pil.h"
 #include "core/pil_arena.h"
 #include "seq/alphabet.h"
+#include "serve/service.h"
 #include "util/bench_abi.h"
 #include "util/flags.h"
 #include "util/io.h"
@@ -196,7 +212,7 @@ JoinBenchResult RunJoinBench(const Sequence& sequence,
 
   MiningGuard guard(ResourceLimits{});
   std::uint64_t legacy_checksum = 0;
-  const double legacy_ms = MinMillis(reps, [&] {
+  auto legacy_rep = [&] {
     legacy_checksum = 0;
     std::vector<LegacySpec> specs = GenerateLegacyCandidates(legacy_level);
     std::vector<LegacyEntry> retained;
@@ -221,7 +237,7 @@ JoinBenchResult RunJoinBench(const Sequence& sequence,
     for (const LegacyEntry& entry : retained) {
       guard.ReleaseMemory(entry.pil.MemoryBytes());
     }
-  });
+  };
 
   PilArena out(&guard);
   std::uint64_t arena_checksum = 0;
@@ -260,7 +276,28 @@ JoinBenchResult RunJoinBench(const Sequence& sequence,
   };
 
   internal::ParallelLevelExecutor serial(1);
-  const double arena_ms = MinMillis(reps, [&] { arena_rep(serial); });
+  // Interleave the two paths rep by rep (legacy, arena, legacy, arena, ...)
+  // instead of running each path's repetitions as a block. A multi-second
+  // noise burst (noisy neighbour, thermal dip) then slows both sides of the
+  // speedup ratio together, and the per-path minima are drawn from the same
+  // quiet windows — which is what keeps the gated ratio rows stable on
+  // shared hardware.
+  double legacy_ms = 0.0;
+  double arena_ms = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    {
+      Stopwatch watch;
+      legacy_rep();
+      const double ms = watch.ElapsedSeconds() * 1e3;
+      if (r == 0 || ms < legacy_ms) legacy_ms = ms;
+    }
+    {
+      Stopwatch watch;
+      arena_rep(serial);
+      const double ms = watch.ElapsedSeconds() * 1e3;
+      if (r == 0 || ms < arena_ms) arena_ms = ms;
+    }
+  }
 
   if (legacy_checksum != arena_checksum) {
     std::fprintf(stderr,
@@ -281,6 +318,88 @@ JoinBenchResult RunJoinBench(const Sequence& sequence,
   if (legacy_checksum != arena_checksum) {
     std::fprintf(stderr, "FATAL: threaded arena join is not deterministic\n");
     std::exit(1);
+  }
+  return result;
+}
+
+struct ServeBenchResult {
+  double cold_ms = 0.0;
+  double miss_ms = 0.0;
+  double hit_ms = 0.0;
+};
+
+constexpr std::size_t kServeJobs = 100;
+// The hit batch runs 10x more jobs than the cold/miss batches: a 100-job
+// all-hits batch finishes in ~1ms, where service start/stop scheduling
+// noise swamps the signal. 1000 jobs amortizes that fixed cost; the gated
+// speedup is computed per job, so the batch sizes need not match.
+constexpr std::size_t kServeHitJobs = 1000;
+
+// Prices the serving layer itself with a deliberately light mining config:
+// small segments and a tight max_length keep the per-job mining cost low,
+// so the cold/miss/hit spread reflects the service machinery (admission,
+// queue, cache key, lookup, response accounting) rather than the miners.
+ServeBenchResult RunServeBench(int reps, std::uint64_t seed) {
+  constexpr std::size_t kSegmentLength = 1000;
+  std::vector<Sequence> segments;
+  segments.reserve(kServeJobs);
+  for (std::size_t i = 0; i < kServeJobs; ++i) {
+    segments.push_back(
+        ValueOrDie(SurrogateSegment(kSegmentLength, seed + 1000 + i)));
+  }
+  MinerConfig config;
+  config.min_gap = 0;
+  config.max_gap = 2;
+  config.min_support_ratio = 0.05;
+  config.start_length = 2;
+  config.max_length = 4;
+
+  // One full service lifecycle: submit the whole batch, drain, join.
+  // `distinct` jobs cycle through the prepared segments (all different for
+  // a batch of kServeJobs); identical jobs all reuse segment 0.
+  auto run_batch = [&](std::uint64_t cache_bytes, bool distinct,
+                       std::size_t jobs) {
+    ServiceConfig service_config;
+    service_config.queue_capacity = jobs + 1;
+    service_config.workers = 1;
+    service_config.cache_capacity_bytes = cache_bytes;
+    service_config.loader =
+        [&segments](const std::string& input) -> StatusOr<Sequence> {
+      PGM_ASSIGN_OR_RETURN(std::int64_t index, ParseInt64(input));
+      return segments[static_cast<std::size_t>(index) % segments.size()];
+    };
+    MiningService service(std::move(service_config));
+    for (std::size_t i = 0; i < jobs; ++i) {
+      MiningJob job;
+      job.input = std::to_string(distinct ? i : 0);
+      job.config = config;
+      CheckOk(service.Submit(std::move(job)).status());
+    }
+    service.Start();
+    const std::vector<JobResponse> responses = service.Join();
+    if (responses.size() != jobs) std::abort();
+    for (const JobResponse& response : responses) CheckOk(response.status);
+  };
+
+  ServeBenchResult result;
+  result.cold_ms = MinMillis(
+      reps, [&] { run_batch(0, /*distinct=*/false, kServeJobs); });
+  // Interleave miss/hit reps so both sides of the gated serve_hit_speedup
+  // ratio sample the same machine conditions (same rationale as the
+  // legacy/arena interleave in RunJoinBench).
+  for (int r = 0; r < reps; ++r) {
+    {
+      Stopwatch watch;
+      run_batch(16u << 20, /*distinct=*/true, kServeJobs);
+      const double ms = watch.ElapsedSeconds() * 1e3;
+      if (r == 0 || ms < result.miss_ms) result.miss_ms = ms;
+    }
+    {
+      Stopwatch watch;
+      run_batch(16u << 20, /*distinct=*/false, kServeHitJobs);
+      const double ms = watch.ElapsedSeconds() * 1e3;
+      if (r == 0 || ms < result.hit_ms) result.hit_ms = ms;
+    }
   }
   return result;
 }
@@ -312,7 +431,7 @@ int Main(int argc, char** argv) {
       "(pre-arena engine loop vs arena executor) and end-to-end MineMpp "
       "wall clock, written as flat JSON for tools/bench_check.");
   bool smoke = false;
-  std::string json_path = "BENCH_pr4.json";
+  std::string json_path = "BENCH_pr6.json";
   std::int64_t seed = 42;
   flags.AddBool("smoke", &smoke,
                 "fewer repetitions of the same workloads (CI mode)");
@@ -347,15 +466,28 @@ int Main(int argc, char** argv) {
 
   std::map<std::string, double> metrics;
   metrics["info.abi_stamp"] = kBenchAbiStamp;
-  metrics["join_wide_legacy_ms"] = wide.legacy_ms;
-  metrics["join_wide_arena_ms"] = wide.arena_ms;
+  metrics["info.join_wide_legacy_ms"] = wide.legacy_ms;
+  metrics["info.join_wide_arena_ms"] = wide.arena_ms;
   metrics["join_wide_speedup"] = wide.legacy_ms / wide.arena_ms;
-  metrics["join_deep_legacy_ms"] = deep.legacy_ms;
-  metrics["join_deep_arena_ms"] = deep.arena_ms;
+  metrics["info.join_deep_legacy_ms"] = deep.legacy_ms;
+  metrics["info.join_deep_arena_ms"] = deep.arena_ms;
   metrics["join_deep_speedup"] = deep.legacy_ms / deep.arena_ms;
   metrics["join_speedup"] =
       (wide.legacy_ms + deep.legacy_ms) / (wide.arena_ms + deep.arena_ms);
-  metrics["e2e_mpp_t1_ms"] = RunEndToEnd(e2e_sequence, 1, e2e_reps);
+  metrics["info.e2e_mpp_t1_ms"] = RunEndToEnd(e2e_sequence, 1, e2e_reps);
+  const int serve_reps = smoke ? 3 : 5;
+  const ServeBenchResult serve =
+      RunServeBench(serve_reps, static_cast<std::uint64_t>(seed));
+  metrics["info.serve_cold_ms"] = serve.cold_ms;
+  metrics["info.serve_miss_ms"] = serve.miss_ms;
+  metrics["info.serve_hit_ms"] = serve.hit_ms;
+  // The cache payoff, per job: a warm hit skips mining entirely, so
+  // miss/hit is the end-to-end price of a mine relative to an admission +
+  // digest + lookup. The hit batch is larger, hence the normalization.
+  metrics["serve_hit_speedup"] = (serve.miss_ms / kServeJobs) /
+                                 (serve.hit_ms / kServeHitJobs);
+  metrics["info.serve_hit_jobs"] = static_cast<double>(kServeHitJobs);
+  metrics["info.serve_jobs"] = static_cast<double>(kServeJobs);
   metrics["info.e2e_mpp_t2_ms"] = RunEndToEnd(e2e_sequence, 2, e2e_reps);
   metrics["info.e2e_mpp_t8_ms"] = RunEndToEnd(e2e_sequence, 8, e2e_reps);
   metrics["info.join_wide_arena_t2_ms"] = wide.arena_t2_ms;

@@ -1,7 +1,10 @@
 #include "cli/cli.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "analysis/compare.h"
 #include "analysis/composition.h"
@@ -14,6 +17,7 @@
 #include "core/trace.h"
 #include "datagen/presets.h"
 #include "seq/fasta.h"
+#include "serve/service.h"
 #include "util/csv_writer.h"
 #include "util/flags.h"
 #include "util/io.h"
@@ -22,6 +26,11 @@
 #include "util/table_printer.h"
 
 namespace pgm::cli {
+
+CancelToken& GlobalCancelToken() {
+  static CancelToken token;
+  return token;
+}
 
 namespace {
 
@@ -128,7 +137,8 @@ namespace {
 // pgm mine
 // ---------------------------------------------------------------------------
 
-Status RunMine(const std::vector<std::string>& args, std::string* output) {
+Status RunMine(const std::vector<std::string>& args, std::string* output,
+               int* exit_override) {
   std::string input;
   std::string algorithm = "mppm";
   std::int64_t min_gap = 9, max_gap = 12;
@@ -217,6 +227,9 @@ Status RunMine(const std::vector<std::string>& args, std::string* output) {
   config.limits.max_total_candidates =
       static_cast<std::uint64_t>(max_total_candidates);
   config.threads = threads;
+  // SIGINT/SIGTERM latch the process-wide token (tools/pgm_main.cc); the
+  // miners poll it and wind down to a partial-but-sound result.
+  config.cancel = &GlobalCancelToken();
 
   MetricsRegistry metrics;
   MiningTrace trace;
@@ -285,6 +298,16 @@ Status RunMine(const std::vector<std::string>& args, std::string* output) {
     PGM_RETURN_IF_ERROR(
         WriteStringToFile(trace_path, trace.ToJson(trace_options) + "\n"));
     output->append("wrote trace JSON to " + trace_path + "\n");
+  }
+  if (result.termination == TerminationReason::kCancelled &&
+      GlobalCancelToken().cancelled()) {
+    // Interrupted, not failed: everything reported above is genuinely
+    // frequent, but patterns past guaranteed_complete_up_to may be missing.
+    // The distinct exit code lets scripts keep the partial output.
+    output->append(StrFormat(
+        "interrupted: partial result is sound; complete up to length %lld\n",
+        static_cast<long long>(result.guaranteed_complete_up_to)));
+    *exit_override = kExitCancelled;
   }
   return Status::OK();
 }
@@ -549,6 +572,238 @@ Status RunGenerate(const std::vector<std::string>& args, std::string* output) {
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// pgm serve
+// ---------------------------------------------------------------------------
+
+/// Parses one job-file line: `<input-spec> [key=value ...]`. Keys mirror the
+/// pgm mine flags (algorithm, min-gap, max-gap, rho-percent, start-length,
+/// max-length, n, m, threads, deadline-ms).
+Status ParseJobLine(const std::string& line, std::size_t line_number,
+                    MiningJob* job) {
+  std::vector<std::string> tokens;
+  for (const std::string& token : Split(line, ' ')) {
+    if (!token.empty()) tokens.push_back(token);
+  }
+  job->input = tokens.front();
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          StrFormat("jobs line %zu: expected key=value, got '%s'", line_number,
+                    tokens[i].c_str()));
+    }
+    const std::string key = tokens[i].substr(0, eq);
+    const std::string value = tokens[i].substr(eq + 1);
+    if (key == "algorithm") {
+      job->algorithm = value;
+      continue;
+    }
+    if (key == "rho-percent") {
+      PGM_ASSIGN_OR_RETURN(double parsed, ParseDouble(value));
+      job->config.min_support_ratio = parsed / 100.0;
+      continue;
+    }
+    PGM_ASSIGN_OR_RETURN(std::int64_t parsed, ParseInt64(value));
+    if (key == "min-gap") {
+      job->config.min_gap = parsed;
+    } else if (key == "max-gap") {
+      job->config.max_gap = parsed;
+    } else if (key == "start-length") {
+      job->config.start_length = parsed;
+    } else if (key == "max-length") {
+      job->config.max_length = parsed;
+    } else if (key == "n") {
+      job->config.user_n = parsed;
+    } else if (key == "m") {
+      job->config.em_order = parsed;
+    } else if (key == "threads") {
+      job->config.threads = parsed;
+    } else if (key == "deadline-ms") {
+      job->config.limits.deadline_ms = parsed;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("jobs line %zu: unknown key '%s'", line_number,
+                    key.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+/// One line per job response: machine-greppable outcome columns.
+void AppendResponseLine(const JobResponse& response, std::string* output) {
+  output->append(StrFormat("job %lld %s %s: ",
+                           static_cast<long long>(response.id),
+                           response.input.c_str(),
+                           response.algorithm.c_str()));
+  if (!response.status.ok()) {
+    output->append(StatusCodeToString(response.status.code()));
+    if (response.status.code() == StatusCode::kUnavailable) {
+      output->append(StrFormat(" retry_after_ms=%lld",
+                               static_cast<long long>(response.retry_after_ms)));
+    }
+  } else {
+    output->append(StrFormat(
+        "%s patterns=%zu cache_hit=%d",
+        TerminationReasonToString(response.result.termination),
+        response.result.patterns.size(), response.cache_hit ? 1 : 0));
+  }
+  if (response.load_attempts > 1) {
+    output->append(StrFormat(" load_attempts=%d", response.load_attempts));
+  }
+  output->append("\n");
+}
+
+Status RunServe(const std::vector<std::string>& args, std::string* output,
+                int* exit_override) {
+  std::string jobs_path;
+  std::int64_t queue_capacity = 64;
+  std::int64_t workers = 1;
+  std::int64_t max_deadline_ms = -1;
+  std::int64_t cache_bytes = 0;
+  std::int64_t retry_attempts = 2;
+  std::int64_t retry_base_ms = 1;
+  std::int64_t retry_after_ms = 50;
+  std::string metrics_path;
+  std::string trace_path;
+
+  FlagSet flags("pgm serve: run a batch of mining jobs as a bounded service");
+  flags.AddString("jobs", &jobs_path,
+                  "job file: one '<input-spec> key=value ...' per line "
+                  "('#' starts a comment)");
+  flags.AddInt64("queue-capacity", &queue_capacity,
+                 "admission queue bound; jobs past it are shed (exit-visible "
+                 "as Unavailable responses)");
+  flags.AddInt64("workers", &workers,
+                 "service worker threads (0 = one per hardware thread)");
+  flags.AddInt64("max-deadline-ms", &max_deadline_ms,
+                 "server ceiling on any job's deadline (-1 = none)");
+  flags.AddInt64("cache-bytes", &cache_bytes,
+                 "result-cache budget in bytes (0 = cache off)");
+  flags.AddInt64("retry-attempts", &retry_attempts,
+                 "input-load attempts per job (transient I/O faults only)");
+  flags.AddInt64("retry-base-ms", &retry_base_ms,
+                 "first retry backoff; doubles per attempt");
+  flags.AddInt64("retry-after-ms", &retry_after_ms,
+                 "backoff hint attached to shed responses");
+  flags.AddString("metrics-out", &metrics_path,
+                  "write service+mining metrics as deterministic JSON here");
+  flags.AddString("trace", &trace_path,
+                  "write the job/mining trace as JSON here");
+  std::vector<std::string> storage = args;
+  storage.insert(storage.begin(), "pgm serve");
+  std::vector<char*> argv;
+  for (std::string& s : storage) argv.push_back(s.data());
+  PGM_RETURN_IF_ERROR(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  if (jobs_path.empty()) {
+    return Status::InvalidArgument("--jobs is required\n" + flags.Usage());
+  }
+  if (queue_capacity <= 0 || workers < 0 || cache_bytes < 0 ||
+      retry_attempts < 1 || retry_base_ms < 0 || retry_after_ms < 0) {
+    return Status::InvalidArgument(
+        "serve knobs must be positive (queue-capacity, retry-attempts) or "
+        "non-negative (workers, cache-bytes, retry-base-ms, retry-after-ms)");
+  }
+
+  PGM_ASSIGN_OR_RETURN(std::string jobs_text, ReadFileToString(jobs_path));
+  std::vector<MiningJob> jobs;
+  std::size_t line_number = 0;
+  for (const std::string& raw_line : Split(jobs_text, '\n')) {
+    ++line_number;
+    std::string_view line = Trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    MiningJob job;
+    PGM_RETURN_IF_ERROR(
+        ParseJobLine(std::string(line), line_number, &job));
+    jobs.push_back(std::move(job));
+  }
+  if (jobs.empty()) {
+    return Status::InvalidArgument("no jobs in " + jobs_path);
+  }
+
+  MetricsRegistry metrics;
+  MiningTrace trace;
+  MiningObserver observer;
+  observer.metrics = &metrics;
+  if (!trace_path.empty()) observer.trace = &trace;
+
+  ServiceConfig service_config;
+  service_config.queue_capacity = static_cast<std::size_t>(queue_capacity);
+  service_config.workers = static_cast<std::size_t>(workers);
+  service_config.max_deadline_ms = max_deadline_ms;
+  service_config.cache_capacity_bytes = static_cast<std::uint64_t>(cache_bytes);
+  service_config.io_retry.max_attempts = static_cast<int>(retry_attempts);
+  service_config.io_retry.base_delay_ms = retry_base_ms;
+  service_config.retry_after_ms = retry_after_ms;
+  service_config.observer = &observer;
+  service_config.loader = [](const std::string& spec) {
+    return LoadInput(spec);
+  };
+  MiningService service(std::move(service_config));
+
+  // Submit everything before starting the drain: shedding then depends only
+  // on queue capacity and submission order, so batch runs are reproducible.
+  for (MiningJob& job : jobs) {
+    (void)service.Submit(std::move(job));  // shed jobs recorded as responses
+  }
+  service.Start();
+
+  // Signal watcher: SIGINT/SIGTERM latch the global token; the watcher
+  // turns that into a graceful drain (stop admitting, cancel in-flight,
+  // flush partials).
+  std::atomic<bool> watcher_stop{false};
+  std::thread watcher([&service, &watcher_stop] {
+    while (!watcher_stop.load(std::memory_order_acquire)) {
+      if (GlobalCancelToken().cancelled()) {
+        service.BeginShutdown();
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+  std::vector<JobResponse> responses = service.Join();
+  watcher_stop.store(true, std::memory_order_release);
+  watcher.join();
+
+  std::size_t completed = 0, partial = 0, shed = 0, failed = 0, hits = 0;
+  for (const JobResponse& response : responses) {
+    AppendResponseLine(response, output);
+    if (response.status.ok()) {
+      if (response.result.complete()) {
+        ++completed;
+      } else {
+        ++partial;
+      }
+      if (response.cache_hit) ++hits;
+    } else if (response.status.code() == StatusCode::kUnavailable) {
+      ++shed;
+    } else {
+      ++failed;
+    }
+  }
+  output->append(StrFormat(
+      "served %zu jobs: %zu completed, %zu partial, %zu shed, %zu failed, "
+      "%zu cache hits\n",
+      responses.size(), completed, partial, shed, failed, hits));
+
+  if (!metrics_path.empty()) {
+    PGM_RETURN_IF_ERROR(
+        WriteStringToFile(metrics_path, metrics.ToJson() + "\n"));
+    output->append("wrote metrics JSON to " + metrics_path + "\n");
+  }
+  if (!trace_path.empty()) {
+    PGM_RETURN_IF_ERROR(
+        WriteStringToFile(trace_path, trace.ToJson() + "\n"));
+    output->append("wrote trace JSON to " + trace_path + "\n");
+  }
+  if (GlobalCancelToken().cancelled()) {
+    output->append("interrupted: drained gracefully; partial results above "
+                   "are sound\n");
+    *exit_override = kExitCancelled;
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string RootUsage() {
@@ -564,6 +819,7 @@ std::string RootUsage() {
       "  tandem    classical tandem-repeat scan\n"
       "  compare   compare two or more patterns-CSV files\n"
       "  generate  write a synthetic genome preset as FASTA\n"
+      "  serve     run a job batch as a bounded, fault-tolerant service\n"
       "\n"
       "Input specs (--input):\n"
       "  fasta:<path>[#<record-id>]     FASTA file\n"
@@ -588,6 +844,8 @@ int ExitCodeForStatus(const Status& status) {
       return 5;
     case StatusCode::kNotFound:
       return 6;
+    case StatusCode::kUnavailable:
+      return 7;
     default:
       return 1;
   }
@@ -605,8 +863,14 @@ int Run(int argc, char** argv, std::string* output, std::string* error) {
     return 0;
   }
   Status status = Status::OK();
+  // -1 = no override; RunMine/RunServe set kExitCancelled after a graceful
+  // signal-driven wind-down (the Status stays OK — the partial result is
+  // sound and already rendered).
+  int exit_override = -1;
   if (command == "mine") {
-    status = RunMine(rest, output);
+    status = RunMine(rest, output, &exit_override);
+  } else if (command == "serve") {
+    status = RunServe(rest, output, &exit_override);
   } else if (command == "em") {
     status = RunEm(rest, output);
   } else if (command == "scan") {
@@ -632,7 +896,7 @@ int Run(int argc, char** argv, std::string* output, std::string* error) {
     error->append("\n");
     return ExitCodeForStatus(status);
   }
-  return 0;
+  return exit_override >= 0 ? exit_override : 0;
 }
 
 int Run(int argc, char** argv, std::string* output) {

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/guard.h"
 #include "seq/sequence.h"
 #include "util/status.h"
 
@@ -19,6 +20,7 @@ namespace pgm::cli {
 ///   pgm tandem   --input <spec> --max-period P [--min-copies C]
 ///   pgm compare  <patterns.csv> <patterns.csv> [...]
 ///   pgm generate --preset <name> --length L --seed S --output file.fa
+///   pgm serve    --jobs <file> --queue-capacity Q --workers W ...
 ///
 /// Input specs (the --input flag):
 ///   fasta:<path>[#<record-id>]   a FASTA file (first record by default)
@@ -34,10 +36,24 @@ StatusOr<Sequence> LoadInput(const std::string& spec);
 
 /// Maps a failure Status to the tool's process exit code, so scripts can
 /// branch on the failure class: InvalidArgument/usage errors=2, IoError=3,
-/// Corruption=4, ResourceExhausted=5, NotFound=6, any other failure=1,
-/// OK=0. Note budget exhaustion during mining does NOT produce a failure —
-/// the run exits 0 with a partial result (see MiningResult::termination).
+/// Corruption=4, ResourceExhausted=5, NotFound=6, Unavailable (serve
+/// admission shed)=7, any other failure=1, OK=0. Note budget exhaustion
+/// during mining does NOT produce a failure — the run exits 0 with a
+/// partial result (see MiningResult::termination).
 int ExitCodeForStatus(const Status& status);
+
+/// Exit code when a run was interrupted by SIGINT/SIGTERM and returned a
+/// partial-but-sound result: the conventional 128 + SIGINT. Distinct from
+/// every ExitCodeForStatus value so scripts can tell "interrupted, partial
+/// output is trustworthy" from "failed".
+inline constexpr int kExitCancelled = 130;
+
+/// The process-wide cancellation token `pgm mine` and `pgm serve` run
+/// under. Signal handlers (tools/pgm_main.cc) latch it with RequestCancel —
+/// an atomic store, so it is async-signal-safe — and the running command
+/// winds down to a partial result and exits kExitCancelled. Tests that
+/// latch it must Reset() it afterwards; the token is process-global.
+CancelToken& GlobalCancelToken();
 
 /// Executes a full command line (argv[0] is the program name). The
 /// rendered report is appended to *output; failure diagnostics are

@@ -22,6 +22,11 @@ class CancelToken {
   void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
   bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
 
+  /// Re-arms a latched token. Only safe between mining calls (no run may be
+  /// polling the token); exists so a long-lived owner — the CLI's
+  /// process-wide signal token, tests — can reuse one token across runs.
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
  private:
   std::atomic<bool> cancelled_{false};
 };

@@ -24,6 +24,14 @@ const char* TraceEventKindToString(TraceEventKind kind) {
       return "shard_timing";
     case TraceEventKind::kRunEnd:
       return "run_end";
+    case TraceEventKind::kJobAdmitted:
+      return "job_admitted";
+    case TraceEventKind::kJobShed:
+      return "job_shed";
+    case TraceEventKind::kJobStart:
+      return "job_start";
+    case TraceEventKind::kJobEnd:
+      return "job_end";
   }
   return "unknown";
 }
@@ -104,6 +112,25 @@ void AppendEventJson(const TraceEvent& event, bool include_volatile,
         out->append(", \"memory_peak_bytes\": " +
                     std::to_string(event.memory_bytes));
       }
+      break;
+    case TraceEventKind::kJobAdmitted:
+      out->append(", \"job\": " + std::to_string(event.job));
+      break;
+    case TraceEventKind::kJobShed:
+      out->append(", \"job\": " + std::to_string(event.job));
+      out->append(", \"retry_after_ms\": " +
+                  std::to_string(event.retry_after_ms));
+      break;
+    case TraceEventKind::kJobStart:
+      out->append(", \"job\": " + std::to_string(event.job));
+      out->append(", \"algorithm\": \"" + event.detail + "\"");
+      break;
+    case TraceEventKind::kJobEnd:
+      out->append(", \"job\": " + std::to_string(event.job));
+      out->append(", \"reason\": \"" + event.detail + "\"");
+      out->append(event.cache_hit ? ", \"cache_hit\": true"
+                                  : ", \"cache_hit\": false");
+      out->append(", \"patterns\": " + std::to_string(event.patterns));
       break;
   }
   out->append("}");

@@ -40,6 +40,20 @@ enum class TraceEventKind {
   kShardTiming,
   /// The run finished; `detail` carries the termination reason.
   kRunEnd,
+
+  // --- Serving-layer events (src/serve) ---
+  /// A job passed admission control and entered the queue.
+  kJobAdmitted,
+  /// Admission control rejected a job (queue full or service draining);
+  /// `retry_after_ms` carries the hint returned to the client.
+  kJobShed,
+  /// A worker dequeued the job and began executing it; `detail` names the
+  /// algorithm.
+  kJobStart,
+  /// The job finished (successfully, partially, or with an error); `detail`
+  /// carries the termination reason or status code name, `cache_hit` whether
+  /// the result came from the ResultCache.
+  kJobEnd,
 };
 
 const char* TraceEventKindToString(TraceEventKind kind);
@@ -62,8 +76,14 @@ struct TraceEvent {
   std::int64_t estimated_n = -1;
   std::uint64_t patterns = 0;
   std::uint64_t levels = 0;
-  /// Algorithm name (kRunStart) or termination reason (kGuardTrip, kRunEnd).
+  /// Algorithm name (kRunStart, kJobStart) or termination reason / status
+  /// code name (kGuardTrip, kRunEnd, kJobEnd).
   std::string detail;
+
+  // Serving-layer fields (kJob* events only).
+  std::int64_t job = 0;
+  std::int64_t retry_after_ms = 0;
+  bool cache_hit = false;
 
   // Volatile fields: wall-clock and thread-count dependent, so they are not
   // byte-stable across runs. Exported only with include_volatile.

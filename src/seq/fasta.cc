@@ -53,7 +53,12 @@ StatusOr<std::vector<FastaRecord>> ParseFasta(const std::string& text) {
 }
 
 StatusOr<std::vector<FastaRecord>> ReadFastaFile(const std::string& path) {
-  PGM_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  // Transient read faults retry once (DefaultReadRetryPolicy); permanent
+  // faults surface IoError, and truncated content still parses to loud
+  // Corruption below.
+  PGM_ASSIGN_OR_RETURN(
+      std::string contents,
+      ReadFileToStringWithRetry(path, DefaultReadRetryPolicy()));
   return ParseFasta(contents);
 }
 

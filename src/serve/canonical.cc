@@ -1,0 +1,71 @@
+#include "serve/canonical.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/digest.h"
+#include "util/string_util.h"
+
+namespace pgm {
+
+namespace {
+
+std::string CanonDouble(double value) {
+  // %a round-trips the exact bit pattern; "%g"-style renderings can collapse
+  // distinct configs onto one key.
+  return StrFormat("%a", value);
+}
+
+}  // namespace
+
+std::string CanonicalConfigString(const std::string& algorithm,
+                                  const MinerConfig& config) {
+  std::vector<std::pair<std::string, std::string>> fields;
+  fields.emplace_back("algorithm", algorithm);
+  fields.emplace_back("em_order", std::to_string(config.em_order));
+  fields.emplace_back("initial_n", std::to_string(config.initial_n));
+  fields.emplace_back("max_gap", std::to_string(config.max_gap));
+  fields.emplace_back("max_iterations", std::to_string(config.max_iterations));
+  fields.emplace_back("max_length", std::to_string(config.max_length));
+  fields.emplace_back("min_gap", std::to_string(config.min_gap));
+  fields.emplace_back("min_support_ratio",
+                      CanonDouble(config.min_support_ratio));
+  fields.emplace_back("start_length", std::to_string(config.start_length));
+  fields.emplace_back("use_em_bound", config.use_em_bound ? "1" : "0");
+  fields.emplace_back("user_n", std::to_string(config.user_n));
+  // The emplace order above is already alphabetical, but the contract is
+  // "sorted by key", not "insertion order" — keep it true by construction so
+  // a future field added in the wrong spot cannot silently change keys.
+  std::sort(fields.begin(), fields.end());
+
+  std::string out;
+  for (const auto& [key, value] : fields) {
+    out += key;
+    out += '=';
+    out += value;
+    out += ';';
+  }
+  return out;
+}
+
+std::uint64_t SequenceDigest(const Sequence& sequence) {
+  Digest64 digest;
+  digest.Update(sequence.alphabet().symbols());
+  digest.UpdateU64(sequence.alphabet().case_insensitive() ? 1 : 0);
+  digest.UpdateU64(sequence.size());
+  if (!sequence.symbols().empty()) {
+    static_assert(sizeof(Symbol) == 1,
+                  "SequenceDigest hashes the symbol array as raw bytes");
+    digest.Update(sequence.symbols().data(), sequence.symbols().size());
+  }
+  return digest.value();
+}
+
+std::string CacheKey(const Sequence& sequence, const std::string& algorithm,
+                     const MinerConfig& config) {
+  return DigestToHex(SequenceDigest(sequence)) + ":" +
+         DigestToHex(Fnv1a64(CanonicalConfigString(algorithm, config)));
+}
+
+}  // namespace pgm

@@ -1,0 +1,51 @@
+#include "serve/queue.h"
+
+#include <utility>
+
+namespace pgm {
+
+JobQueue::JobQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+JobQueue::PushResult JobQueue::TryPush(MiningJob job) {
+  {
+    MutexLock lock(mutex_);
+    if (closed_) return PushResult::kClosed;
+    if (jobs_.size() >= capacity_) return PushResult::kFull;
+    jobs_.push_back(std::move(job));
+  }
+  ready_cv_.notify_one();
+  return PushResult::kAccepted;
+}
+
+bool JobQueue::Pop(MiningJob* job) {
+  MutexLock lock(mutex_);
+  // Manual wait loop (not the predicate overload): the guarded reads of
+  // jobs_/closed_ must sit in this function, where the analysis sees the
+  // lock held.
+  while (jobs_.empty() && !closed_) ready_cv_.wait(mutex_);
+  if (jobs_.empty()) return false;
+  *job = std::move(jobs_.front());
+  jobs_.pop_front();
+  return true;
+}
+
+void JobQueue::Close() {
+  {
+    MutexLock lock(mutex_);
+    closed_ = true;
+  }
+  ready_cv_.notify_all();
+}
+
+std::size_t JobQueue::size() const {
+  MutexLock lock(mutex_);
+  return jobs_.size();
+}
+
+bool JobQueue::closed() const {
+  MutexLock lock(mutex_);
+  return closed_;
+}
+
+}  // namespace pgm

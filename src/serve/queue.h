@@ -1,0 +1,66 @@
+#ifndef PGM_SERVE_QUEUE_H_
+#define PGM_SERVE_QUEUE_H_
+
+#include <cstddef>
+#include <deque>
+
+#include "serve/job.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace pgm {
+
+/// A bounded, closable FIFO of pending mining jobs.
+///
+/// Admission never blocks and never grows past the capacity: TryPush on a
+/// full queue reports kFull immediately, which is the service's
+/// load-shedding primitive — a saturated server answers "come back later"
+/// in O(1) instead of queueing unboundedly and melting down. Pop blocks
+/// until a job arrives or the queue is closed *and* drained, so workers
+/// process everything admitted before shutdown completes.
+class JobQueue {
+ public:
+  enum class PushResult {
+    kAccepted,
+    /// The queue is at capacity; the caller should shed the job.
+    kFull,
+    /// Close() was called; no further admissions.
+    kClosed,
+  };
+
+  /// `capacity` 0 is pinned to 1 (a zero-capacity queue would shed
+  /// everything, which is a misconfiguration, not a service).
+  explicit JobQueue(std::size_t capacity);
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Non-blocking admission. On kAccepted the queue took ownership of `job`.
+  PushResult TryPush(MiningJob job);
+
+  /// Blocks until a job is available (returns true, moving it into *job) or
+  /// the queue is closed and empty (returns false — the drain is complete).
+  bool Pop(MiningJob* job);
+
+  /// Stops admissions. Jobs already queued remain poppable; blocked Pop
+  /// calls wake and drain them, then return false.
+  void Close();
+
+  std::size_t capacity() const { return capacity_; }
+  /// Pending (admitted, not yet popped) jobs. Advisory: the value can be
+  /// stale by the time the caller acts on it.
+  std::size_t size() const;
+  bool closed() const;
+
+ private:
+  const std::size_t capacity_;
+
+  mutable Mutex mutex_;
+  CondVar ready_cv_;
+  std::deque<MiningJob> jobs_ PGM_GUARDED_BY(mutex_);
+  bool closed_ PGM_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace pgm
+
+#endif  // PGM_SERVE_QUEUE_H_

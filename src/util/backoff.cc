@@ -1,0 +1,85 @@
+#include "util/backoff.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+#include "util/mutex.h"
+#include "util/random.h"
+#include "util/thread_annotations.h"
+
+namespace pgm {
+
+namespace {
+
+/// The recorder's log lives behind a process-global mutex rather than in the
+/// recorder object so concurrent BackoffSleep calls from service workers
+/// stay race-free while a test holds the scope.
+Mutex g_recorder_mutex;
+bool g_recorder_active PGM_GUARDED_BY(g_recorder_mutex) = false;
+std::vector<std::int64_t>& RecordedDelays()
+    PGM_REQUIRES(g_recorder_mutex) {
+  static std::vector<std::int64_t> log;
+  return log;
+}
+/// Fast-path gate so un-recorded sleeps never touch the mutex.
+std::atomic<bool> g_recorder_installed{false};
+
+}  // namespace
+
+std::int64_t BackoffDelayMs(const RetryPolicy& policy, int attempt) {
+  if (attempt <= 1 || policy.base_delay_ms <= 0) return 0;
+  double delay = static_cast<double>(policy.base_delay_ms);
+  for (int i = 2; i < attempt; ++i) {
+    delay *= policy.multiplier;
+    if (delay >= static_cast<double>(policy.max_delay_ms)) break;
+  }
+  std::int64_t ms = static_cast<std::int64_t>(
+      std::min(delay, static_cast<double>(policy.max_delay_ms)));
+  if (policy.jitter_seed != 0 && ms > 1) {
+    // Deterministic jitter in [ms/2, ms]: the draw depends only on the seed
+    // and the attempt number, so a retried schedule replays exactly.
+    std::uint64_t state =
+        policy.jitter_seed ^ static_cast<std::uint64_t>(attempt);
+    const std::uint64_t draw = SplitMix64(state);
+    const std::int64_t half = ms / 2;
+    ms = half + static_cast<std::int64_t>(
+                    draw % static_cast<std::uint64_t>(ms - half + 1));
+  }
+  return ms;
+}
+
+void BackoffSleep(std::int64_t delay_ms) {
+  if (delay_ms <= 0) return;
+  if (g_recorder_installed.load(std::memory_order_acquire)) {
+    MutexLock lock(g_recorder_mutex);
+    if (g_recorder_active) {
+      RecordedDelays().push_back(delay_ms);
+      return;
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+}
+
+ScopedBackoffRecorder::ScopedBackoffRecorder() {
+  MutexLock lock(g_recorder_mutex);
+  assert(!g_recorder_active && "ScopedBackoffRecorder scopes must not nest");
+  g_recorder_active = true;
+  RecordedDelays().clear();
+  g_recorder_installed.store(true, std::memory_order_release);
+}
+
+ScopedBackoffRecorder::~ScopedBackoffRecorder() {
+  MutexLock lock(g_recorder_mutex);
+  g_recorder_active = false;
+  g_recorder_installed.store(false, std::memory_order_release);
+}
+
+std::vector<std::int64_t> ScopedBackoffRecorder::delays() const {
+  MutexLock lock(g_recorder_mutex);
+  return RecordedDelays();
+}
+
+}  // namespace pgm

@@ -12,7 +12,11 @@ namespace pgm {
 ///
 /// Stamp history:
 ///   1  PR 4 arena-join harness (per-level arenas, prefix-group joins)
-inline constexpr double kBenchAbiStamp = 1;
+///   2  PR 6 serving-layer rows (serve_hit_speedup + info.serve_*_ms) and
+///      the BENCH_pr6.json baseline; absolute wall-clock rows demoted to
+///      info.* so the gate tracks only in-process ratios, which are robust
+///      to machine-wide noise
+inline constexpr double kBenchAbiStamp = 2;
 
 }  // namespace pgm
 

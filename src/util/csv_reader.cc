@@ -88,7 +88,11 @@ StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
 
 StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
     const std::string& path) {
-  PGM_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  // Same transient-fault discipline as ReadFastaFile: retry IoError once,
+  // let truncation surface as Corruption from the parser.
+  PGM_ASSIGN_OR_RETURN(
+      std::string contents,
+      ReadFileToStringWithRetry(path, DefaultReadRetryPolicy()));
   return ParseCsv(contents);
 }
 

@@ -1,0 +1,19 @@
+#include "util/digest.h"
+
+namespace pgm {
+
+std::uint64_t Fnv1a64(std::string_view text) {
+  return Digest64().Update(text).value();
+}
+
+std::string DigestToHex(std::uint64_t value) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace pgm

@@ -1,0 +1,58 @@
+#ifndef PGM_UTIL_DIGEST_H_
+#define PGM_UTIL_DIGEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pgm {
+
+/// Streaming FNV-1a 64-bit digest. Not cryptographic — it keys the serving
+/// layer's result cache, where a collision costs a wrong cache hit on
+/// adversarially chosen inputs at worst; the canonical config string is part
+/// of the key material, so accidental collisions need both the sequence and
+/// the config to collide at once.
+class Digest64 {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  Digest64() = default;
+
+  Digest64& Update(const void* data, std::size_t size) {
+    const unsigned char* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      state_ ^= bytes[i];
+      state_ *= kPrime;
+    }
+    return *this;
+  }
+  Digest64& Update(std::string_view text) {
+    return Update(text.data(), text.size());
+  }
+  /// Hashes the value's little-endian byte representation, so digests are
+  /// identical across platforms we build for.
+  Digest64& UpdateU64(std::uint64_t value) {
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i) {
+      bytes[i] = static_cast<unsigned char>(value >> (8 * i));
+    }
+    return Update(bytes, sizeof(bytes));
+  }
+
+  std::uint64_t value() const { return state_; }
+
+ private:
+  std::uint64_t state_ = kOffsetBasis;
+};
+
+/// FNV-1a 64 of `text` in one call.
+std::uint64_t Fnv1a64(std::string_view text);
+
+/// Fixed-width (16 hex digits, lowercase) rendering of a digest value.
+std::string DigestToHex(std::uint64_t value);
+
+}  // namespace pgm
+
+#endif  // PGM_UTIL_DIGEST_H_

@@ -1,62 +1,85 @@
 #include "util/fault_injection.h"
 
+#include <atomic>
 #include <cassert>
 
 namespace pgm {
 
 namespace {
 
-// Tests arm at most one fault at a time (ScopedFileFault asserts this), so a
-// plain global suffices; readers run on the armed thread.
-const FileFault* g_active_fault = nullptr;
-std::int64_t g_hits = 0;
+// Tests arm at most one fault at a time (ScopedFileFault asserts this). The
+// pointer and hit counter are atomics because the serving loop's workers
+// read files concurrently while a fault-campaign test holds the scope; the
+// scope itself must still bracket all reads (armed before workers start or
+// before jobs are submitted, disarmed after they join).
+std::atomic<const FileFault*> g_active_fault{nullptr};
+std::atomic<std::int64_t> g_hits{0};
 
 bool Matches(const FileFault& fault, const std::string& path) {
   return fault.path_substring.empty() ||
          path.find(fault.path_substring) != std::string::npos;
 }
 
+// Counts a hit against the fault's max_hits budget. Returns false when the
+// budget is already spent — the fault is exhausted and the read proceeds
+// normally (a transient fault that has cleared).
+bool TryConsumeHit(const FileFault& fault) {
+  std::int64_t seen = g_hits.load(std::memory_order_relaxed);
+  while (true) {
+    if (fault.max_hits > 0 && seen >= fault.max_hits) return false;
+    if (g_hits.compare_exchange_weak(seen, seen + 1,
+                                     std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
 }  // namespace
 
 ScopedFileFault::ScopedFileFault(FileFault fault) : fault_(std::move(fault)) {
-  assert(g_active_fault == nullptr && "ScopedFileFault scopes must not nest");
-  g_active_fault = &fault_;
-  g_hits = 0;
+  assert(g_active_fault.load(std::memory_order_relaxed) == nullptr &&
+         "ScopedFileFault scopes must not nest");
+  g_hits.store(0, std::memory_order_relaxed);
+  g_active_fault.store(&fault_, std::memory_order_release);
 }
 
-ScopedFileFault::~ScopedFileFault() { g_active_fault = nullptr; }
+ScopedFileFault::~ScopedFileFault() {
+  g_active_fault.store(nullptr, std::memory_order_release);
+}
 
-std::int64_t ScopedFileFault::hits() const { return g_hits; }
+std::int64_t ScopedFileFault::hits() const {
+  return g_hits.load(std::memory_order_relaxed);
+}
 
 namespace internal {
 
 bool ShouldFailOpen(const std::string& path) {
-  if (g_active_fault == nullptr ||
-      g_active_fault->kind != FileFault::Kind::kOpenError ||
-      !Matches(*g_active_fault, path)) {
+  const FileFault* fault = g_active_fault.load(std::memory_order_acquire);
+  if (fault == nullptr || fault->kind != FileFault::Kind::kOpenError ||
+      !Matches(*fault, path)) {
     return false;
   }
-  ++g_hits;
-  return true;
+  return TryConsumeHit(*fault);
 }
 
 Status ApplyReadFault(const std::string& path, std::string* contents) {
-  if (g_active_fault == nullptr || !Matches(*g_active_fault, path)) {
+  const FileFault* fault = g_active_fault.load(std::memory_order_acquire);
+  if (fault == nullptr || !Matches(*fault, path)) {
     return Status::OK();
   }
-  switch (g_active_fault->kind) {
+  switch (fault->kind) {
     case FileFault::Kind::kOpenError:
       return Status::OK();  // handled by ShouldFailOpen
     case FileFault::Kind::kReadError:
-      ++g_hits;
-      if (contents->size() > g_active_fault->byte_limit) {
-        contents->resize(g_active_fault->byte_limit);
+      if (!TryConsumeHit(*fault)) return Status::OK();
+      if (contents->size() > fault->byte_limit) {
+        contents->resize(fault->byte_limit);
       }
       return Status::IoError("injected read failure: " + path);
     case FileFault::Kind::kTruncate:
-      ++g_hits;
-      if (contents->size() > g_active_fault->byte_limit) {
-        contents->resize(g_active_fault->byte_limit);
+      if (!TryConsumeHit(*fault)) return Status::OK();
+      if (contents->size() > fault->byte_limit) {
+        contents->resize(fault->byte_limit);
       }
       return Status::OK();
   }

@@ -29,11 +29,18 @@ struct FileFault {
   /// The fault applies only to paths containing this substring; empty
   /// matches every path.
   std::string path_substring;
+  /// The fault fires at most this many times, then later reads succeed —
+  /// this is how tests model a *transient* fault that a retry recovers
+  /// from. 0 means unlimited (a permanent fault).
+  std::int64_t max_hits = 0;
 };
 
-/// Arms `fault` for the duration of the scope (tests only; not thread-safe,
-/// and scopes must not nest). `hits()` reports how many reads the fault
-/// intercepted, so a test can assert the branch actually fired.
+/// Arms `fault` for the duration of the scope (tests only; scopes must not
+/// nest). `hits()` reports how many reads the fault intercepted, so a test
+/// can assert the branch actually fired. Reads may run on other threads
+/// (the serving loop's workers) while the scope is held — the hit counter
+/// and arm/disarm handshake are atomic — but construction/destruction must
+/// not race with in-flight reads.
 class ScopedFileFault {
  public:
   explicit ScopedFileFault(FileFault fault);

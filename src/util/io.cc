@@ -29,6 +29,29 @@ StatusOr<std::string> ReadFileToString(const std::string& path) {
   return contents;
 }
 
+StatusOr<std::string> ReadFileToStringWithRetry(const std::string& path,
+                                                const RetryPolicy& policy) {
+  const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int attempt = 1;; ++attempt) {
+    StatusOr<std::string> contents = ReadFileToString(path);
+    if (contents.ok() ||
+        contents.status().code() != StatusCode::kIoError ||
+        attempt >= attempts) {
+      return contents;
+    }
+    BackoffSleep(BackoffDelayMs(policy, attempt + 1));
+  }
+}
+
+RetryPolicy DefaultReadRetryPolicy() {
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.base_delay_ms = 1;
+  policy.multiplier = 2.0;
+  policy.max_delay_ms = 50;
+  return policy;
+}
+
 Status WriteStringToFile(const std::string& path,
                          const std::string& contents) {
   std::FILE* f = std::fopen(path.c_str(), "wb");

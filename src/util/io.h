@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "util/backoff.h"
 #include "util/status.h"
 
 namespace pgm {
@@ -14,6 +15,22 @@ namespace pgm {
 /// deterministically exercise open failures, mid-stream read errors, and
 /// silent short reads in every caller.
 StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// ReadFileToString with retry: IoError attempts are retried up to
+/// policy.max_attempts with the policy's deterministic exponential backoff
+/// (BackoffSleep honors ScopedBackoffRecorder, so tests never wall-clock
+/// sleep). Only IoError is considered transient — any other failure, and
+/// the Corruption a parser raises on truncated content, surfaces on the
+/// first attempt. With the default one-attempt policy this is exactly
+/// ReadFileToString.
+StatusOr<std::string> ReadFileToStringWithRetry(const std::string& path,
+                                                const RetryPolicy& policy);
+
+/// The retry policy the file-format readers (FASTA, CSV) use: one retry
+/// after 1 ms. Transient blips (NFS hiccup, injected kReadError with
+/// max_hits=1) recover invisibly; permanent faults cost one extra read
+/// attempt and then surface exactly as before.
+RetryPolicy DefaultReadRetryPolicy();
 
 /// Writes `contents` to `path`, truncating any existing file. IoError on
 /// open or write failure — callers that must not lose their primary result

@@ -22,6 +22,11 @@ enum class StatusCode {
   kUnimplemented = 7,
   kResourceExhausted = 8,
   kInternal = 9,
+  /// The serving layer's load-shedding code: the operation was refused
+  /// because the service is saturated or draining, and retrying later is
+  /// expected to succeed (unlike kResourceExhausted, which reports a
+  /// per-request budget that retrying alone will not fix).
+  kUnavailable = 10,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -74,6 +79,9 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

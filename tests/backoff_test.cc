@@ -1,0 +1,177 @@
+// The retry substrate: the backoff schedule must be a pure function of
+// (policy, attempt) — goldens below pin it — and ReadFileToStringWithRetry
+// must recover from transient faults while still surfacing permanent ones.
+
+#include "util/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "util/fault_injection.h"
+#include "util/io.h"
+
+namespace pgm {
+namespace {
+
+TEST(BackoffTest, FirstAttemptHasNoDelay) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 100;
+  EXPECT_EQ(BackoffDelayMs(policy, 0), 0);
+  EXPECT_EQ(BackoffDelayMs(policy, 1), 0);
+}
+
+TEST(BackoffTest, ExponentialScheduleGolden) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 10;
+  policy.multiplier = 2.0;
+  policy.max_delay_ms = 1000;
+  EXPECT_EQ(BackoffDelayMs(policy, 2), 10);
+  EXPECT_EQ(BackoffDelayMs(policy, 3), 20);
+  EXPECT_EQ(BackoffDelayMs(policy, 4), 40);
+  EXPECT_EQ(BackoffDelayMs(policy, 5), 80);
+}
+
+TEST(BackoffTest, DelayClampsAtCeiling) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 10;
+  policy.multiplier = 10.0;
+  policy.max_delay_ms = 250;
+  EXPECT_EQ(BackoffDelayMs(policy, 2), 10);
+  EXPECT_EQ(BackoffDelayMs(policy, 3), 100);
+  EXPECT_EQ(BackoffDelayMs(policy, 4), 250);
+  EXPECT_EQ(BackoffDelayMs(policy, 9), 250);  // stays clamped forever
+}
+
+TEST(BackoffTest, JitterIsDeterministicAndBounded) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 100;
+  policy.multiplier = 2.0;
+  policy.max_delay_ms = 10000;
+  policy.jitter_seed = 42;
+  for (int attempt = 2; attempt <= 6; ++attempt) {
+    const std::int64_t first = BackoffDelayMs(policy, attempt);
+    const std::int64_t second = BackoffDelayMs(policy, attempt);
+    EXPECT_EQ(first, second) << "jitter must be a pure function of the seed";
+    RetryPolicy no_jitter = policy;
+    no_jitter.jitter_seed = 0;
+    const std::int64_t full = BackoffDelayMs(no_jitter, attempt);
+    EXPECT_GE(first, full / 2);
+    EXPECT_LE(first, full);
+  }
+}
+
+TEST(BackoffTest, DifferentSeedsGiveDifferentSchedules) {
+  RetryPolicy a;
+  a.base_delay_ms = 1000;
+  a.max_delay_ms = 100000;
+  a.jitter_seed = 1;
+  RetryPolicy b = a;
+  b.jitter_seed = 2;
+  // With a 500ms jitter window, five identical draws in a row would mean
+  // the seed is being ignored.
+  bool any_differ = false;
+  for (int attempt = 2; attempt <= 6; ++attempt) {
+    if (BackoffDelayMs(a, attempt) != BackoffDelayMs(b, attempt)) {
+      any_differ = true;
+    }
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(BackoffTest, RecorderCapturesInsteadOfSleeping) {
+  ScopedBackoffRecorder recorder;
+  BackoffSleep(500);
+  BackoffSleep(1000);
+  ASSERT_EQ(recorder.delays().size(), 2u);
+  EXPECT_EQ(recorder.delays()[0], 500);
+  EXPECT_EQ(recorder.delays()[1], 1000);
+}
+
+// --- ReadFileToStringWithRetry against injected faults ---
+
+std::string WriteTempFile(const std::string& name,
+                          const std::string& contents) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  EXPECT_NE(f, nullptr);
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  return path;
+}
+
+RetryPolicy ThreeAttempts() {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_delay_ms = 10;
+  return policy;
+}
+
+TEST(BackoffTest, RetryRecoversFromTransientOpenError) {
+  const std::string path = WriteTempFile("retry_transient.txt", "payload");
+  FileFault fault;
+  fault.kind = FileFault::Kind::kOpenError;
+  fault.max_hits = 2;  // attempts 1 and 2 fail; attempt 3 succeeds
+  ScopedFileFault scope(fault);
+  ScopedBackoffRecorder recorder;
+  StatusOr<std::string> contents =
+      ReadFileToStringWithRetry(path, ThreeAttempts());
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "payload");
+  EXPECT_EQ(scope.hits(), 2);
+  // The deterministic schedule: 10ms before attempt 2, 20ms before 3.
+  ASSERT_EQ(recorder.delays().size(), 2u);
+  EXPECT_EQ(recorder.delays()[0], 10);
+  EXPECT_EQ(recorder.delays()[1], 20);
+  std::remove(path.c_str());
+}
+
+TEST(BackoffTest, RetryExhaustsOnPermanentFault) {
+  const std::string path = WriteTempFile("retry_permanent.txt", "payload");
+  FileFault fault;
+  fault.kind = FileFault::Kind::kOpenError;  // max_hits 0 = permanent
+  ScopedFileFault scope(fault);
+  ScopedBackoffRecorder recorder;
+  StatusOr<std::string> contents =
+      ReadFileToStringWithRetry(path, ThreeAttempts());
+  ASSERT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(scope.hits(), 3);
+  EXPECT_EQ(recorder.delays().size(), 2u);  // no sleep after the last attempt
+  std::remove(path.c_str());
+}
+
+TEST(BackoffTest, RetryDoesNotMaskCorruption) {
+  // kTruncate delivers short content with no I/O error; the retry wrapper
+  // must pass it straight through for the *parser* to reject — retrying
+  // cannot fix corrupt bytes and must not hide them.
+  const std::string path = WriteTempFile("retry_corrupt.txt", "full-content");
+  FileFault fault;
+  fault.kind = FileFault::Kind::kTruncate;
+  fault.byte_limit = 4;
+  ScopedFileFault scope(fault);
+  ScopedBackoffRecorder recorder;
+  StatusOr<std::string> contents =
+      ReadFileToStringWithRetry(path, ThreeAttempts());
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "full");
+  EXPECT_EQ(scope.hits(), 1);  // no retry: the read "succeeded"
+  EXPECT_TRUE(recorder.delays().empty());
+  std::remove(path.c_str());
+}
+
+TEST(BackoffTest, SingleAttemptPolicyNeverRetries) {
+  const std::string path = WriteTempFile("retry_single.txt", "payload");
+  FileFault fault;
+  fault.kind = FileFault::Kind::kOpenError;
+  ScopedFileFault scope(fault);
+  RetryPolicy policy;  // max_attempts = 1
+  StatusOr<std::string> contents = ReadFileToStringWithRetry(path, policy);
+  ASSERT_FALSE(contents.ok());
+  EXPECT_EQ(scope.hits(), 1);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pgm

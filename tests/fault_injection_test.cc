@@ -11,6 +11,7 @@
 #include <string>
 
 #include "seq/fasta.h"
+#include "util/backoff.h"
 #include "util/csv_reader.h"
 #include "util/io.h"
 
@@ -117,6 +118,11 @@ TEST(FaultInjectionTest, FaultDisarmsWhenScopeEnds) {
 }
 
 // --- FASTA reader under faults ---
+//
+// The readers route through ReadFileToStringWithRetry (one retry for
+// transient I/O faults), so a *permanent* injected fault is hit twice —
+// once per attempt — before surfacing. ScopedBackoffRecorder keeps the
+// retry's backoff from actually sleeping.
 
 TEST(FaultInjectionTest, FastaOpenErrorSurfacesAsIoError) {
   const std::string path = WriteTempFile("fault_fasta_open.fa", kFasta);
@@ -124,9 +130,27 @@ TEST(FaultInjectionTest, FastaOpenErrorSurfacesAsIoError) {
   fault.kind = FileFault::Kind::kOpenError;
   fault.path_substring = "fault_fasta_open";
   ScopedFileFault scope(fault);
+  ScopedBackoffRecorder backoff;
   StatusOr<std::vector<FastaRecord>> records = ReadFastaFile(path);
   ASSERT_FALSE(records.ok());
   EXPECT_EQ(records.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(scope.hits(), 2);
+  EXPECT_EQ(backoff.delays().size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, FastaOpenErrorRecoversWhenTransient) {
+  // max_hits = 1: the first attempt fails, the retry succeeds — the caller
+  // never sees the fault.
+  const std::string path = WriteTempFile("fault_fasta_transient.fa", kFasta);
+  FileFault fault;
+  fault.kind = FileFault::Kind::kOpenError;
+  fault.max_hits = 1;
+  ScopedFileFault scope(fault);
+  ScopedBackoffRecorder backoff;
+  StatusOr<std::vector<FastaRecord>> records = ReadFastaFile(path);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 2u);
   EXPECT_EQ(scope.hits(), 1);
   std::remove(path.c_str());
 }
@@ -137,10 +161,11 @@ TEST(FaultInjectionTest, FastaReadErrorSurfacesAsIoError) {
   fault.kind = FileFault::Kind::kReadError;
   fault.byte_limit = 10;
   ScopedFileFault scope(fault);
+  ScopedBackoffRecorder backoff;
   StatusOr<std::vector<FastaRecord>> records = ReadFastaFile(path);
   ASSERT_FALSE(records.ok());
   EXPECT_EQ(records.status().code(), StatusCode::kIoError);
-  EXPECT_EQ(scope.hits(), 1);
+  EXPECT_EQ(scope.hits(), 2);
   std::remove(path.c_str());
 }
 
@@ -187,10 +212,11 @@ TEST(FaultInjectionTest, CsvOpenErrorSurfacesAsIoError) {
   FileFault fault;
   fault.kind = FileFault::Kind::kOpenError;
   ScopedFileFault scope(fault);
+  ScopedBackoffRecorder backoff;
   auto rows = ReadCsvFile(path);
   ASSERT_FALSE(rows.ok());
   EXPECT_EQ(rows.status().code(), StatusCode::kIoError);
-  EXPECT_EQ(scope.hits(), 1);
+  EXPECT_EQ(scope.hits(), 2);  // permanent fault: both attempts intercepted
   std::remove(path.c_str());
 }
 
@@ -200,10 +226,11 @@ TEST(FaultInjectionTest, CsvReadErrorSurfacesAsIoError) {
   fault.kind = FileFault::Kind::kReadError;
   fault.byte_limit = 20;
   ScopedFileFault scope(fault);
+  ScopedBackoffRecorder backoff;
   auto rows = ReadCsvFile(path);
   ASSERT_FALSE(rows.ok());
   EXPECT_EQ(rows.status().code(), StatusCode::kIoError);
-  EXPECT_EQ(scope.hits(), 1);
+  EXPECT_EQ(scope.hits(), 2);
   std::remove(path.c_str());
 }
 

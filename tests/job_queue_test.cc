@@ -1,0 +1,127 @@
+// The admission queue: bounded capacity, deterministic shedding, FIFO
+// order, close-and-drain semantics, and producer/consumer races.
+
+#include "serve/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace pgm {
+namespace {
+
+MiningJob JobNamed(const std::string& input) {
+  MiningJob job;
+  job.input = input;
+  return job;
+}
+
+TEST(JobQueueTest, PushPopIsFifo) {
+  JobQueue queue(4);
+  EXPECT_EQ(queue.TryPush(JobNamed("a")), JobQueue::PushResult::kAccepted);
+  EXPECT_EQ(queue.TryPush(JobNamed("b")), JobQueue::PushResult::kAccepted);
+  MiningJob job;
+  ASSERT_TRUE(queue.Pop(&job));
+  EXPECT_EQ(job.input, "a");
+  ASSERT_TRUE(queue.Pop(&job));
+  EXPECT_EQ(job.input, "b");
+}
+
+TEST(JobQueueTest, ShedsDeterministicallyAtCapacity) {
+  JobQueue queue(2);
+  EXPECT_EQ(queue.TryPush(JobNamed("a")), JobQueue::PushResult::kAccepted);
+  EXPECT_EQ(queue.TryPush(JobNamed("b")), JobQueue::PushResult::kAccepted);
+  // The bound is hard: every push past capacity is rejected immediately, no
+  // matter how many times it is retried without a pop in between.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(queue.TryPush(JobNamed("over")), JobQueue::PushResult::kFull);
+  }
+  EXPECT_EQ(queue.size(), 2u);
+  // Popping frees exactly one admission slot.
+  MiningJob job;
+  ASSERT_TRUE(queue.Pop(&job));
+  EXPECT_EQ(queue.TryPush(JobNamed("c")), JobQueue::PushResult::kAccepted);
+  EXPECT_EQ(queue.TryPush(JobNamed("d")), JobQueue::PushResult::kFull);
+}
+
+TEST(JobQueueTest, ZeroCapacityIsPinnedToOne) {
+  JobQueue queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_EQ(queue.TryPush(JobNamed("a")), JobQueue::PushResult::kAccepted);
+  EXPECT_EQ(queue.TryPush(JobNamed("b")), JobQueue::PushResult::kFull);
+}
+
+TEST(JobQueueTest, CloseRejectsPushesButDrainsQueued) {
+  JobQueue queue(4);
+  EXPECT_EQ(queue.TryPush(JobNamed("a")), JobQueue::PushResult::kAccepted);
+  EXPECT_EQ(queue.TryPush(JobNamed("b")), JobQueue::PushResult::kAccepted);
+  queue.Close();
+  EXPECT_EQ(queue.TryPush(JobNamed("late")), JobQueue::PushResult::kClosed);
+  MiningJob job;
+  ASSERT_TRUE(queue.Pop(&job));
+  EXPECT_EQ(job.input, "a");
+  ASSERT_TRUE(queue.Pop(&job));
+  EXPECT_EQ(job.input, "b");
+  EXPECT_FALSE(queue.Pop(&job));  // drained: returns without blocking
+}
+
+TEST(JobQueueTest, CloseWakesBlockedConsumers) {
+  JobQueue queue(4);
+  std::atomic<int> drained{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 4; ++i) {
+    consumers.emplace_back([&queue, &drained] {
+      MiningJob job;
+      while (queue.Pop(&job)) {
+      }
+      drained.fetch_add(1);
+    });
+  }
+  // All four block on the empty queue; Close must wake every one.
+  queue.Close();
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(drained.load(), 4);
+}
+
+TEST(JobQueueTest, ConcurrentProducersConsumersLoseNothing) {
+  JobQueue queue(16);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  std::atomic<int> accepted{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&queue, &popped] {
+      MiningJob job;
+      while (queue.Pop(&job)) popped.fetch_add(1);
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, &accepted, &shed] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (queue.TryPush(JobNamed("x")) == JobQueue::PushResult::kAccepted) {
+          accepted.fetch_add(1);
+        } else {
+          shed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  queue.Close();
+  for (std::thread& t : consumers) t.join();
+
+  // Conservation: every admitted job is popped exactly once, and every
+  // submission was either admitted or shed.
+  EXPECT_EQ(popped.load(), accepted.load());
+  EXPECT_EQ(accepted.load() + shed.load(), kProducers * kPerProducer);
+}
+
+}  // namespace
+}  // namespace pgm

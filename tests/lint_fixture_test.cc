@@ -116,6 +116,15 @@ TEST(LintFixtureTest, CommentsAndStringsAreInvisible) {
   EXPECT_TRUE(LintSource("x.cc", source, options).empty());
 }
 
+TEST(LintFixtureTest, ServeSourcesAreInScope) {
+  // The serving layer is concurrency-heavy; a naked lock there must trip
+  // the linter exactly as it would in src/core.
+  const std::string source = "void f(M& mu) { mu.lock(); mu.unlock(); }\n";
+  const std::vector<Finding> findings =
+      LintSource("src/serve/helper.cc", source, LintOptions{});
+  EXPECT_EQ(Rules(findings), std::set<std::string>{"naked-lock"});
+}
+
 // The gate itself: the live tree must be clean. Same scan `ctest -L lint`
 // runs through the pgm_lint binary, duplicated here so a plain `ctest`
 // (tier-1) also refuses a tree with violations.

@@ -324,5 +324,62 @@ TEST(GuardConcurrencyTest, ConcurrentTicksKeepSharedCadence) {
   EXPECT_FALSE(guard.stopped());
 }
 
+TEST(ParallelMiningTest, CancelRacingTheMergeStaysSound) {
+  // The serve drain latches a CancelToken from another thread while the
+  // parallel executor may be anywhere: sharding, counting, or merging.
+  // Wherever the cancel lands, the run must return OK with either a
+  // completed or a cancelled result, and every returned pattern must carry
+  // its exact ungoverned support. TSan patrols the token/merge handshake.
+  Rng rng(47);
+  Sequence sequence = *UniformRandomSequence(600, Alphabet::Dna(), rng);
+  MinerConfig config = TestConfig();
+
+  StatusOr<MiningResult> full = MineMpp(sequence, config);
+  ASSERT_TRUE(full.ok());
+  std::vector<std::pair<std::string, std::uint64_t>> truth;
+  for (const FrequentPattern& fp : full->patterns) {
+    truth.emplace_back(fp.pattern.ToShorthand(), fp.support);
+  }
+
+  bool saw_cancelled = false;
+  // Vary where the cancel lands by spinning a different amount each round;
+  // the contract must hold at every interleaving.
+  for (int round = 0; round < 12; ++round) {
+    CancelToken cancel;
+    config.threads = 4;
+    config.cancel = &cancel;
+    std::thread canceller([&cancel, round] {
+      // Relaxed atomic spin: keeps the loop un-elidable without the
+      // deprecated volatile increment.
+      std::atomic<int> spin{0};
+      while (spin.fetch_add(1, std::memory_order_relaxed) < round * 20'000) {
+      }
+      cancel.RequestCancel();
+    });
+    StatusOr<MiningResult> result = MineMpp(sequence, config);
+    canceller.join();
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    ASSERT_TRUE(result->termination == TerminationReason::kCompleted ||
+                result->termination == TerminationReason::kCancelled);
+    if (result->termination == TerminationReason::kCancelled) {
+      saw_cancelled = true;
+      EXPECT_LT(result->guaranteed_complete_up_to,
+                full->guaranteed_complete_up_to + 1);
+    } else {
+      EXPECT_EQ(result->patterns.size(), full->patterns.size());
+    }
+    for (const FrequentPattern& fp : result->patterns) {
+      const std::pair<std::string, std::uint64_t> entry(
+          fp.pattern.ToShorthand(), fp.support);
+      EXPECT_NE(std::find(truth.begin(), truth.end(), entry), truth.end())
+          << "round " << round << ": pattern " << entry.first
+          << " (support " << entry.second << ") not in the full result";
+    }
+  }
+  // Round 0 cancels before the first guard poll, so at least one round is
+  // guaranteed to come back cancelled.
+  EXPECT_TRUE(saw_cancelled);
+}
+
 }  // namespace
 }  // namespace pgm

@@ -1,0 +1,125 @@
+// The result cache: LRU eviction against a byte ledger, refresh-in-place,
+// oversized rejection, the disabled (capacity-0) mode, and the serve.cache.*
+// metrics contract.
+
+#include "serve/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/miner.h"
+#include "util/metrics.h"
+
+namespace pgm {
+namespace {
+
+// A recognizable result; n_used doubles as the payload identity.
+MiningResult ResultTagged(std::int64_t tag) {
+  MiningResult result;
+  result.n_used = tag;
+  return result;
+}
+
+// Every ResultTagged() value has this footprint in the ledger.
+std::uint64_t BaseBytes() { return ApproxResultBytes(ResultTagged(0)); }
+
+TEST(ResultCacheTest, MissThenHit) {
+  MetricsRegistry metrics;
+  ResultCache cache(1 << 20, &metrics);
+  MiningResult out;
+  EXPECT_FALSE(cache.Lookup("k", &out));
+  EXPECT_TRUE(cache.Insert("k", ResultTagged(7)));
+  ASSERT_TRUE(cache.Lookup("k", &out));
+  EXPECT_EQ(out.n_used, 7);
+  EXPECT_EQ(metrics.GetCounter("serve.cache.misses")->value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("serve.cache.hits")->value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("serve.cache.insertions")->value(), 1u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedFirst) {
+  MetricsRegistry metrics;
+  // Room for exactly two base-sized entries.
+  ResultCache cache(2 * BaseBytes(), &metrics);
+  ASSERT_TRUE(cache.Insert("a", ResultTagged(1)));
+  ASSERT_TRUE(cache.Insert("b", ResultTagged(2)));
+  EXPECT_EQ(cache.entry_count(), 2u);
+
+  // Touch "a" so "b" becomes the LRU entry, then force an eviction.
+  MiningResult out;
+  ASSERT_TRUE(cache.Lookup("a", &out));
+  ASSERT_TRUE(cache.Insert("c", ResultTagged(3)));
+
+  EXPECT_EQ(cache.entry_count(), 2u);
+  EXPECT_FALSE(cache.Lookup("b", &out)) << "LRU entry must be the one evicted";
+  EXPECT_TRUE(cache.Lookup("a", &out));
+  EXPECT_TRUE(cache.Lookup("c", &out));
+  EXPECT_EQ(metrics.GetCounter("serve.cache.evictions")->value(), 1u);
+  EXPECT_EQ(cache.bytes_in_use(), 2 * BaseBytes());
+}
+
+TEST(ResultCacheTest, RefreshReplacesInPlace) {
+  ResultCache cache(1 << 20);
+  ASSERT_TRUE(cache.Insert("k", ResultTagged(1)));
+  ASSERT_TRUE(cache.Insert("k", ResultTagged(2)));
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.bytes_in_use(), BaseBytes());
+  MiningResult out;
+  ASSERT_TRUE(cache.Lookup("k", &out));
+  EXPECT_EQ(out.n_used, 2);
+}
+
+TEST(ResultCacheTest, RefreshedEntryIsMostRecentlyUsed) {
+  ResultCache cache(2 * BaseBytes());
+  ASSERT_TRUE(cache.Insert("a", ResultTagged(1)));
+  ASSERT_TRUE(cache.Insert("b", ResultTagged(2)));
+  ASSERT_TRUE(cache.Insert("a", ResultTagged(3)));  // refresh promotes "a"
+  ASSERT_TRUE(cache.Insert("c", ResultTagged(4)));  // evicts "b", not "a"
+  MiningResult out;
+  EXPECT_TRUE(cache.Lookup("a", &out));
+  EXPECT_FALSE(cache.Lookup("b", &out));
+}
+
+TEST(ResultCacheTest, OversizedEntryIsRejectedNotCached) {
+  MetricsRegistry metrics;
+  ResultCache cache(BaseBytes() - 1, &metrics);
+  EXPECT_FALSE(cache.Insert("big", ResultTagged(1)));
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.bytes_in_use(), 0u);
+  EXPECT_EQ(metrics.GetCounter("serve.cache.rejected")->value(), 1u);
+}
+
+TEST(ResultCacheTest, LargerPayloadsChargeTheLedger) {
+  ResultCache cache(1 << 20);
+  MiningResult fat = ResultTagged(1);
+  fat.level_stats.resize(8);
+  ASSERT_TRUE(cache.Insert("fat", fat));
+  EXPECT_EQ(cache.bytes_in_use(), ApproxResultBytes(fat));
+  EXPECT_GT(cache.bytes_in_use(), BaseBytes());
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesQuietly) {
+  MetricsRegistry metrics;
+  ResultCache cache(0, &metrics);
+  EXPECT_FALSE(cache.Insert("k", ResultTagged(1)));
+  MiningResult out;
+  EXPECT_FALSE(cache.Lookup("k", &out));
+  EXPECT_EQ(cache.entry_count(), 0u);
+  // A disabled cache stays silent: no miss/rejected noise in the registry.
+  EXPECT_EQ(metrics.GetCounter("serve.cache.misses")->value(), 0u);
+  EXPECT_EQ(metrics.GetCounter("serve.cache.rejected")->value(), 0u);
+}
+
+TEST(ResultCacheTest, BytesGaugeTracksLedger) {
+  MetricsRegistry metrics;
+  ResultCache cache(2 * BaseBytes(), &metrics);
+  ASSERT_TRUE(cache.Insert("a", ResultTagged(1)));
+  ASSERT_TRUE(cache.Insert("b", ResultTagged(2)));
+  ASSERT_TRUE(cache.Insert("c", ResultTagged(3)));  // evicts "a"
+  EXPECT_EQ(metrics.GetGauge("serve.cache.bytes")->value(),
+            static_cast<std::int64_t>(cache.bytes_in_use()));
+}
+
+}  // namespace
+}  // namespace pgm

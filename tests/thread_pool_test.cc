@@ -78,5 +78,63 @@ TEST(ThreadPoolTest, ResolveThreadCountClampsAndDetects) {
   EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1u);  // hardware concurrency
 }
 
+TEST(ThreadPoolTest, DrainsCleanlyWhenDestroyedRightAfterExecute) {
+  // The serve host tears its pool down as soon as the drain loop returns;
+  // destruction immediately after the join must not lose or hang work.
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> calls{0};
+    {
+      ThreadPool pool(4);
+      pool.Execute([&](std::size_t) { calls.fetch_add(1); });
+    }
+    EXPECT_EQ(calls.load(), 4) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, GenerationsStaySequentiallyConsistent) {
+  // Each Execute is a full barrier: work from generation g must observe
+  // every write from generation g-1. A stale worker re-running an old
+  // generation would break the monotone sequence below.
+  ThreadPool pool(4);
+  std::atomic<int> sequence{0};
+  for (int g = 1; g <= 200; ++g) {
+    pool.Execute([&, g](std::size_t worker) {
+      if (worker == 0) {
+        EXPECT_EQ(sequence.load(), g - 1);
+        sequence.store(g);
+      }
+    });
+  }
+  EXPECT_EQ(sequence.load(), 200);
+}
+
+TEST(ThreadPoolTest, IndependentPoolsInterleaveWithoutCrosstalk) {
+  // The service pool and a job's mining-internal pool coexist; alternating
+  // generations between two pools must not corrupt either barrier.
+  ThreadPool a(2);
+  ThreadPool b(3);
+  std::atomic<int> a_calls{0};
+  std::atomic<int> b_calls{0};
+  for (int round = 0; round < 50; ++round) {
+    a.Execute([&](std::size_t) { a_calls.fetch_add(1); });
+    b.Execute([&](std::size_t) { b_calls.fetch_add(1); });
+  }
+  EXPECT_EQ(a_calls.load(), 100);
+  EXPECT_EQ(b_calls.load(), 150);
+}
+
+TEST(ThreadPoolTest, ReuseUnderContendedSharedState) {
+  // Stress the generation protocol (TSan hunts the handshake): many short
+  // generations hammering one cacheline from every worker.
+  ThreadPool pool(8);
+  std::atomic<std::uint64_t> total{0};
+  for (int round = 0; round < 500; ++round) {
+    pool.Execute([&](std::size_t worker) {
+      total.fetch_add(worker + 1);
+    });
+  }
+  EXPECT_EQ(total.load(), 500ull * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8));
+}
+
 }  // namespace
 }  // namespace pgm

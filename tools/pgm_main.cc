@@ -1,16 +1,34 @@
 // The `pgm` command-line tool. All logic lives in the testable pgm_cli
-// library; this binary only routes the rendered report to stdout and
-// failure diagnostics to stderr. Exit codes distinguish the failure class
-// (see pgm::cli::ExitCodeForStatus): 0 ok, 2 invalid argument / usage,
-// 3 I/O error, 4 corrupt input, 5 resource exhausted, 6 not found,
-// 1 anything else.
+// library; this binary only installs the signal handlers and routes the
+// rendered report to stdout and failure diagnostics to stderr. Exit codes
+// distinguish the failure class (see pgm::cli::ExitCodeForStatus): 0 ok,
+// 2 invalid argument / usage, 3 I/O error, 4 corrupt input, 5 resource
+// exhausted, 6 not found, 7 service unavailable (shed), 1 anything else —
+// and 130 when SIGINT/SIGTERM interrupted a run that then wound down to a
+// partial-but-sound result.
 
+#include <csignal>
 #include <cstdio>
 #include <string>
 
 #include "cli/cli.h"
 
+namespace {
+
+// Async-signal-safe: RequestCancel is a relaxed atomic store. The running
+// command (mine, serve) polls the token and drains gracefully; a second
+// signal gets the default disposition restored below, so a stuck run can
+// still be killed the ordinary way.
+extern "C" void HandleInterrupt(int signum) {
+  pgm::cli::GlobalCancelToken().RequestCancel();
+  std::signal(signum, SIG_DFL);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  std::signal(SIGINT, HandleInterrupt);
+  std::signal(SIGTERM, HandleInterrupt);
   std::string output;
   std::string error;
   const int code = pgm::cli::Run(argc, argv, &output, &error);
