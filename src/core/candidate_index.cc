@@ -3,10 +3,13 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "core/parallel.h"
+
 namespace pgm {
 namespace internal {
 
-JoinPlan JoinPlan::SelfJoin(const std::vector<ArenaEntry>& level) {
+JoinPlan JoinPlan::SelfJoin(const std::vector<ArenaEntry>& level,
+                            ParallelLevelExecutor* executor) {
   JoinPlan plan;
   if (level.empty()) return plan;
   const std::size_t len = level.front().symbols.size();
@@ -48,13 +51,28 @@ JoinPlan JoinPlan::SelfJoin(const std::vector<ArenaEntry>& level) {
   // One task per (left, matching group), in left order: candidate t's
   // position in the flattened task list equals its position in the old
   // left-major CandidateSpec vector, so the executor's merge — and with it
-  // the mined output — is unchanged by the grouping.
+  // the mined output — is unchanged by the grouping. The probes are
+  // read-only lookups in the (now frozen) prefix map writing one slot per
+  // left, so they parallelize; the compaction that fixes the task order
+  // stays serial.
+  constexpr std::uint32_t kNoGroup = ~std::uint32_t{0};
+  std::vector<std::uint32_t> match(level.size(), kNoGroup);
+  auto probe = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::string_view suffix_key =
+          std::string_view(level[i].symbols).substr(1);
+      auto it = group_of_prefix.find(suffix_key);
+      if (it != group_of_prefix.end()) match[i] = it->second;
+    }
+  };
+  if (executor != nullptr) {
+    executor->ParallelFor(level.size(), 1024, probe);
+  } else {
+    probe(0, level.size());
+  }
   for (std::uint32_t i = 0; i < level.size(); ++i) {
-    const std::string_view suffix_key =
-        std::string_view(level[i].symbols).substr(1);
-    auto it = group_of_prefix.find(suffix_key);
-    if (it == group_of_prefix.end()) continue;
-    const Group& g = groups[it->second];
+    if (match[i] == kNoGroup) continue;
+    const Group& g = groups[match[i]];
     plan.tasks_.push_back(JoinTask{i, g.begin, g.end});
     plan.num_candidates_ += g.end - g.begin;
   }

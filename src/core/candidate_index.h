@@ -10,6 +10,8 @@
 namespace pgm {
 namespace internal {
 
+class ParallelLevelExecutor;
+
 /// A pattern of one mining level: its encoded symbols (one byte per Symbol,
 /// usable as a hash key) and the span of its PIL rows in the level's arena.
 struct ArenaEntry {
@@ -55,8 +57,12 @@ class JoinPlan {
   /// The level-wise join of `level` with itself: for every pair (P1, P2)
   /// with suffix(P1) == prefix(P2), the candidate P1[0] + P2. Joining
   /// length-1 entries keys on the empty string, i.e. the full cross
-  /// product.
-  static JoinPlan SelfJoin(const std::vector<ArenaEntry>& level);
+  /// product. `executor` (optional) parallelizes the probe half — the
+  /// read-only suffix lookups — across its pool; the plan is identical
+  /// with or without it (the bucketing and the left-order compaction stay
+  /// serial).
+  static JoinPlan SelfJoin(const std::vector<ArenaEntry>& level,
+                           ParallelLevelExecutor* executor = nullptr);
 
   /// Every left extended by every right (the enumeration engine's
   /// level-extension by single symbols).

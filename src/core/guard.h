@@ -80,6 +80,33 @@ class MiningGuard {
     return CheckNow();
   }
 
+  /// Batched Tick(): charges `n` extensions in one atomic add, polling
+  /// CheckNow() when the batch crosses a kTickPeriod boundary (the same
+  /// cadence as n single Ticks). On a trip — latched earlier, detected by
+  /// the poll, or raced in by another thread — the whole batch is refunded
+  /// and false is returned, so the tick total counts only batches whose
+  /// work was actually delivered. This is what keeps the executor's
+  /// "ticks == sink-delivered candidates" invariant exact: a piece charges
+  /// its candidates up front and hands them back when it is abandoned.
+  [[nodiscard]] bool TickN(std::uint64_t n) {
+    if (n == 0) return !stopped();
+    if (stopped()) return false;
+    const std::uint64_t before = ticks_.fetch_add(n, std::memory_order_relaxed);
+    const bool poll = ((before + n) / kTickPeriod) != (before / kTickPeriod);
+    if ((poll && !CheckNow()) || stopped()) {
+      ticks_.fetch_sub(n, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  /// Extensions charged so far (Tick calls plus net TickN batches). With
+  /// the executor's batched protocol this equals the number of candidates
+  /// whose joins were delivered to the sink.
+  std::uint64_t ticks() const {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+
   /// Accounts `bytes` of live PIL memory against the budget.
   [[nodiscard]] bool ChargeMemory(std::uint64_t bytes);
   /// Returns memory accounted by a matching ChargeMemory (freed PILs).

@@ -55,18 +55,58 @@ BuiltLevel BuildAllPatternsOfLength(const Sequence& sequence,
     level.arena.SealWatermark();
     return level;
   }
-  for (Symbol s = 0; s < sequence.alphabet().size(); ++s) {
-    const std::uint64_t begin = level.arena.size();
-    for (std::size_t pos = 0; pos < sequence.size(); ++pos) {
-      if (sequence[pos] == s) {
-        level.arena.AppendRow(PilEntry{static_cast<std::uint32_t>(pos), 1});
+  // Built in two parallel passes over position chunks: count per
+  // (chunk, symbol), serially prefix-sum the counts into per-chunk write
+  // cursors (symbol-major, chunks in position order inside each symbol),
+  // then fill the disjoint slices. The resulting layout — symbol-major,
+  // positions ascending — is byte-identical to a serial symbol-by-symbol
+  // append, and independent of the thread count by construction.
+  const std::size_t seq_len = sequence.size();
+  const std::size_t alphabet_size = sequence.alphabet().size();
+  constexpr std::size_t kBuildChunk = std::size_t{1} << 16;
+  const std::size_t num_chunks = (seq_len + kBuildChunk - 1) / kBuildChunk;
+  std::vector<std::uint64_t> cursors(num_chunks * alphabet_size, 0);
+  executor->ParallelFor(
+      num_chunks, 1, [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        for (std::size_t c = chunk_begin; c < chunk_end; ++c) {
+          std::uint64_t* counts = cursors.data() + c * alphabet_size;
+          const std::size_t hi = std::min((c + 1) * kBuildChunk, seq_len);
+          for (std::size_t pos = c * kBuildChunk; pos < hi; ++pos) {
+            counts[sequence[pos]] += 1;
+          }
+        }
+      });
+  std::vector<std::uint64_t> base(alphabet_size + 1, 0);
+  {
+    std::uint64_t running = 0;
+    for (std::size_t s = 0; s < alphabet_size; ++s) {
+      base[s] = running;
+      for (std::size_t c = 0; c < num_chunks; ++c) {
+        const std::uint64_t count = cursors[c * alphabet_size + s];
+        cursors[c * alphabet_size + s] = running;
+        running += count;
       }
     }
-    const std::uint64_t len = level.arena.size() - begin;
+    base[alphabet_size] = running;  // == seq_len: every position has a symbol
+  }
+  PilEntry* rows = level.arena.MutableRows(level.arena.Allocate(seq_len));
+  executor->ParallelFor(
+      num_chunks, 1, [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        for (std::size_t c = chunk_begin; c < chunk_end; ++c) {
+          std::uint64_t* cursor = cursors.data() + c * alphabet_size;
+          const std::size_t hi = std::min((c + 1) * kBuildChunk, seq_len);
+          for (std::size_t pos = c * kBuildChunk; pos < hi; ++pos) {
+            rows[cursor[sequence[pos]]++] =
+                PilEntry{static_cast<std::uint32_t>(pos), 1};
+          }
+        }
+      });
+  for (std::size_t s = 0; s < alphabet_size; ++s) {
+    const std::uint64_t len = base[s + 1] - base[s];
     if (len == 0) continue;
     ArenaEntry entry;
-    entry.symbols.assign(1, static_cast<char>(s));
-    entry.span = PilSpan{begin, len};
+    entry.symbols.assign(1, static_cast<char>(static_cast<Symbol>(s)));
+    entry.span = PilSpan{base[s], len};
     level.entries.push_back(std::move(entry));
   }
   level.arena.SealWatermark();
@@ -77,7 +117,7 @@ BuiltLevel BuildAllPatternsOfLength(const Sequence& sequence,
   // two arenas regardless of k.
   PilArena other(guard);
   for (std::int64_t length = 2; length <= k; ++length) {
-    const JoinPlan plan = JoinPlan::SelfJoin(level.entries);
+    const JoinPlan plan = JoinPlan::SelfJoin(level.entries, executor);
     std::vector<ArenaEntry> next;
     bool interrupted = false;
     auto sink = [&](const JoinedCandidate& candidate) -> Status {
@@ -241,12 +281,25 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
       return result;
     }
     if (guard.ChargeLevelCandidates(stats.num_candidates)) {
-      for (ArenaEntry& entry : first_level.entries) {
+      // Support counting is a read-only scan per entry: precompute the
+      // supports in parallel, then threshold serially — ticks, records,
+      // and the retention order are exactly the serial loop's.
+      std::vector<SupportInfo> supports(first_level.entries.size());
+      executor->ParallelFor(
+          first_level.entries.size(), 64,
+          [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+              supports[i] =
+                  first_level.arena.Support(first_level.entries[i].span);
+            }
+          });
+      for (std::size_t i = 0; i < first_level.entries.size(); ++i) {
+        ArenaEntry& entry = first_level.entries[i];
         if (!guard.Tick()) {
           interrupted = true;
           break;
         }
-        const SupportInfo support = first_level.arena.Support(entry.span);
+        const SupportInfo support = supports[i];
         ++evaluated;
         ctx->ObserveCandidate(support.count, entry.span.bytes());
         if (support.count == 0) continue;
@@ -289,7 +342,7 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
 
     LevelStats stats;
     stats.length = level_length;
-    const JoinPlan plan = JoinPlan::SelfJoin(retained);
+    const JoinPlan plan = JoinPlan::SelfJoin(retained, executor);
     stats.num_candidates = plan.num_candidates();
     ctx->LevelStart(level_length, stats.num_candidates,
                     static_cast<double>(level_lambda(level_length)),

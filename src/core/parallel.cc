@@ -9,6 +9,7 @@
 #include <cassert>
 
 #include "core/trace.h"
+#include "util/mutex.h"
 #include "util/stopwatch.h"
 
 namespace pgm {
@@ -18,47 +19,75 @@ namespace {
 
 /// Emits one shard-timing event when the enclosing ExecuteJoin call returns
 /// — RAII so every early return (sink error, guard trip) still records.
-/// Runs on the caller thread, after the pool has quiesced.
+/// Runs on the caller thread, after the pool has quiesced. `candidates`
+/// counts deliveries to the sink (not the plan's size), accumulated by the
+/// merge as it goes, so tripped levels report the work that happened; the
+/// phase fields split the driver's wall-clock into kernel fills it ran
+/// itself, sink merging, and waiting on in-flight pieces.
 struct ShardTimingScope {
-  ObserverContext* ctx;
-  std::uint64_t candidates;
-  std::int64_t workers;
+  ObserverContext* ctx = nullptr;
+  std::uint64_t candidates = 0;
+  std::int64_t workers = 0;
+  double fill_seconds = 0.0;
+  double merge_seconds = 0.0;
+  double stall_seconds = 0.0;
   Stopwatch watch;
 
   ~ShardTimingScope() {
     if (ctx != nullptr) {
-      ctx->ShardTiming(candidates, workers, watch.ElapsedSeconds());
+      ctx->ShardTiming(candidates, workers, watch.ElapsedSeconds(),
+                       fill_seconds, merge_seconds, stall_seconds);
     }
   }
 };
 
-/// Candidates per piece — the unit a worker claims off the shared counter
-/// and the group size of one kernel call. Small enough to balance skewed
-/// PIL sizes, large enough that the counter is not contended and the
-/// prefix rows are streamed once for a useful number of candidates.
-constexpr std::size_t kChunkSize = 16;
-/// Chunks per worker per block. The block is the unit the sink consumes, so
-/// this (times kChunkSize, times workers) bounds the scratch candidate
-/// slices live beyond the retained set.
-constexpr std::size_t kChunksPerWorker = 8;
+/// Output rows one piece targets. A piece is one kernel call: candidates
+/// sharing a left pattern, each needing a left-PIL-length slice. Sizing by
+/// rows (not candidate count) keeps pieces comparable units of work when
+/// PIL lengths are skewed.
+constexpr std::uint64_t kPieceRowsTarget = 2048;
+/// Cap on candidates per piece, so short-PIL groups still amortize one
+/// streaming pass over the left rows without unbounded kernel state.
+constexpr std::uint64_t kMaxPieceCands = 64;
+/// Rows per published block — the granule the driver hands the workers.
+constexpr std::uint64_t kBlockRowsTarget = 16384;
+/// The scratch window (block ring bound): the driver keeps at most this
+/// many rows reserved ahead of the watermark (more when a single block is
+/// bigger). Bounds speculative memory independently of the thread count,
+/// which also makes memory-budget trip points deterministic.
+constexpr std::uint64_t kWindowRowsTarget = 4 * kBlockRowsTarget;
 
 /// One kernel call's worth of candidates: a slice [begin, end) of one
-/// task's rights range, with a pre-assigned output slice per candidate.
+/// task's rights range. Immutable after the prepass except for the two
+/// publication fields, which the driver assigns before the release-store
+/// of the piece limit (the claiming worker's acquire orders the read).
 struct Piece {
   std::uint32_t task = 0;
   std::uint32_t begin = 0;
   std::uint32_t end = 0;
+  std::uint64_t left_len = 0;
+  /// left_len * (end - begin): the piece's scratch slice size.
+  std::uint64_t rows = 0;
   /// Arena offset of the first candidate's output slice; candidate k's
   /// slice starts at out_offset + k * left_len.
   std::uint64_t out_offset = 0;
-  std::uint64_t left_len = 0;
-  /// Index of the piece's first candidate in the block metadata arrays.
-  std::uint32_t cand_base = 0;
-  /// Set by the worker that completed the piece; pieces abandoned by a
-  /// stopping worker stay false and are skipped by the merge. Distinct
-  /// pieces are owned by one worker each, and ThreadPool::Execute's join
-  /// publishes the writes to the merging thread.
-  bool filled = false;
+  /// Index of the piece's first candidate in the window metadata arrays.
+  std::uint64_t meta_base = 0;
+};
+
+/// Piece fill states (per-piece atomic, release by the filling worker,
+/// acquire by the merging driver).
+constexpr std::uint8_t kPending = 0;
+constexpr std::uint8_t kFilled = 1;
+constexpr std::uint8_t kAbandoned = 2;
+
+/// A publication granule: consecutive pieces totalling ~kBlockRowsTarget
+/// output rows.
+struct Block {
+  std::uint64_t piece_begin = 0;
+  std::uint64_t piece_end = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t cands = 0;
 };
 
 /// Per-worker reusable buffers: once warmed up to the largest piece, the
@@ -82,6 +111,17 @@ std::size_t ParallelLevelExecutor::num_threads() const {
   return pool_ == nullptr ? 1 : pool_->num_threads();
 }
 
+void ParallelLevelExecutor::ParallelFor(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (pool_ == nullptr) {
+    fn(0, n);
+    return;
+  }
+  pool_->ParallelFor(n, grain, fn);
+}
+
 Status ParallelLevelExecutor::ExecuteJoin(
     const std::vector<ArenaEntry>& left_entries, const PilArena& left_arena,
     const std::vector<ArenaEntry>& right_entries, const PilArena& right_arena,
@@ -91,144 +131,315 @@ Status ParallelLevelExecutor::ExecuteJoin(
   assert(out.scratch_open() &&
          "ExecuteJoin requires the caller's BeginScratch/EndScratch bracket");
   if (plan.empty()) return Status::OK();
-  ShardTimingScope timing{ctx_, plan.num_candidates(),
-                          static_cast<std::int64_t>(num_threads()), {}};
+  ShardTimingScope timing;
+  timing.ctx = ctx_;
+  timing.workers = static_cast<std::int64_t>(num_threads());
 
   const std::vector<JoinTask>& tasks = plan.tasks();
   const std::vector<std::uint32_t>& pool = plan.rights_pool();
   const std::size_t workers = num_threads();
-  const std::size_t block_target = workers * kChunksPerWorker * kChunkSize;
 
+  // --- Prepass (serial): slice the plan into row-sized pieces and group
+  // them into row-sized blocks. Depends only on the plan, never on the
+  // schedule or the thread count — the pieces' flat order IS the candidate
+  // order the sink must observe.
   std::vector<Piece> pieces;
-  std::vector<std::uint32_t> out_lens;      // per block candidate
-  std::vector<SupportInfo> out_supports;    // per block candidate
-  std::vector<WorkerScratch> scratch(workers);
-
-  // Fills one piece: ticks the guard per candidate, then runs the group
-  // kernel into the piece's pre-assigned slices. Returns false on a trip
-  // (the piece stays unfilled).
-  auto run_piece = [&](Piece& piece, WorkerScratch& ws,
-                       PilEntry* out_base) -> bool {
-    const JoinTask& task = tasks[piece.task];
-    const std::uint32_t count = piece.end - piece.begin;
-    for (std::uint32_t k = 0; k < count; ++k) {
-      if (guard != nullptr && !guard->Tick()) return false;
-    }
-    if (ws.suffixes.size() < count) {
-      ws.suffixes.resize(count);
-      ws.outputs.resize(count);
-    }
-    for (std::uint32_t k = 0; k < count; ++k) {
-      const ArenaEntry& right =
-          right_entries[pool[task.rights_begin + piece.begin + k]];
-      ws.suffixes[k] = GroupSuffix{right_arena.Rows(right.span),
-                                   right.span.len};
-      ws.outputs[k] =
-          GroupOutput{out_base + piece.out_offset + k * piece.left_len, 0, {}};
-    }
-    CombinePrefixGroup(left_arena.Rows(left_entries[task.left].span),
-                       piece.left_len, gap, ws.suffixes.data(),
-                       ws.outputs.data(), count, ws.kernel);
-    for (std::uint32_t k = 0; k < count; ++k) {
-      out_lens[piece.cand_base + k] =
-          static_cast<std::uint32_t>(ws.outputs[k].len);
-      out_supports[piece.cand_base + k] = ws.outputs[k].support;
-    }
-    piece.filled = true;
-    return true;
-  };
-
-  std::size_t task_idx = 0;
-  std::uint32_t task_off = 0;  // rights of tasks[task_idx] already sliced
-  while (task_idx < tasks.size()) {
-    // --- Slice the next block (serial; depends only on the plan). ---
-    pieces.clear();
-    std::size_t block_cands = 0;
-    std::uint64_t block_rows = 0;
-    while (task_idx < tasks.size() && block_cands < block_target) {
-      const JoinTask& task = tasks[task_idx];
-      const std::uint32_t remaining = task.group_size() - task_off;
-      if (remaining == 0) {
-        ++task_idx;
-        task_off = 0;
-        continue;
+  std::vector<Block> blocks;
+  {
+    Block block;
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      const JoinTask& task = tasks[t];
+      const std::uint64_t left_len = left_entries[task.left].span.len;
+      const std::uint32_t group = task.group_size();
+      std::uint32_t per_piece = static_cast<std::uint32_t>(kMaxPieceCands);
+      if (left_len > 0) {
+        per_piece = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+            kPieceRowsTarget / left_len, 1, kMaxPieceCands));
       }
-      const std::uint32_t take = static_cast<std::uint32_t>(
-          std::min<std::uint64_t>(kChunkSize, remaining));
-      Piece piece;
-      piece.task = static_cast<std::uint32_t>(task_idx);
-      piece.begin = task_off;
-      piece.end = task_off + take;
-      piece.left_len = left_entries[task.left].span.len;
-      piece.cand_base = static_cast<std::uint32_t>(block_cands);
-      block_cands += take;
-      block_rows += piece.left_len * take;
-      pieces.push_back(piece);
-      task_off += take;
-      if (task_off == task.group_size()) {
-        ++task_idx;
-        task_off = 0;
-      }
-    }
-    if (pieces.empty()) break;
-
-    // --- Reserve scratch and assign output slices (serial). ---
-    // A Reserve that trips the budget still grew the capacity, so the block
-    // it was charged for runs to completion before the level unwinds.
-    const bool within_budget = out.Reserve(out.size() + block_rows);
-    for (Piece& piece : pieces) {
-      piece.out_offset =
-          out.Allocate(piece.left_len * (piece.end - piece.begin)).offset;
-    }
-    out_lens.assign(block_cands, 0);
-    out_supports.assign(block_cands, SupportInfo{});
-    PilEntry* out_base = out.MutableRows(PilSpan{0, 0});
-
-    // --- Fill phase: workers drain pieces into disjoint slices. ---
-    if (pool_ == nullptr) {
-      for (Piece& piece : pieces) {
-        if (!run_piece(piece, scratch[0], out_base)) break;
-      }
-    } else {
-      std::atomic<std::size_t> next_piece{0};
-      pool_->Execute([&](std::size_t worker) {
-        while (true) {
-          const std::size_t i =
-              next_piece.fetch_add(1, std::memory_order_relaxed);
-          if (i >= pieces.size()) return;
-          if (!run_piece(pieces[i], scratch[worker], out_base)) return;
-        }
-      });
-    }
-
-    // --- Merge the block in candidate order. Every filled piece reaches
-    // the sink even after a trip (its candidates' work is done and its
-    // scratch is live); pieces abandoned by stopping workers are skipped.
-    const bool block_tripped =
-        !within_budget || (guard != nullptr && guard->stopped());
-    for (const Piece& piece : pieces) {
-      if (!piece.filled) continue;
-      const JoinTask& task = tasks[piece.task];
-      for (std::uint32_t k = 0; k < piece.end - piece.begin; ++k) {
-        JoinedCandidate candidate;
-        candidate.left = task.left;
-        candidate.right = pool[task.rights_begin + piece.begin + k];
-        candidate.span = PilSpan{piece.out_offset + k * piece.left_len,
-                                 out_lens[piece.cand_base + k]};
-        candidate.support = out_supports[piece.cand_base + k];
-        const Status status = sink(candidate);
-        if (!status.ok()) {
-          out.TruncateToWatermark();
-          return status;
+      for (std::uint32_t off = 0; off < group; off += per_piece) {
+        Piece piece;
+        piece.task = static_cast<std::uint32_t>(t);
+        piece.begin = off;
+        piece.end = std::min(off + per_piece, group);
+        piece.left_len = left_len;
+        piece.rows = left_len * (piece.end - piece.begin);
+        block.rows += piece.rows;
+        block.cands += piece.end - piece.begin;
+        pieces.push_back(piece);
+        if (block.rows >= kBlockRowsTarget) {
+          block.piece_end = pieces.size();
+          blocks.push_back(block);
+          block = Block{};
+          block.piece_begin = pieces.size();
         }
       }
     }
-    out.TruncateToWatermark();
-    if (block_tripped) {
-      *interrupted = true;
-      return Status::OK();
+    if (block.piece_begin < pieces.size()) {
+      block.piece_end = pieces.size();
+      blocks.push_back(block);
     }
   }
+  const std::uint64_t total_pieces = pieces.size();
+  if (total_pieces == 0) return Status::OK();
+
+  std::vector<WorkerScratch> scratch(workers);
+  // Per-candidate outputs of the current window, indexed by Piece::meta_base
+  // (+ the candidate's position in its piece). Sized at window recycle,
+  // when no piece is in flight.
+  std::vector<std::uint32_t> meta_lens;
+  std::vector<SupportInfo> meta_supports;
+
+  // Lock-free handoff state. piece_limit's release-store publishes the
+  // pieces' out_offset/meta_base assignments and out_base; a claim's
+  // acquire-load pairs with it. piece_state's release/acquire publishes the
+  // filled rows and metadata to the merging driver.
+  std::atomic<std::uint64_t> next_piece{0};
+  std::atomic<std::uint64_t> piece_limit{0};
+  std::atomic<PilEntry*> out_base{nullptr};
+  std::atomic<bool> stop{false};        // sink failed: fills are pointless
+  std::atomic<bool> level_done{false};  // drained: workers may exit
+  std::vector<std::atomic<std::uint8_t>> piece_state(
+      static_cast<std::size_t>(total_pieces));
+  for (auto& state : piece_state) {
+    state.store(kPending, std::memory_order_relaxed);
+  }
+
+  // The mutex/condvars only park idle threads; every data handoff above is
+  // lock-free (see the class comment in parallel.h).
+  Mutex mu;
+  CondVar work_cv;   // workers: publication advanced / level done
+  CondVar merge_cv;  // driver: a piece completed
+
+  constexpr std::uint64_t kNone = ~std::uint64_t{0};
+  auto try_claim = [&]() -> std::uint64_t {
+    std::uint64_t cur = next_piece.load(std::memory_order_relaxed);
+    while (cur < piece_limit.load(std::memory_order_acquire)) {
+      if (next_piece.compare_exchange_weak(cur, cur + 1,
+                                           std::memory_order_relaxed)) {
+        return cur;
+      }
+    }
+    return kNone;
+  };
+
+  // Fills one claimed piece. Charges the piece's candidates with one
+  // batched TickN first: a refused batch (guard trip) abandons the piece
+  // and refunds the ticks, so the guard's tick total stays equal to the
+  // candidates the sink will receive. Every terminal state (filled or
+  // abandoned) is published so the merge head never waits forever.
+  auto run_piece = [&](std::uint64_t index, WorkerScratch& ws) {
+    const Piece& piece = pieces[static_cast<std::size_t>(index)];
+    const std::uint32_t count = piece.end - piece.begin;
+    bool filled = false;
+    if (!stop.load(std::memory_order_relaxed) &&
+        (guard == nullptr || guard->TickN(count))) {
+      const JoinTask& task = tasks[piece.task];
+      if (ws.suffixes.size() < count) {
+        ws.suffixes.resize(count);
+        ws.outputs.resize(count);
+      }
+      PilEntry* base = out_base.load(std::memory_order_relaxed);
+      for (std::uint32_t k = 0; k < count; ++k) {
+        const ArenaEntry& right =
+            right_entries[pool[task.rights_begin + piece.begin + k]];
+        ws.suffixes[k] =
+            GroupSuffix{right_arena.Rows(right.span), right.span.len};
+        ws.outputs[k] = GroupOutput{
+            base + piece.out_offset + k * piece.left_len, 0, {}};
+      }
+      CombinePrefixGroup(left_arena.Rows(left_entries[task.left].span),
+                         piece.left_len, gap, ws.suffixes.data(),
+                         ws.outputs.data(), count, ws.kernel);
+      for (std::uint32_t k = 0; k < count; ++k) {
+        meta_lens[piece.meta_base + k] =
+            static_cast<std::uint32_t>(ws.outputs[k].len);
+        meta_supports[piece.meta_base + k] = ws.outputs[k].support;
+      }
+      filled = true;
+    }
+    piece_state[static_cast<std::size_t>(index)].store(
+        filled ? kFilled : kAbandoned, std::memory_order_release);
+    MutexLock lock(mu);
+    merge_cv.notify_all();
+  };
+
+  std::uint64_t merge_head = 0;  // next piece to merge (plan order)
+  std::uint64_t published = 0;   // driver's mirror of piece_limit
+  std::uint64_t next_block = 0;
+  std::uint64_t window_reserved = 0;  // absolute row bound of the window
+  std::uint64_t window_meta = 0;      // metadata slots used in the window
+  bool publish_stopped = false;       // guard trip: publish no further work
+  Status sink_status = Status::OK();
+
+  // Publishes blocks while they fit in the reserved window. When the
+  // window is exhausted and drained (merge_head == published), recycles it:
+  // truncate the dead scratch, Reserve a fresh window — the only potential
+  // reallocation, and by construction no piece is in flight to observe it.
+  auto publish_blocks = [&]() {
+    bool any = false;
+    while (!publish_stopped && next_block < blocks.size()) {
+      if (guard != nullptr && guard->stopped()) {
+        publish_stopped = true;
+        break;
+      }
+      const Block& block = blocks[static_cast<std::size_t>(next_block)];
+      if (out.size() + block.rows > window_reserved) {
+        if (merge_head < published) break;  // ring busy: merge first
+        out.TruncateToWatermark();
+        std::uint64_t rows = 0;
+        std::uint64_t cands = 0;
+        for (std::uint64_t b = next_block;
+             b < blocks.size() && rows < kWindowRowsTarget; ++b) {
+          rows += blocks[static_cast<std::size_t>(b)].rows;
+          cands += blocks[static_cast<std::size_t>(b)].cands;
+        }
+        if (!out.Reserve(static_cast<std::size_t>(out.size() + rows))) {
+          // Memory trip. The guard latched with the pipeline empty, so the
+          // delivered prefix — every candidate of the previous windows —
+          // is exact and identical at every thread count.
+          publish_stopped = true;
+          break;
+        }
+        window_reserved = out.size() + rows;
+        if (meta_lens.size() < cands) {
+          meta_lens.resize(static_cast<std::size_t>(cands));
+          meta_supports.resize(static_cast<std::size_t>(cands));
+        }
+        window_meta = 0;
+        out_base.store(out.MutableRows(PilSpan{0, 0}),
+                       std::memory_order_relaxed);
+        continue;
+      }
+      for (std::uint64_t p = block.piece_begin; p < block.piece_end; ++p) {
+        Piece& piece = pieces[static_cast<std::size_t>(p)];
+        piece.out_offset = out.Allocate(piece.rows).offset;
+        piece.meta_base = window_meta;
+        window_meta += piece.end - piece.begin;
+      }
+      published = block.piece_end;
+      ++next_block;
+      any = true;
+    }
+    if (any) {
+      MutexLock lock(mu);
+      piece_limit.store(published, std::memory_order_release);
+      work_cv.notify_all();
+    }
+  };
+
+  // The driver (worker 0 = the caller thread): publish, merge in piece
+  // order, and fill pieces itself whenever the merge head is waiting on a
+  // piece some other worker owns. Claim order equals plan order, so the
+  // driver's own claims are usually exactly the merge head.
+  auto driver = [&]() {
+    Stopwatch phase;
+    while (true) {
+      publish_blocks();
+      if (merge_head >= published) {
+        // Everything published is merged. Stop, or recycle the window on
+        // the next publish_blocks pass.
+        if (publish_stopped || next_block >= blocks.size()) break;
+        continue;
+      }
+      const std::size_t head = static_cast<std::size_t>(merge_head);
+      const std::uint8_t state =
+          piece_state[head].load(std::memory_order_acquire);
+      if (state == kPending) {
+        const std::uint64_t claimed = try_claim();
+        if (claimed != kNone) {
+          phase.Reset();
+          run_piece(claimed, scratch[0]);
+          timing.fill_seconds += phase.ElapsedSeconds();
+          continue;
+        }
+        phase.Reset();
+        {
+          MutexLock lock(mu);
+          while (piece_state[head].load(std::memory_order_acquire) ==
+                 kPending) {
+            merge_cv.wait(mu);
+          }
+        }
+        timing.stall_seconds += phase.ElapsedSeconds();
+        continue;
+      }
+      if (state == kFilled) {
+        // Merge the piece: the sink sees its candidates in plan order.
+        // Abandoned pieces (kAbandoned) are skipped — their ticks were
+        // refunded and their scratch dies with the window.
+        phase.Reset();
+        const Piece& piece = pieces[head];
+        const JoinTask& task = tasks[piece.task];
+        const std::uint32_t count = piece.end - piece.begin;
+        for (std::uint32_t k = 0; k < count; ++k) {
+          JoinedCandidate candidate;
+          candidate.left = task.left;
+          candidate.right = pool[task.rights_begin + piece.begin + k];
+          candidate.span = PilSpan{piece.out_offset + k * piece.left_len,
+                                   meta_lens[piece.meta_base + k]};
+          candidate.support = meta_supports[piece.meta_base + k];
+          Status status = sink(candidate);
+          if (!status.ok()) {
+            sink_status = std::move(status);
+            stop.store(true, std::memory_order_relaxed);
+            break;
+          }
+          ++timing.candidates;
+        }
+        timing.merge_seconds += phase.ElapsedSeconds();
+        if (!sink_status.ok()) break;
+      }
+      ++merge_head;
+    }
+    MutexLock lock(mu);
+    level_done.store(true, std::memory_order_relaxed);
+    work_cv.notify_all();
+  };
+
+  // Workers: claim and fill until the level is done and the published
+  // pieces are drained. After a stop/trip, remaining claims resolve as
+  // cheap abandons, so the drain is prompt.
+  auto worker_loop = [&](std::size_t worker) {
+    WorkerScratch& ws = scratch[worker];
+    while (true) {
+      const std::uint64_t claimed = try_claim();
+      if (claimed != kNone) {
+        run_piece(claimed, ws);
+        continue;
+      }
+      MutexLock lock(mu);
+      while (!level_done.load(std::memory_order_relaxed) &&
+             next_piece.load(std::memory_order_relaxed) >=
+                 piece_limit.load(std::memory_order_relaxed)) {
+        work_cv.wait(mu);
+      }
+      if (level_done.load(std::memory_order_relaxed) &&
+          next_piece.load(std::memory_order_relaxed) >=
+              piece_limit.load(std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  };
+
+  if (pool_ == nullptr) {
+    driver();
+  } else {
+    pool_->Execute([&](std::size_t worker) {
+      if (worker == 0) {
+        driver();
+      } else {
+        worker_loop(worker);
+      }
+    });
+  }
+
+  // Catch-all reclaim: on the sink-error path workers may have filled
+  // pieces after the driver left; the pool has quiesced, so truncating
+  // here leaves exactly the promoted spans (the invariant EndScratch
+  // asserts).
+  out.TruncateToWatermark();
+  if (!sink_status.ok()) return sink_status;
+  if (guard != nullptr && guard->stopped()) *interrupted = true;
   return Status::OK();
 }
 

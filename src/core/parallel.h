@@ -38,42 +38,67 @@ struct JoinedCandidate {
 /// Promote on the output arena (and nothing else on it).
 using JoinSink = std::function<Status(const JoinedCandidate&)>;
 
-/// Data-parallel execution of one level's join plan.
+/// Data-parallel execution of one level's join plan — a pipeline, not a
+/// barrier.
 ///
-/// The plan's tasks are sliced into "pieces" of at most kChunkSize
-/// candidates sharing one left pattern; each piece is one call of the
-/// prefix-group kernel (core/pil_arena.h), so a left PIL is streamed once
-/// per piece instead of once per candidate. Slicing depends only on the
-/// plan, never on the schedule, and the serial merge consumes pieces in
-/// plan order — so a run that no resource limit interrupts produces
-/// byte-identical results at every thread count.
+/// The plan is pre-sliced (serially, from the plan alone) into "pieces":
+/// slices of one task's rights range sized by output rows (left-PIL length
+/// × candidates, targeting kPieceRowsTarget), each one call of the
+/// prefix-group kernel (core/pil_arena.h). Pieces are grouped in plan order
+/// into "blocks" sized by the same row measure (kBlockRowsTarget), so a
+/// skewed prefix group costs proportionally many blocks instead of
+/// straggling inside one. Slicing depends only on the plan, never on the
+/// schedule or the thread count.
 ///
-/// Execution proceeds in blocks of pieces. Per block: the caller thread
-/// Reserve()s the block's worst-case rows in the output arena (one slice of
-/// left-PIL length per candidate) and assigns every piece its slice —
-/// workers never allocate, and the arena buffer is stable while they write.
-/// Workers then drain pieces off an atomic counter into their disjoint
-/// slices; the sink consumes the block serially in piece order, promoting
-/// what it keeps; TruncateToWatermark() reclaims the rest. The block size
-/// bounds the scratch rows live beyond the retained set.
+/// Execution runs the whole level inside ONE ThreadPool::Execute call.
+/// Worker 0 — the caller thread — is the driver: it publishes blocks into a
+/// bounded ring of reserved scratch (assigning every piece a disjoint
+/// output-arena slice), merges completed pieces through the sink strictly
+/// in piece order, and fills pieces itself whenever the merge head is
+/// waiting on someone else's piece. The other workers loop claiming pieces
+/// off a shared cursor (claim order = plan order) and filling their
+/// pre-assigned slices. Publication is the release-store of the claimable
+/// piece limit; completion is a per-piece state flag the driver
+/// acquire-loads before reading the piece's rows — so the merge overlaps
+/// in-flight joins instead of waiting for a level-wide barrier.
 ///
-/// Guard interaction: workers Tick() per candidate. When the guard trips,
-/// workers stop claiming pieces; every piece already filled still reaches
-/// the sink (delivering the work already paid for), and the level stops
-/// after the current block. A Reserve() that trips the memory budget
-/// likewise finishes its block first. Under an interrupting limit the set
-/// of delivered candidates may differ between thread counts — the
-/// documented partial-result latitude, never unsoundness.
+/// Ring bound / arena protocol: the driver reserves a scratch window of
+/// kWindowRowsTarget rows (at least one block) ahead of the watermark and
+/// publishes blocks only while they fit; when the window is exhausted and
+/// every published piece has merged, it truncates the dead scratch and
+/// recycles the window. Reserve() — the only call that may reallocate the
+/// buffer — therefore runs only while no piece is in flight, which is what
+/// makes the workers' raw row pointers stable. Promote() compacts merged
+/// rows onto the watermark, which never overtakes an unmerged piece's slice
+/// because retained rows never exceed the scratch they came from.
 ///
-/// Thread-safety shape (why there is no PGM_GUARDED_BY state here): the
-/// executor deliberately owns no mutex. Workers communicate through an
-/// atomic piece counter and write disjoint, pre-reserved arena slices; the
-/// sink and all arena mutation run on the caller thread only. The
-/// cross-thread invariants therefore live outside the capability system:
+/// Ordering argument (the byte-identical `--threads` contract): the sink
+/// sees candidates exactly in plan order regardless of which worker filled
+/// them, kernel arithmetic is schedule-independent, and scratch offsets
+/// never reach the output (Promote assigns final spans in merge order). An
+/// uninterrupted run is therefore byte-identical at every thread count.
+///
+/// Guard interaction: a worker charges a claimed piece's candidates with
+/// one TickN(count) before filling; a refused batch (trip) abandons the
+/// piece and refunds the ticks, so the guard's tick total equals the
+/// candidates actually delivered to the sink. After a trip the driver stops
+/// publishing, drains the published window (filled pieces still reach the
+/// sink — the work was paid for), and reports *interrupted. A Reserve()
+/// that trips the memory budget latches at a window boundary, where the
+/// pipeline is empty by construction — so memory-budget truncation points
+/// are deterministic and the delivered prefix is byte-identical at every
+/// thread count; tick-based trips keep the documented latitude (the
+/// delivered set may differ between thread counts, never its soundness).
+///
+/// Thread-safety shape: the executor's mutex/condvars exist only to park
+/// idle threads (workers waiting for publication, the driver waiting for
+/// the merge head's piece); every data handoff is lock-free — the claim
+/// cursor, the publication limit (release/acquire), the per-piece state
+/// flags (release/acquire), and disjoint pre-assigned arena slices. The
+/// sink and all arena mutation run on the driver (= caller) thread only;
 /// the `arena-scratch` lint rule plus PilArena's runtime asserts enforce
 /// the scratch bracket, and the TSan `concurrency` suite checks the
-/// handoff. (Same reasoning as MiningGuard's all-atomic ledger — see
-/// core/guard.h.)
+/// handoff.
 class ParallelLevelExecutor {
  public:
   /// `threads` follows MinerConfig::threads: 1 = serial (no pool), 0 = one
@@ -108,6 +133,13 @@ class ParallelLevelExecutor {
                      const PilArena& right_arena, const JoinPlan& plan,
                      const GapRequirement& gap, MiningGuard* guard,
                      PilArena& out, const JoinSink& sink, bool* interrupted);
+
+  /// Data-parallel loop over [0, n) on this executor's pool (inline when
+  /// serial): ThreadPool::ParallelFor with its disjoint-writes discipline.
+  /// The serial phases of the level loop — first-level construction,
+  /// candidate-generation probing, support thresholding — run through this.
+  void ParallelFor(std::size_t n, std::size_t grain,
+                   const std::function<void(std::size_t, std::size_t)>& fn);
 
  private:
   std::unique_ptr<ThreadPool> pool_;  // null when serial

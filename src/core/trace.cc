@@ -103,6 +103,9 @@ void AppendEventJson(const TraceEvent& event, bool include_volatile,
       out->append(", \"candidates\": " + std::to_string(event.candidates));
       out->append(", \"workers\": " + std::to_string(event.workers));
       out->append(", \"seconds\": " + JsonDouble(event.seconds));
+      out->append(", \"fill_seconds\": " + JsonDouble(event.fill_seconds));
+      out->append(", \"merge_seconds\": " + JsonDouble(event.merge_seconds));
+      out->append(", \"stall_seconds\": " + JsonDouble(event.stall_seconds));
       break;
     case TraceEventKind::kRunEnd:
       out->append(", \"reason\": \"" + event.detail + "\"");
@@ -273,7 +276,9 @@ void ObserverContext::Estimate(std::uint64_t em, std::int64_t estimated_n) {
 }
 
 void ObserverContext::ShardTiming(std::uint64_t candidates,
-                                  std::int64_t workers, double seconds) {
+                                  std::int64_t workers, double seconds,
+                                  double fill_seconds, double merge_seconds,
+                                  double stall_seconds) {
   if (trace_ == nullptr) return;
   TraceEvent event;
   event.kind = TraceEventKind::kShardTiming;
@@ -281,6 +286,9 @@ void ObserverContext::ShardTiming(std::uint64_t candidates,
   event.candidates = candidates;
   event.workers = workers;
   event.seconds = seconds;
+  event.fill_seconds = fill_seconds;
+  event.merge_seconds = merge_seconds;
+  event.stall_seconds = stall_seconds;
   trace_->Append(std::move(event));
 }
 

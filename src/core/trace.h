@@ -34,9 +34,11 @@ enum class TraceEventKind {
   kGuardTrip,
   /// MPPm's Theorem 2 phase: the e_m statistic and the estimated n.
   kEstimate,
-  /// One ParallelLevelExecutor::EvaluateCandidates call: candidate count,
-  /// worker count, and wall-clock seconds. Volatile (thread/timing
-  /// dependent) — exported only with TraceJsonOptions::include_volatile.
+  /// One ParallelLevelExecutor::ExecuteJoin call: candidates delivered to
+  /// the sink, worker count, wall-clock seconds, and the driver's
+  /// pipeline-stage split (fill/merge/stall seconds). Volatile
+  /// (thread/timing dependent) — exported only with
+  /// TraceJsonOptions::include_volatile.
   kShardTiming,
   /// The run finished; `detail` carries the termination reason.
   kRunEnd,
@@ -90,6 +92,12 @@ struct TraceEvent {
   std::int64_t workers = 0;
   double seconds = 0.0;
   std::uint64_t memory_bytes = 0;
+  // Pipeline-stage split of the driver's time inside one ExecuteJoin
+  // (kShardTiming only): kernel fills the driver ran itself, sink merging,
+  // and waiting on pieces in flight on other workers.
+  double fill_seconds = 0.0;
+  double merge_seconds = 0.0;
+  double stall_seconds = 0.0;
 };
 
 struct TraceJsonOptions {
@@ -178,9 +186,13 @@ class ObserverContext {
   /// MPPm's n-estimation outcome.
   void Estimate(std::uint64_t em, std::int64_t estimated_n);
 
-  /// One executor shard pass (trace-only; volatile).
+  /// One executor join pass (trace-only; volatile). `candidates` counts
+  /// sink deliveries — not the plan size — so interrupted levels report the
+  /// work that actually happened; the stage fields split the driver's time
+  /// (see TraceEvent).
   void ShardTiming(std::uint64_t candidates, std::int64_t workers,
-                   double seconds);
+                   double seconds, double fill_seconds, double merge_seconds,
+                   double stall_seconds);
 
   /// Seals the run: derives result->level_stats and total_candidates from
   /// the run registry, records the run gauges and the kRunEnd event, and

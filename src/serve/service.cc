@@ -11,8 +11,13 @@ namespace pgm {
 
 namespace {
 
-std::vector<std::uint64_t> LatencyBoundsMs() {
-  return {1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000};
+// Microsecond buckets: cache hits answer in tens of microseconds, so a
+// millisecond-resolution histogram collapsed every hit (and most small
+// mining jobs) into bucket 0. The top bucket still covers a 30 s job.
+std::vector<std::uint64_t> LatencyBoundsUs() {
+  return {50,      100,     250,     500,      1000,    2500,
+          5000,    10000,   25000,   50000,    100000,  250000,
+          500000,  1000000, 2500000, 5000000,  10000000, 30000000};
 }
 
 /// min over "-1 means absent" deadline ceilings.
@@ -268,10 +273,11 @@ void MiningService::Process(MiningJob job) {
   }
 
   // Phase 5: account and respond.
-  response.latency_ms = watch.ElapsedSeconds() * 1000.0;
+  const double elapsed_seconds = watch.ElapsedSeconds();
+  response.latency_ms = elapsed_seconds * 1000.0;
   metrics_
-      ->GetHistogram("serve.latency_ms", LatencyBoundsMs())
-      ->Observe(static_cast<std::uint64_t>(response.latency_ms));
+      ->GetHistogram("serve.latency_us", LatencyBoundsUs())
+      ->Observe(static_cast<std::uint64_t>(elapsed_seconds * 1e6));
   std::string reason;
   if (response.status.ok()) {
     reason = TerminationReasonToString(response.result.termination);

@@ -16,7 +16,12 @@ namespace pgm {
 ///      the BENCH_pr6.json baseline; absolute wall-clock rows demoted to
 ///      info.* so the gate tracks only in-process ratios, which are robust
 ///      to machine-wide noise
-inline constexpr double kBenchAbiStamp = 2;
+///   3  PR 7 pipelined level executor: end-to-end thread-scaling ratios
+///      (e2e_mpp_speedup_2t / _8t, interleaved t1/t2/t8 reps) join the
+///      gated set and the baseline moves to BENCH_pr7.json; the e2e
+///      wall-clock rows measure the block-ring pipeline rather than the
+///      old per-block fork-join barrier
+inline constexpr double kBenchAbiStamp = 3;
 
 }  // namespace pgm
 

@@ -1,5 +1,8 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
+#include <atomic>
+
 namespace pgm {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -58,6 +61,28 @@ void ThreadPool::WorkerLoop(std::size_t worker_index) {
     }
     done_cv_.notify_one();
   }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(grain, 1);
+  // A loop that cannot produce at least two ranges has nothing to hand the
+  // workers; run it inline and skip the wakeup entirely.
+  if (workers_.empty() || n <= grain) {
+    fn(0, n);
+    return;
+  }
+  std::atomic<std::size_t> cursor{0};
+  Execute([&](std::size_t) {
+    while (true) {
+      const std::size_t begin =
+          cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) return;
+      fn(begin, std::min(begin + grain, n));
+    }
+  });
 }
 
 std::size_t ThreadPool::ResolveThreadCount(std::int64_t requested) {

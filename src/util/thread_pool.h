@@ -43,6 +43,15 @@ class ThreadPool {
   /// to the caller. Not reentrant: `fn` must not call Execute itself.
   void Execute(const std::function<void(std::size_t)>& fn);
 
+  /// Fork-join loop over [0, n): workers drain half-open ranges of at most
+  /// `grain` indices off a shared cursor and call fn(begin, end) for each.
+  /// Ranges are claimed in order but may run on any worker, so fn must only
+  /// write state disjoint per index (the deterministic-output discipline of
+  /// Execute applies unchanged). Runs inline on the caller when the pool is
+  /// serial or the loop is too small to split. Not reentrant (uses Execute).
+  void ParallelFor(std::size_t n, std::size_t grain,
+                   const std::function<void(std::size_t, std::size_t)>& fn);
+
   /// Maps a user-facing thread-count request to an actual worker count:
   /// 0 means one per hardware thread, anything else is clamped to >= 1.
   static std::size_t ResolveThreadCount(std::int64_t requested);

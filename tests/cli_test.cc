@@ -638,7 +638,7 @@ TEST(CliServeTest, MetricsAndTraceExportsCoverTheJobLifecycle) {
   std::remove(trace_path.c_str());
   EXPECT_NE(metrics.find("\"serve.jobs.admitted\": 1"), std::string::npos);
   EXPECT_NE(metrics.find("\"serve.jobs.completed\": 1"), std::string::npos);
-  EXPECT_NE(metrics.find("\"serve.latency_ms\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"serve.latency_us\""), std::string::npos);
   EXPECT_NE(trace.find("\"kind\": \"job_admitted\""), std::string::npos);
   EXPECT_NE(trace.find("\"kind\": \"job_start\""), std::string::npos);
   EXPECT_NE(trace.find("\"kind\": \"job_end\""), std::string::npos);

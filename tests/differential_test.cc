@@ -129,8 +129,12 @@ TEST_P(DifferentialSweep, EnginesAgreeAndInvariantsHold) {
   base.start_length = 1;
   base.em_order = 2;
 
+  // Odd counts (3, 5) catch piece/block splits that only divide evenly by
+  // powers of two; 16 oversubscribes every CI machine, so the pipeline runs
+  // with more workers than cores.
   for (std::int64_t threads : {std::int64_t{1}, std::int64_t{2},
-                               std::int64_t{8}}) {
+                               std::int64_t{3}, std::int64_t{5},
+                               std::int64_t{8}, std::int64_t{16}}) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
     MinerConfig config = base;
     config.threads = threads;
@@ -191,7 +195,9 @@ TEST_P(DifferentialSweep, ExportsAreByteIdenticalAcrossThreadCounts) {
       [](const Sequence& seq, const MinerConfig& c) {
         return MineMppm(seq, c);
       });
-  for (std::int64_t threads : {std::int64_t{2}, std::int64_t{8}}) {
+  for (std::int64_t threads : {std::int64_t{2}, std::int64_t{3},
+                               std::int64_t{5}, std::int64_t{8},
+                               std::int64_t{16}}) {
     MinerConfig config = base;
     config.threads = threads;
     ObservedRun run = RunObserved(
@@ -260,7 +266,8 @@ TEST(RandomizedOracleSweep, EnginesMatchOracleAndPreArenaGoldens) {
     const std::size_t horizon = difftest::OracleHorizon(oracle_config);
     const std::string golden = kDifferentialGoldensPr4[i];
     for (std::int64_t threads : {std::int64_t{1}, std::int64_t{2},
-                                 std::int64_t{8}}) {
+                                 std::int64_t{3}, std::int64_t{5},
+                                 std::int64_t{8}, std::int64_t{16}}) {
       SCOPED_TRACE("threads=" + std::to_string(threads));
       MinerConfig config = difftest::ToMinerConfig(oracle_config);
       config.threads = threads;

@@ -242,6 +242,168 @@ TEST(ParallelMiningTest, PartialResultsStaySoundUnderBudgetAtAnyThreadCount) {
   }
 }
 
+// --- Pipelined-sink contract: what the executor delivers (and charges)
+// when a run does NOT finish cleanly. The delivered prefix must be
+// byte-identical at every thread count for memory trips (which latch at a
+// window boundary, where the pipeline is deterministically empty) and for
+// sink errors (the merge stops in candidate order); and the guard's tick
+// total must equal the candidates actually delivered to the sink (TickN
+// refunds abandoned pieces), except after a sink error, where workers may
+// have paid for fills the merge never consumed.
+
+struct SinkRecord {
+  std::string symbols;
+  std::uint64_t support = 0;
+  std::vector<PilEntry> rows;
+  bool operator==(const SinkRecord& other) const {
+    return symbols == other.symbols && support == other.support &&
+           rows == other.rows;
+  }
+};
+
+struct JoinRun {
+  std::vector<SinkRecord> delivered;
+  std::uint64_t ticks = 0;
+  bool interrupted = false;
+  Status status = Status::OK();
+};
+
+// Runs `plan` on `threads` workers under a fresh guard. `memory_budget` of 0
+// means unlimited; `fail_after` >= 0 makes the sink error on delivery number
+// fail_after (0-based). Every successful delivery is promoted, mirroring the
+// mining loop.
+JoinRun RunJoin(const internal::BuiltLevel& level,
+                const internal::JoinPlan& plan, const GapRequirement& gap,
+                std::int64_t threads, std::uint64_t memory_budget,
+                std::int64_t fail_after) {
+  JoinRun run;
+  ResourceLimits limits;
+  if (memory_budget > 0) limits.pil_memory_budget_bytes = memory_budget;
+  MiningGuard guard(limits);
+  {
+    internal::ParallelLevelExecutor executor(threads);
+    PilArena out(&guard);
+    std::int64_t deliveries = 0;
+    out.BeginScratch();
+    run.status = executor.ExecuteJoin(
+        level.entries, level.arena, level.entries, level.arena, plan, gap,
+        &guard, out,
+        [&](const internal::JoinedCandidate& candidate) -> Status {
+          if (fail_after >= 0 && deliveries == fail_after) {
+            return Status::Internal("sink failure injected by test");
+          }
+          ++deliveries;
+          SinkRecord record;
+          record.symbols.push_back(
+              level.entries[candidate.left].symbols.front());
+          record.symbols.append(level.entries[candidate.right].symbols);
+          record.support = candidate.support.count;
+          const PilEntry* rows = out.Rows(candidate.span);
+          record.rows.assign(rows, rows + candidate.span.len);
+          out.Promote(candidate.span);
+          run.delivered.push_back(std::move(record));
+          return Status::OK();
+        },
+        &run.interrupted);
+    out.EndScratch();
+    run.ticks = guard.ticks();
+  }
+  return run;
+}
+
+// A join big enough to span several scratch windows: 16 candidates of
+// ~10k-row PILs each, ~160k output rows against a 64k-row window target.
+internal::BuiltLevel MultiWindowLevel(const GapRequirement& gap) {
+  Rng rng(2024);
+  Sequence sequence = *UniformRandomSequence(40000, Alphabet::Dna(), rng);
+  return internal::BuildAllPatternsOfLength(sequence, gap, 1);
+}
+
+TEST(ParallelMiningTest, TickTotalEqualsDeliveredCandidates) {
+  GapRequirement gap = *GapRequirement::Create(0, 2);
+  internal::BuiltLevel level = MultiWindowLevel(gap);
+  const internal::JoinPlan plan = internal::JoinPlan::SelfJoin(level.entries);
+  ASSERT_FALSE(plan.empty());
+  for (std::int64_t threads : {1, 2, 8}) {
+    JoinRun run = RunJoin(level, plan, gap, threads, /*memory_budget=*/0,
+                          /*fail_after=*/-1);
+    ASSERT_TRUE(run.status.ok()) << run.status.message();
+    EXPECT_FALSE(run.interrupted);
+    EXPECT_EQ(run.delivered.size(), plan.num_candidates());
+    EXPECT_EQ(run.ticks, run.delivered.size()) << "threads " << threads;
+  }
+}
+
+TEST(ParallelMiningTest, MemoryTripPrefixByteIdenticalAcrossThreadCounts) {
+  GapRequirement gap = *GapRequirement::Create(0, 2);
+  internal::BuiltLevel level = MultiWindowLevel(gap);
+  const internal::JoinPlan plan = internal::JoinPlan::SelfJoin(level.entries);
+  ASSERT_FALSE(plan.empty());
+
+  // Find a budget that lets the first scratch window through and trips on a
+  // later window's Reserve (searched, not hardcoded, so the test survives
+  // retuning of the window/block row targets).
+  std::uint64_t trip_budget = 0;
+  JoinRun reference;
+  for (std::uint64_t budget :
+       {std::uint64_t{1} << 20, (std::uint64_t{3} << 20) / 2,
+        std::uint64_t{2} << 20, std::uint64_t{3} << 20,
+        std::uint64_t{1} << 19}) {
+    JoinRun run = RunJoin(level, plan, gap, /*threads=*/1, budget,
+                          /*fail_after=*/-1);
+    ASSERT_TRUE(run.status.ok()) << run.status.message();
+    if (run.interrupted && !run.delivered.empty() &&
+        run.delivered.size() < plan.num_candidates()) {
+      trip_budget = budget;
+      reference = std::move(run);
+      break;
+    }
+  }
+  ASSERT_NE(trip_budget, 0u)
+      << "no probed budget produced a mid-level memory trip";
+  // The trip latched at a window boundary with the pipeline drained, so the
+  // ticks charged are exactly the candidates the sink received.
+  EXPECT_EQ(reference.ticks, reference.delivered.size());
+
+  for (std::int64_t threads : {2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    JoinRun run = RunJoin(level, plan, gap, threads, trip_budget,
+                          /*fail_after=*/-1);
+    ASSERT_TRUE(run.status.ok()) << run.status.message();
+    EXPECT_TRUE(run.interrupted);
+    EXPECT_EQ(run.ticks, run.delivered.size());
+    EXPECT_EQ(run.delivered, reference.delivered)
+        << "memory-trip truncation point moved with the thread count";
+  }
+}
+
+TEST(ParallelMiningTest, SinkErrorPrefixByteIdenticalAcrossThreadCounts) {
+  GapRequirement gap = *GapRequirement::Create(0, 2);
+  internal::BuiltLevel level = MultiWindowLevel(gap);
+  const internal::JoinPlan plan = internal::JoinPlan::SelfJoin(level.entries);
+  ASSERT_GT(plan.num_candidates(), 8u);
+
+  const std::int64_t fail_after = 7;  // mid-stream, not at a window edge
+  JoinRun reference = RunJoin(level, plan, gap, /*threads=*/1,
+                              /*memory_budget=*/0, fail_after);
+  ASSERT_FALSE(reference.status.ok());
+  EXPECT_EQ(reference.delivered.size(),
+            static_cast<std::size_t>(fail_after));
+
+  for (std::int64_t threads : {2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    JoinRun run = RunJoin(level, plan, gap, threads, /*memory_budget=*/0,
+                          fail_after);
+    ASSERT_FALSE(run.status.ok());
+    EXPECT_EQ(run.status.message(), reference.status.message());
+    EXPECT_EQ(run.delivered, reference.delivered)
+        << "sink-error prefix depends on the thread count";
+    // Workers may have filled (and paid for) pieces past the failure point
+    // before observing the stop, so ticks only bounds delivered from above.
+    EXPECT_GE(run.ticks, run.delivered.size());
+  }
+}
+
 TEST(GuardConcurrencyTest, ChargeReleaseBalancesAcrossThreads) {
   ResourceLimits limits;  // unlimited
   MiningGuard guard(limits);

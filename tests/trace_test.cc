@@ -100,6 +100,9 @@ TEST(TraceTest, VolatileEventsGatedByOption) {
   timing.candidates = 100;
   timing.workers = 4;
   timing.seconds = 0.25;
+  timing.fill_seconds = 0.125;
+  timing.merge_seconds = 0.0625;
+  timing.stall_seconds = 0.03125;
   trace.Append(timing);
   TraceEvent end;
   end.kind = TraceEventKind::kRunEnd;
@@ -123,7 +126,9 @@ TEST(TraceTest, VolatileEventsGatedByOption) {
   const std::string full = trace.ToJson(options);
   EXPECT_NE(full.find("{\"kind\": \"shard_timing\", \"level\": 5, "
                       "\"candidates\": 100, \"workers\": 4, "
-                      "\"seconds\": 0.25}"),
+                      "\"seconds\": 0.25, \"fill_seconds\": 0.125, "
+                      "\"merge_seconds\": 0.0625, "
+                      "\"stall_seconds\": 0.03125}"),
             std::string::npos);
   EXPECT_NE(full.find("\"memory_peak_bytes\": 4096"), std::string::npos);
 }
