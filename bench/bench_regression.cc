@@ -1,7 +1,7 @@
 // Benchmark-regression harness for the arena join path (PR "arena-backed
 // PILs") and the serving layer (PR "pgm serve"). Three measurement groups,
 // emitted as a flat JSON file that tools/bench_check compares against the
-// committed baseline (BENCH_pr7.json at the repo root):
+// committed baseline (BENCH_pr8.json at the repo root):
 //
 //   1. Candidate-join benchmark: one level's full candidate pipeline run
 //      (a) the pre-arena way — eager CandidateSpec generation with one
@@ -38,9 +38,9 @@
 // bench_check ignores them. --smoke runs fewer repetitions of the same
 // workloads, so its numbers remain comparable to a full run's baseline.
 //
-// Gating policy (abi_stamp 3): only *ratio* rows (join_*_speedup,
-// join_speedup, serve_hit_speedup, e2e_mpp_speedup_*) are tracked by
-// bench_check. Both sides
+// Gating policy (abi_stamp 4): only *ratio* rows (join_*_speedup,
+// join_speedup, serve_hit_speedup, e2e_mpp_speedup_*, kernel_*_speedup)
+// are tracked by bench_check. Both sides
 // of each ratio are measured in the same process seconds apart, so
 // machine-wide slowdowns (noisy neighbours, thermal throttling) cancel and
 // the 10% tolerance is meaningful. Absolute wall-clock rows are emitted as
@@ -62,6 +62,7 @@
 #include "core/candidate_index.h"
 #include "core/gap.h"
 #include "core/guard.h"
+#include "core/kernel.h"
 #include "core/miner.h"
 #include "core/parallel.h"
 #include "core/pil.h"
@@ -274,8 +275,8 @@ JoinBenchResult RunJoinBench(const Sequence& sequence,
     };
     out.BeginScratch();
     CheckOk(executor.ExecuteJoin(level.entries, level.arena, level.entries,
-                                 level.arena, plan, gap, &guard, out, sink,
-                                 &interrupted));
+                                 level.arena, plan, gap, KernelImpl::kScalar,
+                                 &guard, out, sink, &interrupted));
     out.EndScratch();
     // Steady state: the output arena keeps its capacity across levels.
     out.Clear();
@@ -324,6 +325,87 @@ JoinBenchResult RunJoinBench(const Sequence& sequence,
   if (legacy_checksum != arena_checksum) {
     std::fprintf(stderr, "FATAL: threaded arena join is not deterministic\n");
     std::exit(1);
+  }
+  return result;
+}
+
+struct KernelBenchResult {
+  double scalar_ms = 0.0;
+  double bits_ms = 0.0;
+  double avx2_ms = 0.0;
+  bool avx2_supported = false;
+};
+
+// Times one level's join through ExecuteJoin under each kernel tier on the
+// same plan — the pure kernel-dispatch comparison (PR "kernel tier"). The
+// gap window must fit 64 bits or every tier degenerates to the scalar
+// fallback and the ratios pin at 1. Reps are interleaved (scalar, bits,
+// avx2, scalar, ...) with per-tier minima, the same noise-cancelling
+// pattern as the legacy/arena interleave above. Checksums must agree
+// across tiers — the benchmark doubles as a byte-equivalence re-check.
+// When AVX2 is unavailable the avx2 tier re-times the bits kernel
+// (ResolveKernel's own fallback), so kernel_avx2_speedup stays present in
+// the JSON and the baseline comparison never sees a missing key.
+KernelBenchResult RunKernelBench(const Sequence& sequence,
+                                 const GapRequirement& gap,
+                                 std::int64_t level_k, int reps) {
+  internal::BuiltLevel level =
+      internal::BuildAllPatternsOfLength(sequence, gap, level_k);
+  const internal::JoinPlan plan = internal::JoinPlan::SelfJoin(level.entries);
+  MiningGuard guard(ResourceLimits{});
+  PilArena out(&guard);
+  internal::ParallelLevelExecutor serial(1);
+
+  std::uint64_t checksum = 0;
+  auto one_rep = [&](KernelImpl kernel) {
+    checksum = 0;
+    bool interrupted = false;
+    auto sink = [&](const internal::JoinedCandidate& candidate) -> Status {
+      checksum = Fold(checksum, out.Rows(candidate.span), candidate.span.len,
+                      candidate.support);
+      return Status::OK();
+    };
+    out.BeginScratch();
+    CheckOk(serial.ExecuteJoin(level.entries, level.arena, level.entries,
+                               level.arena, plan, gap, kernel, &guard, out,
+                               sink, &interrupted));
+    out.EndScratch();
+    out.Clear();
+  };
+
+  KernelBenchResult result;
+  result.avx2_supported = Avx2Available();
+  const KernelImpl avx2_impl =
+      result.avx2_supported ? KernelImpl::kAvx2 : KernelImpl::kBits;
+  std::uint64_t scalar_checksum = 0;
+  for (int r = 0; r < reps; ++r) {
+    {
+      Stopwatch watch;
+      one_rep(KernelImpl::kScalar);
+      const double ms = watch.ElapsedSeconds() * 1e3;
+      if (r == 0 || ms < result.scalar_ms) result.scalar_ms = ms;
+      scalar_checksum = checksum;
+    }
+    {
+      Stopwatch watch;
+      one_rep(KernelImpl::kBits);
+      const double ms = watch.ElapsedSeconds() * 1e3;
+      if (r == 0 || ms < result.bits_ms) result.bits_ms = ms;
+    }
+    if (checksum != scalar_checksum) {
+      std::fprintf(stderr, "FATAL: bits kernel disagrees with scalar\n");
+      std::exit(1);
+    }
+    {
+      Stopwatch watch;
+      one_rep(avx2_impl);
+      const double ms = watch.ElapsedSeconds() * 1e3;
+      if (r == 0 || ms < result.avx2_ms) result.avx2_ms = ms;
+    }
+    if (checksum != scalar_checksum) {
+      std::fprintf(stderr, "FATAL: avx2 kernel disagrees with scalar\n");
+      std::exit(1);
+    }
   }
   return result;
 }
@@ -460,7 +542,7 @@ int Main(int argc, char** argv) {
       "(pre-arena engine loop vs arena executor) and end-to-end MineMpp "
       "wall clock, written as flat JSON for tools/bench_check.");
   bool smoke = false;
-  std::string json_path = "BENCH_pr7.json";
+  std::string json_path = "BENCH_pr8.json";
   std::int64_t seed = 42;
   flags.AddBool("smoke", &smoke,
                 "fewer repetitions of the same workloads (CI mode)");
@@ -492,6 +574,12 @@ int Main(int argc, char** argv) {
 
   const Sequence e2e_sequence = ValueOrDie(SurrogateSegment(
       kEndToEndSequenceLength, static_cast<std::uint64_t>(seed)));
+
+  // Kernel tiers on the wide-gap Section 6 workload (W = 4, so the bitset
+  // kernel engages): long suffix PILs are exactly the regime the bitmap
+  // rank/cum precomputation amortizes over.
+  const KernelBenchResult kern =
+      RunKernelBench(join_sequence, gap, 3, join_reps);
 
   std::map<std::string, double> metrics;
   metrics["info.abi_stamp"] = kBenchAbiStamp;
@@ -533,6 +621,15 @@ int Main(int argc, char** argv) {
   metrics["info.join_reps"] = join_reps;
   metrics["info.sequence_length"] =
       static_cast<double>(kJoinSequenceLength);
+  metrics["info.kernel_scalar_ms"] = kern.scalar_ms;
+  metrics["info.kernel_bits_ms"] = kern.bits_ms;
+  metrics["info.kernel_avx2_ms"] = kern.avx2_ms;
+  metrics["info.kernel_avx2_supported"] = kern.avx2_supported ? 1.0 : 0.0;
+  // Gated kernel-tier ratios: both sides interleaved in RunKernelBench.
+  // On a box without AVX2 the avx2 row re-times the bits kernel, so the
+  // ratio degrades to a second bits sample rather than a missing key.
+  metrics["kernel_bits_speedup"] = kern.scalar_ms / kern.bits_ms;
+  metrics["kernel_avx2_speedup"] = kern.scalar_ms / kern.avx2_ms;
 
   const std::string json = ToJson(metrics);
   std::fputs(json.c_str(), stdout);

@@ -157,6 +157,7 @@ Status RunMine(const std::vector<std::string>& args, std::string* output,
   std::int64_t max_level_candidates = 0;
   std::int64_t max_total_candidates = 0;
   std::int64_t threads = 1;
+  std::string kernel = "auto";
 
   FlagSet flags("pgm mine: find frequent periodic patterns");
   flags.AddString("input", &input, "input spec (see pgm --help)");
@@ -196,6 +197,10 @@ Status RunMine(const std::vector<std::string>& args, std::string* output,
                  "worker threads for level evaluation (1 = serial, 0 = one "
                  "per hardware thread); results are identical at every "
                  "thread count");
+  flags.AddString("kernel", &kernel,
+                  "join-kernel tier: auto | scalar | bits | avx2 (auto picks "
+                  "the bitset/AVX2 kernel when the gap window fits 64 bits; "
+                  "results are identical under every tier)");
   std::vector<char*> argv;
   std::vector<std::string> storage = args;
   storage.insert(storage.begin(), "pgm mine");
@@ -227,6 +232,10 @@ Status RunMine(const std::vector<std::string>& args, std::string* output,
   config.limits.max_total_candidates =
       static_cast<std::uint64_t>(max_total_candidates);
   config.threads = threads;
+  if (!KernelTierFromString(kernel, &config.kernel_tier)) {
+    return Status::InvalidArgument(
+        "unknown --kernel '" + kernel + "' (auto | scalar | bits | avx2)");
+  }
   // SIGINT/SIGTERM latch the process-wide token (tools/pgm_main.cc); the
   // miners poll it and wind down to a partial-but-sound result.
   config.cancel = &GlobalCancelToken();
@@ -578,7 +587,7 @@ Status RunGenerate(const std::vector<std::string>& args, std::string* output) {
 
 /// Parses one job-file line: `<input-spec> [key=value ...]`. Keys mirror the
 /// pgm mine flags (algorithm, min-gap, max-gap, rho-percent, start-length,
-/// max-length, n, m, threads, deadline-ms).
+/// max-length, n, m, threads, kernel, deadline-ms).
 Status ParseJobLine(const std::string& line, std::size_t line_number,
                     MiningJob* job) {
   std::vector<std::string> tokens;
@@ -602,6 +611,14 @@ Status ParseJobLine(const std::string& line, std::size_t line_number,
     if (key == "rho-percent") {
       PGM_ASSIGN_OR_RETURN(double parsed, ParseDouble(value));
       job->config.min_support_ratio = parsed / 100.0;
+      continue;
+    }
+    if (key == "kernel") {
+      if (!KernelTierFromString(value, &job->config.kernel_tier)) {
+        return Status::InvalidArgument(
+            StrFormat("jobs line %zu: unknown kernel '%s'", line_number,
+                      value.c_str()));
+      }
       continue;
     }
     PGM_ASSIGN_OR_RETURN(std::int64_t parsed, ParseInt64(value));

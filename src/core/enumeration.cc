@@ -15,10 +15,12 @@ StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
                        GapRequirement::Create(config.min_gap, config.max_gap));
   Stopwatch watch;
   MiningGuard guard(config.limits, config.cancel);
-  internal::ObserverContext ctx(config.observer, "enum");
+  internal::ObserverContext ctx(config.observer, "enum",
+                                KernelTierToString(config.kernel_tier));
   internal::ParallelLevelExecutor executor(config.threads);
   executor.set_observer(&ctx);
   OffsetCounter counter(static_cast<std::int64_t>(sequence.size()), gap);
+  const KernelImpl kernel = ResolveKernel(config.kernel_tier, gap);
 
   MiningResult result;
   // Enumeration cannot prune, so it has no completeness horizon below l2;
@@ -89,11 +91,11 @@ StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
   // for the whole run; the current level ping-pongs between two arenas.
   // All three arenas drop their charges when they go out of scope, so the
   // guard's ledger drains to zero on every exit.
-  internal::BuiltLevel singles =
-      internal::BuildAllPatternsOfLength(sequence, gap, 1, &guard, &executor);
+  internal::BuiltLevel singles = internal::BuildAllPatternsOfLength(
+      sequence, gap, 1, &guard, &executor, kernel);
 
   internal::BuiltLevel level = internal::BuildAllPatternsOfLength(
-      sequence, gap, level_length, &guard, &executor);
+      sequence, gap, level_length, &guard, &executor, kernel);
   PilArena other(&guard);
   if (guard.stopped()) {
     ctx.GuardTrip(guard.reason(), level_length);
@@ -182,7 +184,7 @@ StatusOr<MiningResult> MineEnumeration(const Sequence& sequence,
     other.BeginScratch();
     const Status join_status = executor.ExecuteJoin(
         singles.entries, singles.arena, level.entries, level.arena, plan, gap,
-        &guard, other, sink, &extension_interrupted);
+        kernel, &guard, other, sink, &extension_interrupted);
     other.EndScratch();
     PGM_RETURN_IF_ERROR(join_status);
     interrupted = extension_interrupted;

@@ -1,0 +1,96 @@
+#include "core/kernel.h"
+
+// The ONLY translation unit allowed to use vector intrinsics: the
+// raw-intrinsics pgm_lint rule pins every other file to the portable
+// wrapper in core/kernel.h. Compiled with per-file -mavx2 on x86 (see
+// src/core/CMakeLists.txt), so the rest of the build stays untainted by
+// AVX2 code generation and the dispatcher can pick the vector path from
+// runtime CPUID alone.
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace pgm {
+namespace internal {
+
+bool Avx2KernelCompiled() {
+#if defined(__AVX2__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(__AVX2__)
+
+void ExtractWindowsAvx2(const std::uint64_t* bitmap, const std::uint64_t* rank,
+                        const std::uint64_t* offs, std::size_t n,
+                        std::uint64_t wmask, std::uint64_t* masks,
+                        std::uint64_t* prelow, std::uint64_t* rankbase) {
+  const __m256i vwmask = _mm256_set1_epi64x(static_cast<long long>(wmask));
+  const __m256i vones = _mm256_set1_epi64x(1);
+  const __m256i v64 = _mm256_set1_epi64x(64);
+  const __m256i v63 = _mm256_set1_epi64x(63);
+  const long long* words = reinterpret_cast<const long long*>(bitmap);
+  const long long* ranks = reinterpret_cast<const long long*>(rank);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i voff =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(offs + i));
+    const __m256i vword = _mm256_srli_epi64(voff, 6);
+    const __m256i vbit = _mm256_and_si256(voff, v63);
+    const __m256i w0 = _mm256_i64gather_epi64(words, vword, 8);
+    const __m256i w1 = _mm256_i64gather_epi64(words + 1, vword, 8);
+    const __m256i vrank = _mm256_i64gather_epi64(ranks, vword, 8);
+    // Intel variable-shift semantics: a count >= 64 yields 0, so the
+    // bit == 0 lane (where 64 - bit == 64) takes nothing from w1 — exactly
+    // the portable path's bit == 0 special case, without a branch.
+    const __m256i low = _mm256_srlv_epi64(w0, vbit);
+    const __m256i high = _mm256_sllv_epi64(w1, _mm256_sub_epi64(v64, vbit));
+    const __m256i vmask =
+        _mm256_and_si256(_mm256_or_si256(low, high), vwmask);
+    // (1 << bit) - 1 keeps w0's below-window bits; bit == 0 keeps none.
+    const __m256i vlowmask =
+        _mm256_sub_epi64(_mm256_sllv_epi64(vones, vbit), vones);
+    const __m256i vprelow = _mm256_and_si256(w0, vlowmask);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(masks + i), vmask);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(prelow + i), vprelow);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(rankbase + i), vrank);
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t word = offs[i] >> 6;
+    const std::uint64_t bit = offs[i] & 63;
+    const std::uint64_t w0 = bitmap[word];
+    const std::uint64_t w1 = bitmap[word + 1];
+    masks[i] = (bit == 0 ? w0 : (w0 >> bit) | (w1 << (64 - bit))) & wmask;
+    prelow[i] = bit == 0 ? 0 : w0 & ((std::uint64_t{1} << bit) - 1);
+    rankbase[i] = rank[word];
+  }
+}
+
+#else  // !defined(__AVX2__)
+
+// Portable stub — and the slot a NEON port would fill. ResolveKernel never
+// selects kAvx2 on this build (Avx2Available() is false), but the stub
+// keeps the symbol defined and semantically identical to the vector path,
+// so a stray call stays correct instead of crashing.
+void ExtractWindowsAvx2(const std::uint64_t* bitmap, const std::uint64_t* rank,
+                        const std::uint64_t* offs, std::size_t n,
+                        std::uint64_t wmask, std::uint64_t* masks,
+                        std::uint64_t* prelow, std::uint64_t* rankbase) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t word = offs[i] >> 6;
+    const std::uint64_t bit = offs[i] & 63;
+    const std::uint64_t w0 = bitmap[word];
+    const std::uint64_t w1 = bitmap[word + 1];
+    masks[i] = (bit == 0 ? w0 : (w0 >> bit) | (w1 << (64 - bit))) & wmask;
+    prelow[i] = bit == 0 ? 0 : w0 & ((std::uint64_t{1} << bit) - 1);
+    rankbase[i] = rank[word];
+  }
+}
+
+#endif  // defined(__AVX2__)
+
+}  // namespace internal
+}  // namespace pgm

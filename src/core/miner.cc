@@ -41,7 +41,8 @@ Status ValidateConfig(const Sequence& sequence, const MinerConfig& config) {
 BuiltLevel BuildAllPatternsOfLength(const Sequence& sequence,
                                     const GapRequirement& gap, std::int64_t k,
                                     MiningGuard* guard,
-                                    ParallelLevelExecutor* executor) {
+                                    ParallelLevelExecutor* executor,
+                                    KernelImpl kernel) {
   ParallelLevelExecutor serial_executor(1);
   if (executor == nullptr) executor = &serial_executor;
 
@@ -134,8 +135,8 @@ BuiltLevel BuildAllPatternsOfLength(const Sequence& sequence,
     // The sink cannot fail, so the status is always OK.
     const Status status =
         executor->ExecuteJoin(level.entries, level.arena, level.entries,
-                              level.arena, plan, gap, guard, other, sink,
-                              &interrupted);
+                              level.arena, plan, gap, kernel, guard, other,
+                              sink, &interrupted);
     other.EndScratch();
     (void)status;  // the sink above cannot fail, so this is always OK
     level.entries = std::move(next);
@@ -162,10 +163,14 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
   // their own so the trace carries their algorithm name, not "levelwise".
   std::optional<ObserverContext> own_ctx;
   if (ctx == nullptr) {
-    own_ctx.emplace(config.observer, "levelwise");
+    own_ctx.emplace(config.observer, "levelwise",
+                    KernelTierToString(config.kernel_tier));
     ctx = &*own_ctx;
   }
   executor->set_observer(ctx);
+  // One resolution per run: the gap (and so the window width) is fixed, so
+  // every level of the run uses the same kernel implementation.
+  const KernelImpl kernel = ResolveKernel(config.kernel_tier, gap);
 
   MiningResult result;
   result.n_used = n_effective;
@@ -270,7 +275,7 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
     BuiltLevel first_level =
         seed_level.entries.empty()
             ? BuildAllPatternsOfLength(sequence, gap, level_length, &guard,
-                                       executor)
+                                       executor, kernel)
             : std::move(seed_level);
     if (guard.stopped()) {
       // Dropping the level here returns its arena's charge to the guard.
@@ -386,7 +391,8 @@ StatusOr<MiningResult> RunLevelwise(const Sequence& sequence,
       dst.BeginScratch();
       const Status join_status =
           executor->ExecuteJoin(retained, src, retained, src, plan, gap,
-                                &guard, dst, sink, &level_interrupted);
+                                kernel, &guard, dst, sink,
+                                &level_interrupted);
       dst.EndScratch();
       PGM_RETURN_IF_ERROR(join_status);
       interrupted = level_interrupted;

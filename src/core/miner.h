@@ -66,6 +66,14 @@ struct MinerConfig {
   /// contract holds at every thread count, but the truncation point may
   /// differ.
   std::int64_t threads = 1;
+  /// Join-kernel tier for the level joins (core/kernel.h, DESIGN.md §7e).
+  /// kAuto picks the bitset kernel — AVX2-vectorized when the CPU supports
+  /// it — whenever the window width W = max_gap - min_gap + 1 fits one
+  /// 64-bit mask, and the scalar kernel otherwise. Every tier produces
+  /// byte-identical rows and supports (the scalar kernel is the
+  /// authoritative oracle the others are differentially tested against),
+  /// so this knob only affects speed, never results.
+  KernelTier kernel_tier = KernelTier::kAuto;
 
   // --- Resource governance ---
   /// Budgets for the run (defaults: unlimited). When a budget is exhausted
@@ -204,11 +212,13 @@ Status ValidateConfig(const Sequence& sequence, const MinerConfig& config);
 /// the returned BuiltLevel and drains when it is destroyed. On a tripped
 /// guard the returned level is partial and `guard->stopped()` is true.
 /// When `executor` is non-null the level joins run on it; null means
-/// serial.
-BuiltLevel BuildAllPatternsOfLength(const Sequence& sequence,
-                                    const GapRequirement& gap, std::int64_t k,
-                                    MiningGuard* guard = nullptr,
-                                    ParallelLevelExecutor* executor = nullptr);
+/// serial. `kernel` selects the join-kernel implementation (core/kernel.h)
+/// — every tier produces byte-identical levels, so the scalar default is a
+/// correctness-neutral convenience for tests and benchmarks.
+BuiltLevel BuildAllPatternsOfLength(
+    const Sequence& sequence, const GapRequirement& gap, std::int64_t k,
+    MiningGuard* guard = nullptr, ParallelLevelExecutor* executor = nullptr,
+    KernelImpl kernel = KernelImpl::kScalar);
 
 /// The shared level-wise engine behind MPP and MPPm. `n_effective` is the
 /// (already clamped) n; `seed_level` may carry a precomputed first level to

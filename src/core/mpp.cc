@@ -12,7 +12,8 @@ StatusOr<MiningResult> MineMpp(const Sequence& sequence,
                        GapRequirement::Create(config.min_gap, config.max_gap));
   Stopwatch watch;
   MiningGuard guard(config.limits, config.cancel);
-  internal::ObserverContext ctx(config.observer, "mpp");
+  internal::ObserverContext ctx(config.observer, "mpp",
+                                KernelTierToString(config.kernel_tier));
   OffsetCounter counter(static_cast<std::int64_t>(sequence.size()), gap);
 
   // Algorithm line 3: clamp the user estimate to l1 ("if n > l1, n = l1");

@@ -14,7 +14,8 @@ StatusOr<MiningResult> MineMppm(const Sequence& sequence,
                        GapRequirement::Create(config.min_gap, config.max_gap));
   Stopwatch total_watch;
   MiningGuard guard(config.limits, config.cancel);
-  internal::ObserverContext ctx(config.observer, "mppm");
+  internal::ObserverContext ctx(config.observer, "mppm",
+                                KernelTierToString(config.kernel_tier));
   internal::ParallelLevelExecutor executor(config.threads);
   executor.set_observer(&ctx);
   OffsetCounter counter(static_cast<std::int64_t>(sequence.size()), gap);
@@ -45,8 +46,9 @@ StatusOr<MiningResult> MineMppm(const Sequence& sequence,
   // clears the Theorem 2 prefix bound λ'_{k,k-s} * ρs * N_s. Scanning k
   // downward returns the largest such k directly.
   const std::int64_t s = config.start_length;
-  internal::BuiltLevel seed =
-      internal::BuildAllPatternsOfLength(sequence, gap, s, &guard, &executor);
+  internal::BuiltLevel seed = internal::BuildAllPatternsOfLength(
+      sequence, gap, s, &guard, &executor,
+      ResolveKernel(config.kernel_tier, gap));
   if (guard.stopped()) {
     // Dropping the seed returns its arena's charge to the guard; the ledger
     // needs no manual balancing.

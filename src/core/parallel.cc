@@ -28,6 +28,7 @@ struct ShardTimingScope {
   ObserverContext* ctx = nullptr;
   std::uint64_t candidates = 0;
   std::int64_t workers = 0;
+  const char* kernel = "scalar";
   double fill_seconds = 0.0;
   double merge_seconds = 0.0;
   double stall_seconds = 0.0;
@@ -35,7 +36,7 @@ struct ShardTimingScope {
 
   ~ShardTimingScope() {
     if (ctx != nullptr) {
-      ctx->ShardTiming(candidates, workers, watch.ElapsedSeconds(),
+      ctx->ShardTiming(candidates, workers, kernel, watch.ElapsedSeconds(),
                        fill_seconds, merge_seconds, stall_seconds);
     }
   }
@@ -95,7 +96,7 @@ struct Block {
 struct WorkerScratch {
   std::vector<GroupSuffix> suffixes;
   std::vector<GroupOutput> outputs;
-  GroupJoinScratch kernel;
+  KernelScratch kernel;
 };
 
 }  // namespace
@@ -125,8 +126,9 @@ void ParallelLevelExecutor::ParallelFor(
 Status ParallelLevelExecutor::ExecuteJoin(
     const std::vector<ArenaEntry>& left_entries, const PilArena& left_arena,
     const std::vector<ArenaEntry>& right_entries, const PilArena& right_arena,
-    const JoinPlan& plan, const GapRequirement& gap, MiningGuard* guard,
-    PilArena& out, const JoinSink& sink, bool* interrupted) {
+    const JoinPlan& plan, const GapRequirement& gap, KernelImpl kernel,
+    MiningGuard* guard, PilArena& out, const JoinSink& sink,
+    bool* interrupted) {
   *interrupted = false;
   assert(out.scratch_open() &&
          "ExecuteJoin requires the caller's BeginScratch/EndScratch bracket");
@@ -134,6 +136,7 @@ Status ParallelLevelExecutor::ExecuteJoin(
   ShardTimingScope timing;
   timing.ctx = ctx_;
   timing.workers = static_cast<std::int64_t>(num_threads());
+  timing.kernel = KernelImplToString(kernel);
 
   const std::vector<JoinTask>& tasks = plan.tasks();
   const std::vector<std::uint32_t>& pool = plan.rights_pool();
@@ -247,9 +250,10 @@ Status ParallelLevelExecutor::ExecuteJoin(
         ws.outputs[k] = GroupOutput{
             base + piece.out_offset + k * piece.left_len, 0, {}};
       }
-      CombinePrefixGroup(left_arena.Rows(left_entries[task.left].span),
-                         piece.left_len, gap, ws.suffixes.data(),
-                         ws.outputs.data(), count, ws.kernel);
+      CombinePrefixGroupKernel(kernel,
+                               left_arena.Rows(left_entries[task.left].span),
+                               piece.left_len, gap, ws.suffixes.data(),
+                               ws.outputs.data(), count, ws.kernel);
       for (std::uint32_t k = 0; k < count; ++k) {
         meta_lens[piece.meta_base + k] =
             static_cast<std::uint32_t>(ws.outputs[k].len);

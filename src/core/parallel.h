@@ -9,6 +9,7 @@
 #include "core/candidate_index.h"
 #include "core/gap.h"
 #include "core/guard.h"
+#include "core/kernel.h"
 #include "core/pil_arena.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -122,17 +123,22 @@ class ParallelLevelExecutor {
   /// right_entries[rights_pool[r]] under `gap` — writing candidate PILs
   /// into `out` and feeding the results to `sink` serially, in plan order.
   /// `left_arena`/`right_arena` back the entries' spans and may alias each
-  /// other (the level self-join) but never `out`. `guard` may be null
-  /// (ungoverned build). Returns a non-OK status only when the sink fails;
-  /// *interrupted is set when the guard tripped, in which case the sink saw
-  /// a sound subset of the candidates. On return `out` holds exactly the
-  /// spans the sink promoted (scratch is truncated on every path).
+  /// other (the level self-join) but never `out`. `kernel` is the resolved
+  /// join-kernel implementation (ResolveKernel, core/kernel.h) every piece
+  /// of this level runs — all tiers produce byte-identical rows and
+  /// supports, so the choice never affects results, only speed. `guard` may
+  /// be null (ungoverned build). Returns a non-OK status only when the sink
+  /// fails; *interrupted is set when the guard tripped, in which case the
+  /// sink saw a sound subset of the candidates. On return `out` holds
+  /// exactly the spans the sink promoted (scratch is truncated on every
+  /// path).
   Status ExecuteJoin(const std::vector<ArenaEntry>& left_entries,
                      const PilArena& left_arena,
                      const std::vector<ArenaEntry>& right_entries,
                      const PilArena& right_arena, const JoinPlan& plan,
-                     const GapRequirement& gap, MiningGuard* guard,
-                     PilArena& out, const JoinSink& sink, bool* interrupted);
+                     const GapRequirement& gap, KernelImpl kernel,
+                     MiningGuard* guard, PilArena& out, const JoinSink& sink,
+                     bool* interrupted);
 
   /// Data-parallel loop over [0, n) on this executor's pool (inline when
   /// serial): ThreadPool::ParallelFor with its disjoint-writes discipline.

@@ -70,6 +70,7 @@ void AppendEventJson(const TraceEvent& event, bool include_volatile,
   switch (event.kind) {
     case TraceEventKind::kRunStart:
       out->append(", \"algorithm\": \"" + event.detail + "\"");
+      out->append(", \"kernel_tier\": \"" + event.kernel_tier + "\"");
       break;
     case TraceEventKind::kLevelStart:
       out->append(", \"level\": " + std::to_string(event.level));
@@ -102,6 +103,10 @@ void AppendEventJson(const TraceEvent& event, bool include_volatile,
       out->append(", \"level\": " + std::to_string(event.level));
       out->append(", \"candidates\": " + std::to_string(event.candidates));
       out->append(", \"workers\": " + std::to_string(event.workers));
+      // The resolved kernel implementation is deterministic given the
+      // config, so unlike the timing fields it is not include_volatile
+      // business — it prints whenever the event itself does.
+      out->append(", \"kernel_tier\": \"" + event.kernel_tier + "\"");
       out->append(", \"seconds\": " + JsonDouble(event.seconds));
       out->append(", \"fill_seconds\": " + JsonDouble(event.fill_seconds));
       out->append(", \"merge_seconds\": " + JsonDouble(event.merge_seconds));
@@ -183,7 +188,8 @@ std::vector<std::uint64_t> PilBytesBounds() {
 }  // namespace
 
 ObserverContext::ObserverContext(const MiningObserver* observer,
-                                 const char* algorithm)
+                                 const char* algorithm,
+                                 const char* kernel_tier)
     : user_metrics_(observer == nullptr ? nullptr : observer->metrics),
       trace_(observer == nullptr ? nullptr : observer->trace) {
   if (user_metrics_ != nullptr) {
@@ -196,6 +202,7 @@ ObserverContext::ObserverContext(const MiningObserver* observer,
     TraceEvent event;
     event.kind = TraceEventKind::kRunStart;
     event.detail = algorithm;
+    event.kernel_tier = kernel_tier;
     trace_->Append(std::move(event));
   }
 }
@@ -276,8 +283,9 @@ void ObserverContext::Estimate(std::uint64_t em, std::int64_t estimated_n) {
 }
 
 void ObserverContext::ShardTiming(std::uint64_t candidates,
-                                  std::int64_t workers, double seconds,
-                                  double fill_seconds, double merge_seconds,
+                                  std::int64_t workers, const char* kernel,
+                                  double seconds, double fill_seconds,
+                                  double merge_seconds,
                                   double stall_seconds) {
   if (trace_ == nullptr) return;
   TraceEvent event;
@@ -285,6 +293,7 @@ void ObserverContext::ShardTiming(std::uint64_t candidates,
   event.level = current_level_;
   event.candidates = candidates;
   event.workers = workers;
+  event.kernel_tier = kernel;
   event.seconds = seconds;
   event.fill_seconds = fill_seconds;
   event.merge_seconds = merge_seconds;

@@ -81,6 +81,14 @@ struct TraceEvent {
   /// Algorithm name (kRunStart, kJobStart) or termination reason / status
   /// code name (kGuardTrip, kRunEnd, kJobEnd).
   std::string detail;
+  /// Join-kernel tier (core/kernel.h). kRunStart carries the *configured*
+  /// tier (MinerConfig::kernel_tier — "auto"/"scalar"/"bits"/"avx2");
+  /// kShardTiming carries the *resolved* implementation the level actually
+  /// ran ("scalar"/"bits"/"avx2"). Deterministic given the config — results
+  /// are byte-identical across tiers — so it is NOT volatile-gated; but the
+  /// resolved value can differ across machines (CPUID), which is fine
+  /// because shard_timing events as a whole are volatile.
+  std::string kernel_tier;
 
   // Serving-layer fields (kJob* events only).
   std::int64_t job = 0;
@@ -154,8 +162,12 @@ namespace internal {
 class ObserverContext {
  public:
   /// `observer` may be null (the null-observer fast path); `algorithm` names
-  /// the run in the kRunStart event.
-  ObserverContext(const MiningObserver* observer, const char* algorithm);
+  /// the run in the kRunStart event and `kernel_tier` records the run's
+  /// configured join-kernel tier there (KernelTierToString — the configured
+  /// tier, not the resolved implementation, so exports stay byte-identical
+  /// across machines).
+  ObserverContext(const MiningObserver* observer, const char* algorithm,
+                  const char* kernel_tier = "auto");
 
   ObserverContext(const ObserverContext&) = delete;
   ObserverContext& operator=(const ObserverContext&) = delete;
@@ -188,11 +200,12 @@ class ObserverContext {
 
   /// One executor join pass (trace-only; volatile). `candidates` counts
   /// sink deliveries — not the plan size — so interrupted levels report the
-  /// work that actually happened; the stage fields split the driver's time
-  /// (see TraceEvent).
+  /// work that actually happened; `kernel` names the resolved join-kernel
+  /// implementation the pass ran (KernelImplToString); the stage fields
+  /// split the driver's time (see TraceEvent).
   void ShardTiming(std::uint64_t candidates, std::int64_t workers,
-                   double seconds, double fill_seconds, double merge_seconds,
-                   double stall_seconds);
+                   const char* kernel, double seconds, double fill_seconds,
+                   double merge_seconds, double stall_seconds);
 
   /// Seals the run: derives result->level_stats and total_candidates from
   /// the run registry, records the run gauges and the kRunEnd event, and

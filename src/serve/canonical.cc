@@ -21,6 +21,9 @@ std::string CanonDouble(double value) {
 
 std::string CanonicalConfigString(const std::string& algorithm,
                                   const MinerConfig& config) {
+  // Execution knobs (threads, kernel_tier) are deliberately absent: they
+  // never change the mined bytes, so keying on them would only fragment the
+  // cache.
   std::vector<std::pair<std::string, std::string>> fields;
   fields.emplace_back("algorithm", algorithm);
   fields.emplace_back("em_order", std::to_string(config.em_order));

@@ -21,7 +21,11 @@ namespace pgm {
 ///      gated set and the baseline moves to BENCH_pr7.json; the e2e
 ///      wall-clock rows measure the block-ring pipeline rather than the
 ///      old per-block fork-join barrier
-inline constexpr double kBenchAbiStamp = 3;
+///   4  PR 8 bit-parallel join kernels: kernel_bits_speedup /
+///      kernel_avx2_speedup (scalar vs bitset vs AVX2 tiers on the
+///      wide-gap join, interleaved reps) join the gated set and the
+///      baseline moves to BENCH_pr8.json
+inline constexpr double kBenchAbiStamp = 4;
 
 }  // namespace pgm
 

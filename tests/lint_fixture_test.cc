@@ -60,6 +60,34 @@ TEST(LintFixtureTest, RawAllocIsScopedToCore) {
           .empty());
 }
 
+TEST(LintFixtureTest, RawIntrinsicsFires) {
+  const std::vector<Finding> findings =
+      LintFixture("bad_raw_intrinsics.cc", /*all_rules=*/true);
+  EXPECT_EQ(Rules(findings), std::set<std::string>{"raw-intrinsics"});
+  // __m256i declaration, gather/and/set lines, a __m128 parameter, and an
+  // _mm_ store: five offending lines (one finding per line).
+  EXPECT_EQ(findings.size(), 5u);
+}
+
+TEST(LintFixtureTest, RawIntrinsicsExemptInAvx2Kernel) {
+  // The same content under the sanctioned SIMD TU is clean — even with
+  // all_rules, which the tree-scan tests run over the live tree.
+  const std::string path =
+      std::string(PGM_LINT_FIXTURE_DIR) + "/bad_raw_intrinsics.cc";
+  StatusOr<std::string> content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  LintOptions all;
+  all.all_rules = true;
+  EXPECT_TRUE(
+      LintSource("src/core/kernel_avx2.cc", content.value(), all).empty());
+  // Any other path fires under default options: the rule is tree-wide.
+  EXPECT_FALSE(
+      LintSource("src/core/kernel.cc", content.value(), LintOptions{})
+          .empty());
+  EXPECT_FALSE(
+      LintSource("tests/helper.cc", content.value(), LintOptions{}).empty());
+}
+
 TEST(LintFixtureTest, UnseededRngFires) {
   const std::vector<Finding> findings =
       LintFixture("bad_unseeded_rng.cc", /*all_rules=*/true);

@@ -1,0 +1,13 @@
+// Fixture: raw vector intrinsics outside the dedicated AVX2 translation
+// unit. Each line touching an _mm* call or a __m128/__m256/__m512 register
+// type must fire raw-intrinsics — SIMD belongs behind core/kernel.h.
+#include <immintrin.h>
+
+__m256i LoadMask(const long long* words) {
+  __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words));
+  return _mm256_and_si256(v, _mm256_set1_epi64x(63));
+}
+
+void StoreLanes(float* dst, __m128 lanes) {
+  _mm_storeu_ps(dst, lanes);
+}

@@ -142,7 +142,8 @@ const char kGoldenMetrics[] =
 const char kGoldenTrace[] =
     "{\n"
     "  \"events\": [\n"
-    "    {\"kind\": \"run_start\", \"algorithm\": \"mppm\"},\n"
+    "    {\"kind\": \"run_start\", \"algorithm\": \"mppm\", "
+    "\"kernel_tier\": \"auto\"},\n"
     "    {\"kind\": \"estimate\", \"em\": 4, \"estimated_n\": 6},\n"
     "    {\"kind\": \"level_start\", \"level\": 1, \"candidates\": 4, "
     "\"lambda\": 0.84375, \"full_threshold\": 3.2000000000000002, "

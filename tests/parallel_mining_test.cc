@@ -154,7 +154,7 @@ TEST(ParallelMiningTest, ExecutorMergesInCandidateOrder) {
     bool interrupted = false;
     Status status = executor.ExecuteJoin(
         level.entries, level.arena, level.entries, level.arena, plan, gap,
-        /*guard=*/nullptr, out,
+        KernelImpl::kScalar, /*guard=*/nullptr, out,
         [&](const internal::JoinedCandidate& candidate) -> Status {
           Seen s;
           s.symbols.push_back(level.entries[candidate.left].symbols.front());
@@ -287,7 +287,7 @@ JoinRun RunJoin(const internal::BuiltLevel& level,
     out.BeginScratch();
     run.status = executor.ExecuteJoin(
         level.entries, level.arena, level.entries, level.arena, plan, gap,
-        &guard, out,
+        KernelImpl::kScalar, &guard, out,
         [&](const internal::JoinedCandidate& candidate) -> Status {
           if (fail_after >= 0 && deliveries == fail_after) {
             return Status::Internal("sink failure injected by test");

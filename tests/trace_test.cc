@@ -57,6 +57,7 @@ TEST(TraceTest, PerKindJsonSchemas) {
   TraceEvent start;
   start.kind = TraceEventKind::kRunStart;
   start.detail = "mppm";
+  start.kernel_tier = "auto";
   trace.Append(start);
   TraceEvent level;
   level.kind = TraceEventKind::kLevelStart;
@@ -78,7 +79,8 @@ TEST(TraceTest, PerKindJsonSchemas) {
   trace.Append(end);
 
   const std::string json = trace.ToJson();
-  EXPECT_NE(json.find("{\"kind\": \"run_start\", \"algorithm\": \"mppm\"}"),
+  EXPECT_NE(json.find("{\"kind\": \"run_start\", \"algorithm\": \"mppm\", "
+                      "\"kernel_tier\": \"auto\"}"),
             std::string::npos);
   EXPECT_NE(json.find("{\"kind\": \"level_start\", \"level\": 4, "
                       "\"candidates\": 256, \"lambda\": 0.5, "
@@ -99,6 +101,7 @@ TEST(TraceTest, VolatileEventsGatedByOption) {
   timing.level = 5;
   timing.candidates = 100;
   timing.workers = 4;
+  timing.kernel_tier = "bits";
   timing.seconds = 0.25;
   timing.fill_seconds = 0.125;
   timing.merge_seconds = 0.0625;
@@ -126,11 +129,44 @@ TEST(TraceTest, VolatileEventsGatedByOption) {
   const std::string full = trace.ToJson(options);
   EXPECT_NE(full.find("{\"kind\": \"shard_timing\", \"level\": 5, "
                       "\"candidates\": 100, \"workers\": 4, "
+                      "\"kernel_tier\": \"bits\", "
                       "\"seconds\": 0.25, \"fill_seconds\": 0.125, "
                       "\"merge_seconds\": 0.0625, "
                       "\"stall_seconds\": 0.03125}"),
             std::string::npos);
   EXPECT_NE(full.find("\"memory_peak_bytes\": 4096"), std::string::npos);
+}
+
+// kernel_tier is deterministic given the config (ResolveKernel never
+// consults timing or thread state), so it is not a volatile field: the
+// run_start carrier prints in the default export, and within a shard_timing
+// event the field is unconditional — only the event as a whole stays behind
+// the include_volatile gate.
+TEST(TraceTest, KernelTierIsNotVolatileGated) {
+  MiningTrace trace;
+  TraceEvent start;
+  start.kind = TraceEventKind::kRunStart;
+  start.detail = "mpp";
+  start.kernel_tier = "bits";
+  trace.Append(start);
+  TraceEvent timing;
+  timing.kind = TraceEventKind::kShardTiming;
+  timing.level = 2;
+  timing.candidates = 8;
+  timing.workers = 1;
+  timing.kernel_tier = "avx2";
+  trace.Append(timing);
+
+  const std::string stable = trace.ToJson();
+  EXPECT_NE(stable.find("\"kernel_tier\": \"bits\""), std::string::npos)
+      << "run_start's kernel_tier must survive the byte-stable export";
+  EXPECT_EQ(stable.find("shard_timing"), std::string::npos);
+
+  TraceJsonOptions options;
+  options.include_volatile = true;
+  const std::string full = trace.ToJson(options);
+  EXPECT_NE(full.find("\"kernel_tier\": \"avx2\""), std::string::npos)
+      << "shard_timing must name the resolved kernel implementation";
 }
 
 // An actual observed mining run produces a well-formed stream: run_start

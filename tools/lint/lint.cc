@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <filesystem>
+#include <string_view>
 
 #include "util/io.h"
 #include "util/string_util.h"
@@ -232,6 +233,27 @@ std::string CheckUnseededRng(const std::string& line) {
   return "";
 }
 
+std::string CheckRawIntrinsics(const std::string& line) {
+  // Identifier-boundary scan for the x86 vector-intrinsic prefixes: the
+  // _mm/_mm256/_mm512 call families and the __m128/__m256/__m512 register
+  // types. "_mm" alone covers every call-family width.
+  static constexpr const char* kPrefixes[] = {"_mm", "__m128", "__m256",
+                                              "__m512"};
+  for (const char* prefix : kPrefixes) {
+    const std::string needle(prefix);
+    std::size_t at = line.find(needle);
+    while (at != std::string::npos) {
+      if (at == 0 || !IsWordChar(line[at - 1])) {
+        return "raw vector intrinsic outside kernel_avx2.cc; SIMD lives "
+               "behind the portable kernel wrapper (core/kernel.h) so every "
+               "other translation unit stays architecture-neutral";
+      }
+      at = line.find(needle, at + 1);
+    }
+  }
+  return "";
+}
+
 std::string CheckUndocumentedDiscard(const std::string& stripped,
                                      const std::vector<std::string>& raw,
                                      std::size_t index) {
@@ -279,6 +301,15 @@ std::vector<Finding> LintSource(const std::string& path,
 
   const bool core_rules =
       options.all_rules || path.find("src/core") != std::string::npos;
+  // kernel_avx2.cc is the one translation unit allowed to speak vector
+  // intrinsics — fencing SIMD into it is the rule's whole point — so its
+  // exemption holds even under all_rules (the fixture suite runs all_rules
+  // over the live tree, which must stay clean).
+  constexpr std::string_view kAvx2Tu = "kernel_avx2.cc";
+  const bool avx2_tu =
+      path.size() >= kAvx2Tu.size() &&
+      path.compare(path.size() - kAvx2Tu.size(), kAvx2Tu.size(),
+                   kAvx2Tu) == 0;
 
   FileScopeHit charge, release, scratch_use, scratch_begin, scratch_end;
   for (std::size_t i = 0; i < stripped.size(); ++i) {
@@ -293,6 +324,10 @@ std::vector<Finding> LintSource(const std::string& path,
     }
     msg = CheckUnseededRng(line);
     if (!msg.empty()) add(i, "unseeded-rng", msg);
+    if (!avx2_tu) {
+      msg = CheckRawIntrinsics(line);
+      if (!msg.empty()) add(i, "raw-intrinsics", msg);
+    }
     msg = CheckUndocumentedDiscard(line, raw, i);
     if (!msg.empty()) add(i, "undocumented-discard", msg);
 

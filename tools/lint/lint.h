@@ -43,6 +43,11 @@ struct Finding {
 ///                         TruncateToWatermark must also contain the
 ///                         BeginScratch/EndScratch bracket those calls are
 ///                         only legal inside.
+///   raw-intrinsics        any _mm*/__m128/__m256/__m512 identifier outside
+///                         kernel_avx2.cc — vector code lives behind the
+///                         portable kernel wrapper (core/kernel.h), and the
+///                         one SIMD translation unit is exempt even under
+///                         all_rules.
 ///
 /// Waivers: `// pgm-lint: allow(rule-a,rule-b)` on the offending line or
 /// the line above waives line-scoped rules; anywhere in the file it waives
