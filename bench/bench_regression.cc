@@ -1,7 +1,8 @@
 // Benchmark-regression harness for the arena join path (PR "arena-backed
-// PILs") and the serving layer (PR "pgm serve"). Three measurement groups,
-// emitted as a flat JSON file that tools/bench_check compares against the
-// committed baseline (BENCH_pr8.json at the repo root):
+// PILs"), the serving layer (PR "pgm serve"), and the corpus executor
+// (PR "pgm corpus"). Four measurement groups, emitted as a flat JSON file
+// that tools/bench_check compares against the committed baseline
+// (BENCH_pr9.json at the repo root):
 //
 //   1. Candidate-join benchmark: one level's full candidate pipeline run
 //      (a) the pre-arena way — eager CandidateSpec generation with one
@@ -32,15 +33,22 @@
 //      and hit (cache on, 1000 identical jobs: one mine plus 999 cache
 //      hits, so the row prices the admission + lookup path itself; the
 //      larger batch amortizes service start/stop noise).
+//   4. Corpus executor rows (PR "pgm corpus"): MineCorpus over a
+//      multi-fragment surrogate plan at corpus_threads 1 and 8,
+//      interleaved rep by rep like the e2e sweep. The gated
+//      corpus_8t_speedup ratio (t1/t8) sits near 1.0 on a single-core box
+//      and guards the whole-fragment fan-out's overhead: a collapse below
+//      1 means claiming fragments off the shared cursor suddenly costs
+//      wall clock that serial fragment mining did not.
 //
 // Every timing is the minimum over several repetitions (robust against
 // scheduler noise). Keys prefixed "info." are informational only;
 // bench_check ignores them. --smoke runs fewer repetitions of the same
 // workloads, so its numbers remain comparable to a full run's baseline.
 //
-// Gating policy (abi_stamp 4): only *ratio* rows (join_*_speedup,
-// join_speedup, serve_hit_speedup, e2e_mpp_speedup_*, kernel_*_speedup)
-// are tracked by bench_check. Both sides
+// Gating policy (abi_stamp 5): only *ratio* rows (join_*_speedup,
+// join_speedup, serve_hit_speedup, e2e_mpp_speedup_*, kernel_*_speedup,
+// corpus_8t_speedup) are tracked by bench_check. Both sides
 // of each ratio are measured in the same process seconds apart, so
 // machine-wide slowdowns (noisy neighbours, thermal throttling) cancel and
 // the 10% tolerance is meaningful. Absolute wall-clock rows are emitted as
@@ -67,6 +75,8 @@
 #include "core/parallel.h"
 #include "core/pil.h"
 #include "core/pil_arena.h"
+#include "corpus/executor.h"
+#include "corpus/plan.h"
 #include "seq/alphabet.h"
 #include "serve/service.h"
 #include "util/bench_abi.h"
@@ -524,6 +534,45 @@ EndToEndResult RunEndToEndSweep(const Sequence& sequence, int reps) {
   return e2e;
 }
 
+struct CorpusBenchResult {
+  double t1_ms = 0.0;
+  double t8_ms = 0.0;
+  std::size_t fragments = 0;
+};
+
+// MineCorpus over a surrogate segment cut into fragments, at corpus_threads
+// 1 and 8, interleaved one rep of each per round with per-config minima —
+// the same noise-cancelling pattern as RunEndToEndSweep. The workload
+// parallelizes at whole-fragment granularity (one miner per fragment), so
+// on a multi-core box the ratio tracks the fan-out's scaling and on a
+// single-core box it prices the fan-out's overhead.
+CorpusBenchResult RunCorpusBench(const Sequence& sequence, int reps) {
+  CorpusPlanOptions plan_options;
+  plan_options.fragment.fragment_length = 1000;
+  const CorpusPlan plan =
+      ValueOrDie(CorpusPlan::FromSequence(sequence, "bench", plan_options));
+  auto one_rep = [&](std::int64_t threads) {
+    CorpusOptions options;
+    options.algorithm = "mpp";
+    options.miner = Section6Defaults();
+    options.corpus_threads = threads;
+    Stopwatch watch;
+    const StatusOr<CorpusResult> result = MineCorpus(plan, options);
+    CheckOk(result.status());
+    if (result->fragments_completed != plan.fragments().size()) std::abort();
+    return watch.ElapsedSeconds() * 1e3;
+  };
+  CorpusBenchResult corpus;
+  corpus.fragments = plan.fragments().size();
+  for (int r = 0; r < reps; ++r) {
+    const double t1 = one_rep(1);
+    const double t8 = one_rep(8);
+    if (r == 0 || t1 < corpus.t1_ms) corpus.t1_ms = t1;
+    if (r == 0 || t8 < corpus.t8_ms) corpus.t8_ms = t8;
+  }
+  return corpus;
+}
+
 std::string ToJson(const std::map<std::string, double>& metrics) {
   std::string json = "{\n";
   bool first = true;
@@ -542,7 +591,7 @@ int Main(int argc, char** argv) {
       "(pre-arena engine loop vs arena executor) and end-to-end MineMpp "
       "wall clock, written as flat JSON for tools/bench_check.");
   bool smoke = false;
-  std::string json_path = "BENCH_pr8.json";
+  std::string json_path = "BENCH_pr9.json";
   std::int64_t seed = 42;
   flags.AddBool("smoke", &smoke,
                 "fewer repetitions of the same workloads (CI mode)");
@@ -630,6 +679,12 @@ int Main(int argc, char** argv) {
   // ratio degrades to a second bits sample rather than a missing key.
   metrics["kernel_bits_speedup"] = kern.scalar_ms / kern.bits_ms;
   metrics["kernel_avx2_speedup"] = kern.scalar_ms / kern.avx2_ms;
+  const CorpusBenchResult corpus = RunCorpusBench(e2e_sequence, e2e_reps);
+  metrics["info.corpus_t1_ms"] = corpus.t1_ms;
+  metrics["info.corpus_t8_ms"] = corpus.t8_ms;
+  metrics["info.corpus_fragments"] = static_cast<double>(corpus.fragments);
+  // Gated corpus fan-out ratio: both sides interleaved in RunCorpusBench.
+  metrics["corpus_8t_speedup"] = corpus.t1_ms / corpus.t8_ms;
 
   const std::string json = ToJson(metrics);
   std::fputs(json.c_str(), stdout);

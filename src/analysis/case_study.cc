@@ -4,7 +4,7 @@
 #include <map>
 #include <string>
 
-#include "seq/fragmenter.h"
+#include "corpus/executor.h"
 
 namespace pgm {
 
@@ -13,18 +13,26 @@ StatusOr<CaseStudyReport> RunCaseStudy(const Sequence& genome,
   if (config.report_length < 1) {
     return Status::InvalidArgument("report_length must be >= 1");
   }
-  FragmenterOptions fragmenter;
-  fragmenter.fragment_length = config.fragment_length;
-  fragmenter.keep_tail = false;
-  PGM_ASSIGN_OR_RETURN(std::vector<Sequence> fragments,
-                       Fragment(genome, fragmenter));
-  if (config.max_fragments > 0 && fragments.size() > config.max_fragments) {
-    fragments.erase(fragments.begin() + config.max_fragments, fragments.end());
-  }
-  if (fragments.empty()) {
+  CorpusPlanOptions plan_options;
+  plan_options.fragment.fragment_length = config.fragment_length;
+  plan_options.fragment.keep_tail = false;
+  plan_options.max_fragments = config.max_fragments;
+  PGM_ASSIGN_OR_RETURN(
+      CorpusPlan plan,
+      CorpusPlan::FromSequence(genome, "genome", plan_options));
+  if (plan.fragments().empty()) {
     return Status::InvalidArgument(
         "genome is shorter than one fragment; nothing to mine");
   }
+
+  // The corpus executor mines the fragments (serially here — the case
+  // study is itself run per species inside benchmarks) and hands back
+  // per-fragment results in ordinal order; the report folds them exactly
+  // as the original per-fragment loop did, so output is unchanged.
+  CorpusOptions options;
+  options.algorithm = "mppm";
+  options.miner = config.miner;
+  PGM_ASSIGN_OR_RETURN(CorpusResult corpus, MineCorpus(plan, options));
 
   // Number of AT-only patterns of the report length: 2^report_length.
   std::uint64_t all_at_count = 1;
@@ -32,9 +40,11 @@ StatusOr<CaseStudyReport> RunCaseStudy(const Sequence& genome,
 
   CaseStudyReport report;
   std::map<std::string, std::size_t> union_index;
-  for (std::size_t index = 0; index < fragments.size(); ++index) {
-    PGM_ASSIGN_OR_RETURN(MiningResult mined,
-                         MineMppm(fragments[index], config.miner));
+  for (const FragmentResult& fragment_result : corpus.fragments) {
+    if (fragment_result.mined && !fragment_result.status.ok()) {
+      return fragment_result.status;
+    }
+    const MiningResult& mined = fragment_result.result;
     for (const FrequentPattern& fp : mined.patterns) {
       const std::string key(fp.pattern.symbols().begin(),
                             fp.pattern.symbols().end());
@@ -49,7 +59,7 @@ StatusOr<CaseStudyReport> RunCaseStudy(const Sequence& genome,
     }
 
     FragmentReport fragment;
-    fragment.index = index;
+    fragment.index = fragment_result.ordinal;
     PGM_ASSIGN_OR_RETURN(fragment.buckets,
                          BucketFrequentPatterns(mined, config.report_length));
     fragment.longest = mined.longest_frequent_length;

@@ -15,6 +15,7 @@
 #include "core/em.h"
 #include "core/miner.h"
 #include "core/trace.h"
+#include "corpus/executor.h"
 #include "datagen/presets.h"
 #include "seq/fasta.h"
 #include "serve/service.h"
@@ -129,6 +130,52 @@ StatusOr<Sequence> LoadInput(const std::string& spec) {
     return LoadPreset(value);
   }
   return Status::InvalidArgument("unknown input kind '" + kind + "'");
+}
+
+StatusOr<CorpusPlan> LoadCorpusInput(const std::string& spec,
+                                     const CorpusPlanOptions& options,
+                                     bool use_mmap) {
+  std::string body = spec;
+  const Alphabet* alphabet = &Alphabet::Dna();
+  const std::string protein_suffix = "@protein";
+  if (body.size() > protein_suffix.size() &&
+      body.compare(body.size() - protein_suffix.size(), protein_suffix.size(),
+                   protein_suffix) == 0) {
+    alphabet = &Alphabet::Protein();
+    body.resize(body.size() - protein_suffix.size());
+  }
+  const std::size_t colon = body.find(':');
+  const std::string kind =
+      colon == std::string::npos ? std::string() : body.substr(0, colon);
+  if (kind == "fasta") {
+    std::string path = body.substr(colon + 1);
+    std::string record_id;
+    const std::size_t hash = path.find('#');
+    if (hash != std::string::npos) {
+      record_id = path.substr(hash + 1);
+      path.resize(hash);
+    }
+    if (path.empty()) {
+      return Status::InvalidArgument("empty value in input spec '" + spec +
+                                     "'");
+    }
+    if (record_id.empty()) {
+      return CorpusPlan::FromFastaFile(path, *alphabet, options, use_mmap);
+    }
+    PGM_ASSIGN_OR_RETURN(std::vector<FastaRecord> records,
+                         ReadFastaFile(path));
+    for (const FastaRecord& record : records) {
+      if (record.id == record_id) {
+        return CorpusPlan::FromRecords({record}, *alphabet, options);
+      }
+    }
+    return Status::NotFound("record '" + record_id + "' not in " + path);
+  }
+  // raw:/text:/preset: (and malformed specs, which fail inside LoadInput
+  // with the usual message) become a single pseudo-record named by the
+  // spec, so corpus reports and fragment traces stay self-describing.
+  PGM_ASSIGN_OR_RETURN(Sequence sequence, LoadInput(spec));
+  return CorpusPlan::FromSequence(sequence, spec, options);
 }
 
 namespace {
@@ -316,6 +363,245 @@ Status RunMine(const std::vector<std::string>& args, std::string* output,
     output->append(StrFormat(
         "interrupted: partial result is sound; complete up to length %lld\n",
         static_cast<long long>(result.guaranteed_complete_up_to)));
+    *exit_override = kExitCancelled;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// pgm corpus
+// ---------------------------------------------------------------------------
+
+Status RunCorpus(const std::vector<std::string>& args, std::string* output,
+                 int* exit_override) {
+  std::string input;
+  std::string algorithm = "mppm";
+  std::int64_t fragment_length = 100'000;
+  bool keep_tail = false;
+  std::int64_t max_fragments = 0;
+  std::int64_t min_gap = 9, max_gap = 12;
+  double rho_percent = 0.003;
+  std::int64_t start_length = 3, max_length = -1, user_n = -1, em_order = 10;
+  std::int64_t top = 25;
+  std::int64_t threads = 1;
+  std::string kernel = "auto";
+  std::int64_t deadline_ms = -1;
+  std::int64_t pil_budget_bytes = 0;
+  std::int64_t max_level_candidates = 0;
+  std::int64_t max_total_candidates = 0;
+  bool no_mmap = false;
+  std::string csv_path;
+  std::string metrics_path;
+  std::string trace_path;
+  bool trace_timings = false;
+
+  FlagSet flags(
+      "pgm corpus: mine every record of a corpus fragment-by-fragment "
+      "(the paper's Section 7 methodology: support is counted within "
+      "fragments, never across fragment boundaries)");
+  flags.AddString("input", &input,
+                  "input spec; fasta:<path> mines every record");
+  flags.AddString("algorithm", &algorithm, "mpp | mppm | enum | adaptive");
+  flags.AddInt64("fragment-length", &fragment_length,
+                 "window length each record is cut into (Section 7 uses "
+                 "100000)");
+  flags.AddBool("keep-tail", &keep_tail,
+                "also mine the final sub-window remainder of each record "
+                "(off = drop it, the paper's convention)");
+  flags.AddInt64("max-fragments", &max_fragments,
+                 "cap on total fragments planned (0 = all)");
+  flags.AddInt64("min-gap", &min_gap, "minimum gap N");
+  flags.AddInt64("max-gap", &max_gap, "maximum gap M");
+  flags.AddDouble("rho-percent", &rho_percent, "support threshold in percent");
+  flags.AddInt64("start-length", &start_length, "first mined pattern length");
+  flags.AddInt64("max-length", &max_length, "pattern length cap (-1 = none)");
+  flags.AddInt64("n", &user_n, "MPP estimate of longest pattern (-1 = worst)");
+  flags.AddInt64("m", &em_order, "MPPm e_m order");
+  flags.AddInt64("top", &top, "patterns shown (longest / highest ratio first)");
+  flags.AddInt64("threads", &threads,
+                 "worker threads mining whole fragments (1 = serial, 0 = one "
+                 "per hardware thread); results are identical at every "
+                 "thread count");
+  flags.AddString("kernel", &kernel,
+                  "join-kernel tier per fragment: auto | scalar | bits | "
+                  "avx2 (results are identical under every tier)");
+  flags.AddInt64("deadline-ms", &deadline_ms,
+                 "corpus-wide wall-clock budget in ms; later fragments are "
+                 "skipped on expiry, partial result stays sound (-1 = none)");
+  flags.AddInt64("pil-budget-bytes", &pil_budget_bytes,
+                 "per-fragment PIL memory budget in bytes (0 = unlimited)");
+  flags.AddInt64("max-level-candidates", &max_level_candidates,
+                 "cap on any single fragment's candidate total (0 = "
+                 "unlimited)");
+  flags.AddInt64("max-total-candidates", &max_total_candidates,
+                 "cap on candidates accumulated across the corpus (0 = "
+                 "unlimited)");
+  flags.AddBool("no-mmap", &no_mmap,
+                "ingest FASTA through the buffered reader instead of the "
+                "memory-mapped scanner (same bytes, same result)");
+  flags.AddString("csv", &csv_path,
+                  "also write the aggregated patterns as CSV here");
+  flags.AddString("metrics-out", &metrics_path,
+                  "write run metrics (corpus.* + per-fragment mining "
+                  "counters) as deterministic JSON here");
+  flags.AddString("trace", &trace_path,
+                  "write the corpus trace (fragment_start/fragment_end "
+                  "bracketing each fragment's mining events) as JSON here");
+  flags.AddBool("trace-timings", &trace_timings,
+                "include wall-clock/worker fields in --trace output (not "
+                "byte-stable across runs)");
+  std::vector<std::string> storage = args;
+  storage.insert(storage.begin(), "pgm corpus");
+  std::vector<char*> argv;
+  for (std::string& s : storage) argv.push_back(s.data());
+  PGM_RETURN_IF_ERROR(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  if (input.empty()) {
+    return Status::InvalidArgument("--input is required\n" + flags.Usage());
+  }
+  if (fragment_length <= 0) {
+    return Status::InvalidArgument("--fragment-length must be positive");
+  }
+  if (max_fragments < 0) {
+    return Status::InvalidArgument("--max-fragments must be non-negative");
+  }
+  if (pil_budget_bytes < 0 || max_level_candidates < 0 ||
+      max_total_candidates < 0) {
+    return Status::InvalidArgument(
+        "resource budgets must be non-negative (0 = unlimited)");
+  }
+
+  CorpusPlanOptions plan_options;
+  plan_options.fragment.fragment_length =
+      static_cast<std::size_t>(fragment_length);
+  plan_options.fragment.keep_tail = keep_tail;
+  plan_options.max_fragments = static_cast<std::size_t>(max_fragments);
+  PGM_ASSIGN_OR_RETURN(CorpusPlan plan,
+                       LoadCorpusInput(input, plan_options, !no_mmap));
+  if (plan.fragments().empty()) {
+    // The loud-diagnostic contract: an input that fragments to nothing is
+    // a usage error (exit 2), never a silent zero-pattern success.
+    return Status::InvalidArgument(plan.EmptyPlanDiagnostic(plan_options));
+  }
+
+  CorpusOptions options;
+  options.algorithm = algorithm;
+  options.miner.min_gap = min_gap;
+  options.miner.max_gap = max_gap;
+  options.miner.min_support_ratio = rho_percent / 100.0;
+  options.miner.start_length = start_length;
+  options.miner.max_length = max_length;
+  options.miner.user_n = user_n;
+  options.miner.em_order = em_order;
+  if (!KernelTierFromString(kernel, &options.miner.kernel_tier)) {
+    return Status::InvalidArgument(
+        "unknown --kernel '" + kernel + "' (auto | scalar | bits | avx2)");
+  }
+  options.miner.limits.pil_memory_budget_bytes =
+      static_cast<std::uint64_t>(pil_budget_bytes);
+  options.limits.deadline_ms = deadline_ms;
+  options.limits.max_level_candidates =
+      static_cast<std::uint64_t>(max_level_candidates);
+  options.limits.max_total_candidates =
+      static_cast<std::uint64_t>(max_total_candidates);
+  options.corpus_threads = threads;
+  options.cancel = &GlobalCancelToken();
+
+  MetricsRegistry metrics;
+  MiningTrace trace;
+  MiningObserver observer;
+  if (!metrics_path.empty()) observer.metrics = &metrics;
+  if (!trace_path.empty()) observer.trace = &trace;
+  if (observer.metrics != nullptr || observer.trace != nullptr) {
+    options.observer = &observer;
+  }
+
+  PGM_ASSIGN_OR_RETURN(CorpusResult corpus, MineCorpus(plan, options));
+
+  output->append(StrFormat(
+      "corpus: %s; fragment_length=%lld keep_tail=%s; rho_s=%g%%; "
+      "algorithm=%s\n",
+      plan.Describe().c_str(), static_cast<long long>(fragment_length),
+      keep_tail ? "true" : "false", rho_percent, algorithm.c_str()));
+  for (const SkippedRecord& skipped : plan.skipped_records()) {
+    output->append(StrFormat(
+        "warning: record '%s' contributed no fragments (%zu symbol(s))\n",
+        skipped.record_id.c_str(), skipped.length));
+  }
+  if (plan.num_dropped_residues() > 0) {
+    output->append(StrFormat(
+        "note: %zu non-alphabet residue(s) dropped during encoding\n",
+        plan.num_dropped_residues()));
+  }
+  output->append(StrFormat(
+      "fragments: %zu planned, %zu mined, %zu completed, %zu skipped, "
+      "%zu failed\n",
+      corpus.fragments_planned, corpus.fragments_mined,
+      corpus.fragments_completed, corpus.fragments_skipped,
+      corpus.fragments_failed));
+  output->append(StrFormat(
+      "termination: %s; candidates=%llu; complete up to length %lld\n",
+      TerminationReasonToString(corpus.termination),
+      static_cast<unsigned long long>(corpus.total_candidates),
+      static_cast<long long>(corpus.guaranteed_complete_up_to)));
+
+  // Aggregate pattern table, longest first (support ratio as tiebreak) to
+  // mirror FormatMiningReport; `fragments` counts the fragments in which
+  // the pattern met the threshold — the Section 7 aggregation unit.
+  std::vector<std::size_t> order(corpus.patterns.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const FrequentPattern& pa = corpus.patterns[a];
+    const FrequentPattern& pb = corpus.patterns[b];
+    if (pa.pattern.length() != pb.pattern.length()) {
+      return pa.pattern.length() > pb.pattern.length();
+    }
+    if (pa.support_ratio != pb.support_ratio) {
+      return pa.support_ratio > pb.support_ratio;
+    }
+    return a < b;
+  });
+  output->append(StrFormat("%zu distinct frequent pattern(s) across the "
+                           "corpus\n",
+                           corpus.patterns.size()));
+  TablePrinter table(
+      {"pattern", "length", "fragments", "best support", "best ratio"});
+  const std::size_t shown = std::min<std::size_t>(
+      order.size(), static_cast<std::size_t>(std::max<std::int64_t>(0, top)));
+  for (std::size_t i = 0; i < shown; ++i) {
+    const FrequentPattern& pattern = corpus.patterns[order[i]];
+    table.Row()
+        .Add(pattern.pattern.ToShorthand())
+        .Add(static_cast<std::uint64_t>(pattern.pattern.length()))
+        .Add(corpus.pattern_fragment_counts[order[i]])
+        .Add(pattern.support)
+        .Add(pattern.support_ratio)
+        .Done();
+  }
+  output->append(table.ToString());
+
+  if (!csv_path.empty()) {
+    const MiningResult flat = corpus.ToMiningResult();
+    PGM_RETURN_IF_ERROR(SavePatternsCsv(flat, csv_path));
+    output->append("wrote " + std::to_string(flat.patterns.size()) +
+                   " patterns to " + csv_path + "\n");
+  }
+  if (!metrics_path.empty()) {
+    PGM_RETURN_IF_ERROR(
+        WriteStringToFile(metrics_path, metrics.ToJson() + "\n"));
+    output->append("wrote metrics JSON to " + metrics_path + "\n");
+  }
+  if (!trace_path.empty()) {
+    TraceJsonOptions trace_options;
+    trace_options.include_volatile = trace_timings;
+    PGM_RETURN_IF_ERROR(
+        WriteStringToFile(trace_path, trace.ToJson(trace_options) + "\n"));
+    output->append("wrote trace JSON to " + trace_path + "\n");
+  }
+  if (corpus.termination == TerminationReason::kCancelled &&
+      GlobalCancelToken().cancelled()) {
+    output->append(
+        "interrupted: partial corpus result is sound; unmined fragments "
+        "were skipped\n");
     *exit_override = kExitCancelled;
   }
   return Status::OK();
@@ -587,7 +873,10 @@ Status RunGenerate(const std::vector<std::string>& args, std::string* output) {
 
 /// Parses one job-file line: `<input-spec> [key=value ...]`. Keys mirror the
 /// pgm mine flags (algorithm, min-gap, max-gap, rho-percent, start-length,
-/// max-length, n, m, threads, kernel, deadline-ms).
+/// max-length, n, m, threads, kernel, deadline-ms). `corpus=<len>` switches
+/// the job to corpus mode: the input is expanded into fragments of that
+/// length and mined by the corpus executor (corpus-keep-tail=1 keeps each
+/// record's sub-window remainder).
 Status ParseJobLine(const std::string& line, std::size_t line_number,
                     MiningJob* job) {
   std::vector<std::string> tokens;
@@ -638,6 +927,16 @@ Status ParseJobLine(const std::string& line, std::size_t line_number,
       job->config.threads = parsed;
     } else if (key == "deadline-ms") {
       job->config.limits.deadline_ms = parsed;
+    } else if (key == "corpus") {
+      if (parsed <= 0) {
+        return Status::InvalidArgument(
+            StrFormat("jobs line %zu: corpus fragment length must be "
+                      "positive, got %lld",
+                      line_number, static_cast<long long>(parsed)));
+      }
+      job->corpus_fragment_length = static_cast<std::size_t>(parsed);
+    } else if (key == "corpus-keep-tail") {
+      job->corpus_keep_tail = parsed != 0;
     } else {
       return Status::InvalidArgument(
           StrFormat("jobs line %zu: unknown key '%s'", line_number,
@@ -664,6 +963,10 @@ void AppendResponseLine(const JobResponse& response, std::string* output) {
         "%s patterns=%zu cache_hit=%d",
         TerminationReasonToString(response.result.termination),
         response.result.patterns.size(), response.cache_hit ? 1 : 0));
+    if (response.corpus_fragments > 0) {
+      output->append(
+          StrFormat(" fragments=%zu", response.corpus_fragments));
+    }
   }
   if (response.load_attempts > 1) {
     output->append(StrFormat(" load_attempts=%d", response.load_attempts));
@@ -756,6 +1059,10 @@ Status RunServe(const std::vector<std::string>& args, std::string* output,
   service_config.loader = [](const std::string& spec) {
     return LoadInput(spec);
   };
+  service_config.corpus_loader = [](const std::string& spec,
+                                    const CorpusPlanOptions& options) {
+    return LoadCorpusInput(spec, options);
+  };
   MiningService service(std::move(service_config));
 
   // Submit everything before starting the drain: shedding then depends only
@@ -831,6 +1138,8 @@ std::string RootUsage() {
       "\n"
       "Commands:\n"
       "  mine      find frequent periodic patterns (MPP/MPPm/enum/adaptive)\n"
+      "  corpus    mine a multi-record corpus fragment-by-fragment (paper "
+      "Section 7)\n"
       "  em        compute the e_m pruning statistic\n"
       "  scan      base-pair oscillation correlation spectra\n"
       "  tandem    classical tandem-repeat scan\n"
@@ -886,6 +1195,8 @@ int Run(int argc, char** argv, std::string* output, std::string* error) {
   int exit_override = -1;
   if (command == "mine") {
     status = RunMine(rest, output, &exit_override);
+  } else if (command == "corpus") {
+    status = RunCorpus(rest, output, &exit_override);
   } else if (command == "serve") {
     status = RunServe(rest, output, &exit_override);
   } else if (command == "em") {

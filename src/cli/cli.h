@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/guard.h"
+#include "corpus/plan.h"
 #include "seq/sequence.h"
 #include "util/status.h"
 
@@ -15,6 +16,7 @@ namespace pgm::cli {
 /// binary prints it. Sub-commands:
 ///
 ///   pgm mine     --input <spec> --min-gap N --max-gap M --rho-percent R ...
+///   pgm corpus   --input <spec> --fragment-length L --threads T ...
 ///   pgm em       --input <spec> --min-gap N --max-gap M --m K
 ///   pgm scan     --input <spec> --pairs AA,AT --max-distance P
 ///   pgm tandem   --input <spec> --max-period P [--min-copies C]
@@ -33,6 +35,16 @@ namespace pgm::cli {
 
 /// Parses an input spec and loads the sequence.
 StatusOr<Sequence> LoadInput(const std::string& spec);
+
+/// Parses an input spec into a corpus plan (every record, fragmented).
+/// `fasta:<path>` expands every record of the file — with use_mmap (the
+/// default) through the streaming MmapFile + FastaScanner path, so a
+/// genome-scale corpus never materializes as one string; a `#<record-id>`
+/// suffix restricts the corpus to that record. Non-FASTA specs (raw:,
+/// text:, preset:) become a single pseudo-record named by the spec itself.
+StatusOr<CorpusPlan> LoadCorpusInput(const std::string& spec,
+                                     const CorpusPlanOptions& options,
+                                     bool use_mmap = true);
 
 /// Maps a failure Status to the tool's process exit code, so scripts can
 /// branch on the failure class: InvalidArgument/usage errors=2, IoError=3,

@@ -32,6 +32,10 @@ const char* TraceEventKindToString(TraceEventKind kind) {
       return "job_start";
     case TraceEventKind::kJobEnd:
       return "job_end";
+    case TraceEventKind::kFragmentStart:
+      return "fragment_start";
+    case TraceEventKind::kFragmentEnd:
+      return "fragment_end";
   }
   return "unknown";
 }
@@ -138,6 +142,17 @@ void AppendEventJson(const TraceEvent& event, bool include_volatile,
       out->append(", \"reason\": \"" + event.detail + "\"");
       out->append(event.cache_hit ? ", \"cache_hit\": true"
                                   : ", \"cache_hit\": false");
+      out->append(", \"patterns\": " + std::to_string(event.patterns));
+      break;
+    case TraceEventKind::kFragmentStart:
+      out->append(", \"fragment\": " + std::to_string(event.fragment));
+      out->append(", \"record\": \"" + event.detail + "\"");
+      out->append(", \"offset\": " + std::to_string(event.offset));
+      out->append(", \"length\": " + std::to_string(event.candidates));
+      break;
+    case TraceEventKind::kFragmentEnd:
+      out->append(", \"fragment\": " + std::to_string(event.fragment));
+      out->append(", \"reason\": \"" + event.detail + "\"");
       out->append(", \"patterns\": " + std::to_string(event.patterns));
       break;
   }

@@ -56,6 +56,19 @@ enum class TraceEventKind {
   /// carries the termination reason or status code name, `cache_hit` whether
   /// the result came from the ResultCache.
   kJobEnd,
+
+  // --- Corpus-executor events (src/corpus) ---
+  /// The corpus aggregator opened one fragment's event stream: `fragment`
+  /// is the plan ordinal, `detail` the record id, `offset`/`candidates` the
+  /// fragment's window start and length within its record. The fragment's
+  /// own run events (run_start..run_end) follow, then kFragmentEnd — the
+  /// aggregator emits fragments in ordinal order regardless of which worker
+  /// mined them first, so the stream is byte-stable across thread counts.
+  kFragmentStart,
+  /// The fragment's stream closed: `detail` carries the per-fragment
+  /// termination reason ("skipped" when a corpus-level budget trip or an
+  /// error prevented mining it), `patterns` its frequent-pattern count.
+  kFragmentEnd,
 };
 
 const char* TraceEventKindToString(TraceEventKind kind);
@@ -94,6 +107,12 @@ struct TraceEvent {
   std::int64_t job = 0;
   std::int64_t retry_after_ms = 0;
   bool cache_hit = false;
+
+  // Corpus-executor fields (kFragment* events only): the fragment's plan
+  // ordinal and its window offset within its source record (the window
+  // length rides in `candidates`).
+  std::int64_t fragment = 0;
+  std::uint64_t offset = 0;
 
   // Volatile fields: wall-clock and thread-count dependent, so they are not
   // byte-stable across runs. Exported only with include_volatile.

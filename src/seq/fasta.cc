@@ -8,46 +8,105 @@
 
 namespace pgm {
 
-StatusOr<std::vector<FastaRecord>> ParseFasta(const std::string& text) {
-  std::vector<FastaRecord> records;
-  bool saw_header = false;
-  std::size_t line_number = 0;
-  for (const std::string& raw_line : Split(text, '\n')) {
-    ++line_number;
-    std::string_view line = Trim(raw_line);
-    if (line.empty() || line[0] == ';') continue;  // blank or comment
-    if (line[0] == '>') {
-      saw_header = true;
-      FastaRecord record;
-      std::string_view header = line.substr(1);
-      std::size_t space = header.find_first_of(" \t");
-      if (space == std::string_view::npos) {
-        record.id = std::string(header);
-      } else {
-        record.id = std::string(header.substr(0, space));
-        record.description = std::string(Trim(header.substr(space + 1)));
-      }
-      if (record.id.empty()) {
+namespace {
+
+// Parses a trimmed header line (starting with '>') into id/description.
+// Corruption when the id is empty.
+Status ParseHeaderLine(std::string_view line, std::size_t line_number,
+                       FastaRecord* record) {
+  std::string_view header = line.substr(1);
+  std::size_t space = header.find_first_of(" \t");
+  if (space == std::string_view::npos) {
+    record->id = std::string(header);
+  } else {
+    record->id = std::string(header.substr(0, space));
+    record->description = std::string(Trim(header.substr(space + 1)));
+  }
+  if (record->id.empty()) {
+    return Status::Corruption(
+        StrFormat("empty FASTA record id at line %zu", line_number));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool FastaScanner::NextLine(std::string_view* line) {
+  if (pos_ >= text_.size()) return false;
+  const std::size_t newline = text_.find('\n', pos_);
+  if (newline == std::string_view::npos) {
+    *line = text_.substr(pos_);
+    pos_ = text_.size();
+  } else {
+    *line = text_.substr(pos_, newline - pos_);
+    pos_ = newline + 1;
+  }
+  ++line_number_;
+  return true;
+}
+
+StatusOr<bool> FastaScanner::Next(FastaRecord* record) {
+  record->id.clear();
+  record->description.clear();
+  record->residues.clear();
+  std::string_view header;
+  std::size_t header_line = 0;
+  if (have_pending_header_) {
+    header = pending_header_;
+    header_line = pending_header_line_;
+    have_pending_header_ = false;
+  } else {
+    // Scan forward to this record's header.
+    std::string_view raw;
+    bool found = false;
+    while (NextLine(&raw)) {
+      std::string_view line = Trim(raw);
+      if (line.empty() || line[0] == ';') continue;  // blank or comment
+      if (line[0] != '>') {
         return Status::Corruption(
-            StrFormat("empty FASTA record id at line %zu", line_number));
+            StrFormat("residue data before the first '>' header at line %zu",
+                      line_number_));
       }
-      records.push_back(std::move(record));
-      continue;
+      header = line;
+      header_line = line_number_;
+      found = true;
+      break;
     }
-    if (!saw_header) {
-      return Status::Corruption(StrFormat(
-          "residue data before the first '>' header at line %zu", line_number));
+    if (!found) return false;  // clean end of input
+  }
+  PGM_RETURN_IF_ERROR(ParseHeaderLine(header, header_line, record));
+  // Accumulate residue lines until the next header (stashed as lookahead)
+  // or end of input.
+  std::string_view raw;
+  while (NextLine(&raw)) {
+    std::string_view line = Trim(raw);
+    if (line.empty() || line[0] == ';') continue;
+    if (line[0] == '>') {
+      have_pending_header_ = true;
+      pending_header_ = line;
+      pending_header_line_ = line_number_;
+      break;
     }
     for (char c : line) {
       if (std::isspace(static_cast<unsigned char>(c))) continue;
-      records.back().residues.push_back(c);
+      record->residues.push_back(c);
     }
   }
-  for (const FastaRecord& record : records) {
-    if (record.residues.empty()) {
-      return Status::Corruption("FASTA record '" + record.id +
-                                "' has no residues");
-    }
+  if (record->residues.empty()) {
+    return Status::Corruption("FASTA record '" + record->id +
+                              "' has no residues");
+  }
+  return true;
+}
+
+StatusOr<std::vector<FastaRecord>> ParseFasta(std::string_view text) {
+  std::vector<FastaRecord> records;
+  FastaScanner scanner(text);
+  while (true) {
+    FastaRecord record;
+    PGM_ASSIGN_OR_RETURN(bool more, scanner.Next(&record));
+    if (!more) break;
+    records.push_back(std::move(record));
   }
   return records;
 }

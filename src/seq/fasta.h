@@ -1,7 +1,9 @@
 #ifndef PGM_SEQ_FASTA_H_
 #define PGM_SEQ_FASTA_H_
 
+#include <cstddef>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "seq/sequence.h"
@@ -19,9 +21,46 @@ struct FastaRecord {
   std::string residues;
 };
 
+/// A streaming record scanner over FASTA text. Built for the corpus
+/// executor's memory-mapped ingestion path: `text` is typically an
+/// MmapFile::view(), and the scanner walks it line by line without copying
+/// anything but the current record's id/description/residues — a
+/// genome-scale multi-record file never materializes as one string.
+///
+/// `text` must outlive the scanner (the returned records are owned copies
+/// and do not alias it).
+class FastaScanner {
+ public:
+  explicit FastaScanner(std::string_view text) : text_(text) {}
+
+  /// Advances to the next record, filling *record (its previous contents
+  /// are replaced). Returns true on a record, false at end of input, and
+  /// Corruption on malformed input — residue data before the first '>'
+  /// header, an empty record id, or a record with no residues.
+  StatusOr<bool> Next(FastaRecord* record);
+
+  /// 1-based line number of the last line consumed (diagnostics).
+  std::size_t line_number() const { return line_number_; }
+
+ private:
+  /// Pops the next line off text_ (without its terminator), bumping
+  /// line_number_. Returns false at end of input.
+  bool NextLine(std::string_view* line);
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_number_ = 0;
+  /// Lookahead: the header line that terminated the previous record.
+  bool have_pending_header_ = false;
+  std::string_view pending_header_;
+  std::size_t pending_header_line_ = 0;
+};
+
 /// Parses FASTA-formatted `text`. Returns Corruption when residue data
-/// precedes the first header or a record is empty.
-StatusOr<std::vector<FastaRecord>> ParseFasta(const std::string& text);
+/// precedes the first header or a record is empty. Accepts a view so
+/// memory-mapped inputs (MmapFile::view()) parse without an owning copy of
+/// the whole document.
+StatusOr<std::vector<FastaRecord>> ParseFasta(std::string_view text);
 
 /// Reads and parses a FASTA file from disk.
 StatusOr<std::vector<FastaRecord>> ReadFastaFile(const std::string& path);

@@ -17,12 +17,19 @@ struct FragmenterOptions {
   /// Fragment length in characters.
   std::size_t fragment_length = 100'000;
   /// When false, a final fragment shorter than fragment_length is dropped
-  /// (the paper mines fixed-size windows); when true it is kept.
+  /// (the paper mines fixed-size windows); when true it is kept. In
+  /// particular, keep_tail=false on a sequence *shorter* than
+  /// fragment_length yields an empty fragment set — the whole sequence is
+  /// one sub-window-sized tail. Corpus-level callers must surface that
+  /// loudly (`pgm corpus` refuses to run a plan with zero fragments) rather
+  /// than report a silent zero-pattern result.
   bool keep_tail = false;
 };
 
 /// Splits `sequence` into fragments. Returns InvalidArgument when
-/// fragment_length is 0.
+/// fragment_length is 0. May return an empty vector: an empty sequence, or
+/// keep_tail=false with sequence length < fragment_length (see
+/// FragmenterOptions::keep_tail).
 StatusOr<std::vector<Sequence>> Fragment(const Sequence& sequence,
                                          const FragmenterOptions& options);
 

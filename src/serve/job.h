@@ -24,6 +24,15 @@ struct MiningJob {
   /// `observer` by the service observer, and `limits` is clamped against the
   /// server ceilings (never raised above what the client asked for).
   MinerConfig config;
+
+  /// Corpus-mode switch: when > 0 the input is expanded into fragments of
+  /// this length by the ServiceConfig corpus_loader and mined by the corpus
+  /// executor — every record, per-fragment support aggregation (the paper's
+  /// Section 7 methodology). 0 = ordinary single-sequence job.
+  std::size_t corpus_fragment_length = 0;
+  /// Corpus jobs only: also mine each record's final sub-window remainder
+  /// (FragmenterOptions::keep_tail).
+  bool corpus_keep_tail = false;
 };
 
 /// The service's answer for one submitted job. Every job — executed, shed,
@@ -44,6 +53,8 @@ struct JobResponse {
 
   /// True when the result came from the ResultCache.
   bool cache_hit = false;
+  /// Corpus jobs only: fragments the plan scheduled (0 for ordinary jobs).
+  std::size_t corpus_fragments = 0;
   /// Input-load attempts consumed (> 1 means transient faults were retried).
   int load_attempts = 0;
   /// For shed jobs: the server's suggested client backoff.

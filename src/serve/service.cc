@@ -45,6 +45,32 @@ StatusOr<MiningResult> RunAlgorithm(const std::string& algorithm,
   return Status::InvalidArgument("unknown algorithm: " + algorithm);
 }
 
+/// Runs `load` up to policy.max_attempts times, retrying only transient
+/// kIoError failures — Corruption, NotFound, InvalidArgument mean the bytes
+/// (or the request) are wrong and must fail loudly now. Sets *attempts to
+/// the attempts consumed.
+template <typename LoadFn>
+auto RetryTransient(const RetryPolicy& policy, MetricsRegistry* metrics,
+                    int* attempts, LoadFn&& load) -> decltype(load()) {
+  const int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int attempt = 1;; ++attempt) {
+    *attempts = attempt;
+    auto result = load();
+    if (result.ok()) {
+      if (attempt > 1) {
+        metrics->GetCounter("serve.retries.recovered")->Increment();
+      }
+      return result;
+    }
+    if (result.status().code() != StatusCode::kIoError ||
+        attempt >= max_attempts) {
+      return result;
+    }
+    metrics->GetCounter("serve.retries.attempted")->Increment();
+    BackoffSleep(BackoffDelayMs(policy, attempt + 1));
+  }
+}
+
 }  // namespace
 
 MiningService::MiningService(ServiceConfig config)
@@ -193,26 +219,8 @@ void MiningService::WorkerDrainLoop() {
 
 StatusOr<Sequence> MiningService::LoadWithRetry(const std::string& input,
                                                 int* attempts) {
-  const RetryPolicy& policy = config_.io_retry;
-  const int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
-  for (int attempt = 1;; ++attempt) {
-    *attempts = attempt;
-    StatusOr<Sequence> sequence = config_.loader(input);
-    if (sequence.ok()) {
-      if (attempt > 1) {
-        metrics_->GetCounter("serve.retries.recovered")->Increment();
-      }
-      return sequence;
-    }
-    // Only I/O errors are transient. Corruption, NotFound, InvalidArgument
-    // mean the bytes (or the request) are wrong and must fail loudly now.
-    if (sequence.status().code() != StatusCode::kIoError ||
-        attempt >= max_attempts) {
-      return sequence;
-    }
-    metrics_->GetCounter("serve.retries.attempted")->Increment();
-    BackoffSleep(BackoffDelayMs(policy, attempt + 1));
-  }
+  return RetryTransient(config_.io_retry, metrics_, attempts,
+                        [&] { return config_.loader(input); });
 }
 
 void MiningService::Process(MiningJob job) {
@@ -231,48 +239,13 @@ void MiningService::Process(MiningJob job) {
     trace_->Append(std::move(event));
   }
 
-  // Phase 1: load (with transient-fault retry).
-  int attempts = 0;
-  StatusOr<Sequence> sequence = LoadWithRetry(job.input, &attempts);
-  response.load_attempts = attempts;
-
-  if (sequence.ok()) {
-    const std::string key = CacheKey(*sequence, job.algorithm, job.config);
-
-    // Phase 2: cache.
-    MiningResult cached;
-    if (cache_.Lookup(key, &cached)) {
-      response.result = std::move(cached);
-      response.cache_hit = true;
-    } else {
-      // Phase 3: clamp budgets and execute under the drain token.
-      MinerConfig run_config = job.config;
-      run_config.limits = ClampLimits(job.config.limits);
-      if (run_config.limits.deadline_ms != job.config.limits.deadline_ms) {
-        metrics_->GetCounter("serve.deadline.clamped")->Increment();
-      }
-      run_config.cancel = &cancel_;
-      run_config.observer = config_.observer;
-
-      StatusOr<MiningResult> mined =
-          RunAlgorithm(job.algorithm, *sequence, run_config);
-      if (mined.ok()) {
-        response.result = std::move(mined).value();
-        // Phase 4: only completed results are cacheable — a partial result
-        // depends on the budgets and the trip point, a completed one only
-        // on (sequence, semantic config).
-        if (response.result.complete() && cache_.capacity_bytes() > 0) {
-          (void)cache_.Insert(key, response.result);  // full/oversized is fine
-        }
-      } else {
-        response.status = mined.status();
-      }
-    }
+  if (job.corpus_fragment_length > 0) {
+    ExecuteCorpus(job, &response);
   } else {
-    response.status = sequence.status();
+    ExecuteSingle(job, &response);
   }
 
-  // Phase 5: account and respond.
+  // Account and respond.
   const double elapsed_seconds = watch.ElapsedSeconds();
   response.latency_ms = elapsed_seconds * 1000.0;
   metrics_
@@ -298,6 +271,114 @@ void MiningService::Process(MiningJob job) {
     trace_->Append(std::move(event));
   }
   RecordResponse(std::move(response));
+}
+
+void MiningService::ExecuteSingle(const MiningJob& job,
+                                  JobResponse* response) {
+  // Phase 1: load (with transient-fault retry).
+  int attempts = 0;
+  StatusOr<Sequence> sequence = LoadWithRetry(job.input, &attempts);
+  response->load_attempts = attempts;
+  if (!sequence.ok()) {
+    response->status = sequence.status();
+    return;
+  }
+
+  // Phase 2: cache.
+  const std::string key = CacheKey(*sequence, job.algorithm, job.config);
+  MiningResult cached;
+  if (cache_.Lookup(key, &cached)) {
+    response->result = std::move(cached);
+    response->cache_hit = true;
+    return;
+  }
+
+  // Phase 3: clamp budgets and execute under the drain token.
+  MinerConfig run_config = job.config;
+  run_config.limits = ClampLimits(job.config.limits);
+  if (run_config.limits.deadline_ms != job.config.limits.deadline_ms) {
+    metrics_->GetCounter("serve.deadline.clamped")->Increment();
+  }
+  run_config.cancel = &cancel_;
+  run_config.observer = config_.observer;
+
+  StatusOr<MiningResult> mined =
+      RunAlgorithm(job.algorithm, *sequence, run_config);
+  if (!mined.ok()) {
+    response->status = mined.status();
+    return;
+  }
+  response->result = std::move(mined).value();
+  // Phase 4: only completed results are cacheable — a partial result
+  // depends on the budgets and the trip point, a completed one only
+  // on (sequence, semantic config).
+  if (response->result.complete() && cache_.capacity_bytes() > 0) {
+    (void)cache_.Insert(key, response->result);  // full/oversized is fine
+  }
+}
+
+void MiningService::ExecuteCorpus(const MiningJob& job,
+                                  JobResponse* response) {
+  metrics_->GetCounter("serve.jobs.corpus")->Increment();
+  if (!config_.corpus_loader) {
+    response->status = Status::FailedPrecondition(
+        "no corpus loader configured for input: " + job.input);
+    return;
+  }
+
+  CorpusPlanOptions plan_options;
+  plan_options.fragment.fragment_length = job.corpus_fragment_length;
+  plan_options.fragment.keep_tail = job.corpus_keep_tail;
+
+  int attempts = 0;
+  StatusOr<CorpusPlan> plan = RetryTransient(
+      config_.io_retry, metrics_, &attempts,
+      [&] { return config_.corpus_loader(job.input, plan_options); });
+  response->load_attempts = attempts;
+  if (!plan.ok()) {
+    response->status = plan.status();
+    return;
+  }
+  if (plan->fragments().empty()) {
+    // The loud-diagnostic contract: an input that fragments to nothing is
+    // a client error, never a silent zero-pattern success.
+    response->status =
+        Status::InvalidArgument(plan->EmptyPlanDiagnostic(plan_options));
+    return;
+  }
+
+  // Budgets are clamped against the same server ceilings as ordinary jobs;
+  // the deadline and candidate caps govern the whole corpus, while the PIL
+  // budget applies per fragment (fragments are independent runs).
+  const ResourceLimits clamped = ClampLimits(job.config.limits);
+  if (clamped.deadline_ms != job.config.limits.deadline_ms) {
+    metrics_->GetCounter("serve.deadline.clamped")->Increment();
+  }
+  CorpusOptions options;
+  options.algorithm = job.algorithm;
+  options.miner = job.config;
+  options.miner.cancel = nullptr;    // the executor attaches options.cancel
+  options.miner.observer = nullptr;  // the executor interposes per-fragment
+  options.miner.limits = ResourceLimits{};
+  options.miner.limits.pil_memory_budget_bytes =
+      clamped.pil_memory_budget_bytes;
+  options.limits = clamped;
+  // Fragment fan-out stays serial inside the service: the service already
+  // parallelizes across jobs, and serial fragments keep one corpus job from
+  // starving the other workers' CPUs.
+  options.corpus_threads = 1;
+  options.cancel = &cancel_;
+  options.observer = config_.observer;
+
+  StatusOr<CorpusResult> corpus = MineCorpus(*plan, options);
+  if (!corpus.ok()) {
+    response->status = corpus.status();
+    return;
+  }
+  response->corpus_fragments = corpus->fragments_planned;
+  response->result = corpus->ToMiningResult();
+  // No cache interaction (see the header): the ResultCache key hashes one
+  // sequence's bytes, and a corpus never materializes as one sequence.
 }
 
 void MiningService::RecordResponse(JobResponse response) {

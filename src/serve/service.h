@@ -12,6 +12,8 @@
 #include "core/guard.h"
 #include "core/miner.h"
 #include "core/trace.h"
+#include "corpus/executor.h"
+#include "corpus/plan.h"
 #include "serve/cache.h"
 #include "serve/job.h"
 #include "serve/queue.h"
@@ -54,6 +56,12 @@ struct ServiceConfig {
   /// threads, so it must be thread-safe; kIoError returns are treated as
   /// transient and retried per io_retry.
   std::function<StatusOr<Sequence>(const std::string&)> loader;
+  /// Resolves a corpus job's input spec (corpus_fragment_length > 0) to a
+  /// fragment plan. Optional — corpus jobs fail with FailedPrecondition
+  /// when unset. Same threading and retry contract as `loader`.
+  std::function<StatusOr<CorpusPlan>(const std::string&,
+                                     const CorpusPlanOptions&)>
+      corpus_loader;
 };
 
 /// A long-lived, fault-tolerant mining service: bounded admission, clamped
@@ -118,6 +126,13 @@ class MiningService {
   void WorkerDrainLoop();
   /// Executes one job start to finish and records its response.
   void Process(MiningJob job);
+  /// The single-sequence job body: load, cache, clamp, mine. Fills
+  /// response->result or ->status.
+  void ExecuteSingle(const MiningJob& job, JobResponse* response);
+  /// The corpus job body: plan (with retry), fan out fragments, aggregate.
+  /// Corpus results bypass the ResultCache — the cache key is built from
+  /// one sequence's bytes and a corpus never materializes as one sequence.
+  void ExecuteCorpus(const MiningJob& job, JobResponse* response);
   /// Loads the job's input with transient-fault retry. Sets *attempts.
   StatusOr<Sequence> LoadWithRetry(const std::string& input, int* attempts);
   void RecordResponse(JobResponse response);

@@ -25,7 +25,11 @@ namespace pgm {
 ///      kernel_avx2_speedup (scalar vs bitset vs AVX2 tiers on the
 ///      wide-gap join, interleaved reps) join the gated set and the
 ///      baseline moves to BENCH_pr8.json
-inline constexpr double kBenchAbiStamp = 4;
+///   5  PR 9 corpus executor: corpus_8t_speedup (MineCorpus over a
+///      multi-fragment plan at corpus_threads 1 vs 8, interleaved reps)
+///      joins the gated set and the baseline moves to BENCH_pr9.json;
+///      absolute corpus wall-clock rows ride along as info.corpus_*_ms
+inline constexpr double kBenchAbiStamp = 5;
 
 }  // namespace pgm
 

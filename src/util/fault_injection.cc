@@ -63,6 +63,13 @@ bool ShouldFailOpen(const std::string& path) {
 }
 
 Status ApplyReadFault(const std::string& path, std::string* contents) {
+  std::size_t size = contents->size();
+  const Status status = ApplyReadFaultToSize(path, &size);
+  if (size < contents->size()) contents->resize(size);
+  return status;
+}
+
+Status ApplyReadFaultToSize(const std::string& path, std::size_t* size) {
   const FileFault* fault = g_active_fault.load(std::memory_order_acquire);
   if (fault == nullptr || !Matches(*fault, path)) {
     return Status::OK();
@@ -72,15 +79,11 @@ Status ApplyReadFault(const std::string& path, std::string* contents) {
       return Status::OK();  // handled by ShouldFailOpen
     case FileFault::Kind::kReadError:
       if (!TryConsumeHit(*fault)) return Status::OK();
-      if (contents->size() > fault->byte_limit) {
-        contents->resize(fault->byte_limit);
-      }
+      if (*size > fault->byte_limit) *size = fault->byte_limit;
       return Status::IoError("injected read failure: " + path);
     case FileFault::Kind::kTruncate:
       if (!TryConsumeHit(*fault)) return Status::OK();
-      if (contents->size() > fault->byte_limit) {
-        contents->resize(fault->byte_limit);
-      }
+      if (*size > fault->byte_limit) *size = fault->byte_limit;
       return Status::OK();
   }
   return Status::OK();

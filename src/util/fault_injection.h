@@ -64,6 +64,14 @@ bool ShouldFailOpen(const std::string& path);
 /// the injected IoError (counts a hit). OK when no fault applies.
 Status ApplyReadFault(const std::string& path, std::string* contents);
 
+/// The zero-copy twin of ApplyReadFault for readers that expose a view
+/// instead of owning bytes (MmapFile): clamps *size to byte_limit for an
+/// armed kReadError/kTruncate fault matching `path`, returning the injected
+/// IoError for kReadError (counts a hit). OK when no fault applies. Both
+/// overloads share one hit budget, so a transient fault behaves identically
+/// whichever ingestion path a reader takes.
+Status ApplyReadFaultToSize(const std::string& path, std::size_t* size);
+
 }  // namespace internal
 }  // namespace pgm
 

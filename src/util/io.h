@@ -1,12 +1,67 @@
 #ifndef PGM_UTIL_IO_H_
 #define PGM_UTIL_IO_H_
 
+#include <cstddef>
 #include <string>
+#include <string_view>
 
 #include "util/backoff.h"
 #include "util/status.h"
 
 namespace pgm {
+
+/// A read-only memory-mapped file. The corpus executor's ingestion path:
+/// multi-record genome-scale FASTA files are scanned through `view()`
+/// without ever materializing the file as one std::string (ReadFileToString
+/// would). Sequences built from the view copy their symbols (Sequence is
+/// self-contained), so the mapping only needs to outlive the *parse*, not
+/// the mined fragments — see DESIGN.md §10.
+///
+/// This is the same ingestion choke point contract as ReadFileToString: it
+/// honors ScopedFileFault (util/fault_injection.h) with identical
+/// observable semantics — kOpenError fails Open with IoError, kReadError
+/// clamps the visible bytes to byte_limit and fails Open with IoError,
+/// kTruncate silently clamps the view so parsers must detect the
+/// truncation themselves.
+///
+/// Move-only; the mapping is released on destruction. On platforms without
+/// mmap the class transparently falls back to an owned in-memory copy, so
+/// callers never branch on platform.
+class MmapFile {
+ public:
+  /// Maps `path` read-only. IoError on open/stat/map failure. A zero-length
+  /// file yields an empty view without establishing a mapping.
+  static StatusOr<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// The mapped bytes. Valid until destruction/move-from.
+  std::string_view view() const { return {data_, size_}; }
+  std::size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+  /// True when the bytes come from a real mmap rather than the fallback
+  /// owned copy (exposed for tests and the corpus.* metrics).
+  bool is_mapped() const { return mapped_ != nullptr; }
+
+ private:
+  std::string path_;
+  const char* data_ = "";
+  std::size_t size_ = 0;
+  /// Base address of the live mapping (may differ from data_ only in that
+  /// data_ is the same pointer; kept separate so the fallback path can point
+  /// data_ into fallback_ with mapped_ == nullptr).
+  void* mapped_ = nullptr;
+  std::size_t mapped_size_ = 0;
+  std::string fallback_;
+
+  void Release();
+  void StealFrom(MmapFile& other);
+};
 
 /// Reads an entire file into a string. IoError on open or read failure.
 ///

@@ -47,6 +47,50 @@ TEST(FragmenterTest, SequenceShorterThanFragment) {
   EXPECT_EQ(fragments[0].size(), 12u);
 }
 
+// The boundary matrix: every off-by-one length around one and two windows,
+// under both tail policies. keep_tail=false on L-1 is the documented
+// empty-fragment-set case corpus callers must surface loudly.
+TEST(FragmenterTest, BoundaryLengthMatrix) {
+  constexpr std::size_t kL = 8;
+  struct Case {
+    std::size_t length;
+    bool keep_tail;
+    std::size_t fragments;
+    std::size_t last_size;  // size of the final fragment (0 = none)
+  };
+  const Case cases[] = {
+      {kL - 1, false, 0, 0},      {kL - 1, true, 1, kL - 1},
+      {kL, false, 1, kL},         {kL, true, 1, kL},
+      {kL + 1, false, 1, kL},     {kL + 1, true, 2, 1},
+      {2 * kL - 1, false, 1, kL}, {2 * kL - 1, true, 2, kL - 1},
+      {2 * kL, false, 2, kL},     {2 * kL, true, 2, kL},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE("length=" + std::to_string(c.length) +
+                 " keep_tail=" + std::to_string(c.keep_tail));
+    FragmenterOptions options;
+    options.fragment_length = kL;
+    options.keep_tail = c.keep_tail;
+    auto fragments = *Fragment(MakeSeq(c.length), options);
+    ASSERT_EQ(fragments.size(), c.fragments);
+    for (std::size_t i = 0; i + 1 < fragments.size(); ++i) {
+      EXPECT_EQ(fragments[i].size(), kL);  // only the tail may be short
+    }
+    if (!fragments.empty()) {
+      EXPECT_EQ(fragments.back().size(), c.last_size);
+    }
+  }
+}
+
+TEST(FragmenterTest, EmptySequenceYieldsNoFragments) {
+  const Sequence empty = *Sequence::FromString("", Alphabet::Dna());
+  FragmenterOptions options;
+  options.fragment_length = 8;
+  EXPECT_TRUE(Fragment(empty, options)->empty());
+  options.keep_tail = true;
+  EXPECT_TRUE(Fragment(empty, options)->empty());
+}
+
 TEST(FragmenterTest, ZeroLengthIsError) {
   FragmenterOptions options;
   options.fragment_length = 0;

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "corpus/plan.h"
 #include "seq/fasta.h"
 #include "seq/sequence.h"
 #include "util/csv_reader.h"
@@ -50,6 +51,36 @@ std::string RandomValidFasta(Rng& rng) {
       const int len = 1 + static_cast<int>(rng.UniformInt(40));
       for (int i = 0; i < len; ++i) doc += residues[rng.UniformInt(10)];
       doc += '\n';
+    }
+  }
+  return doc;
+}
+
+// A multi-record FASTA corpus with the hazards corpus ingestion must
+// survive: ragged record lengths (including records shorter than any
+// fragment window), duplicate ids, records with zero residue lines (which
+// must parse to loud Corruption, never an empty Sequence), blank lines, and
+// Windows line endings.
+std::string RandomCorpusFasta(Rng& rng) {
+  const char* residues = "ACGTNacgtn";
+  std::string doc;
+  const int records = 1 + static_cast<int>(rng.UniformInt(6));
+  for (int r = 0; r < records; ++r) {
+    doc += '>';
+    if (rng.Bernoulli(0.3)) {
+      doc += "dup";  // duplicate ids across records
+    } else {
+      doc += "rec";
+      doc += static_cast<char>('a' + r);
+    }
+    if (rng.Bernoulli(0.4)) doc += " ragged corpus record";
+    doc += rng.Bernoulli(0.2) ? "\r\n" : "\n";
+    const int lines = static_cast<int>(rng.UniformInt(4));  // 0 = empty record
+    for (int l = 0; l < lines; ++l) {
+      const int len = static_cast<int>(rng.UniformInt(81));  // ragged, may be 0
+      for (int i = 0; i < len; ++i) doc += residues[rng.UniformInt(10)];
+      doc += rng.Bernoulli(0.2) ? "\r\n" : "\n";
+      if (rng.Bernoulli(0.15)) doc += '\n';  // stray blank line
     }
   }
   return doc;
@@ -215,6 +246,177 @@ TEST(ReaderFuzzTest, FaultedFileReadsFailLoudly) {
   }
   std::remove(fasta_path.c_str());
   std::remove(csv_path.c_str());
+}
+
+// --- Corpus-scale multi-record FASTA ingestion -------------------------
+
+// The streaming scanner (the corpus executor's mmap ingestion path) must
+// agree with ParseFasta on every document, malformed or not: same
+// ok-or-loud outcome, and identical records on success. A divergence here
+// would mean `pgm corpus` mines different data depending on --no-mmap.
+TEST(ReaderFuzzTest, MutatedCorpusFastaScannerAgreesWithParseFasta) {
+  for (int i = 0; i < kCorpusSize / 2; ++i) {
+    Rng rng(kCorpusSeed ^ (0x2000000 + static_cast<std::uint64_t>(i)));
+    std::string doc = RandomCorpusFasta(rng);
+    if (i % 2 == 1) doc = Mutate(rng, doc);  // valid-ish half, hostile half
+
+    StatusOr<std::vector<FastaRecord>> parsed = ParseFasta(doc);
+
+    std::vector<FastaRecord> scanned;
+    FastaScanner scanner(doc);
+    FastaRecord record;
+    Status scan_status = Status::OK();
+    while (true) {
+      StatusOr<bool> more = scanner.Next(&record);
+      if (!more.ok()) {
+        scan_status = more.status();
+        break;
+      }
+      if (!*more) break;
+      scanned.push_back(record);
+    }
+
+    ASSERT_EQ(parsed.ok(), scan_status.ok())
+        << "case " << i << ": ParseFasta "
+        << (parsed.ok() ? "OK" : parsed.status().ToString())
+        << " vs FastaScanner " << scan_status.ToString();
+    if (parsed.ok()) {
+      ConsumeFasta(scanned);
+      ASSERT_EQ(scanned.size(), parsed->size()) << "case " << i;
+      for (std::size_t r = 0; r < scanned.size(); ++r) {
+        EXPECT_EQ(scanned[r].id, (*parsed)[r].id) << "case " << i;
+        EXPECT_EQ(scanned[r].description, (*parsed)[r].description)
+            << "case " << i;
+        EXPECT_EQ(scanned[r].residues, (*parsed)[r].residues) << "case " << i;
+      }
+    } else {
+      EXPECT_TRUE(IsLoudReaderError(parsed.status()))
+          << "case " << i << ": " << parsed.status().ToString();
+      EXPECT_TRUE(IsLoudReaderError(scan_status))
+          << "case " << i << ": " << scan_status.ToString();
+    }
+  }
+}
+
+void ExpectPlansEqual(const CorpusPlan& a, const CorpusPlan& b,
+                      int fuzz_case) {
+  ASSERT_EQ(a.fragments().size(), b.fragments().size()) << "case " << fuzz_case;
+  EXPECT_EQ(a.num_records(), b.num_records()) << "case " << fuzz_case;
+  EXPECT_EQ(a.num_dropped_residues(), b.num_dropped_residues())
+      << "case " << fuzz_case;
+  EXPECT_EQ(a.total_symbols(), b.total_symbols()) << "case " << fuzz_case;
+  EXPECT_EQ(a.skipped_records().size(), b.skipped_records().size())
+      << "case " << fuzz_case;
+  for (std::size_t i = 0; i < a.fragments().size(); ++i) {
+    const CorpusFragment& fa = a.fragments()[i];
+    const CorpusFragment& fb = b.fragments()[i];
+    EXPECT_EQ(fa.record_id, fb.record_id) << "case " << fuzz_case;
+    EXPECT_EQ(fa.record_index, fb.record_index) << "case " << fuzz_case;
+    EXPECT_EQ(fa.start, fb.start) << "case " << fuzz_case;
+    EXPECT_EQ(fa.sequence.ToString(), fb.sequence.ToString())
+        << "case " << fuzz_case;
+  }
+}
+
+// The two corpus ingestion routes — MmapFile + FastaScanner vs
+// ReadFileToString + ParseFasta — must plan identical fragment lists from
+// the same file, or fail identically loudly.
+TEST(ReaderFuzzTest, CorpusPlanMmapAndStringIngestionAgree) {
+  const std::string path = testing::TempDir() + "/reader_fuzz_corpus.fa";
+  for (int i = 0; i < 60; ++i) {
+    Rng rng(kCorpusSeed ^ (0x3000000 + static_cast<std::uint64_t>(i)));
+    std::string doc = RandomCorpusFasta(rng);
+    if (i % 2 == 1) doc = Mutate(rng, doc);
+    ASSERT_TRUE(WriteStringToFile(path, doc).ok());
+
+    CorpusPlanOptions options;
+    options.fragment.fragment_length = 32;
+    options.fragment.keep_tail = (i % 4) < 2;
+    StatusOr<CorpusPlan> mmap_plan =
+        CorpusPlan::FromFastaFile(path, Alphabet::Dna(), options,
+                                  /*use_mmap=*/true);
+    StatusOr<CorpusPlan> string_plan =
+        CorpusPlan::FromFastaFile(path, Alphabet::Dna(), options,
+                                  /*use_mmap=*/false);
+    ASSERT_EQ(mmap_plan.ok(), string_plan.ok())
+        << "case " << i << ": mmap "
+        << (mmap_plan.ok() ? "OK" : mmap_plan.status().ToString())
+        << " vs string "
+        << (string_plan.ok() ? "OK" : string_plan.status().ToString());
+    if (mmap_plan.ok()) {
+      ExpectPlansEqual(*mmap_plan, *string_plan, i);
+    } else {
+      EXPECT_TRUE(IsLoudReaderError(mmap_plan.status()))
+          << "case " << i << ": " << mmap_plan.status().ToString();
+      EXPECT_TRUE(IsLoudReaderError(string_plan.status()))
+          << "case " << i << ": " << string_plan.status().ToString();
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// The fault campaign against the memory-mapped corpus path: a transient
+// open fault must be absorbed by the retry policy (the plan comes out
+// identical to an unfaulted run), permanent open/read faults must surface
+// as IoError, and silent truncation as a loud parse error or a clean parse
+// of the surviving prefix — never a crash or a silently smaller corpus
+// that parsed from a torn view.
+TEST(ReaderFuzzTest, FaultedMmapCorpusPlanRecoversOrFailsLoudly) {
+  const std::string path = testing::TempDir() + "/reader_fuzz_mmap_corpus.fa";
+  Rng rng(kCorpusSeed ^ 0xc0a7u);
+  const std::string doc = RandomCorpusFasta(rng);
+  ASSERT_TRUE(WriteStringToFile(path, doc).ok());
+  CorpusPlanOptions options;
+  options.fragment.fragment_length = 24;
+  options.fragment.keep_tail = true;
+
+  // The document itself may be an invalid corpus (empty records are legal
+  // output of the generator); anchor on the unfaulted outcome.
+  const StatusOr<CorpusPlan> unfaulted =
+      CorpusPlan::FromFastaFile(path, Alphabet::Dna(), options);
+
+  {
+    // Transient open fault: one failed attempt, then the retry succeeds and
+    // the plan is byte-identical to the unfaulted run.
+    FileFault fault;
+    fault.kind = FileFault::Kind::kOpenError;
+    fault.max_hits = 1;
+    ScopedFileFault scope(fault);
+    StatusOr<CorpusPlan> plan =
+        CorpusPlan::FromFastaFile(path, Alphabet::Dna(), options);
+    EXPECT_EQ(scope.hits(), 1);
+    ASSERT_EQ(plan.ok(), unfaulted.ok());
+    if (plan.ok()) ExpectPlansEqual(*plan, *unfaulted, -1);
+  }
+  {
+    // Permanent open fault: retries exhaust, IoError surfaces.
+    FileFault fault;
+    fault.kind = FileFault::Kind::kOpenError;
+    ScopedFileFault scope(fault);
+    StatusOr<CorpusPlan> plan =
+        CorpusPlan::FromFastaFile(path, Alphabet::Dna(), options);
+    ASSERT_FALSE(plan.ok());
+    EXPECT_EQ(plan.status().code(), StatusCode::kIoError);
+    EXPECT_GE(scope.hits(), 2) << "retry never re-attempted the open";
+  }
+  for (int i = 0; i < 40; ++i) {
+    FileFault fault;
+    fault.kind = (i % 2 == 0) ? FileFault::Kind::kReadError
+                              : FileFault::Kind::kTruncate;
+    fault.byte_limit = rng.UniformInt(doc.size() + 1);
+    ScopedFileFault scope(fault);
+    StatusOr<CorpusPlan> plan =
+        CorpusPlan::FromFastaFile(path, Alphabet::Dna(), options);
+    if (fault.kind == FileFault::Kind::kReadError) {
+      ASSERT_FALSE(plan.ok()) << "case " << i;
+      EXPECT_EQ(plan.status().code(), StatusCode::kIoError) << "case " << i;
+    } else if (!plan.ok()) {
+      EXPECT_TRUE(IsLoudReaderError(plan.status()))
+          << "case " << i << ": " << plan.status().ToString();
+    }
+    EXPECT_GE(scope.hits(), 1) << "fault never fired in case " << i;
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace
