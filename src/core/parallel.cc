@@ -209,7 +209,7 @@ Status ParallelLevelExecutor::ExecuteJoin(
 
   // The mutex/condvars only park idle threads; every data handoff above is
   // lock-free (see the class comment in parallel.h).
-  Mutex mu;
+  Mutex mu{kLockRankRing};
   CondVar work_cv;   // workers: publication advanced / level done
   CondVar merge_cv;  // driver: a piece completed
 

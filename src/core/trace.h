@@ -154,7 +154,7 @@ class MiningTrace {
   std::string ToJson(const TraceJsonOptions& options = {}) const;
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{kLockRankTrace};
   std::vector<TraceEvent> events_ PGM_GUARDED_BY(mutex_);
 };
 

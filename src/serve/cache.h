@@ -66,7 +66,7 @@ class ResultCache {
   const std::uint64_t capacity_bytes_;
   MetricsRegistry* const metrics_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{kLockRankCache};
   std::map<std::string, Entry> entries_ PGM_GUARDED_BY(mutex_);
   std::list<std::string> lru_ PGM_GUARDED_BY(mutex_);
   std::uint64_t bytes_in_use_ PGM_GUARDED_BY(mutex_) = 0;

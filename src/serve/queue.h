@@ -55,7 +55,7 @@ class JobQueue {
  private:
   const std::size_t capacity_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{kLockRankQueue};
   CondVar ready_cv_;
   std::deque<MiningJob> jobs_ PGM_GUARDED_BY(mutex_);
   bool closed_ PGM_GUARDED_BY(mutex_) = false;

@@ -150,7 +150,7 @@ class MiningService {
   std::atomic<bool> draining_{false};
   std::atomic<std::int64_t> next_id_{1};
 
-  Mutex mutex_;
+  Mutex mutex_{kLockRankService};
   std::vector<JobResponse> responses_ PGM_GUARDED_BY(mutex_);
   bool started_ PGM_GUARDED_BY(mutex_) = false;
   bool joined_ PGM_GUARDED_BY(mutex_) = false;

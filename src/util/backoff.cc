@@ -17,7 +17,7 @@ namespace {
 /// The recorder's log lives behind a process-global mutex rather than in the
 /// recorder object so concurrent BackoffSleep calls from service workers
 /// stay race-free while a test holds the scope.
-Mutex g_recorder_mutex;
+Mutex g_recorder_mutex{kLockRankBackoff};
 bool g_recorder_active PGM_GUARDED_BY(g_recorder_mutex) = false;
 std::vector<std::int64_t>& RecordedDelays()
     PGM_REQUIRES(g_recorder_mutex) {

@@ -138,7 +138,7 @@ class MetricsRegistry {
   // The mutex guards only the maps (registration and export); the metric
   // objects the map values own are internally atomic, so updates through
   // previously returned handles need no capability.
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{kLockRankMetrics};
   std::map<std::string, std::unique_ptr<Counter>> counters_
       PGM_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_

@@ -61,7 +61,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
 
-  Mutex mu_;
+  Mutex mu_{kLockRankPool};
   CondVar work_cv_;
   CondVar done_cv_;
   // task_ is non-null exactly while a generation runs.

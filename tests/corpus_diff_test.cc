@@ -27,7 +27,7 @@
 #include "util/metrics.h"
 #include "util/random.h"
 
-#include "differential_params.h"
+#include "tools/differential_params.h"
 
 namespace pgm {
 namespace {

@@ -20,7 +20,7 @@
 #include "util/metrics.h"
 #include "util/random.h"
 
-#include "differential_params.h"
+#include "tools/differential_params.h"
 
 namespace pgm {
 namespace {
@@ -244,7 +244,7 @@ INSTANTIATE_TEST_SUITE_P(
         DiffParam{"ACGT", 66, 4, 5, 0.01, 3027}));
 
 // The randomized-oracle sweep (satellite of the arena refactor): 50 seeded
-// configurations drawn in tests/differential_params.h, each mined by all
+// configurations drawn in tools/differential_params.h, each mined by all
 // three engines at several thread counts and compared both against the
 // brute-force enumeration oracle and against pattern sets captured from the
 // *pre-arena* engine (tests/differential_goldens_pr4.inc). The fixture

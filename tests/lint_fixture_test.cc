@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "tools/lint/analyze.h"
 #include "tools/lint/lint.h"
 #include "util/io.h"
 
@@ -23,6 +24,28 @@ std::vector<Finding> LintFixture(const std::string& name, bool all_rules) {
   EXPECT_TRUE(content.ok()) << path;
   LintOptions options;
   options.all_rules = all_rules;
+  return LintSource(path, content.ok() ? content.value() : "", options);
+}
+
+/// The fixture manifests (tests/lint_fixtures/manifests/), loaded once: the
+/// layering and lock-order passes only run when manifests are supplied.
+const AnalyzerManifests& FixtureManifests() {
+  static const AnalyzerManifests* manifests = [] {
+    StatusOr<AnalyzerManifests> loaded =
+        LoadManifests(std::string(PGM_LINT_FIXTURE_DIR) + "/manifests");
+    EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+    return new AnalyzerManifests(std::move(loaded).value());
+  }();
+  return *manifests;
+}
+
+std::vector<Finding> AnalyzeFixture(const std::string& name) {
+  const std::string path = std::string(PGM_LINT_FIXTURE_DIR) + "/" + name;
+  StatusOr<std::string> content = ReadFileToString(path);
+  EXPECT_TRUE(content.ok()) << path;
+  LintOptions options;
+  options.all_rules = true;
+  options.manifests = &FixtureManifests();
   return LintSource(path, content.ok() ? content.value() : "", options);
 }
 
@@ -117,8 +140,88 @@ TEST(LintFixtureTest, ArenaScratchFires) {
   EXPECT_EQ(findings[0].rule, "arena-scratch");
 }
 
+TEST(LintFixtureTest, UnorderedIterationFires) {
+  const std::vector<Finding> findings =
+      LintFixture("bad_unordered_iteration.cc", /*all_rules=*/true);
+  EXPECT_EQ(Rules(findings), std::set<std::string>{"unordered-iteration"});
+  // The range-for over the map and the .begin() walk of the set.
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(LintFixtureTest, WallClockFires) {
+  const std::vector<Finding> findings =
+      LintFixture("bad_wall_clock.cc", /*all_rules=*/true);
+  EXPECT_EQ(Rules(findings), std::set<std::string>{"wall-clock"});
+  // system_clock, steady_clock, time(), clock().
+  EXPECT_EQ(findings.size(), 4u);
+}
+
+TEST(LintFixtureTest, PointerOrderFires) {
+  const std::vector<Finding> findings =
+      LintFixture("bad_pointer_order.cc", /*all_rules=*/true);
+  EXPECT_EQ(Rules(findings), std::set<std::string>{"pointer-order"});
+  // hash<const Node*>, less<const Node*>, reinterpret_cast to uintptr_t.
+  EXPECT_EQ(findings.size(), 3u);
+}
+
+TEST(LintFixtureTest, UnknownWaiverFires) {
+  const std::vector<Finding> findings =
+      LintFixture("bad_unknown_waiver.cc", /*all_rules=*/true);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unknown-waiver");
+  // The message must teach the valid catalogue.
+  EXPECT_NE(findings[0].message.find("naked-lock"), std::string::npos);
+}
+
+TEST(LintFixtureTest, LayeringFires) {
+  const std::vector<Finding> findings = AnalyzeFixture("bad_layering.cc");
+  EXPECT_EQ(Rules(findings), std::set<std::string>{"layering"});
+  // The core include is undeclared for `tests`; the util include is legal.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("tests -> core"), std::string::npos);
+}
+
+TEST(LintFixtureTest, LockOrderFires) {
+  const std::vector<Finding> findings = AnalyzeFixture("bad_lock_order.cc");
+  EXPECT_EQ(Rules(findings), std::set<std::string>{"lock-order"});
+  // Broken() inverts; Clean() nests in rank order and stays silent.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("'outer' (rank 10)"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("'inner' (rank 20)"), std::string::npos);
+}
+
+TEST(LintFixtureTest, WallClockSeamIsSanctioned) {
+  // The same steady_clock read that fires in bad_wall_clock.cc is legal in
+  // a file the determinism manifest declares a seam.
+  EXPECT_TRUE(AnalyzeFixture("good_timing_seam.cc").empty());
+}
+
 TEST(LintFixtureTest, WaiversSilenceEveryRule) {
   EXPECT_TRUE(LintFixture("good_waivers.cc", /*all_rules=*/true).empty());
+}
+
+TEST(LintFixtureTest, WaiversSilenceManifestPassesToo) {
+  // Same fixture under the analyzer manifests: the waived layering edge and
+  // the waived rank inversion stay silent.
+  EXPECT_TRUE(AnalyzeFixture("good_waivers.cc").empty());
+}
+
+TEST(LintFixtureTest, RulesFilterRestrictsTheScan) {
+  // --rules=wall-clock over the unordered-iteration fixture: nothing fires,
+  // and over the wall-clock fixture only that rule fires.
+  const std::string dir = std::string(PGM_LINT_FIXTURE_DIR);
+  StatusOr<std::string> unordered =
+      ReadFileToString(dir + "/bad_unordered_iteration.cc");
+  StatusOr<std::string> wall = ReadFileToString(dir + "/bad_wall_clock.cc");
+  ASSERT_TRUE(unordered.ok());
+  ASSERT_TRUE(wall.ok());
+  LintOptions only;
+  only.all_rules = true;
+  only.only_rules = {"wall-clock"};
+  EXPECT_TRUE(
+      LintSource("tests/x.cc", unordered.value(), only).empty());
+  EXPECT_EQ(Rules(LintSource("tests/x.cc", wall.value(), only)),
+            std::set<std::string>{"wall-clock"});
 }
 
 TEST(LintFixtureTest, DigitSeparatorsDoNotDerailStripping) {

@@ -1,0 +1,7 @@
+// Fixture: layering must fire on an include edge the layering manifest
+// does not declare (linted with tests/lint_fixtures/manifests/, where
+// `tests` may depend on util only).
+#include "core/miner.h"
+#include "util/io.h"
+
+int UseMiner();

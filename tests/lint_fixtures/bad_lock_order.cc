@@ -1,0 +1,23 @@
+// Fixture: lock-order must fire on nested acquisition out of rank order
+// (hierarchy in tests/lint_fixtures/manifests/locks.txt: outer_mu rank 10,
+// inner_mu rank 20).
+#include "util/mutex.h"
+
+struct State {
+  pgm::Mutex outer_mu;
+  pgm::Mutex inner_mu;
+};
+
+void Broken(State& state) {
+  pgm::MutexLock inner(state.inner_mu);
+  {
+    pgm::MutexLock outer(state.outer_mu);
+  }
+}
+
+void Clean(State& state) {
+  pgm::MutexLock outer(state.outer_mu);
+  {
+    pgm::MutexLock inner(state.inner_mu);
+  }
+}

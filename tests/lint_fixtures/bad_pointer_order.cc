@@ -1,0 +1,20 @@
+// Fixture: pointer-order must fire on address-keyed hashing or ordering.
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+struct Node {
+  int id;
+};
+
+std::size_t HashNode(const Node* node) {
+  return std::hash<const Node*>()(node);
+}
+
+bool Before(const Node* a, const Node* b) {
+  return std::less<const Node*>()(a, b);
+}
+
+std::uintptr_t AddressKey(const Node* node) {
+  return reinterpret_cast<std::uintptr_t>(node);
+}

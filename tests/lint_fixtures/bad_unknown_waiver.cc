@@ -1,0 +1,5 @@
+// Fixture: unknown-waiver must fire on a waiver naming a rule that does
+// not exist (a typo'd waiver silences nothing).
+int Answer() {
+  return 42;  // pgm-lint: allow(naked-locks)
+}

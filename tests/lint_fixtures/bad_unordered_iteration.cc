@@ -1,0 +1,14 @@
+// Fixture: unordered-iteration must fire on hash-order walks that never
+// reach a sorted-emission pattern.
+#include <unordered_map>
+#include <unordered_set>
+
+int Sum(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  for (const auto& kv : counts) total += kv.second;
+  return total;
+}
+
+unsigned First(const std::unordered_set<unsigned>& seen) {
+  return *seen.begin();
+}

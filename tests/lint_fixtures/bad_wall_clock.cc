@@ -1,0 +1,19 @@
+// Fixture: wall-clock must fire on clock reads outside a sanctioned seam.
+#include <chrono>
+#include <ctime>
+
+long NowEpoch() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long NowMono() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long NowUnix() {
+  return static_cast<long>(std::time(nullptr));
+}
+
+long NowCpu() {
+  return static_cast<long>(std::clock());
+}

@@ -1,0 +1,8 @@
+// Fixture: the same clock read that fires in bad_wall_clock.cc is legal
+// here because tests/lint_fixtures/manifests/determinism.txt declares this
+// file a wall-clock seam.
+#include <chrono>
+
+long SeamNow() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

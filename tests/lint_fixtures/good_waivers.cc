@@ -1,6 +1,15 @@
 // Fixture: every rule stays quiet when waived or when the code is clean.
 // pgm-lint: allow(ledger-pairing) — fixture exercises the file-scope waiver.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <mutex>
+#include <unordered_set>
+#include <vector>
+
+// Waived layering edge (the fixture manifest allows tests -> util only).
+#include "core/miner.h"  // pgm-lint: allow(layering) — fixture proves the waiver
+#include "util/mutex.h"
 
 struct Guard {
   bool ChargeMemory(unsigned long long bytes);
@@ -28,6 +37,44 @@ bool Clean(Guard& guard) {
   return guard.ChargeMemory(1);
 }
 
+// Sorted-emission escape: iterating the unordered container is legal
+// because the collected keys are sorted before anything consumes them.
+std::vector<int> SortedKeys(const std::unordered_set<int>& keys) {
+  std::vector<int> out;
+  for (int key : keys) out.push_back(key);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Waived unordered read: any element is acceptable here by construction.
+int AnyKey(const std::unordered_set<int>& keys) {
+  return *keys.begin();  // pgm-lint: allow(unordered-iteration)
+}
+
+// Waived clock read (a diagnostics-only path, not a sanctioned seam).
+long WaivedNow() {
+  // pgm-lint: allow(wall-clock)
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// Waived address key: a debug tag that never orders or persists anything.
+std::uintptr_t DebugTag(const int* p) {
+  return reinterpret_cast<std::uintptr_t>(p);  // pgm-lint: allow(pointer-order)
+}
+
+struct RankedState {
+  pgm::Mutex outer_mu;
+  pgm::Mutex inner_mu;
+};
+
+// Waived rank inversion (fixture hierarchy: outer_mu 10 < inner_mu 20).
+void WaivedInversion(RankedState& state) {
+  pgm::MutexLock inner(state.inner_mu);
+  // pgm-lint: allow(lock-order)
+  pgm::MutexLock outer(state.outer_mu);
+}
+
 // Mentions in comments and strings must never fire: new delete malloc
-// std::rand random_device mt19937 Promote( TruncateToWatermark( lock().
+// std::rand random_device mt19937 Promote( TruncateToWatermark( lock()
+// system_clock time() hash<int*> for (x : unordered) MutexLock a(m).
 const char* kDoc = "call mu.lock() then new int[4] then std::rand()";

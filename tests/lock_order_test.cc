@@ -1,0 +1,108 @@
+// Runtime lock-order checker suite (util/mutex.h): in-order nesting is
+// silent, rank inversion aborts with a diagnosis, condition-variable waits
+// pop and re-push their rank, and unranked mutexes stay exempt. The abort
+// path runs in a forked child (gtest death test) so the suite survives it.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/mutex.h"
+
+namespace pgm {
+namespace {
+
+#if PGM_LOCK_ORDER_CHECKS
+
+TEST(LockOrderRuntimeTest, InOrderNestingIsSilent) {
+  Mutex outer{kLockRankQueue};
+  Mutex inner{kLockRankMetrics};
+  MutexLock hold_outer(outer);
+  MutexLock hold_inner(inner);
+}
+
+TEST(LockOrderRuntimeTest, SequentialScopesAreSilentInAnyOrder) {
+  Mutex high{kLockRankTrace};
+  Mutex low{kLockRankQueue};
+  { MutexLock hold(high); }
+  { MutexLock hold(low); }
+}
+
+TEST(LockOrderRuntimeTest, UnrankedMutexesAreExempt) {
+  // An unranked mutex neither checks nor joins the held stack: acquiring
+  // one under a ranked lock is silent, and a ranked acquisition after it
+  // is checked against the ranked holdings only.
+  Mutex ranked{kLockRankMetrics};
+  Mutex unranked;
+  Mutex higher{kLockRankTrace};
+  MutexLock hold_ranked(ranked);
+  MutexLock hold_unranked(unranked);
+  MutexLock hold_higher(higher);
+}
+
+TEST(LockOrderRuntimeDeathTest, InvertedAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex outer{kLockRankQueue};
+  Mutex inner{kLockRankMetrics};
+  EXPECT_DEATH(
+      {
+        MutexLock hold_inner(inner);
+        MutexLock hold_outer(outer);
+      },
+      "lock-order violation");
+}
+
+TEST(LockOrderRuntimeDeathTest, SameRankReacquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex a{kLockRankQueue};
+  Mutex b{kLockRankQueue};
+  EXPECT_DEATH(
+      {
+        MutexLock hold_a(a);
+        MutexLock hold_b(b);
+      },
+      "lock-order violation");
+}
+
+TEST(LockOrderRuntimeTest, CondVarWaitReleasesAndReacquiresTheRank) {
+  // A wait on a ranked mutex unlocks (popping the rank) and relocks
+  // (re-checking it); holding a *lower* rank across the wait keeps the
+  // re-acquisition legal.
+  Mutex low{kLockRankQueue};
+  Mutex high{kLockRankMetrics};
+  CondVar cv;
+  bool ready = false;
+  std::thread waker([&] {
+    MutexLock hold(high);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    MutexLock hold_low(low);
+    MutexLock hold_high(high);
+    while (!ready) cv.wait(high);
+  }
+  waker.join();
+}
+
+TEST(LockOrderRuntimeTest, TheStateIsPerThread) {
+  // Two threads each holding their own rank never see each other's stack:
+  // thread B may take a low rank while thread A holds a high one.
+  Mutex high{kLockRankTrace};
+  Mutex low{kLockRankQueue};
+  MutexLock hold_high(high);
+  std::thread other([&] { MutexLock hold_low(low); });
+  other.join();
+}
+
+#else  // !PGM_LOCK_ORDER_CHECKS
+
+TEST(LockOrderRuntimeTest, ChecksCompiledOut) {
+  GTEST_SKIP() << "built with PGM_LOCK_ORDER_CHECKS=0; runtime lock-order "
+                  "assertions are compiled out";
+}
+
+#endif  // PGM_LOCK_ORDER_CHECKS
+
+}  // namespace
+}  // namespace pgm

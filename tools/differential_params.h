@@ -1,5 +1,5 @@
-#ifndef PGM_TESTS_DIFFERENTIAL_PARAMS_H_
-#define PGM_TESTS_DIFFERENTIAL_PARAMS_H_
+#ifndef PGM_TOOLS_DIFFERENTIAL_PARAMS_H_
+#define PGM_TOOLS_DIFFERENTIAL_PARAMS_H_
 
 // The randomized-oracle configuration sweep shared by the differential test
 // and the golden generator (tools/gen_differential_goldens). Both draw the
@@ -109,4 +109,4 @@ inline std::string DescribeConfig(const OracleConfig& config) {
 
 }  // namespace pgm::difftest
 
-#endif  // PGM_TESTS_DIFFERENTIAL_PARAMS_H_
+#endif  // PGM_TOOLS_DIFFERENTIAL_PARAMS_H_

@@ -1,0 +1,486 @@
+#include "tools/lint/analyze.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+
+#include "util/io.h"
+#include "util/string_util.h"
+
+namespace pgm {
+namespace lint {
+namespace {
+
+using internal::FindWord;
+using internal::HasWaiver;
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Path components, split on '/'.
+std::vector<std::string> Components(const std::string& path) {
+  std::vector<std::string> parts;
+  for (const std::string& part : Split(path, '/')) {
+    if (!part.empty()) parts.push_back(part);
+  }
+  return parts;
+}
+
+const std::set<std::string>& TopDirs() {
+  static const std::set<std::string> kTop = {"src", "tools", "tests", "bench",
+                                            "examples"};
+  return kTop;
+}
+
+/// Strips comment text from a manifest line.
+std::string StripManifestComment(const std::string& line) {
+  const std::size_t hash = line.find('#');
+  return std::string(
+      Trim(hash == std::string::npos ? line : line.substr(0, hash)));
+}
+
+}  // namespace
+
+// --- LayeringManifest ---
+
+StatusOr<LayeringManifest> LayeringManifest::Parse(const std::string& text) {
+  LayeringManifest manifest;
+  std::size_t line_number = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    const std::string line = StripManifestComment(raw_line);
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument(
+          StrFormat("layers manifest line %zu: expected '<module>: "
+                    "<deps...>', got '%s'",
+                    line_number, line.c_str()));
+    }
+    const std::string module = std::string(Trim(line.substr(0, colon)));
+    if (module.empty()) {
+      return Status::InvalidArgument(StrFormat(
+          "layers manifest line %zu: empty module name", line_number));
+    }
+    if (manifest.allowed.count(module) != 0) {
+      return Status::InvalidArgument(
+          StrFormat("layers manifest line %zu: module '%s' declared twice",
+                    line_number, module.c_str()));
+    }
+    std::set<std::string>& deps = manifest.allowed[module];
+    for (const std::string& dep : Split(line.substr(colon + 1), ' ')) {
+      const std::string trimmed = std::string(Trim(dep));
+      if (!trimmed.empty()) deps.insert(trimmed);
+    }
+    deps.erase(module);  // self-edges are implicit
+  }
+  if (manifest.allowed.empty()) {
+    return Status::InvalidArgument("layers manifest declares no modules");
+  }
+  return manifest;
+}
+
+Status LayeringManifest::CheckAcyclic() const {
+  // Iterative three-color DFS over the declared edges. Edges to undeclared
+  // modules are ignored here (CheckLayering reports them per-file).
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  for (const auto& [module, deps] : allowed) color[module] = Color::kWhite;
+  for (const auto& [root, root_deps] : allowed) {
+    if (color[root] != Color::kWhite) continue;
+    // Stack of (module, next-dep iterator position) plus the gray path for
+    // the diagnostic.
+    std::vector<std::pair<std::string, std::set<std::string>::const_iterator>>
+        stack;
+    stack.emplace_back(root, allowed.at(root).begin());
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [module, it] = stack.back();
+      const std::set<std::string>& deps = allowed.at(module);
+      if (it == deps.end()) {
+        color[module] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const std::string dep = *it++;
+      auto dep_color = color.find(dep);
+      if (dep_color == color.end()) continue;  // undeclared: skip
+      if (dep_color->second == Color::kGray) {
+        std::string cycle;
+        for (const auto& frame : stack) cycle += frame.first + " -> ";
+        cycle += dep;
+        return Status::InvalidArgument("layering manifest has a cycle: " +
+                                       cycle);
+      }
+      if (dep_color->second == Color::kWhite) {
+        color[dep] = Color::kGray;
+        stack.emplace_back(dep, allowed.at(dep).begin());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// --- LockOrderManifest ---
+
+StatusOr<LockOrderManifest> LockOrderManifest::Parse(const std::string& text) {
+  LockOrderManifest manifest;
+  std::set<int> ranks;
+  std::size_t line_number = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    const std::string line = StripManifestComment(raw_line);
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    for (const std::string& field : Split(line, ' ')) {
+      if (!std::string(Trim(field)).empty()) {
+        fields.push_back(std::string(Trim(field)));
+      }
+    }
+    if (fields.size() != 4) {
+      return Status::InvalidArgument(
+          StrFormat("locks manifest line %zu: expected '<rank> <name> "
+                    "<path-substring> <expression>', got '%s'",
+                    line_number, line.c_str()));
+    }
+    RankedLock lock;
+    char* end = nullptr;
+    lock.rank = static_cast<int>(std::strtol(fields[0].c_str(), &end, 10));
+    if (end == nullptr || *end != '\0' || lock.rank <= 0) {
+      return Status::InvalidArgument(
+          StrFormat("locks manifest line %zu: rank '%s' is not a positive "
+                    "integer",
+                    line_number, fields[0].c_str()));
+    }
+    if (!ranks.insert(lock.rank).second) {
+      return Status::InvalidArgument(StrFormat(
+          "locks manifest line %zu: duplicate rank %d — the hierarchy "
+          "must be a total order",
+          line_number, lock.rank));
+    }
+    lock.name = fields[1];
+    lock.path_substring = fields[2];
+    lock.expression = fields[3];
+    manifest.locks.push_back(std::move(lock));
+  }
+  return manifest;
+}
+
+const RankedLock* LockOrderManifest::Resolve(
+    const std::string& path, const std::string& expression) const {
+  for (const RankedLock& lock : locks) {
+    if (path.find(lock.path_substring) == std::string::npos) continue;
+    if (FindWord(expression, lock.expression) == std::string::npos) continue;
+    return &lock;
+  }
+  return nullptr;
+}
+
+// --- DeterminismManifest ---
+
+StatusOr<DeterminismManifest> DeterminismManifest::Parse(
+    const std::string& text) {
+  DeterminismManifest manifest;
+  std::size_t line_number = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    const std::string line = StripManifestComment(raw_line);
+    if (line.empty()) continue;
+    const std::size_t space = line.find(' ');
+    const std::string directive =
+        space == std::string::npos ? line : line.substr(0, space);
+    if (directive != "wall-clock-seam" || space == std::string::npos) {
+      return Status::InvalidArgument(
+          StrFormat("determinism manifest line %zu: unknown directive '%s' "
+                    "(expected 'wall-clock-seam <path-substring>')",
+                    line_number, directive.c_str()));
+    }
+    const std::string seam = std::string(Trim(line.substr(space + 1)));
+    if (seam.empty()) {
+      return Status::InvalidArgument(StrFormat(
+          "determinism manifest line %zu: empty seam path", line_number));
+    }
+    manifest.wall_clock_seams.push_back(seam);
+  }
+  return manifest;
+}
+
+bool DeterminismManifest::SanctionsWallClock(const std::string& path) const {
+  for (const std::string& seam : wall_clock_seams) {
+    if (path.find(seam) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// --- Loading ---
+
+StatusOr<AnalyzerManifests> LoadManifests(const std::string& dir) {
+  AnalyzerManifests manifests;
+  PGM_ASSIGN_OR_RETURN(std::string layers,
+                       ReadFileToString(dir + "/layers.txt"));
+  PGM_ASSIGN_OR_RETURN(manifests.layering, LayeringManifest::Parse(layers));
+  PGM_RETURN_IF_ERROR(manifests.layering.CheckAcyclic());
+  PGM_ASSIGN_OR_RETURN(std::string locks, ReadFileToString(dir + "/locks.txt"));
+  PGM_ASSIGN_OR_RETURN(manifests.lock_order, LockOrderManifest::Parse(locks));
+  PGM_ASSIGN_OR_RETURN(std::string determinism,
+                       ReadFileToString(dir + "/determinism.txt"));
+  PGM_ASSIGN_OR_RETURN(manifests.determinism,
+                       DeterminismManifest::Parse(determinism));
+  return manifests;
+}
+
+// --- Module mapping ---
+
+std::string ModuleOf(const std::string& path) {
+  const std::vector<std::string> parts = Components(path);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (TopDirs().count(parts[i]) == 0) continue;
+    if (parts[i] != "src") return parts[i];
+    return i + 1 < parts.size() ? parts[i + 1] : std::string();
+  }
+  return std::string();
+}
+
+std::string IncludeTargetModule(const std::string& include_path) {
+  const std::size_t slash = include_path.find('/');
+  if (slash == std::string::npos) return std::string();
+  std::string first = include_path.substr(0, slash);
+  // Includes are rooted either at src/ ("util/io.h") or at the project root
+  // ("tools/lint/lint.h"); "src/x/y.h" would be both, so normalize.
+  if (first == "src") {
+    const std::size_t next = include_path.find('/', slash + 1);
+    first = include_path.substr(slash + 1, next - slash - 1);
+  }
+  return first;
+}
+
+namespace {
+
+/// The include target of a stripped line, or "" when the line is not a
+/// quoted #include. Quotes are blanked by the stripper, so the target is
+/// recovered from the raw line.
+std::string QuotedIncludeTarget(const std::string& raw_line) {
+  std::size_t at = raw_line.find('#');
+  if (at == std::string::npos) return std::string();
+  ++at;
+  while (at < raw_line.size() && raw_line[at] == ' ') ++at;
+  if (raw_line.compare(at, 7, "include") != 0) return std::string();
+  at += 7;
+  while (at < raw_line.size() && raw_line[at] == ' ') ++at;
+  if (at >= raw_line.size() || raw_line[at] != '"') return std::string();
+  const std::size_t close = raw_line.find('"', at + 1);
+  if (close == std::string::npos) return std::string();
+  return raw_line.substr(at + 1, close - at - 1);
+}
+
+}  // namespace
+
+// --- Layering pass ---
+
+std::vector<Finding> CheckLayering(const std::string& path,
+                                   const std::vector<std::string>& raw,
+                                   const std::vector<std::string>& stripped,
+                                   const LayeringManifest& manifest) {
+  std::vector<Finding> findings;
+  const std::string from = ModuleOf(path);
+  if (from.empty()) return findings;
+  const auto declared = manifest.allowed.find(from);
+  for (std::size_t i = 0; i < stripped.size(); ++i) {
+    // Only real preprocessor lines: the stripper blanks commented-out
+    // includes' text but leaves the raw line, so gate on the stripped view.
+    if (stripped[i].find("#") == std::string::npos) continue;
+    const std::string target = QuotedIncludeTarget(raw[i]);
+    if (target.empty()) continue;
+    if (stripped[i].find("include") == std::string::npos) continue;
+    const std::string to = IncludeTargetModule(target);
+    if (to.empty() || to == from) continue;
+    if (HasWaiver(raw, i, "layering")) continue;
+    if (declared == manifest.allowed.end()) {
+      findings.push_back(Finding{
+          path, i + 1, "layering",
+          StrFormat("module '%s' is not declared in the layering manifest "
+                    "(tools/lint/manifests/layers.txt); every module must "
+                    "declare its place in the DAG before it may include "
+                    "across a boundary",
+                    from.c_str())});
+      continue;
+    }
+    if (declared->second.count(to) == 0) {
+      findings.push_back(Finding{
+          path, i + 1, "layering",
+          StrFormat("undeclared layering edge %s -> %s (include of \"%s\"); "
+                    "the module DAG in tools/lint/manifests/layers.txt does "
+                    "not allow it — move the helper into the owning module "
+                    "or declare the edge deliberately",
+                    from.c_str(), to.c_str(), target.c_str())});
+    }
+  }
+  return findings;
+}
+
+// --- Lock-order pass ---
+
+std::vector<Finding> CheckLockOrder(const std::string& path,
+                                    const std::vector<std::string>& raw,
+                                    const std::vector<std::string>& stripped,
+                                    const LockOrderManifest& manifest) {
+  std::vector<Finding> findings;
+  struct Held {
+    int depth = 0;
+    const RankedLock* lock = nullptr;
+  };
+  std::vector<Held> held;
+  int depth = 0;
+  for (std::size_t i = 0; i < stripped.size(); ++i) {
+    const std::string& line = stripped[i];
+    std::size_t scan = 0;
+    while (scan < line.size()) {
+      const char c = line[scan];
+      if (c == '{') {
+        ++depth;
+        ++scan;
+        continue;
+      }
+      if (c == '}') {
+        --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+        ++scan;
+        continue;
+      }
+      // A MutexLock declaration: `MutexLock <name>(<expr>);`.
+      if (c == 'M' && line.compare(scan, 9, "MutexLock") == 0 &&
+          (scan == 0 || !IsWordChar(line[scan - 1])) &&
+          (scan + 9 >= line.size() || !IsWordChar(line[scan + 9]))) {
+        std::size_t open = line.find('(', scan + 9);
+        if (open != std::string::npos) {
+          const std::size_t close = line.find(')', open + 1);
+          if (close != std::string::npos) {
+            const std::string expr = line.substr(open + 1, close - open - 1);
+            const RankedLock* lock = manifest.Resolve(path, expr);
+            if (lock != nullptr) {
+              if (!held.empty() && held.back().lock->rank >= lock->rank &&
+                  !HasWaiver(raw, i, "lock-order")) {
+                findings.push_back(Finding{
+                    path, i + 1, "lock-order",
+                    StrFormat(
+                        "acquiring '%s' (rank %d) while holding '%s' (rank "
+                        "%d) inverts the declared hierarchy "
+                        "(tools/lint/manifests/locks.txt); nested scopes "
+                        "must acquire in strictly increasing rank order",
+                        lock->name.c_str(), lock->rank,
+                        held.back().lock->name.c_str(),
+                        held.back().lock->rank)});
+              }
+              held.push_back(Held{depth, lock});
+            }
+            scan = close + 1;
+            continue;
+          }
+        }
+      }
+      ++scan;
+    }
+  }
+  return findings;
+}
+
+// --- Include-cycle project pass ---
+
+std::vector<Finding> CheckIncludeCycles(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  // Resolve include targets to indices in `files` by suffix match: the
+  // include "util/io.h" names the file whose path ends in "/util/io.h"
+  // (or "/src/util/io.h" — both spellings resolve to the same file).
+  std::map<std::string, std::size_t> by_suffix;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    by_suffix["/" + files[i].first] = i;
+  }
+  auto resolve = [&](const std::string& target) -> std::size_t {
+    for (const std::string& candidate :
+         {"/" + target, "/src/" + target}) {
+      for (const auto& [suffix, index] : by_suffix) {
+        if (suffix.size() >= candidate.size() &&
+            suffix.compare(suffix.size() - candidate.size(),
+                           candidate.size(), candidate) == 0) {
+          return index;
+        }
+      }
+    }
+    return files.size();
+  };
+
+  struct Edge {
+    std::size_t to = 0;
+    std::size_t line = 0;  // 1-based include line in the from-file
+  };
+  std::vector<std::vector<Edge>> edges(files.size());
+  std::vector<std::vector<std::string>> raw_lines(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    std::vector<std::string> raw;
+    std::vector<std::string> stripped;
+    internal::SplitAndStrip(files[i].second, &raw, &stripped);
+    raw_lines[i] = raw;
+    for (std::size_t j = 0; j < stripped.size(); ++j) {
+      if (stripped[j].find("include") == std::string::npos) continue;
+      const std::string target = QuotedIncludeTarget(raw[j]);
+      if (target.empty()) continue;
+      const std::size_t to = resolve(target);
+      if (to < files.size() && to != i) {
+        edges[i].push_back(Edge{to, j + 1});
+      }
+    }
+  }
+
+  // Three-color DFS; the first back edge found per component is reported.
+  std::vector<Finding> findings;
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<std::uint8_t> color(files.size(), kWhite);
+  struct Frame {
+    std::size_t node = 0;
+    std::size_t next_edge = 0;
+  };
+  for (std::size_t root = 0; root < files.size(); ++root) {
+    if (color[root] != kWhite) continue;
+    std::vector<Frame> stack{Frame{root, 0}};
+    color[root] = kGray;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next_edge >= edges[frame.node].size()) {
+        color[frame.node] = kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const Edge edge = edges[frame.node][frame.next_edge++];
+      if (color[edge.to] == kGray) {
+        // Reconstruct the cycle from the gray stack.
+        std::string cycle;
+        bool in_cycle = false;
+        for (const Frame& f : stack) {
+          if (f.node == edge.to) in_cycle = true;
+          if (in_cycle) cycle += files[f.node].first + " -> ";
+        }
+        cycle += files[edge.to].first;
+        if (!HasWaiver(raw_lines[frame.node], edge.line - 1,
+                       "include-cycle")) {
+          findings.push_back(Finding{
+              files[frame.node].first, edge.line, "include-cycle",
+              "file-level include cycle: " + cycle +
+                  "; include guards mask the cycle until an ordering "
+                  "change breaks the build — split the shared declarations "
+                  "into a lower header"});
+        }
+        continue;
+      }
+      if (color[edge.to] == kWhite) {
+        color[edge.to] = kGray;
+        stack.push_back(Frame{edge.to, 0});
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace lint
+}  // namespace pgm

@@ -1,0 +1,124 @@
+#ifndef PGM_TOOLS_LINT_ANALYZE_H_
+#define PGM_TOOLS_LINT_ANALYZE_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/lint/lint.h"
+#include "util/status.h"
+
+namespace pgm {
+namespace lint {
+
+/// The pgm_analyze manifests: each semantic rule family is driven by a
+/// declared data file under tools/lint/manifests/, so changing the
+/// architecture (a new module, a new lock, a new sanctioned clock seam)
+/// means editing a manifest, not the analyzer.
+
+/// tools/lint/manifests/layers.txt — the module DAG. One line per module:
+///   <module>: <allowed direct dependency> ...
+/// Self-edges are implicit; '#' starts a comment. Every module that appears
+/// in the tree must be declared, and the declared graph must be acyclic
+/// (CheckAcyclic). The `layering` rule fails any #include edge the manifest
+/// does not declare — back-edges, stray peer edges, and undeclared modules
+/// all surface the same way.
+struct LayeringManifest {
+  std::map<std::string, std::set<std::string>> allowed;
+
+  static StatusOr<LayeringManifest> Parse(const std::string& text);
+  /// OK when the declared graph is a DAG; InvalidArgument naming one cycle
+  /// otherwise.
+  Status CheckAcyclic() const;
+};
+
+/// One declared pgm::Mutex instance. A MutexLock site resolves to the rank
+/// whose `path_substring` appears in the file path and whose `expression`
+/// appears (as a whole word) in the lock argument.
+struct RankedLock {
+  std::string name;
+  std::string path_substring;
+  std::string expression;
+  int rank = 0;
+};
+
+/// tools/lint/manifests/locks.txt — the lock hierarchy. One line per lock:
+///   <rank> <name> <path-substring> <expression>
+/// Ranks must be unique; nested MutexLock scopes must acquire in strictly
+/// increasing rank order (the same order util/mutex.h asserts at runtime in
+/// checked builds).
+struct LockOrderManifest {
+  std::vector<RankedLock> locks;
+
+  static StatusOr<LockOrderManifest> Parse(const std::string& text);
+  /// The manifest entry for a MutexLock site, or nullptr when the lock is
+  /// unranked (local mutexes outside the declared hierarchy).
+  const RankedLock* Resolve(const std::string& path,
+                            const std::string& expression) const;
+};
+
+/// tools/lint/manifests/determinism.txt — sanctioned exceptions to the
+/// determinism rules. Currently one directive:
+///   wall-clock-seam <path-substring>
+/// Files matching a seam may read clocks (the stopwatch/backoff/bench
+/// timing seams); everywhere else the `wall-clock` rule fires.
+struct DeterminismManifest {
+  std::vector<std::string> wall_clock_seams;
+
+  static StatusOr<DeterminismManifest> Parse(const std::string& text);
+  bool SanctionsWallClock(const std::string& path) const;
+};
+
+struct AnalyzerManifests {
+  LayeringManifest layering;
+  LockOrderManifest lock_order;
+  DeterminismManifest determinism;
+};
+
+/// Loads layers.txt, locks.txt, and determinism.txt from `dir`. IoError
+/// when a manifest is missing or unreadable; InvalidArgument when one is
+/// malformed or the layering graph has a cycle.
+StatusOr<AnalyzerManifests> LoadManifests(const std::string& dir);
+
+/// The module a path belongs to: "src/<m>/..." maps to <m>; tools/, tests/,
+/// bench/, and examples/ map to themselves. "" when the path is outside the
+/// known tree shape. Only the first recognized component counts, so
+/// absolute paths work.
+std::string ModuleOf(const std::string& path);
+
+/// The module an include target ("util/io.h") belongs to — the first path
+/// component. "" for same-directory includes (no slash), which never cross
+/// a module boundary.
+std::string IncludeTargetModule(const std::string& include_path);
+
+/// Per-file layering pass: every `#include "..."` edge must be declared in
+/// the manifest. `raw`/`stripped` are the SplitAndStrip views of the file.
+std::vector<Finding> CheckLayering(const std::string& path,
+                                   const std::vector<std::string>& raw,
+                                   const std::vector<std::string>& stripped,
+                                   const LayeringManifest& manifest);
+
+/// Per-file static lock-order pass: tracks nested `MutexLock name(expr);`
+/// scopes by brace depth and fails when an inner acquisition's declared
+/// rank is not strictly greater than the outermost held rank. Unranked
+/// locks are invisible to the check.
+std::vector<Finding> CheckLockOrder(const std::string& path,
+                                    const std::vector<std::string>& raw,
+                                    const std::vector<std::string>& stripped,
+                                    const LockOrderManifest& manifest);
+
+/// Project pass over the whole file set ((path, content) pairs): detects
+/// file-level `#include "..."` cycles. Module-level cycles are already
+/// impossible when every edge passes CheckLayering against an acyclic
+/// manifest; this catches header cycles *within* a module, which include
+/// guards mask until an ordering change breaks the build.
+std::vector<Finding> CheckIncludeCycles(
+    const std::vector<std::pair<std::string, std::string>>& files);
+
+}  // namespace lint
+}  // namespace pgm
+
+#endif  // PGM_TOOLS_LINT_ANALYZE_H_

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <string_view>
 
+#include "tools/lint/analyze.h"
 #include "util/io.h"
 #include "util/string_util.h"
 
@@ -16,10 +17,10 @@ bool IsWordChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
-/// Splits `content` into lines with comments, string literals, and char
-/// literals blanked out (newlines preserved, so line numbers survive). The
-/// raw lines come back too — waiver detection and the "has a comment"
-/// checks must see what the stripper removed.
+}  // namespace
+
+namespace internal {
+
 void SplitAndStrip(const std::string& content, std::vector<std::string>* raw,
                    std::vector<std::string>* stripped) {
   enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
@@ -91,25 +92,29 @@ void SplitAndStrip(const std::string& content, std::vector<std::string>* raw,
   if (!raw_line.empty() || !stripped_line.empty()) flush();
 }
 
-/// True when `line` names `rule` inside a `pgm-lint: allow(...)` marker.
+}  // namespace internal
+
+namespace {
+
+using internal::SplitAndStrip;
+
+// The waiver marker, split so the linter's own source does not read as a
+// waiver (or as an unknown-waiver finding) when linting itself.
+constexpr const char kWaiverMarker[] = "pgm-lint" ": allow(";
+constexpr std::size_t kWaiverMarkerLen = sizeof(kWaiverMarker) - 1;
+
+/// True when `line` names `rule` inside an allow(...) waiver marker.
 bool LineWaives(const std::string& line, const std::string& rule) {
-  const std::size_t at = line.find("pgm-lint: allow(");
+  const std::size_t at = line.find(kWaiverMarker);
   if (at == std::string::npos) return false;
   const std::size_t close = line.find(')', at);
   if (close == std::string::npos) return false;
-  const std::string list = line.substr(at + 16, close - at - 16);
+  const std::string list =
+      line.substr(at + kWaiverMarkerLen, close - at - kWaiverMarkerLen);
   for (const std::string& allowed : Split(list, ',')) {
     if (Trim(allowed) == rule) return true;
   }
   return false;
-}
-
-/// True when the offending line or the line above carries a waiver for
-/// `rule`.
-bool HasWaiver(const std::vector<std::string>& raw, std::size_t index,
-               const std::string& rule) {
-  if (LineWaives(raw[index], rule)) return true;
-  return index > 0 && LineWaives(raw[index - 1], rule);
 }
 
 bool FileHasWaiver(const std::vector<std::string>& raw,
@@ -120,10 +125,18 @@ bool FileHasWaiver(const std::vector<std::string>& raw,
   return false;
 }
 
-/// Finds whole-word occurrences of `word` in `line` starting at or after
-/// `from`; returns npos when absent.
+}  // namespace
+
+namespace internal {
+
+bool HasWaiver(const std::vector<std::string>& raw, std::size_t index,
+               const std::string& rule) {
+  if (LineWaives(raw[index], rule)) return true;
+  return index > 0 && LineWaives(raw[index - 1], rule);
+}
+
 std::size_t FindWord(const std::string& line, const std::string& word,
-                     std::size_t from = 0) {
+                     std::size_t from) {
   std::size_t at = line.find(word, from);
   while (at != std::string::npos) {
     const bool left_ok = at == 0 || !IsWordChar(line[at - 1]);
@@ -134,6 +147,13 @@ std::size_t FindWord(const std::string& line, const std::string& word,
   }
   return std::string::npos;
 }
+
+}  // namespace internal
+
+namespace {
+
+using internal::FindWord;
+using internal::HasWaiver;
 
 /// Whole-word `word` immediately followed by '(' (ignoring spaces).
 bool HasCall(const std::string& line, const std::string& word) {
@@ -279,23 +299,217 @@ std::string CheckUndocumentedDiscard(const std::string& stripped,
   return "";
 }
 
+// --- Determinism rules (pgm_analyze, PR 10). ---
+
+/// Collects identifiers declared with an unordered container type anywhere
+/// in the file: `unordered_map<K, V> name`, including multi-token template
+/// arguments, as long as the declaration's angle brackets close on one
+/// line. Members, locals, and parameters all register.
+std::set<std::string> UnorderedIdentifiers(
+    const std::vector<std::string>& stripped) {
+  std::set<std::string> names;
+  static constexpr const char* kTypes[] = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  for (const std::string& line : stripped) {
+    for (const char* type : kTypes) {
+      std::size_t at = FindWord(line, type);
+      while (at != std::string::npos) {
+        std::size_t scan = at + std::string(type).size();
+        while (scan < line.size() && line[scan] == ' ') ++scan;
+        if (scan < line.size() && line[scan] == '<') {
+          int depth = 0;
+          while (scan < line.size()) {
+            if (line[scan] == '<') ++depth;
+            if (line[scan] == '>') {
+              --depth;
+              if (depth == 0) {
+                ++scan;
+                break;
+              }
+            }
+            ++scan;
+          }
+          while (scan < line.size() &&
+                 (line[scan] == ' ' || line[scan] == '&')) {
+            ++scan;
+          }
+          std::size_t name_end = scan;
+          while (name_end < line.size() && IsWordChar(line[name_end])) {
+            ++name_end;
+          }
+          if (name_end > scan) {
+            names.insert(line.substr(scan, name_end - scan));
+          }
+        }
+        at = FindWord(line, type, at + 1);
+      }
+    }
+  }
+  return names;
+}
+
+/// An unordered-container iteration on `line`: a range-for whose range
+/// expression names a collected identifier, or a .begin()/.cbegin() walk of
+/// one. Returns the offending identifier or "".
+std::string UnorderedIterationOn(const std::string& line,
+                                 const std::set<std::string>& unordered) {
+  if (unordered.empty()) return "";
+  const std::size_t for_at = FindWord(line, "for");
+  if (for_at != std::string::npos) {
+    const std::size_t colon = line.find(':', for_at);
+    if (colon != std::string::npos) {
+      for (const std::string& name : unordered) {
+        if (FindWord(line, name, colon + 1) != std::string::npos) return name;
+      }
+    }
+  }
+  for (const std::string& name : unordered) {
+    std::size_t at = FindWord(line, name);
+    while (at != std::string::npos) {
+      const std::size_t after = at + name.size();
+      if (line.compare(after, 7, ".begin(") == 0 ||
+          line.compare(after, 8, ".cbegin(") == 0) {
+        return name;
+      }
+      at = FindWord(line, name, at + 1);
+    }
+  }
+  return "";
+}
+
+/// The collect-then-sort escape: iterating an unordered container is fine
+/// when the iteration feeds a container that is sorted immediately after —
+/// a whole-word `sort(`-family call within the next `kSortWindow` lines.
+constexpr std::size_t kSortWindow = 12;
+bool SortFollowsWithin(const std::vector<std::string>& stripped,
+                       std::size_t index) {
+  const std::size_t end = std::min(stripped.size(), index + kSortWindow + 1);
+  for (std::size_t i = index; i < end; ++i) {
+    for (const char* fn : {"sort", "stable_sort", "partial_sort"}) {
+      if (HasCall(stripped[i], fn)) return true;
+    }
+  }
+  return false;
+}
+
+std::string CheckWallClock(const std::string& line) {
+  // Clock *reads*; sleeping (sleep_for/sleep_until with a computed delay)
+  // does not leak nondeterminism into results, so it stays legal.
+  static constexpr const char* kClockTypes[] = {
+      "system_clock", "steady_clock", "high_resolution_clock"};
+  for (const char* type : kClockTypes) {
+    if (FindWord(line, type) != std::string::npos) {
+      return std::string(type) +
+             " outside a sanctioned timing seam; results must not depend "
+             "on when the run happened — route timing through "
+             "util/stopwatch.h or declare a wall-clock-seam in "
+             "tools/lint/manifests/determinism.txt";
+    }
+  }
+  static constexpr const char* kClockCalls[] = {
+      "time",      "clock",    "gettimeofday", "clock_gettime",
+      "localtime", "gmtime",   "mktime",       "strftime",
+      "ctime",     "asctime"};
+  for (const char* fn : kClockCalls) {
+    if (HasCall(line, fn)) {
+      return std::string(fn) +
+             "() outside a sanctioned timing seam; wall-clock reads make "
+             "runs irreproducible — route timing through util/stopwatch.h "
+             "or declare a wall-clock-seam in "
+             "tools/lint/manifests/determinism.txt";
+    }
+  }
+  return "";
+}
+
+std::string CheckPointerOrder(const std::string& line) {
+  // Hashing or ordering by address: std::hash/std::less instantiated over
+  // a pointer type, or a cast of a pointer to an integer for comparison.
+  for (const char* templ : {"hash", "less", "greater"}) {
+    std::size_t at = FindWord(line, templ);
+    while (at != std::string::npos) {
+      std::size_t open = at + std::string(templ).size();
+      while (open < line.size() && line[open] == ' ') ++open;
+      if (open < line.size() && line[open] == '<') {
+        int depth = 0;
+        std::size_t scan = open;
+        while (scan < line.size()) {
+          if (line[scan] == '<') ++depth;
+          if (line[scan] == '>') {
+            --depth;
+            if (depth == 0) break;
+          }
+          if (line[scan] == '*' && depth > 0) {
+            return std::string("std::") + templ +
+                   " over a pointer type; addresses differ run to run, so "
+                   "pointer-keyed order leaks nondeterminism into results "
+                   "— key on the pointee's stable identity instead";
+          }
+          ++scan;
+        }
+      }
+      at = FindWord(line, templ, at + 1);
+    }
+  }
+  for (const char* cast : {"uintptr_t", "intptr_t"}) {
+    const std::size_t at = FindWord(line, cast);
+    if (at != std::string::npos &&
+        line.find("reinterpret_cast") != std::string::npos) {
+      return "pointer-to-integer cast; an address is not a stable key — "
+             "sort or hash by the pointee's ordinal or content instead";
+    }
+  }
+  return "";
+}
+
 struct FileScopeHit {
   std::size_t first_line = 0;  // 1-based; 0 = not seen
 };
 
+/// Rule names an allow(...) waiver marker on `line` carries, or empty.
+std::vector<std::string> WaiverNames(const std::string& line) {
+  std::vector<std::string> names;
+  const std::size_t at = line.find(kWaiverMarker);
+  if (at == std::string::npos) return names;
+  const std::size_t close = line.find(')', at);
+  if (close == std::string::npos) return names;
+  for (const std::string& name :
+       Split(line.substr(at + kWaiverMarkerLen, close - at - kWaiverMarkerLen),
+             ',')) {
+    names.push_back(std::string(Trim(name)));
+  }
+  return names;
+}
+
 }  // namespace
+
+const std::vector<std::string>& KnownRules() {
+  static const std::vector<std::string> kRules = {
+      "arena-scratch",  "include-cycle",       "layering",
+      "ledger-pairing", "lock-order",          "naked-lock",
+      "pointer-order",  "raw-alloc",           "raw-intrinsics",
+      "undocumented-discard",                  "unknown-waiver",
+      "unordered-iteration",                   "unseeded-rng",
+      "wall-clock"};
+  return kRules;
+}
 
 std::vector<Finding> LintSource(const std::string& path,
                                 const std::string& content,
                                 const LintOptions& options) {
   std::vector<std::string> raw;
   std::vector<std::string> stripped;
-  SplitAndStrip(content, &raw, &stripped);
+  internal::SplitAndStrip(content, &raw, &stripped);
 
   std::vector<Finding> findings;
+  auto enabled = [&](const char* rule) {
+    return options.only_rules.empty() || options.only_rules.count(rule) != 0;
+  };
   auto add = [&](std::size_t index, const char* rule,
                  const std::string& message) {
-    if (HasWaiver(raw, index, rule)) return;
+    if (!enabled(rule)) return;
+    if (internal::HasWaiver(raw, index, rule)) return;
     findings.push_back(Finding{path, index + 1, rule, message});
   };
 
@@ -311,9 +525,36 @@ std::vector<Finding> LintSource(const std::string& path,
       path.compare(path.size() - kAvx2Tu.size(), kAvx2Tu.size(),
                    kAvx2Tu) == 0;
 
+  // The wall-clock rule consults the determinism manifest for sanctioned
+  // seams; without manifests (fixture mode) every file is fair game.
+  const bool wall_clock_sanctioned =
+      options.manifests != nullptr &&
+      options.manifests->determinism.SanctionsWallClock(path);
+  const std::set<std::string> unordered_names = UnorderedIdentifiers(stripped);
+
   FileScopeHit charge, release, scratch_use, scratch_begin, scratch_end;
   for (std::size_t i = 0; i < stripped.size(); ++i) {
     const std::string& line = stripped[i];
+
+    // Waiver hygiene runs on the raw line (waivers are comments, which the
+    // stripper removes): a typo'd rule name silences nothing, so it fails
+    // loudly with the valid catalogue.
+    if (enabled("unknown-waiver")) {
+      for (const std::string& name : WaiverNames(raw[i])) {
+        if (std::find(KnownRules().begin(), KnownRules().end(), name) ==
+            KnownRules().end()) {
+          std::string valid;
+          for (const std::string& rule : KnownRules()) {
+            if (!valid.empty()) valid += ", ";
+            valid += rule;
+          }
+          findings.push_back(
+              Finding{path, i + 1, "unknown-waiver",
+                      "waiver names unknown rule '" + name +
+                          "'; valid rules: " + valid});
+        }
+      }
+    }
     if (line.empty()) continue;
 
     std::string msg = CheckNakedLock(line);
@@ -331,6 +572,24 @@ std::vector<Finding> LintSource(const std::string& path,
     msg = CheckUndocumentedDiscard(line, raw, i);
     if (!msg.empty()) add(i, "undocumented-discard", msg);
 
+    const std::string unordered_name =
+        UnorderedIterationOn(line, unordered_names);
+    if (!unordered_name.empty() && !SortFollowsWithin(stripped, i)) {
+      add(i, "unordered-iteration",
+          "iteration over unordered container '" + unordered_name +
+              "' without a sorted-emission pattern; hash order is "
+              "nondeterministic across runs and platforms — collect into a "
+              "vector and sort (within " +
+              std::to_string(kSortWindow) +
+              " lines), or waive with a justification");
+    }
+    if (!wall_clock_sanctioned) {
+      msg = CheckWallClock(line);
+      if (!msg.empty()) add(i, "wall-clock", msg);
+    }
+    msg = CheckPointerOrder(line);
+    if (!msg.empty()) add(i, "pointer-order", msg);
+
     auto note = [&](FileScopeHit* hit, const char* token) {
       if (hit->first_line == 0 && HasCall(line, token)) {
         hit->first_line = i + 1;
@@ -344,15 +603,15 @@ std::vector<Finding> LintSource(const std::string& path,
     note(&scratch_end, "EndScratch");
   }
 
-  if (charge.first_line != 0 && release.first_line == 0 &&
-      !FileHasWaiver(raw, "ledger-pairing")) {
+  if (enabled("ledger-pairing") && charge.first_line != 0 &&
+      release.first_line == 0 && !FileHasWaiver(raw, "ledger-pairing")) {
     findings.push_back(Finding{
         path, charge.first_line, "ledger-pairing",
         "ChargeMemory without a ReleaseMemory path in this file; every "
         "ledger charge needs a structural release or the ledger cannot "
         "drain to zero"});
   }
-  if (scratch_use.first_line != 0 &&
+  if (enabled("arena-scratch") && scratch_use.first_line != 0 &&
       (scratch_begin.first_line == 0 || scratch_end.first_line == 0) &&
       !FileHasWaiver(raw, "arena-scratch")) {
     findings.push_back(Finding{
@@ -360,6 +619,21 @@ std::vector<Finding> LintSource(const std::string& path,
         "Promote/TruncateToWatermark without the BeginScratch/EndScratch "
         "bracket in this file; scratch operations are only legal inside an "
         "open scratch window"});
+  }
+
+  // The manifest-driven pgm_analyze passes: layering and static lock-order
+  // run whenever manifests are supplied (tree scans always supply them).
+  if (options.manifests != nullptr) {
+    if (enabled("layering")) {
+      std::vector<Finding> layering =
+          CheckLayering(path, raw, stripped, options.manifests->layering);
+      findings.insert(findings.end(), layering.begin(), layering.end());
+    }
+    if (enabled("lock-order")) {
+      std::vector<Finding> lock_order =
+          CheckLockOrder(path, raw, stripped, options.manifests->lock_order);
+      findings.insert(findings.end(), lock_order.begin(), lock_order.end());
+    }
   }
 
   std::sort(findings.begin(), findings.end(),
@@ -377,6 +651,19 @@ StatusOr<std::vector<Finding>> LintTree(const std::string& root,
   if (!fs::is_directory(root, ec)) {
     return Status::IoError("lint root is not a directory: " + root);
   }
+
+  // Tree scans always run the manifest-driven passes: load the repo's
+  // manifests unless the caller supplied their own. A missing manifest is a
+  // loud error — the analyzer without its declared DAG would silently pass
+  // everything.
+  LintOptions effective = options;
+  AnalyzerManifests loaded;
+  if (effective.manifests == nullptr) {
+    PGM_ASSIGN_OR_RETURN(loaded,
+                         LoadManifests(root + "/tools/lint/manifests"));
+    effective.manifests = &loaded;
+  }
+
   std::vector<std::string> paths;
   for (const char* top : {"src", "tools", "bench", "tests", "examples"}) {
     const fs::path dir = fs::path(root) / top;
@@ -388,23 +675,35 @@ StatusOr<std::vector<Finding>> LintTree(const std::string& root,
       if (!it->is_regular_file(ec)) continue;
       const std::string path = it->path().string();
       if (path.find("lint_fixtures") != std::string::npos) continue;
-      if (path.size() >= 3 && path.compare(path.size() - 3, 3, ".cc") == 0) {
-        paths.push_back(path);
-      } else if (path.size() >= 2 &&
-                 path.compare(path.size() - 2, 2, ".h") == 0) {
-        paths.push_back(path);
+      for (const char* suffix : {".cc", ".h", ".cpp"}) {
+        const std::size_t n = std::string(suffix).size();
+        if (path.size() >= n &&
+            path.compare(path.size() - n, n, suffix) == 0) {
+          paths.push_back(path);
+          break;
+        }
       }
     }
   }
   std::sort(paths.begin(), paths.end());
 
   std::vector<Finding> findings;
+  std::vector<std::pair<std::string, std::string>> files;
+  files.reserve(paths.size());
   for (const std::string& path : paths) {
     PGM_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
-    std::vector<Finding> file_findings = LintSource(path, content, options);
+    std::vector<Finding> file_findings = LintSource(path, content, effective);
     findings.insert(findings.end(),
                     std::make_move_iterator(file_findings.begin()),
                     std::make_move_iterator(file_findings.end()));
+    files.emplace_back(path, std::move(content));
+  }
+
+  // Project pass: file-level include cycles need the whole graph at once.
+  if (effective.only_rules.empty() ||
+      effective.only_rules.count("include-cycle") != 0) {
+    std::vector<Finding> cycles = CheckIncludeCycles(files);
+    findings.insert(findings.end(), cycles.begin(), cycles.end());
   }
   return findings;
 }

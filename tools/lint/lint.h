@@ -2,6 +2,7 @@
 #define PGM_TOOLS_LINT_LINT_H_
 
 #include <cstddef>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,8 @@
 
 namespace pgm {
 namespace lint {
+
+struct AnalyzerManifests;  // tools/lint/analyze.h
 
 /// One rule violation. `line` is 1-based.
 struct Finding {
@@ -49,16 +52,65 @@ struct Finding {
 ///                         one SIMD translation unit is exempt even under
 ///                         all_rules.
 ///
-/// Waivers: `// pgm-lint: allow(rule-a,rule-b)` on the offending line or
-/// the line above waives line-scoped rules; anywhere in the file it waives
-/// the file-scoped rules (ledger-pairing, arena-scratch). Waivers are
+/// The pgm_analyze rule families (PR 10) extend the catalogue with the
+/// determinism and architecture invariants. The first four are line-scoped
+/// like the rules above; the last three are manifest-driven passes
+/// (tools/lint/analyze.h) that only run when manifests are loaded:
+///
+///   unordered-iteration   a range-for (or .begin() walk) over a variable
+///                         declared as unordered_map/unordered_set in the
+///                         same file. Hash-order iteration is
+///                         nondeterministic across platforms and runs; the
+///                         rule is silenced by the collect-then-sort idiom
+///                         (a `sort(` call within the following 12 lines)
+///                         or a justified waiver.
+///   wall-clock            a clock read (time(), clock(), system_clock,
+///                         steady_clock, high_resolution_clock,
+///                         gettimeofday, clock_gettime, localtime, gmtime,
+///                         mktime, strftime) outside the sanctioned seams
+///                         declared in the determinism manifest
+///                         (stopwatch/backoff/bench timing).
+///   pointer-order         ordering or hashing by pointer value on a result
+///                         path: std::hash/std::less over a pointer type,
+///                         or a reinterpret_cast to (u)intptr_t. Addresses
+///                         differ run to run, so any pointer-keyed order
+///                         leaks nondeterminism into exports.
+///   unknown-waiver        an allow(...) waiver naming a rule that does
+///                         not exist — a typo'd waiver silences nothing,
+///                         so it must fail loudly with the valid rule list.
+///   layering              an #include edge the layering manifest does not
+///                         declare (tools/lint/manifests/layers.txt) —
+///                         back-edges, cycles, stray peer edges, and
+///                         undeclared modules.
+///   lock-order            nested MutexLock scopes acquiring out of the
+///                         declared rank order (manifests/locks.txt); the
+///                         same hierarchy util/mutex.h asserts at runtime
+///                         in checked builds.
+///   include-cycle         a file-level #include cycle anywhere in the
+///                         tree (project pass; LintTree only).
+///
+/// Waivers: `// pgm-lint: allow(raw-alloc,unseeded-rng)` on the offending
+/// line or the line above waives line-scoped rules; anywhere in the file
+/// it waives the file-scoped rules (ledger-pairing, arena-scratch). Waivers are
 /// comments, so every one doubles as documentation of the exception.
 struct LintOptions {
   /// Apply every rule regardless of the file's path. Tree scans leave this
   /// false so path-scoped rules (raw-alloc) only fire where they apply;
   /// fixture tests set it to exercise all rules on one file.
   bool all_rules = false;
+  /// When non-empty, only the named rules run (pgm_lint --rules=...).
+  /// Names must come from KnownRules(); the CLI rejects unknown ones.
+  std::set<std::string> only_rules;
+  /// Manifests for the pgm_analyze passes (layering, lock-order,
+  /// wall-clock seams). nullptr skips those passes — per-file fixture runs
+  /// opt in explicitly; LintTree loads them from
+  /// <root>/tools/lint/manifests.
+  const AnalyzerManifests* manifests = nullptr;
 };
+
+/// Every rule name the linter can emit, sorted. The single source of truth
+/// for --rules= validation and the unknown-waiver rule.
+const std::vector<std::string>& KnownRules();
 
 /// Lints one translation unit given its contents. `path` decides which
 /// path-scoped rules apply (unless options.all_rules).
@@ -74,6 +126,27 @@ StatusOr<std::vector<Finding>> LintTree(const std::string& root,
 
 /// Formats one finding as "path:line: [rule] message".
 std::string FormatFinding(const Finding& finding);
+
+namespace internal {
+
+/// Splits `content` into lines with comments, string literals, and char
+/// literals blanked out (newlines preserved, so line numbers survive). The
+/// raw lines come back too — waiver detection must see what the stripper
+/// removed. Shared by the line rules here and the analyze passes.
+void SplitAndStrip(const std::string& content, std::vector<std::string>* raw,
+                   std::vector<std::string>* stripped);
+
+/// True when the offending line or the line above carries a
+/// allow(rule) waiver marker.
+bool HasWaiver(const std::vector<std::string>& raw, std::size_t index,
+               const std::string& rule);
+
+/// Finds whole-word occurrences of `word` in `line` starting at or after
+/// `from`; returns npos when absent.
+std::size_t FindWord(const std::string& line, const std::string& word,
+                     std::size_t from = 0);
+
+}  // namespace internal
 
 }  // namespace lint
 }  // namespace pgm

@@ -1,32 +1,81 @@
 // pgm_lint — the project-specific invariant checker (see tools/lint/lint.h
-// for the rule catalogue). Exit codes: 0 clean, 1 findings, 2 usage/IO
-// error. `ctest -L lint` runs this over the source tree.
+// for the rule catalogue and tools/lint/analyze.h for the manifest-backed
+// passes). Exit codes: 0 clean, 1 findings, 2 usage/IO error. `ctest -L
+// lint` runs this over the source tree.
 //
 // Usage:
-//   pgm_lint --root <repo-root>        lint the whole tree
-//   pgm_lint [--all-rules] <file>...   lint specific files (fixture mode)
+//   pgm_lint [flags] --root <repo-root>   lint + analyze the whole tree
+//   pgm_lint [flags] <file>...            lint specific files (fixture mode)
+//
+// Flags:
+//   --all-rules          also lint fixture directories (self-test mode)
+//   --rules=<a,b,...>    run only the named rules; unknown names are a
+//                        usage error listing the valid rule set
+//   --manifests <dir>    load analyzer manifests from <dir> (file mode;
+//                        --root mode loads <root>/tools/lint/manifests)
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "tools/lint/analyze.h"
 #include "tools/lint/lint.h"
 #include "util/io.h"
 
 namespace {
 
 int Usage() {
+  std::string rules;
+  for (const std::string& rule : pgm::lint::KnownRules()) {
+    if (!rules.empty()) rules += ", ";
+    rules += rule;
+  }
   std::fprintf(stderr,
-               "usage: pgm_lint --root <dir> | pgm_lint [--all-rules] "
-               "<file>...\n");
+               "usage: pgm_lint [--all-rules] [--rules=<a,b,...>] "
+               "[--manifests <dir>] (--root <dir> | <file>...)\n"
+               "valid rules: %s\n",
+               rules.c_str());
   return 2;
+}
+
+// Splits --rules=a,b,c and validates every name against KnownRules().
+bool ParseRules(const char* arg, std::set<std::string>* out) {
+  const std::vector<std::string>& known = pgm::lint::KnownRules();
+  std::string list = arg;
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    std::string name = list.substr(start, comma - start);
+    if (!name.empty()) {
+      bool ok = false;
+      for (const std::string& rule : known) {
+        if (rule == name) {
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) {
+        std::fprintf(stderr, "pgm_lint: unknown rule '%s'\n", name.c_str());
+        return false;
+      }
+      out->insert(name);
+    }
+    start = comma + 1;
+  }
+  if (out->empty()) {
+    std::fprintf(stderr, "pgm_lint: --rules= names no rules\n");
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root;
+  std::string manifest_dir;
   pgm::lint::LintOptions options;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
@@ -35,6 +84,11 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (std::strcmp(argv[i], "--all-rules") == 0) {
       options.all_rules = true;
+    } else if (std::strncmp(argv[i], "--rules=", 8) == 0) {
+      if (!ParseRules(argv[i] + 8, &options.only_rules)) return Usage();
+    } else if (std::strcmp(argv[i], "--manifests") == 0) {
+      if (i + 1 >= argc) return Usage();
+      manifest_dir = argv[++i];
     } else if (argv[i][0] == '-') {
       return Usage();
     } else {
@@ -42,6 +96,19 @@ int main(int argc, char** argv) {
     }
   }
   if (root.empty() == files.empty()) return Usage();
+
+  pgm::lint::AnalyzerManifests manifests;
+  if (!manifest_dir.empty()) {
+    pgm::StatusOr<pgm::lint::AnalyzerManifests> loaded =
+        pgm::lint::LoadManifests(manifest_dir);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "pgm_lint: %s\n",
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    manifests = std::move(loaded).value();
+    options.manifests = &manifests;
+  }
 
   std::vector<pgm::lint::Finding> findings;
   if (!root.empty()) {
